@@ -1,0 +1,300 @@
+// Package uncertaindb contains the benchmark harness that regenerates the
+// measured side of every experiment in EXPERIMENTS.md (E4–E12). The paper is
+// theoretical and publishes no performance numbers; these benches quantify
+// its qualitative claims — succinctness of c-tables vs boolean c-tables
+// (Example 5), cost of the closure-based query answering vs naïve possible
+// world enumeration (Theorems 4 and 9), the cost of the completeness and
+// completion constructions (Theorems 1, 3, 5–8), and ablations of the
+// design choices called out in DESIGN.md.
+package uncertaindb
+
+import (
+	"fmt"
+	"testing"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/incomplete"
+	"uncertaindb/internal/models"
+	"uncertaindb/internal/pctable"
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/value"
+	"uncertaindb/internal/workload"
+)
+
+// E4 — Theorem 1: cost and size of the RA-definability construction
+// (c-table → SPJU query over Z_k) as the table grows.
+func BenchmarkRADefinabilityConstruction(b *testing.B) {
+	for _, rows := range []int{4, 16, 64, 256} {
+		spec := workload.CTableSpec{Rows: rows, Arity: 3, NumVars: 6, DomainSize: 4, PVarCell: 0.5, PCondAtom: 0.6, Seed: 11}
+		tab := workload.RandomCTable(spec)
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ctable.RADefinabilityQuery(tab); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E5 — Theorem 3: cost of building a boolean c-table from a finite
+// incomplete database as the number of worlds grows.
+func BenchmarkTheorem3Construction(b *testing.B) {
+	for _, worlds := range []int{4, 16, 64} {
+		db := workload.RandomIDatabase(worlds, 4, 2, 8, 7)
+		b.Run(fmt.Sprintf("worlds=%d", worlds), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ctable.BooleanCTableFromIDatabase(db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E6 — Example 5: succinctness gap between a finite c-table with m variable
+// columns over a domain of size n (1 row) and the equivalent boolean
+// c-table (n^m rows). The boolean row count is reported as a metric.
+func BenchmarkExample5Succinctness(b *testing.B) {
+	for _, cfg := range []struct{ m, n int }{{2, 2}, {2, 4}, {3, 3}, {4, 2}, {3, 4}} {
+		b.Run(fmt.Sprintf("m=%d/n=%d", cfg.m, cfg.n), func(b *testing.B) {
+			tab := ctable.New(cfg.m)
+			terms := make([]condition.Term, cfg.m)
+			for i := 0; i < cfg.m; i++ {
+				name := fmt.Sprintf("x%d", i+1)
+				terms[i] = condition.Var(name)
+				tab.SetDomain(name, value.IntRange(1, int64(cfg.n)))
+			}
+			tab.AddRow(terms, nil)
+			var boolRows int
+			for i := 0; i < b.N; i++ {
+				expanded, err := ctable.ExpandToBooleanCTable(tab)
+				if err != nil {
+					b.Fatal(err)
+				}
+				boolRows = expanded.NumRows()
+			}
+			b.ReportMetric(float64(tab.NumRows()), "ctable-rows")
+			b.ReportMetric(float64(boolRows), "boolean-rows")
+		})
+	}
+}
+
+// E7 — Theorem 4: cost of the c-table algebra q̄ (symbolic evaluation) vs
+// evaluating q in every possible world, as the number of variables (and
+// hence worlds) grows.
+func BenchmarkCTableAlgebra(b *testing.B) {
+	query := ra.Project([]int{0, 2},
+		ra.Select(ra.Ne(ra.Col(1), ra.ConstInt(1)),
+			ra.Join(ra.Rel("R"), ra.Rel("R"), ra.Eq(ra.Col(0), ra.Col(3)))))
+	for _, vars := range []int{2, 4, 6, 8} {
+		spec := workload.CTableSpec{Rows: 8, Arity: 3, NumVars: vars, DomainSize: 3, PVarCell: 0.5, PCondAtom: 0.5, Seed: 3}
+		tab := workload.RandomCTable(spec)
+		b.Run(fmt.Sprintf("symbolic/vars=%d", vars), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ctable.EvalQuery(query, tab); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("worlds/vars=%d", vars), func(b *testing.B) {
+			worlds := tab.MustMod()
+			b.ReportMetric(float64(worlds.Size()), "worlds")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := incomplete.Map(query, worlds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E9 — Theorems 5–7: cost of the algebraic-completion constructions on
+// random finite incomplete databases.
+func BenchmarkCompletionConstructions(b *testing.B) {
+	db := workload.RandomIDatabase(6, 3, 2, 5, 21)
+	b.Run("orset-PJ", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := models.CompletionOrSetPJ(db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("finite-vtable-S+P", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := models.CompletionFiniteVTableSPlusP(db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rsets-PJ", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := models.CompletionRSetsPJ(db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("xor-equiv-S+PJ", func(b *testing.B) {
+		small := workload.RandomIDatabase(3, 2, 1, 5, 22)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := models.CompletionXorEquivSPlusPJ(small); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("theorem7-RA", func(b *testing.B) {
+		src := workload.RandomIDatabase(8, 2, 1, 9, 23)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := models.GeneralCompletionRA(db, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E11 — Theorem 8: cost of encoding a probabilistic database as a boolean
+// pc-table as the number of worlds grows.
+func BenchmarkTheorem8Construction(b *testing.B) {
+	for _, tuples := range []int{4, 6, 8} {
+		pq := workload.RandomPQTable(tuples, 2, 10, 5)
+		db, err := pq.Mod()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("worlds=%d", db.NumWorlds()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pctable.BooleanPCTableFromPDatabase(db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E12 — Theorem 9 and Section 7: probabilistic query answering. Compares
+// (a) lineage-based exact marginals (closure + condition probability over
+// the lineage variables only), (b) naïve possible-world enumeration, and
+// (c) Monte-Carlo estimation, on growing versions of the courses workload.
+func BenchmarkProbabilisticQueryAnswering(b *testing.B) {
+	query := workload.ProjectionQuery(0)
+	target := value.NewTuple(value.Str("student0"))
+	for _, students := range []int{6, 9, 12} {
+		tab := workload.Courses(students, 3, 17)
+		// (a) Closure + lineage: only the variables in the answer tuple's
+		// lineage condition are enumerated.
+		b.Run(fmt.Sprintf("lineage/students=%d", students), func(b *testing.B) {
+			answer, err := tab.EvalQuery(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := answer.TupleProbability(target); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// (b) Naïve: enumerate every possible world of the input, map it
+		// through the query, and read the marginal off the image.
+		b.Run(fmt.Sprintf("worlds/students=%d", students), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dist, err := tab.Mod()
+				if err != nil {
+					b.Fatal(err)
+				}
+				img, err := dist.Map(query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				img.TupleProbability(target)
+			}
+		})
+		// (c) Monte-Carlo estimation of the same marginal.
+		b.Run(fmt.Sprintf("montecarlo1k/students=%d", students), func(b *testing.B) {
+			answer, err := tab.EvalQuery(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sampler, err := pctable.NewSampler(answer, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sampler.EstimateTupleProbability(target, 1000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation — condition simplification in the c-table algebra on/off: the
+// Mod is identical, but the size of the produced conditions (and the cost
+// of later probability computations) differs.
+func BenchmarkAblationSimplify(b *testing.B) {
+	spec := workload.CTableSpec{Rows: 12, Arity: 3, NumVars: 6, DomainSize: 3, PVarCell: 0.5, PCondAtom: 0.7, Seed: 29}
+	tab := workload.RandomCTable(spec)
+	query := ra.Project([]int{0},
+		ra.Select(ra.Ne(ra.Col(1), ra.ConstInt(1)),
+			ra.Join(ra.Rel("R"), ra.Rel("R"), ra.Eq(ra.Col(0), ra.Col(3)))))
+	for _, simplify := range []bool{true, false} {
+		name := "on"
+		if !simplify {
+			name = "off"
+		}
+		b.Run("simplify="+name, func(b *testing.B) {
+			var condSize int
+			for i := 0; i < b.N; i++ {
+				res, err := ctable.EvalQueryWithOptions(query, tab, ctable.Options{Simplify: simplify})
+				if err != nil {
+					b.Fatal(err)
+				}
+				condSize = 0
+				for _, row := range res.Rows() {
+					condSize += condition.Size(row.Cond)
+				}
+			}
+			b.ReportMetric(float64(condSize), "cond-atoms")
+		})
+	}
+}
+
+// Ablation — exact condition probability vs Monte-Carlo estimation as the
+// number of variables in the lineage grows.
+func BenchmarkAblationConditionProbability(b *testing.B) {
+	for _, vars := range []int{4, 8, 12} {
+		tab := pctable.NewWithArity(1)
+		var disj []condition.Condition
+		for i := 0; i < vars; i++ {
+			name := fmt.Sprintf("b%d", i)
+			tab.SetBoolDist(name, 0.3)
+			disj = append(disj, condition.IsTrueVar(name))
+		}
+		tab.AddConstRow(value.Ints(1), condition.Or(disj...))
+		cond := condition.Or(disj...)
+		b.Run(fmt.Sprintf("exact/vars=%d", vars), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tab.ConditionProbability(cond); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("montecarlo1k/vars=%d", vars), func(b *testing.B) {
+			sampler, err := pctable.NewSampler(tab, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sampler.EstimateConditionProbability(cond, 1000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

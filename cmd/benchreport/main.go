@@ -1,0 +1,151 @@
+// Command benchreport regenerates the measured tables that EXPERIMENTS.md
+// records: the Example 5 succinctness table (E6), the probabilistic
+// query-answering comparison (E12), and size statistics for the
+// completeness/completion constructions (E4, E5, E9, E11). Output is
+// GitHub-flavoured markdown so it can be pasted into EXPERIMENTS.md.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/models"
+	"uncertaindb/internal/pctable"
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/value"
+	"uncertaindb/internal/workload"
+)
+
+func main() {
+	succinctness()
+	queryAnswering()
+	constructions()
+}
+
+// succinctness prints the E6 table: 1-row finite c-table vs equivalent
+// boolean c-table (n^m rows).
+func succinctness() {
+	fmt.Println("## E6 — Example 5 succinctness (c-table vs boolean c-table)")
+	fmt.Println()
+	fmt.Println("| m (columns) | n (domain) | c-table rows | boolean c-table rows | worlds |")
+	fmt.Println("|---|---|---|---|---|")
+	for _, cfg := range []struct{ m, n int }{{2, 2}, {2, 4}, {3, 3}, {4, 2}, {3, 4}} {
+		tab := ctable.New(cfg.m)
+		terms := make([]condition.Term, cfg.m)
+		for i := 0; i < cfg.m; i++ {
+			name := fmt.Sprintf("x%d", i+1)
+			terms[i] = condition.Var(name)
+			tab.SetDomain(name, value.IntRange(1, int64(cfg.n)))
+		}
+		tab.AddRow(terms, nil)
+		expanded, err := ctable.ExpandToBooleanCTable(tab)
+		if err != nil {
+			panic(err)
+		}
+		worlds := tab.MustMod().Size()
+		fmt.Printf("| %d | %d | %d | %d | %d |\n", cfg.m, cfg.n, tab.NumRows(), expanded.NumRows(), worlds)
+	}
+	fmt.Println()
+}
+
+// queryAnswering prints the E12 comparison: lineage-based exact marginals
+// vs naïve world enumeration vs Monte-Carlo, on the scaled courses
+// workload.
+func queryAnswering() {
+	fmt.Println("## E12 — probabilistic query answering (marginal of one answer tuple)")
+	fmt.Println()
+	fmt.Println("| students | variables | worlds | lineage exact | world enumeration | Monte-Carlo (n=1000) |")
+	fmt.Println("|---|---|---|---|---|---|")
+	query := workload.ProjectionQuery(0)
+	target := value.NewTuple(value.Str("student0"))
+	for _, students := range []int{6, 9, 12} {
+		tab := workload.Courses(students, 3, 17)
+		answer, err := tab.EvalQuery(query)
+		if err != nil {
+			panic(err)
+		}
+
+		start := time.Now()
+		if _, err := answer.TupleProbability(target); err != nil {
+			panic(err)
+		}
+		lineageTime := time.Since(start)
+
+		start = time.Now()
+		dist, err := tab.Mod()
+		if err != nil {
+			panic(err)
+		}
+		img, err := dist.Map(query)
+		if err != nil {
+			panic(err)
+		}
+		img.TupleProbability(target)
+		worldTime := time.Since(start)
+
+		sampler, err := pctable.NewSampler(answer, 1)
+		if err != nil {
+			panic(err)
+		}
+		start = time.Now()
+		if _, _, err := sampler.EstimateTupleProbability(target, 1000); err != nil {
+			panic(err)
+		}
+		mcTime := time.Since(start)
+
+		fmt.Printf("| %d | %d | %d | %s | %s | %s |\n",
+			students, len(tab.Vars()), dist.NumWorlds(), lineageTime, worldTime, mcTime)
+	}
+	fmt.Println()
+}
+
+// constructions prints size statistics for the constructive theorems.
+func constructions() {
+	fmt.Println("## E4/E5/E9/E11 — construction sizes")
+	fmt.Println()
+	fmt.Println("| construction | input size | output size |")
+	fmt.Println("|---|---|---|")
+
+	// E4: Theorem 1 query size (number of operators ~ rows).
+	tab := workload.RandomCTable(workload.CTableSpec{Rows: 32, Arity: 3, NumVars: 6, DomainSize: 4, PVarCell: 0.5, PCondAtom: 0.6, Seed: 11})
+	q, k, err := ctable.RADefinabilityQuery(tab)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("| Theorem 1: c-table → SPJU query over Z_%d | %d rows | %d chars, ops {%s} |\n",
+		k, tab.NumRows(), len(q.String()), ra.DescribeOperators(q))
+
+	// E5: Theorem 3 boolean c-table size.
+	db := workload.RandomIDatabase(16, 4, 2, 8, 7)
+	bt, err := ctable.BooleanCTableFromIDatabase(db)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("| Theorem 3: finite i-database → boolean c-table | %d worlds | %d rows, %d boolean vars |\n",
+		db.Size(), bt.NumRows(), len(bt.Vars()))
+
+	// E9: or-set PJ completion table sizes.
+	res, err := models.CompletionOrSetPJ(db)
+	if err != nil {
+		panic(err)
+	}
+	sWorlds := res.Tables["S"].Size() * res.Tables["T"].Size()
+	fmt.Printf("| Theorem 6(1): finite i-database → or-set tables + PJ | %d worlds | %d table-world pairs |\n",
+		db.Size(), sWorlds)
+
+	// E11: Theorem 8 boolean pc-table size.
+	pq := workload.RandomPQTable(8, 2, 10, 5)
+	pdb, err := pq.Mod()
+	if err != nil {
+		panic(err)
+	}
+	pct, err := pctable.BooleanPCTableFromPDatabase(pdb)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("| Theorem 8: p-database → boolean pc-table | %d worlds | %d rows, %d boolean vars |\n",
+		pdb.NumWorlds(), pct.Table().NumRows(), len(pct.Vars()))
+	fmt.Println()
+}

@@ -1,0 +1,100 @@
+// Command ctable evaluates relational algebra queries over incomplete
+// databases represented as (finite-domain) c-tables.
+//
+// Usage:
+//
+//	ctable -table S.tbl -query "project[1,3](select[$2 != 4](S))" [-worlds] [-certain]
+//
+// The table file uses the syntax documented in internal/parser. The answer
+// is printed as a c-table (closure under the algebra, Theorem 4); -worlds
+// additionally enumerates the possible worlds of the answer and -certain
+// prints certain and possible answers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/incomplete"
+	"uncertaindb/internal/parser"
+)
+
+func main() {
+	log.SetFlags(0)
+	tablePath := flag.String("table", "", "path to the table description file")
+	queryText := flag.String("query", "", "relational algebra query (see internal/parser)")
+	showWorlds := flag.Bool("worlds", false, "enumerate the possible worlds of the answer")
+	showCertain := flag.Bool("certain", false, "print certain and possible answers")
+	maxWorlds := flag.Int("max-worlds", 50, "maximum number of worlds to print")
+	flag.Parse()
+
+	if *tablePath == "" {
+		log.Fatal("ctable: -table is required")
+	}
+	f, err := os.Open(*tablePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	parsed, err := parser.ParseTable(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab := parsed.CTable
+	fmt.Printf("Loaded table %s:\n%s", parsed.Name, tab)
+
+	if *queryText == "" {
+		if *showWorlds {
+			printWorlds(tab, *maxWorlds)
+		}
+		return
+	}
+
+	q, err := parser.ParseQuery(*queryText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	answer, err := ctable.EvalQuery(q, tab)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAnswer c-table q̄(%s):\n%s", parsed.Name, answer.Simplify())
+
+	if *showWorlds {
+		printWorlds(answer, *maxWorlds)
+	}
+	if *showCertain {
+		worlds, err := tab.Mod()
+		if err != nil {
+			log.Fatalf("certain answers need finite domains for every variable: %v", err)
+		}
+		certain, err := incomplete.CertainAnswers(q, worlds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		possible, err := incomplete.PossibleAnswers(q, worlds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nCertain answers:  %s\n", certain)
+		fmt.Printf("Possible answers: %s\n", possible)
+	}
+}
+
+func printWorlds(tab *ctable.CTable, max int) {
+	worlds, err := tab.Mod()
+	if err != nil {
+		log.Fatalf("enumerating worlds needs finite domains for every variable: %v", err)
+	}
+	fmt.Printf("\n%d possible worlds:\n", worlds.Size())
+	for i, inst := range worlds.Instances() {
+		if i >= max {
+			fmt.Printf("  ... (%d more)\n", worlds.Size()-max)
+			break
+		}
+		fmt.Printf("  %s\n", inst)
+	}
+}

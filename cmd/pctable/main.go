@@ -1,0 +1,94 @@
+// Command pctable answers queries over probabilistic c-tables: it prints
+// the answer pc-table (closure, Theorem 9), the distribution over answer
+// worlds, and exact (lineage-based) or Monte-Carlo tuple probabilities.
+//
+// Usage:
+//
+//	pctable -table takes.tbl -query "project[1](select[$2 = 'phys'](Takes))" [-samples 10000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"uncertaindb/internal/parser"
+	"uncertaindb/internal/pctable"
+)
+
+func main() {
+	log.SetFlags(0)
+	tablePath := flag.String("table", "", "path to the table description file (must contain dist directives)")
+	queryText := flag.String("query", "", "relational algebra query (optional; defaults to the identity)")
+	samples := flag.Int("samples", 0, "if positive, also estimate tuple probabilities by Monte-Carlo sampling")
+	seed := flag.Int64("seed", 1, "random seed for the Monte-Carlo estimator")
+	showDist := flag.Bool("dist", false, "print the full distribution over answer worlds")
+	flag.Parse()
+
+	if *tablePath == "" {
+		log.Fatal("pctable: -table is required")
+	}
+	f, err := os.Open(*tablePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	parsed, err := parser.ParseTable(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !parsed.HasDistributions {
+		log.Fatal("pctable: the table has no dist directives; use cmd/ctable for purely incomplete tables")
+	}
+	tab := parsed.PCTable
+	if err := tab.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Loaded probabilistic c-table %s:\n%s", parsed.Name, tab)
+
+	answer := tab
+	if *queryText != "" {
+		q, err := parser.ParseQuery(*queryText)
+		if err != nil {
+			log.Fatal(err)
+		}
+		answer, err = tab.EvalQuery(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nAnswer pc-table (conditions are lineage):\n%s", answer)
+	}
+
+	dist, err := answer.Mod()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *showDist {
+		fmt.Printf("\nDistribution over answer worlds:\n%s", dist)
+	}
+
+	fmt.Println("\nAnswer-tuple marginal probabilities (exact, lineage-based):")
+	for _, tp := range dist.TupleMarginals() {
+		exact, err := answer.TupleProbability(tp.Tuple)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  P[%s] = %.6f\n", tp.Tuple, exact)
+	}
+
+	if *samples > 0 {
+		sampler, err := pctable.NewSampler(answer, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nMonte-Carlo estimates (n=%d):\n", *samples)
+		for _, tp := range dist.TupleMarginals() {
+			est, se, err := sampler.EstimateTupleProbability(tp.Tuple, *samples)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  P[%s] ≈ %.6f ± %.6f\n", tp.Tuple, est, se)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Command quickstart walks through the core workflow of the library:
+// build a c-table (Example 2 of the paper), enumerate its possible worlds
+// over a finite domain, run a relational algebra query through the c-table
+// algebra (Theorem 4), and compute certain and possible answers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/incomplete"
+	"uncertaindb/internal/parser"
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/relation"
+)
+
+func main() {
+	// The c-table S of Example 2, written in the library's text syntax.
+	const tableText = `
+table S arity 3
+row 1, 2, x
+row 3, x, y | x = y && z != 2
+row z, 4, 5 | x != 1 || x != y
+dom x = {1,2,3}
+dom y = {1,2,3}
+dom z = {1,2,3}
+`
+	parsed, err := parser.ParseTableString(tableText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := parsed.CTable
+	fmt.Println("Input c-table (Example 2 of the paper):")
+	fmt.Print(s)
+
+	// Possible worlds over the finite domain {1,2,3}.
+	worlds, err := s.Mod()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMod(S) over {1,2,3} has %d possible worlds; three of them:\n", worlds.Size())
+	for i, inst := range worlds.Instances() {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  %s\n", inst)
+	}
+
+	// A query: project the first and last columns of the rows whose middle
+	// column is not 4.
+	q, err := parser.ParseQuery("project[1,3]( select[$2 != 4](S) )")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nQuery q = %s\n", q)
+
+	// Closure under the algebra (Theorem 4): q̄(S) is again a c-table.
+	answer, err := ctable.EvalQuery(q, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nThe answer as a c-table q̄(S):")
+	fmt.Print(answer.Simplify())
+
+	// Certain and possible answers over the enumerated worlds.
+	certain, err := incomplete.CertainAnswers(q, worlds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	possible, err := incomplete.PossibleAnswers(q, worlds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nCertain answers:  %s\n", certain)
+	fmt.Printf("Possible answers: %s\n", possible)
+
+	// Membership: is a concrete instance one of the possible worlds?
+	// {(1,2,1),(3,1,1)} is one of the worlds displayed in Example 2.
+	inst := relation.FromInts([]int64{1, 2, 1}, []int64{3, 1, 1})
+	member, err := s.Member(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nIs %s a possible world of S?  %v\n", inst, member)
+
+	// Every c-table is RA-definable from the Codd table Z_k (Theorem 1).
+	defQ, k, err := ctable.RADefinabilityQuery(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTheorem 1: Mod(S) = q(Mod(Z_%d)) for an SPJU query using operators {%s}\n",
+		k, ra.DescribeOperators(defQ))
+}

@@ -1,0 +1,370 @@
+// Package condition implements the condition language of c-tables: boolean
+// combinations of equalities and inequalities between variables and
+// constants (Imieliński & Lipski 1984, as used in Section 2 of the paper).
+//
+// Conditions support evaluation under total valuations, substitution under
+// partial valuations (with on-the-fly simplification), free-variable
+// extraction, syntactic simplification, and satisfiability / tautology
+// checking over finite variable domains by exhaustive enumeration with
+// short-circuit pruning. Probability of a condition under independent
+// per-variable distributions is computed in internal/pctable on top of the
+// primitives here.
+package condition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uncertaindb/internal/value"
+)
+
+// Variable is a named variable occurring in tables and conditions.
+type Variable string
+
+// Valuation assigns domain values to variables. Valuations may be partial;
+// operations that require totality document it.
+type Valuation map[Variable]value.Value
+
+// Copy returns an independent copy of the valuation.
+func (v Valuation) Copy() Valuation {
+	c := make(Valuation, len(v))
+	for k, x := range v {
+		c[k] = x
+	}
+	return c
+}
+
+// String renders the valuation deterministically, e.g. "{x↦1, y↦2}".
+func (v Valuation) String() string {
+	names := make([]string, 0, len(v))
+	for k := range v {
+		names = append(names, string(k))
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = n + "↦" + v[Variable(n)].String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Term is a symbolic term in a condition: either a constant of the domain D
+// or a variable.
+type Term struct {
+	IsVar bool
+	Var   Variable
+	Const value.Value
+}
+
+// Var returns the term for the variable named x.
+func Var(x string) Term { return Term{IsVar: true, Var: Variable(x)} }
+
+// VarT returns the term for the variable x.
+func VarT(x Variable) Term { return Term{IsVar: true, Var: x} }
+
+// Const returns the term for the constant v.
+func Const(v value.Value) Term { return Term{Const: v} }
+
+// ConstInt returns the term for the integer constant i.
+func ConstInt(i int64) Term { return Term{Const: value.Int(i)} }
+
+// String renders the term.
+func (t Term) String() string {
+	if t.IsVar {
+		return string(t.Var)
+	}
+	return t.Const.String()
+}
+
+// resolve returns the concrete value of the term under a valuation; ok is
+// false when the term is an unbound variable.
+func (t Term) resolve(v Valuation) (value.Value, bool) {
+	if !t.IsVar {
+		return t.Const, true
+	}
+	x, ok := v[t.Var]
+	return x, ok
+}
+
+// Condition is a boolean combination of (in)equalities over terms.
+// Conditions are immutable.
+type Condition interface {
+	fmt.Stringer
+	// Eval evaluates the condition under a valuation. It returns an error
+	// if a variable occurring in the condition is not bound.
+	Eval(v Valuation) (bool, error)
+	// Substitute replaces bound variables by their values and simplifies;
+	// unbound variables remain symbolic.
+	Substitute(v Valuation) Condition
+	// addVars accumulates the free variables of the condition.
+	addVars(set map[Variable]bool)
+}
+
+// TrueCond is the condition "true".
+type TrueCond struct{}
+
+// FalseCond is the condition "false".
+type FalseCond struct{}
+
+// Cmp is the atomic condition "Left = Right" (EQ) or "Left ≠ Right" (NEQ).
+type Cmp struct {
+	Left  Term
+	Neq   bool
+	Right Term
+}
+
+// AndCond is a conjunction.
+type AndCond struct{ Conds []Condition }
+
+// OrCond is a disjunction.
+type OrCond struct{ Conds []Condition }
+
+// NotCond is a negation.
+type NotCond struct{ Cond Condition }
+
+// True returns the condition "true".
+func True() Condition { return TrueCond{} }
+
+// False returns the condition "false".
+func False() Condition { return FalseCond{} }
+
+// Eq returns the condition l = r.
+func Eq(l, r Term) Condition { return Cmp{Left: l, Right: r} }
+
+// Neq returns the condition l ≠ r.
+func Neq(l, r Term) Condition { return Cmp{Left: l, Neq: true, Right: r} }
+
+// EqVarConst returns the condition x = c, the most common atom in examples.
+func EqVarConst(x string, c value.Value) Condition { return Eq(Var(x), Const(c)) }
+
+// IsTrueVar returns the condition "x = true" used by boolean c-tables,
+// where x ranges over the two-element boolean domain.
+func IsTrueVar(x string) Condition { return Eq(Var(x), Const(value.Bool(true))) }
+
+// IsFalseVar returns the condition "x = false" for boolean c-tables.
+func IsFalseVar(x string) Condition { return Eq(Var(x), Const(value.Bool(false))) }
+
+// And returns the conjunction of the given conditions (True if none).
+func And(cs ...Condition) Condition {
+	if len(cs) == 0 {
+		return TrueCond{}
+	}
+	if len(cs) == 1 {
+		return cs[0]
+	}
+	return AndCond{Conds: cs}
+}
+
+// Or returns the disjunction of the given conditions (False if none).
+func Or(cs ...Condition) Condition {
+	if len(cs) == 0 {
+		return FalseCond{}
+	}
+	if len(cs) == 1 {
+		return cs[0]
+	}
+	return OrCond{Conds: cs}
+}
+
+// Not returns the negation of c.
+func Not(c Condition) Condition { return NotCond{Cond: c} }
+
+// Vars returns the free variables of c in sorted order.
+func Vars(c Condition) []Variable {
+	set := make(map[Variable]bool)
+	c.addVars(set)
+	out := make([]Variable, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (TrueCond) Eval(Valuation) (bool, error)  { return true, nil }
+func (FalseCond) Eval(Valuation) (bool, error) { return false, nil }
+
+func (c Cmp) Eval(v Valuation) (bool, error) {
+	l, ok := c.Left.resolve(v)
+	if !ok {
+		return false, fmt.Errorf("condition: unbound variable %s", c.Left.Var)
+	}
+	r, ok := c.Right.resolve(v)
+	if !ok {
+		return false, fmt.Errorf("condition: unbound variable %s", c.Right.Var)
+	}
+	if c.Neq {
+		return l != r, nil
+	}
+	return l == r, nil
+}
+
+func (a AndCond) Eval(v Valuation) (bool, error) {
+	for _, c := range a.Conds {
+		b, err := c.Eval(v)
+		if err != nil {
+			return false, err
+		}
+		if !b {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (o OrCond) Eval(v Valuation) (bool, error) {
+	for _, c := range o.Conds {
+		b, err := c.Eval(v)
+		if err != nil {
+			return false, err
+		}
+		if b {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (n NotCond) Eval(v Valuation) (bool, error) {
+	b, err := n.Cond.Eval(v)
+	return !b, err
+}
+
+func (TrueCond) Substitute(Valuation) Condition  { return TrueCond{} }
+func (FalseCond) Substitute(Valuation) Condition { return FalseCond{} }
+
+func (c Cmp) Substitute(v Valuation) Condition {
+	l, r := c.Left, c.Right
+	if lv, ok := l.resolve(v); ok {
+		l = Const(lv)
+	}
+	if rv, ok := r.resolve(v); ok {
+		r = Const(rv)
+	}
+	out := Cmp{Left: l, Neq: c.Neq, Right: r}
+	return simplifyCmp(out)
+}
+
+func (a AndCond) Substitute(v Valuation) Condition {
+	subs := make([]Condition, 0, len(a.Conds))
+	for _, c := range a.Conds {
+		s := c.Substitute(v)
+		switch s.(type) {
+		case FalseCond:
+			return FalseCond{}
+		case TrueCond:
+			continue
+		}
+		subs = append(subs, s)
+	}
+	return And(subs...)
+}
+
+func (o OrCond) Substitute(v Valuation) Condition {
+	subs := make([]Condition, 0, len(o.Conds))
+	for _, c := range o.Conds {
+		s := c.Substitute(v)
+		switch s.(type) {
+		case TrueCond:
+			return TrueCond{}
+		case FalseCond:
+			continue
+		}
+		subs = append(subs, s)
+	}
+	return Or(subs...)
+}
+
+func (n NotCond) Substitute(v Valuation) Condition {
+	s := n.Cond.Substitute(v)
+	switch s.(type) {
+	case TrueCond:
+		return FalseCond{}
+	case FalseCond:
+		return TrueCond{}
+	}
+	return NotCond{Cond: s}
+}
+
+func (TrueCond) addVars(map[Variable]bool)  {}
+func (FalseCond) addVars(map[Variable]bool) {}
+
+func (c Cmp) addVars(set map[Variable]bool) {
+	if c.Left.IsVar {
+		set[c.Left.Var] = true
+	}
+	if c.Right.IsVar {
+		set[c.Right.Var] = true
+	}
+}
+
+func (a AndCond) addVars(set map[Variable]bool) {
+	for _, c := range a.Conds {
+		c.addVars(set)
+	}
+}
+
+func (o OrCond) addVars(set map[Variable]bool) {
+	for _, c := range o.Conds {
+		c.addVars(set)
+	}
+}
+
+func (n NotCond) addVars(set map[Variable]bool) { n.Cond.addVars(set) }
+
+func (TrueCond) String() string  { return "true" }
+func (FalseCond) String() string { return "false" }
+
+func (c Cmp) String() string {
+	op := "="
+	if c.Neq {
+		op = "≠"
+	}
+	return c.Left.String() + op + c.Right.String()
+}
+
+func (a AndCond) String() string { return joinConds(a.Conds, " ∧ ") }
+func (o OrCond) String() string  { return joinConds(o.Conds, " ∨ ") }
+func (n NotCond) String() string { return "¬(" + n.Cond.String() + ")" }
+
+func joinConds(cs []Condition, sep string) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// simplifyCmp constant-folds a comparison whose two sides are both constants
+// or syntactically identical variables.
+func simplifyCmp(c Cmp) Condition {
+	if !c.Left.IsVar && !c.Right.IsVar {
+		eq := c.Left.Const == c.Right.Const
+		if c.Neq {
+			eq = !eq
+		}
+		if eq {
+			return TrueCond{}
+		}
+		return FalseCond{}
+	}
+	if c.Left.IsVar && c.Right.IsVar && c.Left.Var == c.Right.Var {
+		if c.Neq {
+			return FalseCond{}
+		}
+		return TrueCond{}
+	}
+	return c
+}
+
+// MustEval evaluates c under a valuation that is expected to bind all free
+// variables, panicking otherwise. Internal algorithms that enumerate total
+// valuations use it.
+func MustEval(c Condition, v Valuation) bool {
+	b, err := c.Eval(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,315 @@
+package condition
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"uncertaindb/internal/value"
+)
+
+func TestEvalBasics(t *testing.T) {
+	val := Valuation{"x": value.Int(1), "y": value.Int(2)}
+	cases := []struct {
+		c    Condition
+		want bool
+	}{
+		{True(), true},
+		{False(), false},
+		{Eq(Var("x"), ConstInt(1)), true},
+		{Eq(Var("x"), Var("y")), false},
+		{Neq(Var("x"), Var("y")), true},
+		{Neq(Var("x"), ConstInt(1)), false},
+		{And(Eq(Var("x"), ConstInt(1)), Neq(Var("y"), ConstInt(3))), true},
+		{And(Eq(Var("x"), ConstInt(1)), Eq(Var("y"), ConstInt(3))), false},
+		{Or(Eq(Var("x"), ConstInt(9)), Eq(Var("y"), ConstInt(2))), true},
+		{Or(), false},
+		{And(), true},
+		{Not(Eq(Var("x"), ConstInt(1))), false},
+		{Eq(ConstInt(3), ConstInt(3)), true},
+	}
+	for i, c := range cases {
+		got, err := c.c.Eval(val)
+		if err != nil || got != c.want {
+			t.Errorf("case %d (%s): got %v, %v; want %v", i, c.c, got, err, c.want)
+		}
+	}
+}
+
+func TestEvalUnbound(t *testing.T) {
+	if _, err := Eq(Var("z"), ConstInt(1)).Eval(Valuation{}); err == nil {
+		t.Fatal("expected error for unbound variable")
+	}
+	if _, err := And(True(), Neq(Var("z"), Var("w"))).Eval(Valuation{"z": value.Int(1)}); err == nil {
+		t.Fatal("expected error for partially bound comparison")
+	}
+}
+
+func TestVars(t *testing.T) {
+	c := And(Eq(Var("x"), Var("y")), Or(Neq(Var("z"), ConstInt(2)), Not(Eq(Var("x"), ConstInt(1)))))
+	got := Vars(c)
+	want := []Variable{"x", "y", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+	if len(Vars(True())) != 0 {
+		t.Fatal("True has no vars")
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	c := And(Eq(Var("x"), Var("y")), Neq(Var("z"), ConstInt(2)))
+	s := c.Substitute(Valuation{"x": value.Int(5)})
+	if strings.Contains(s.String(), "x") {
+		t.Fatalf("x not substituted: %s", s)
+	}
+	s2 := c.Substitute(Valuation{"x": value.Int(5), "y": value.Int(5), "z": value.Int(3)})
+	if _, ok := s2.(TrueCond); !ok {
+		t.Fatalf("full substitution should fold to true, got %s", s2)
+	}
+	s3 := c.Substitute(Valuation{"z": value.Int(2)})
+	if _, ok := s3.(FalseCond); !ok {
+		t.Fatalf("contradiction should fold to false, got %s", s3)
+	}
+	// Or short-circuits to true.
+	s4 := Or(Eq(Var("a"), ConstInt(1)), Eq(Var("b"), ConstInt(2))).Substitute(Valuation{"a": value.Int(1)})
+	if _, ok := s4.(TrueCond); !ok {
+		t.Fatalf("or should fold to true, got %s", s4)
+	}
+	// Not folds.
+	s5 := Not(Eq(Var("a"), ConstInt(1))).Substitute(Valuation{"a": value.Int(1)})
+	if _, ok := s5.(FalseCond); !ok {
+		t.Fatalf("not should fold to false, got %s", s5)
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	cases := []struct {
+		in   Condition
+		want string
+	}{
+		{And(True(), Eq(Var("x"), ConstInt(1)), True()), "x=1"},
+		{And(False(), Eq(Var("x"), ConstInt(1))), "false"},
+		{Or(False(), Eq(Var("x"), ConstInt(1))), "x=1"},
+		{Or(True(), Eq(Var("x"), ConstInt(1))), "true"},
+		{Not(Not(Eq(Var("x"), ConstInt(1)))), "x=1"},
+		{Not(Eq(Var("x"), ConstInt(1))), "x≠1"},
+		{Not(Neq(Var("x"), ConstInt(1))), "x=1"},
+		{Eq(ConstInt(2), ConstInt(2)), "true"},
+		{Neq(ConstInt(2), ConstInt(2)), "false"},
+		{Eq(Var("x"), Var("x")), "true"},
+		{Neq(Var("x"), Var("x")), "false"},
+		{And(Eq(Var("x"), ConstInt(1)), Eq(Var("x"), ConstInt(1))), "x=1"},
+		{And(And(Eq(Var("x"), ConstInt(1)), Eq(Var("y"), ConstInt(2))), Eq(Var("z"), ConstInt(3))), "(x=1 ∧ y=2 ∧ z=3)"},
+		{Or(Or(Eq(Var("x"), ConstInt(1)), Eq(Var("y"), ConstInt(2))), Eq(Var("x"), ConstInt(1))), "(x=1 ∨ y=2)"},
+	}
+	for i, c := range cases {
+		if got := Simplify(c.in).String(); got != c.want {
+			t.Errorf("case %d: Simplify(%s) = %s, want %s", i, c.in, got, c.want)
+		}
+	}
+}
+
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	dom := UniformDomains{Domain: value.IntRange(1, 3)}
+	conds := []Condition{
+		And(Or(Eq(Var("x"), ConstInt(1)), Neq(Var("y"), Var("x"))), Not(And(Eq(Var("y"), ConstInt(2)), True()))),
+		Or(And(Eq(Var("x"), Var("y")), Neq(Var("x"), ConstInt(3))), Not(Or(Eq(Var("y"), ConstInt(1)), False()))),
+		Not(Not(Not(Eq(Var("x"), ConstInt(2))))),
+	}
+	for i, c := range conds {
+		if !Equivalent(c, Simplify(c), dom) {
+			t.Errorf("case %d: Simplify changed semantics of %s", i, c)
+		}
+	}
+}
+
+func TestSize(t *testing.T) {
+	c := And(Eq(Var("x"), ConstInt(1)), Or(Neq(Var("y"), ConstInt(2)), Not(Eq(Var("z"), ConstInt(3)))), True())
+	if got := Size(c); got != 4 {
+		t.Fatalf("Size = %d, want 4", got)
+	}
+}
+
+func TestSatisfiable(t *testing.T) {
+	dom := NewMapDomains().
+		Set("x", value.IntRange(1, 3)).
+		Set("y", value.IntRange(1, 3))
+
+	sat, w := Satisfiable(And(Eq(Var("x"), Var("y")), Neq(Var("x"), ConstInt(1))), dom)
+	if !sat {
+		t.Fatal("expected satisfiable")
+	}
+	if ok, _ := And(Eq(Var("x"), Var("y")), Neq(Var("x"), ConstInt(1))).Eval(w); !ok {
+		t.Fatalf("witness %v does not satisfy", w)
+	}
+
+	sat, w = Satisfiable(And(Eq(Var("x"), ConstInt(1)), Neq(Var("x"), ConstInt(1))), dom)
+	if sat || w != nil {
+		t.Fatal("expected unsatisfiable")
+	}
+
+	// x must avoid 1,2,3 but dom(x)={1,2,3}: unsatisfiable.
+	sat, _ = Satisfiable(And(Neq(Var("x"), ConstInt(1)), Neq(Var("x"), ConstInt(2)), Neq(Var("x"), ConstInt(3))), dom)
+	if sat {
+		t.Fatal("expected unsatisfiable over restricted domain")
+	}
+
+	// Trivially true condition must produce a total witness for no vars.
+	sat, w = Satisfiable(True(), dom)
+	if !sat || w == nil {
+		t.Fatal("true must be satisfiable")
+	}
+}
+
+func TestTautology(t *testing.T) {
+	dom := UniformDomains{Domain: value.BoolDomain()}
+	c := Or(IsTrueVar("b"), IsFalseVar("b"))
+	if !Tautology(c, dom) {
+		t.Fatal("b=true ∨ b=false should be a tautology over booleans")
+	}
+	if Tautology(IsTrueVar("b"), dom) {
+		t.Fatal("b=true is not a tautology")
+	}
+}
+
+func TestCountSatisfying(t *testing.T) {
+	dom := UniformDomains{Domain: value.IntRange(1, 4)}
+	sat, total := CountSatisfying(Eq(Var("x"), Var("y")), dom)
+	if total != 16 || sat != 4 {
+		t.Fatalf("got %d/%d, want 4/16", sat, total)
+	}
+	sat, total = CountSatisfying(True(), dom)
+	if total != 1 || sat != 1 {
+		t.Fatalf("no-var condition: got %d/%d", sat, total)
+	}
+	sat, _ = CountSatisfying(Neq(Var("x"), Var("x")), dom)
+	if sat != 0 {
+		t.Fatalf("contradiction sat = %d", sat)
+	}
+}
+
+func TestForEachValuationEarlyStop(t *testing.T) {
+	dom := UniformDomains{Domain: value.IntRange(1, 10)}
+	n := 0
+	ForEachValuation([]Variable{"a", "b"}, dom, func(Valuation) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop failed, n = %d", n)
+	}
+}
+
+func TestCountValuations(t *testing.T) {
+	dom := UniformDomains{Domain: value.IntRange(1, 10)}
+	if got := CountValuations([]Variable{"a", "b", "c"}, dom, 0); got != 1000 {
+		t.Fatalf("CountValuations = %d", got)
+	}
+	if got := CountValuations([]Variable{"a", "b", "c"}, dom, 50); got != 50 {
+		t.Fatalf("capped CountValuations = %d", got)
+	}
+}
+
+func TestValuationCopyAndString(t *testing.T) {
+	v := Valuation{"x": value.Int(1), "a": value.Int(2)}
+	c := v.Copy()
+	c["x"] = value.Int(9)
+	if v["x"] != value.Int(1) {
+		t.Fatal("Copy not independent")
+	}
+	if got := v.String(); got != "{a↦2, x↦1}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestConditionStrings(t *testing.T) {
+	c := And(Eq(Var("x"), Var("y")), Neq(Var("z"), ConstInt(2)))
+	if got := c.String(); got != "(x=y ∧ z≠2)" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := Not(Or(IsTrueVar("t"), False())).String(); got != "¬((t=true ∨ false))" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: Substitute with a total valuation agrees with Eval.
+func TestQuickSubstituteAgreesWithEval(t *testing.T) {
+	f := func(a, b, cc int8) bool {
+		vx := value.Int(int64(a%3 + 1))
+		vy := value.Int(int64(b%3 + 1))
+		vz := value.Int(int64(cc%3 + 1))
+		val := Valuation{"x": vx, "y": vy, "z": vz}
+		c := Or(And(Eq(Var("x"), Var("y")), Neq(Var("z"), ConstInt(2))), Not(Eq(Var("y"), Var("z"))))
+		want := MustEval(c, val)
+		sub := c.Substitute(val)
+		switch sub.(type) {
+		case TrueCond:
+			return want
+		case FalseCond:
+			return !want
+		default:
+			return false // total substitution must fully fold
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Simplify never changes the satisfying-valuation count over a
+// small domain, for randomly shaped conditions.
+func TestQuickSimplifySoundness(t *testing.T) {
+	dom := UniformDomains{Domain: value.IntRange(1, 2)}
+	build := func(seed []uint8) Condition {
+		// Build a small random condition from the seed bytes.
+		vars := []string{"x", "y", "z"}
+		var rec func(depth int) Condition
+		idx := 0
+		next := func() uint8 {
+			if idx >= len(seed) {
+				return 0
+			}
+			b := seed[idx]
+			idx++
+			return b
+		}
+		rec = func(depth int) Condition {
+			b := next()
+			if depth > 2 || len(seed) == 0 {
+				return Eq(Var(vars[int(b)%3]), ConstInt(int64(b)%2+1))
+			}
+			switch b % 5 {
+			case 0:
+				return Eq(Var(vars[int(b)%3]), Var(vars[int(b/3)%3]))
+			case 1:
+				return Neq(Var(vars[int(b)%3]), ConstInt(int64(b)%2+1))
+			case 2:
+				return And(rec(depth+1), rec(depth+1))
+			case 3:
+				return Or(rec(depth+1), rec(depth+1))
+			default:
+				return Not(rec(depth + 1))
+			}
+		}
+		return rec(0)
+	}
+	f := func(seed []uint8) bool {
+		c := build(seed)
+		s1, t1 := CountSatisfying(c, dom)
+		s2, t2 := CountSatisfying(Simplify(c), dom)
+		// Simplify may drop variables entirely; compare satisfaction ratio.
+		if t1 == 0 || t2 == 0 {
+			return true
+		}
+		return s1*t2 == s2*t1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

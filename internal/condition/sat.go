@@ -1,0 +1,187 @@
+package condition
+
+import (
+	"fmt"
+
+	"uncertaindb/internal/value"
+)
+
+// DomainProvider supplies the finite domain over which a variable ranges.
+// Finite-domain c-tables (Definition 6) attach a domain to each variable;
+// plain c-tables over the infinite D are handled by callers that choose a
+// sufficiently large active domain.
+type DomainProvider interface {
+	// DomainOf returns the domain of x. It must be non-nil and non-empty
+	// for every variable passed to the enumeration helpers.
+	DomainOf(x Variable) *value.Domain
+}
+
+// MapDomains is a DomainProvider backed by a map, with an optional default
+// domain for variables not present in the map.
+type MapDomains struct {
+	Domains map[Variable]*value.Domain
+	Default *value.Domain
+}
+
+// NewMapDomains builds a MapDomains with no default.
+func NewMapDomains() *MapDomains {
+	return &MapDomains{Domains: make(map[Variable]*value.Domain)}
+}
+
+// Set assigns a domain to a variable and returns the provider for chaining.
+func (m *MapDomains) Set(x string, d *value.Domain) *MapDomains {
+	m.Domains[Variable(x)] = d
+	return m
+}
+
+// WithDefault sets the default domain returned for unknown variables.
+func (m *MapDomains) WithDefault(d *value.Domain) *MapDomains {
+	m.Default = d
+	return m
+}
+
+// DomainOf implements DomainProvider.
+func (m *MapDomains) DomainOf(x Variable) *value.Domain {
+	if d, ok := m.Domains[x]; ok {
+		return d
+	}
+	return m.Default
+}
+
+// UniformDomains is a DomainProvider that assigns the same domain to every
+// variable (e.g. the boolean domain for boolean c-tables, or an active
+// domain chosen for valuation enumeration of plain c-tables).
+type UniformDomains struct{ Domain *value.Domain }
+
+// DomainOf implements DomainProvider.
+func (u UniformDomains) DomainOf(Variable) *value.Domain { return u.Domain }
+
+// ForEachValuation enumerates all total valuations of the given variables
+// over their domains, invoking fn for each; enumeration stops early when fn
+// returns false. The valuation passed to fn is reused across calls — copy it
+// if it must be retained.
+func ForEachValuation(vars []Variable, dom DomainProvider, fn func(Valuation) bool) {
+	doms := make([]*value.Domain, len(vars))
+	for i, x := range vars {
+		d := dom.DomainOf(x)
+		if d == nil || d.Size() == 0 {
+			panic(fmt.Sprintf("condition: no domain for variable %s", x))
+		}
+		doms[i] = d
+	}
+	v := make(Valuation, len(vars))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(vars) {
+			return fn(v)
+		}
+		for _, x := range doms[i].Values() {
+			v[vars[i]] = x
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// CountValuations returns the number of total valuations of vars over dom,
+// guarding against overflow by capping at max (use max<=0 for no cap, which
+// panics on overflow).
+func CountValuations(vars []Variable, dom DomainProvider, max int64) int64 {
+	n := int64(1)
+	for _, x := range vars {
+		d := dom.DomainOf(x)
+		if d == nil {
+			panic(fmt.Sprintf("condition: no domain for variable %s", x))
+		}
+		n *= int64(d.Size())
+		if max > 0 && n > max {
+			return max
+		}
+		if n < 0 {
+			panic("condition: valuation count overflow")
+		}
+	}
+	return n
+}
+
+// Satisfiable reports whether some total valuation of the free variables of
+// c over dom makes c true, together with a witness valuation (nil when
+// unsatisfiable). The search short-circuits at the first witness and prunes
+// using Substitute after each variable is fixed.
+func Satisfiable(c Condition, dom DomainProvider) (bool, Valuation) {
+	vars := Vars(c)
+	var witness Valuation
+	found := false
+	var rec func(rest []Variable, cur Condition, partial Valuation)
+	rec = func(rest []Variable, cur Condition, partial Valuation) {
+		if found {
+			return
+		}
+		switch cur.(type) {
+		case TrueCond:
+			// Any extension works; fill remaining variables arbitrarily.
+			w := partial.Copy()
+			for _, x := range rest {
+				w[x] = dom.DomainOf(x).At(0)
+			}
+			witness, found = w, true
+			return
+		case FalseCond:
+			return
+		}
+		if len(rest) == 0 {
+			if MustEval(cur, partial) {
+				witness, found = partial.Copy(), true
+			}
+			return
+		}
+		x := rest[0]
+		d := dom.DomainOf(x)
+		if d == nil || d.Size() == 0 {
+			panic(fmt.Sprintf("condition: no domain for variable %s", x))
+		}
+		for _, val := range d.Values() {
+			partial[x] = val
+			rec(rest[1:], cur.Substitute(Valuation{x: val}), partial)
+			if found {
+				return
+			}
+		}
+		delete(partial, x)
+	}
+	rec(vars, Simplify(c), make(Valuation))
+	return found, witness
+}
+
+// Tautology reports whether c holds under every total valuation over dom.
+func Tautology(c Condition, dom DomainProvider) bool {
+	unsat, _ := Satisfiable(Not(c), dom)
+	return !unsat
+}
+
+// CountSatisfying returns the number of total valuations of the free
+// variables of c over dom that satisfy c, and the total number of
+// valuations. It enumerates exhaustively; use only when the variable count
+// and domains are small (the probabilistic packages use smarter expansion).
+func CountSatisfying(c Condition, dom DomainProvider) (sat, total int64) {
+	vars := Vars(c)
+	ForEachValuation(vars, dom, func(v Valuation) bool {
+		total++
+		if MustEval(c, v) {
+			sat++
+		}
+		return true
+	})
+	if len(vars) == 0 {
+		total = 1
+		if MustEval(c, nil) {
+			sat = 1
+		} else {
+			sat = 0
+		}
+	}
+	return sat, total
+}

@@ -1,0 +1,149 @@
+package condition
+
+// Simplify performs syntactic simplification of a condition: constant
+// folding of comparisons, removal of true/false units in conjunctions and
+// disjunctions, flattening of nested conjunctions/disjunctions, collapse of
+// double negation and deduplication of syntactically identical juncts.
+//
+// Simplify is sound (preserves the set of satisfying valuations) but not
+// complete (it does not decide satisfiability); it exists to keep the
+// conditions produced by the c-table algebra small, which is what the
+// paper's Section 9 calls the succinctness issue. The ablation benchmark
+// BenchmarkAblationSimplify measures its effect.
+func Simplify(c Condition) Condition {
+	switch c := c.(type) {
+	case TrueCond, FalseCond:
+		return c
+	case Cmp:
+		return simplifyCmp(c)
+	case NotCond:
+		inner := Simplify(c.Cond)
+		switch inner := inner.(type) {
+		case TrueCond:
+			return FalseCond{}
+		case FalseCond:
+			return TrueCond{}
+		case NotCond:
+			return inner.Cond
+		case Cmp:
+			// Push negation into the atom: ¬(a=b) ≡ a≠b.
+			return Cmp{Left: inner.Left, Neq: !inner.Neq, Right: inner.Right}
+		}
+		return NotCond{Cond: inner}
+	case AndCond:
+		flat := make([]Condition, 0, len(c.Conds))
+		seen := make(map[string]bool)
+		for _, sub := range c.Conds {
+			s := Simplify(sub)
+			switch s := s.(type) {
+			case FalseCond:
+				return FalseCond{}
+			case TrueCond:
+				continue
+			case AndCond:
+				for _, inner := range s.Conds {
+					if key := inner.String(); !seen[key] {
+						seen[key] = true
+						flat = append(flat, inner)
+					}
+				}
+				continue
+			}
+			if key := s.String(); !seen[key] {
+				seen[key] = true
+				flat = append(flat, s)
+			}
+		}
+		return And(flat...)
+	case OrCond:
+		flat := make([]Condition, 0, len(c.Conds))
+		seen := make(map[string]bool)
+		for _, sub := range c.Conds {
+			s := Simplify(sub)
+			switch s := s.(type) {
+			case TrueCond:
+				return TrueCond{}
+			case FalseCond:
+				continue
+			case OrCond:
+				for _, inner := range s.Conds {
+					if key := inner.String(); !seen[key] {
+						seen[key] = true
+						flat = append(flat, inner)
+					}
+				}
+				continue
+			}
+			if key := s.String(); !seen[key] {
+				seen[key] = true
+				flat = append(flat, s)
+			}
+		}
+		return Or(flat...)
+	default:
+		return c
+	}
+}
+
+// Size returns the number of atomic conditions (comparisons and boolean
+// constants) in c; it is the size measure used by the succinctness
+// experiments (E6).
+func Size(c Condition) int {
+	switch c := c.(type) {
+	case TrueCond, FalseCond, Cmp:
+		return 1
+	case AndCond:
+		n := 0
+		for _, s := range c.Conds {
+			n += Size(s)
+		}
+		return n
+	case OrCond:
+		n := 0
+		for _, s := range c.Conds {
+			n += Size(s)
+		}
+		return n
+	case NotCond:
+		return Size(c.Cond)
+	default:
+		return 1
+	}
+}
+
+// Equivalent reports whether two conditions agree on every total valuation
+// of their combined free variables over the given domain provider. It is a
+// semantic check by exhaustive enumeration and therefore only suitable for
+// small variable counts / domains (tests and the experiment harness).
+func Equivalent(a, b Condition, dom DomainProvider) bool {
+	vars := unionVars(a, b)
+	agree := true
+	ForEachValuation(vars, dom, func(v Valuation) bool {
+		if MustEval(a, v) != MustEval(b, v) {
+			agree = false
+			return false
+		}
+		return true
+	})
+	return agree
+}
+
+func unionVars(a, b Condition) []Variable {
+	set := make(map[Variable]bool)
+	a.addVars(set)
+	b.addVars(set)
+	out := make([]Variable, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sortVariables(out)
+	return out
+}
+
+func sortVariables(vs []Variable) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package ctable
+
+import (
+	"fmt"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/relation"
+)
+
+// This file implements the c-table algebra ū of Theorem 4 (Imieliński &
+// Lipski): for every relational algebra operation u there is an operation ū
+// on c-tables such that ν(q̄(T)) = q(ν(T)) for every valuation ν (Lemma 1),
+// hence Mod(q̄(T)) = q(Mod(T)).
+
+// Options controls the behaviour of the c-table algebra.
+type Options struct {
+	// Simplify applies syntactic condition simplification after every
+	// operation. It never changes Mod, only the size of conditions; the
+	// ablation benchmark measures its effect.
+	Simplify bool
+}
+
+// DefaultOptions simplifies conditions.
+var DefaultOptions = Options{Simplify: true}
+
+func (o Options) cond(c condition.Condition) condition.Condition {
+	if o.Simplify {
+		return condition.Simplify(c)
+	}
+	return c
+}
+
+// termEquality returns the condition asserting that two symbolic terms are
+// equal: it folds constant/constant comparisons and emits symbolic
+// equalities otherwise.
+func termEquality(a, b condition.Term) condition.Condition {
+	return condition.Eq(a, b).Substitute(nil)
+}
+
+// rowEquality returns the condition asserting componentwise equality of two
+// symbolic tuples of equal arity.
+func rowEquality(a, b []condition.Term) condition.Condition {
+	conds := make([]condition.Condition, 0, len(a))
+	for i := range a {
+		conds = append(conds, termEquality(a[i], b[i]))
+	}
+	return condition.And(conds...)
+}
+
+// predicateCondition translates a selection predicate evaluated on the
+// symbolic tuple "terms" into a condition (the c(t) of the paper's
+// definition of σ̄). Ordering comparisons are only supported when both
+// sides resolve to constants, because c-table conditions are built from
+// equalities and inequalities only.
+func predicateCondition(p ra.Predicate, terms []condition.Term) (condition.Condition, error) {
+	switch p := p.(type) {
+	case ra.TruePred:
+		return condition.True(), nil
+	case ra.FalsePred:
+		return condition.False(), nil
+	case ra.Cmp:
+		l, err := resolveRATerm(p.Left, terms)
+		if err != nil {
+			return nil, err
+		}
+		r, err := resolveRATerm(p.Right, terms)
+		if err != nil {
+			return nil, err
+		}
+		switch p.Op {
+		case ra.OpEq:
+			return condition.Eq(l, r).Substitute(nil), nil
+		case ra.OpNe:
+			return condition.Neq(l, r).Substitute(nil), nil
+		default:
+			if l.IsVar || r.IsVar {
+				return nil, fmt.Errorf("ctable: ordering comparison %s applied to a variable term", p.Op)
+			}
+			if p.Op.Holds(l.Const, r.Const) {
+				return condition.True(), nil
+			}
+			return condition.False(), nil
+		}
+	case ra.And:
+		conds := make([]condition.Condition, 0, len(p.Preds))
+		for _, sub := range p.Preds {
+			c, err := predicateCondition(sub, terms)
+			if err != nil {
+				return nil, err
+			}
+			conds = append(conds, c)
+		}
+		return condition.And(conds...), nil
+	case ra.Or:
+		conds := make([]condition.Condition, 0, len(p.Preds))
+		for _, sub := range p.Preds {
+			c, err := predicateCondition(sub, terms)
+			if err != nil {
+				return nil, err
+			}
+			conds = append(conds, c)
+		}
+		return condition.Or(conds...), nil
+	case ra.Not:
+		c, err := predicateCondition(p.Pred, terms)
+		if err != nil {
+			return nil, err
+		}
+		return condition.Not(c), nil
+	default:
+		return nil, fmt.Errorf("ctable: unsupported predicate %T", p)
+	}
+}
+
+func resolveRATerm(t ra.Term, terms []condition.Term) (condition.Term, error) {
+	if t.IsCol {
+		if t.Col < 0 || t.Col >= len(terms) {
+			return condition.Term{}, fmt.Errorf("ctable: predicate column %d out of range", t.Col+1)
+		}
+		return terms[t.Col], nil
+	}
+	return condition.Const(t.Const), nil
+}
+
+// SelectC is σ̄_p(T): every row keeps its tuple and its condition is
+// strengthened with the symbolic evaluation of p on the row's terms.
+func SelectC(t *CTable, p ra.Predicate, opts Options) (*CTable, error) {
+	out := New(t.arity)
+	copyDomains(out, t)
+	for _, r := range t.rows {
+		c, err := predicateCondition(p, r.Terms)
+		if err != nil {
+			return nil, err
+		}
+		out.rows = append(out.rows, NewRow(r.Terms, opts.cond(condition.And(r.Cond, c))))
+	}
+	return out, nil
+}
+
+// ProjectC is π̄_cols(T): rows are projected onto cols and rows with
+// syntactically identical projected tuples are merged by disjoining their
+// conditions (the ∨ in the paper's definition of π̄).
+func ProjectC(t *CTable, cols []int, opts Options) (*CTable, error) {
+	for _, c := range cols {
+		if c < 0 || c >= t.arity {
+			return nil, fmt.Errorf("ctable: projection column %d out of range for arity %d", c+1, t.arity)
+		}
+	}
+	out := New(len(cols))
+	copyDomains(out, t)
+	index := make(map[string]int)
+	for _, r := range t.rows {
+		terms := make([]condition.Term, len(cols))
+		for i, c := range cols {
+			terms[i] = r.Terms[c]
+		}
+		key := termsKey(terms)
+		if i, ok := index[key]; ok {
+			out.rows[i].Cond = opts.cond(condition.Or(out.rows[i].Cond, r.Cond))
+			continue
+		}
+		index[key] = len(out.rows)
+		out.rows = append(out.rows, NewRow(terms, opts.cond(r.Cond)))
+	}
+	return out, nil
+}
+
+// CrossC is T1 ×̄ T2: tuples are concatenated and conditions conjoined.
+func CrossC(t1, t2 *CTable, opts Options) *CTable {
+	out := New(t1.arity + t2.arity)
+	copyDomains(out, t1)
+	copyDomains(out, t2)
+	for _, r1 := range t1.rows {
+		for _, r2 := range t2.rows {
+			terms := make([]condition.Term, 0, t1.arity+t2.arity)
+			terms = append(terms, r1.Terms...)
+			terms = append(terms, r2.Terms...)
+			out.rows = append(out.rows, NewRow(terms, opts.cond(condition.And(r1.Cond, r2.Cond))))
+		}
+	}
+	return out
+}
+
+// UnionC is T1 ∪̄ T2: the union of the rows.
+func UnionC(t1, t2 *CTable, opts Options) (*CTable, error) {
+	if t1.arity != t2.arity {
+		return nil, fmt.Errorf("ctable: union of arities %d and %d", t1.arity, t2.arity)
+	}
+	out := New(t1.arity)
+	copyDomains(out, t1)
+	copyDomains(out, t2)
+	for _, r := range t1.rows {
+		out.rows = append(out.rows, NewRow(r.Terms, opts.cond(r.Cond)))
+	}
+	for _, r := range t2.rows {
+		out.rows = append(out.rows, NewRow(r.Terms, opts.cond(r.Cond)))
+	}
+	return out, nil
+}
+
+// DiffC is T1 −̄ T2: a row (t1 : φ1) survives exactly when no row of T2 is
+// simultaneously present and equal to it, so its condition becomes
+// φ1 ∧ ⋀_{(t2:φ2) ∈ T2} ¬(φ2 ∧ t1=t2).
+func DiffC(t1, t2 *CTable, opts Options) (*CTable, error) {
+	if t1.arity != t2.arity {
+		return nil, fmt.Errorf("ctable: difference of arities %d and %d", t1.arity, t2.arity)
+	}
+	out := New(t1.arity)
+	copyDomains(out, t1)
+	copyDomains(out, t2)
+	for _, r1 := range t1.rows {
+		conds := []condition.Condition{r1.Cond}
+		for _, r2 := range t2.rows {
+			conds = append(conds, condition.Not(condition.And(r2.Cond, rowEquality(r1.Terms, r2.Terms))))
+		}
+		out.rows = append(out.rows, NewRow(r1.Terms, opts.cond(condition.And(conds...))))
+	}
+	return out, nil
+}
+
+// IntersectC is T1 ∩̄ T2: a row (t1 : φ1) survives exactly when some row of
+// T2 is present and equal to it.
+func IntersectC(t1, t2 *CTable, opts Options) (*CTable, error) {
+	if t1.arity != t2.arity {
+		return nil, fmt.Errorf("ctable: intersection of arities %d and %d", t1.arity, t2.arity)
+	}
+	out := New(t1.arity)
+	copyDomains(out, t1)
+	copyDomains(out, t2)
+	for _, r1 := range t1.rows {
+		disj := make([]condition.Condition, 0, len(t2.rows))
+		for _, r2 := range t2.rows {
+			disj = append(disj, condition.And(r2.Cond, rowEquality(r1.Terms, r2.Terms)))
+		}
+		out.rows = append(out.rows, NewRow(r1.Terms, opts.cond(condition.And(r1.Cond, condition.Or(disj...)))))
+	}
+	return out, nil
+}
+
+// JoinC is the θ-join T1 ⋈̄_p T2 = σ̄_p(T1 ×̄ T2).
+func JoinC(t1, t2 *CTable, p ra.Predicate, opts Options) (*CTable, error) {
+	return SelectC(CrossC(t1, t2, opts), p, opts)
+}
+
+// EvalQuery translates a relational algebra query q into the c-table
+// algebra q̄ and evaluates it on the input c-table (every input relation
+// name is bound to the same table, matching the paper's single-relation
+// schemas). Conditions are simplified along the way.
+func EvalQuery(q ra.Query, input *CTable) (*CTable, error) {
+	return EvalQueryWithOptions(q, input, DefaultOptions)
+}
+
+// MustEvalQuery is EvalQuery that panics on error.
+func MustEvalQuery(q ra.Query, input *CTable) *CTable {
+	out, err := EvalQuery(q, input)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// EvalQueryWithOptions is EvalQuery with explicit algebra options.
+func EvalQueryWithOptions(q ra.Query, input *CTable, opts Options) (*CTable, error) {
+	arities := ra.ArityEnv{}
+	for name := range ra.InputNames(q) {
+		arities[name] = input.arity
+	}
+	if _, err := ra.Arity(q, arities); err != nil {
+		return nil, err
+	}
+	return evalQuery(q, input, opts)
+}
+
+func evalQuery(q ra.Query, input *CTable, opts Options) (*CTable, error) {
+	switch q := q.(type) {
+	case ra.BaseRel:
+		return input.Copy(), nil
+	case ra.ConstRel:
+		return constTable(q.Rel), nil
+	case ra.SelectQ:
+		in, err := evalQuery(q.Input, input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return SelectC(in, q.Pred, opts)
+	case ra.ProjectQ:
+		in, err := evalQuery(q.Input, input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return ProjectC(in, q.Cols, opts)
+	case ra.CrossQ:
+		l, r, err := evalBoth(q.Left, q.Right, input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return CrossC(l, r, opts), nil
+	case ra.JoinQ:
+		l, r, err := evalBoth(q.Left, q.Right, input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return JoinC(l, r, q.Pred, opts)
+	case ra.UnionQ:
+		l, r, err := evalBoth(q.Left, q.Right, input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return UnionC(l, r, opts)
+	case ra.DiffQ:
+		l, r, err := evalBoth(q.Left, q.Right, input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return DiffC(l, r, opts)
+	case ra.IntersectQ:
+		l, r, err := evalBoth(q.Left, q.Right, input, opts)
+		if err != nil {
+			return nil, err
+		}
+		return IntersectC(l, r, opts)
+	default:
+		return nil, fmt.Errorf("ctable: unsupported query node %T", q)
+	}
+}
+
+func evalBoth(l, r ra.Query, input *CTable, opts Options) (*CTable, *CTable, error) {
+	lt, err := evalQuery(l, input, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	rt, err := evalQuery(r, input, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lt, rt, nil
+}
+
+func constTable(r *relation.Relation) *CTable {
+	if r.Arity() == 0 {
+		panic("ctable: constant relation of arity 0 not supported")
+	}
+	return FromRelation(r)
+}
+
+func copyDomains(dst, src *CTable) {
+	for x, d := range src.domains {
+		dst.domains[x] = d
+	}
+}
+
+func termsKey(terms []condition.Term) string {
+	key := ""
+	for _, t := range terms {
+		key += t.String() + "\x00"
+	}
+	return key
+}

@@ -1,0 +1,282 @@
+package ctable
+
+import (
+	"math/rand"
+	"testing"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/incomplete"
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
+)
+
+// checkClosure verifies Theorem 4 / Lemma 1 semantically on a finite-domain
+// table: Mod(q̄(T)) must equal q(Mod(T)).
+func checkClosure(t *testing.T, tab *CTable, q ra.Query) {
+	t.Helper()
+	qbar, err := EvalQuery(q, tab)
+	if err != nil {
+		t.Fatalf("EvalQuery(%s): %v", q, err)
+	}
+	lhs, err := qbar.Mod()
+	if err != nil {
+		t.Fatalf("Mod(q̄(T)): %v", err)
+	}
+	rhs := incomplete.MustMap(q, tab.MustMod())
+	if !lhs.Equal(rhs) {
+		t.Fatalf("closure violated for %s:\nMod(q̄(T)) = %v\nq(Mod(T))  = %v", q, lhs.Instances(), rhs.Instances())
+	}
+}
+
+// finiteS is the c-table S of Example 2 restricted to small finite domains,
+// so that Mod can be enumerated exactly.
+func finiteS() *CTable {
+	s := paperCTableS()
+	dom := value.IntRange(1, 3)
+	s.SetDomain("x", dom)
+	s.SetDomain("y", dom)
+	s.SetDomain("z", dom)
+	return s
+}
+
+func TestTheorem4ClosureSelect(t *testing.T) {
+	checkClosure(t, finiteS(), ra.Select(ra.Eq(ra.Col(0), ra.ConstInt(1)), ra.Rel("R")))
+	checkClosure(t, finiteS(), ra.Select(ra.Ne(ra.Col(1), ra.Col(2)), ra.Rel("R")))
+	checkClosure(t, finiteS(), ra.Select(ra.AndOf(ra.Eq(ra.Col(0), ra.Col(1)), ra.NotOf(ra.Eq(ra.Col(2), ra.ConstInt(5)))), ra.Rel("R")))
+}
+
+func TestTheorem4ClosureProject(t *testing.T) {
+	checkClosure(t, finiteS(), ra.Project([]int{0}, ra.Rel("R")))
+	checkClosure(t, finiteS(), ra.Project([]int{2, 0}, ra.Rel("R")))
+	checkClosure(t, finiteS(), ra.Project([]int{1, 1}, ra.Rel("R")))
+}
+
+func TestTheorem4ClosureCrossJoin(t *testing.T) {
+	checkClosure(t, finiteS(), ra.Cross(ra.Rel("R"), ra.Rel("R")))
+	checkClosure(t, finiteS(), ra.Join(ra.Rel("R"), ra.Rel("R"), ra.Eq(ra.Col(0), ra.Col(3))))
+}
+
+func TestTheorem4ClosureSetOps(t *testing.T) {
+	checkClosure(t, finiteS(), ra.Union(ra.Rel("R"), ra.Project([]int{0, 1, 2}, ra.Rel("R"))))
+	checkClosure(t, finiteS(), ra.Diff(ra.Rel("R"), ra.Select(ra.Eq(ra.Col(0), ra.ConstInt(1)), ra.Rel("R"))))
+	checkClosure(t, finiteS(), ra.Intersect(ra.Rel("R"), ra.Select(ra.Ne(ra.Col(2), ra.ConstInt(5)), ra.Rel("R"))))
+}
+
+func TestTheorem4ClosureComposite(t *testing.T) {
+	q := ra.Project([]int{0, 2},
+		ra.Select(ra.Ne(ra.Col(1), ra.ConstInt(4)),
+			ra.Union(ra.Rel("R"), ra.Select(ra.Eq(ra.Col(0), ra.ConstInt(3)), ra.Rel("R")))))
+	checkClosure(t, finiteS(), q)
+
+	q2 := ra.Diff(
+		ra.Project([]int{0}, ra.Rel("R")),
+		ra.Project([]int{2}, ra.Select(ra.Eq(ra.Col(0), ra.ConstInt(1)), ra.Rel("R"))))
+	checkClosure(t, finiteS(), q2)
+}
+
+func TestTheorem4ClosureBooleanCTable(t *testing.T) {
+	// Boolean c-table closure (the restriction also claimed by Theorem 4).
+	b := New(2)
+	b.AddRow(VarRow(1, 2), condition.IsTrueVar("p"))
+	b.AddRow(VarRow(3, 4), condition.And(condition.IsTrueVar("p"), condition.IsFalseVar("q")))
+	b.AddRow(VarRow(5, 6), nil)
+	b.SetDomain("p", value.BoolDomain())
+	b.SetDomain("q", value.BoolDomain())
+	checkClosure(t, b, ra.Select(ra.Eq(ra.Col(0), ra.ConstInt(3)), ra.Rel("R")))
+	checkClosure(t, b, ra.Project([]int{1}, ra.Rel("R")))
+	checkClosure(t, b, ra.Diff(ra.Rel("R"), ra.Constant(relation.FromInts([]int64{5, 6}))))
+	checkClosure(t, b, ra.Join(ra.Rel("R"), ra.Rel("R"), ra.Eq(ra.Col(1), ra.Col(2))))
+}
+
+// Property-style test: random queries over random finite-domain c-tables
+// satisfy the closure property.
+func TestTheorem4ClosureRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dom := value.IntRange(1, 2)
+	for trial := 0; trial < 30; trial++ {
+		tab := randomCTable(rng, 2, 3, dom)
+		q := randomQuery(rng, 2, 2)
+		qbar, err := EvalQuery(q, tab)
+		if err != nil {
+			t.Fatalf("trial %d: EvalQuery: %v", trial, err)
+		}
+		lhs, err := qbar.Mod()
+		if err != nil {
+			t.Fatalf("trial %d: Mod: %v", trial, err)
+		}
+		rhs := incomplete.MustMap(q, tab.MustMod())
+		if !lhs.Equal(rhs) {
+			t.Fatalf("trial %d: closure violated for %s on\n%s", trial, q, tab)
+		}
+	}
+}
+
+// randomCTable builds a random c-table with `rows` rows of the given arity
+// whose variables all range over dom.
+func randomCTable(rng *rand.Rand, arity, rows int, dom *value.Domain) *CTable {
+	vars := []string{"x", "y", "z"}
+	tab := New(arity)
+	for _, v := range vars {
+		tab.SetDomain(v, dom)
+	}
+	randTerm := func() condition.Term {
+		if rng.Intn(2) == 0 {
+			return condition.ConstInt(int64(rng.Intn(3) + 1))
+		}
+		return condition.Var(vars[rng.Intn(len(vars))])
+	}
+	randAtom := func() condition.Condition {
+		l, r := randTerm(), randTerm()
+		if rng.Intn(2) == 0 {
+			return condition.Eq(l, r)
+		}
+		return condition.Neq(l, r)
+	}
+	for i := 0; i < rows; i++ {
+		terms := make([]condition.Term, arity)
+		for j := range terms {
+			terms[j] = randTerm()
+		}
+		var cond condition.Condition
+		switch rng.Intn(4) {
+		case 0:
+			cond = condition.True()
+		case 1:
+			cond = randAtom()
+		case 2:
+			cond = condition.And(randAtom(), randAtom())
+		default:
+			cond = condition.Or(randAtom(), condition.Not(randAtom()))
+		}
+		tab.AddRow(terms, cond)
+	}
+	return tab
+}
+
+// randomQuery builds a random RA query over a single input of the given
+// arity with bounded depth.
+func randomQuery(rng *rand.Rand, arity, depth int) ra.Query {
+	type qa struct {
+		q ra.Query
+		a int
+	}
+	var rec func(d int) qa
+	randPred := func(a int) ra.Predicate {
+		l := ra.Col(rng.Intn(a))
+		var r ra.Term
+		if rng.Intn(2) == 0 {
+			r = ra.Col(rng.Intn(a))
+		} else {
+			r = ra.ConstInt(int64(rng.Intn(3) + 1))
+		}
+		if rng.Intn(2) == 0 {
+			return ra.Eq(l, r)
+		}
+		return ra.Ne(l, r)
+	}
+	rec = func(d int) qa {
+		if d <= 0 {
+			return qa{ra.Rel("R"), arity}
+		}
+		sub := rec(d - 1)
+		switch rng.Intn(6) {
+		case 0:
+			return qa{ra.Select(randPred(sub.a), sub.q), sub.a}
+		case 1:
+			cols := make([]int, rng.Intn(sub.a)+1)
+			for i := range cols {
+				cols[i] = rng.Intn(sub.a)
+			}
+			return qa{ra.Project(cols, sub.q), len(cols)}
+		case 2:
+			other := rec(d - 1)
+			return qa{ra.Cross(sub.q, other.q), sub.a + other.a}
+		case 3:
+			return qa{ra.Union(sub.q, sub.q), sub.a}
+		case 4:
+			return qa{ra.Diff(sub.q, ra.Select(randPred(sub.a), sub.q)), sub.a}
+		default:
+			return qa{ra.Intersect(sub.q, sub.q), sub.a}
+		}
+	}
+	return rec(depth).q
+}
+
+func TestAlgebraErrors(t *testing.T) {
+	a, b := New(1), New(2)
+	a.AddRow(VarRow(1), nil)
+	b.AddRow(VarRow(1, 2), nil)
+	if _, err := UnionC(a, b, DefaultOptions); err == nil {
+		t.Fatal("union arity mismatch should error")
+	}
+	if _, err := DiffC(a, b, DefaultOptions); err == nil {
+		t.Fatal("diff arity mismatch should error")
+	}
+	if _, err := IntersectC(a, b, DefaultOptions); err == nil {
+		t.Fatal("intersect arity mismatch should error")
+	}
+	if _, err := ProjectC(a, []int{3}, DefaultOptions); err == nil {
+		t.Fatal("projection out of range should error")
+	}
+	if _, err := EvalQuery(ra.Project([]int{7}, ra.Rel("R")), a); err == nil {
+		t.Fatal("EvalQuery should validate arity")
+	}
+	// Ordering comparison against a variable term is rejected.
+	v := New(1)
+	v.AddRow(VarRow("x"), nil)
+	if _, err := SelectC(v, ra.Compare(ra.Col(0), ra.OpLt, ra.ConstInt(3)), DefaultOptions); err == nil {
+		t.Fatal("ordering over variable should error")
+	}
+	// ...but is fine over constant terms.
+	if _, err := SelectC(a, ra.Compare(ra.Col(0), ra.OpLt, ra.ConstInt(3)), DefaultOptions); err != nil {
+		t.Fatalf("ordering over constants should work: %v", err)
+	}
+}
+
+func TestProjectMergesConditions(t *testing.T) {
+	tab := New(2)
+	tab.AddRow(VarRow(1, "x"), condition.IsTrueVar("p"))
+	tab.AddRow(VarRow(1, "x"), condition.IsFalseVar("p"))
+	out, err := ProjectC(tab, []int{0, 1}, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 1 {
+		t.Fatalf("identical symbolic rows should merge, got %d rows", out.NumRows())
+	}
+}
+
+func TestSelectConditionShape(t *testing.T) {
+	// σ_{$2=$3, $4≠2}: the condition attached must mention the variables.
+	s := paperCTableS()
+	out, err := SelectC(s, ra.AndOf(ra.Eq(ra.Col(1), ra.Col(2)), ra.Ne(ra.Col(0), ra.ConstInt(1))), DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 3 {
+		t.Fatalf("rows = %d", out.NumRows())
+	}
+	// First row (1,2,x): condition becomes 2=x ∧ 1≠1 → simplifies to false... 1≠1 is false so whole row condition false.
+	if _, isFalse := out.Rows()[0].Cond.(condition.FalseCond); !isFalse {
+		t.Fatalf("row 1 condition = %s, want false", out.Rows()[0].Cond)
+	}
+}
+
+func TestEvalQueryNoSimplifyOption(t *testing.T) {
+	s := finiteS()
+	q := ra.Select(ra.Eq(ra.Col(0), ra.ConstInt(1)), ra.Rel("R"))
+	plain, err := EvalQueryWithOptions(q, s, Options{Simplify: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simplified, err := EvalQueryWithOptions(q, s, Options{Simplify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := plain.Mod()
+	b, _ := simplified.Mod()
+	if !a.Equal(b) {
+		t.Fatal("simplification changed semantics")
+	}
+}

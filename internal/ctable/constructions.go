@@ -1,0 +1,256 @@
+package ctable
+
+import (
+	"fmt"
+	"math/bits"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/incomplete"
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
+)
+
+// This file implements the constructive theorems of Section 3 of the paper:
+//
+//   - Theorem 1: every c-table T is RA-definable, i.e. Mod(T) = q(Mod(Z_k))
+//     for an SPJU query q built from T (RADefinabilityQuery).
+//   - Proposition 4: Z_n is RA-definable from the zero-information database
+//     N (Proposition4Query builds the witnessing query).
+//   - Theorem 3: boolean c-tables are finitely complete
+//     (BooleanCTableFromIDatabase).
+
+// RADefinabilityQuery implements the construction in the proof of
+// Theorem 1: given a c-table T with k variables it returns the SPJU query q
+// over a single input relation of arity k such that q(Mod(Z_k)) = Mod(T)
+// (equivalently q̄(Z_k) ≡ T), together with k. The input relation name used
+// by the query is "V".
+//
+// For a table with no variables the returned k is 1 (Z_1 is used as a
+// trivially non-empty source, exactly as the paper's construction needs at
+// least one input column to select from); the query simply ignores it.
+func RADefinabilityQuery(t *CTable) (ra.Query, int, error) {
+	vars := t.Vars()
+	k := len(vars)
+	if k == 0 {
+		k = 1
+	}
+	varIndex := make(map[condition.Variable]int, len(vars))
+	for i, x := range vars {
+		varIndex[x] = i
+	}
+
+	n := t.arity
+	var branches []ra.Query
+	for _, row := range t.rows {
+		// Columns 1..n of the product: the attribute terms.
+		factors := make([]ra.Query, 0, n+k)
+		colOfVar := make(map[condition.Variable]int) // variable -> 0-based product column
+		for i, term := range row.Terms {
+			if term.IsVar {
+				j, ok := varIndex[term.Var]
+				if !ok {
+					return nil, 0, fmt.Errorf("ctable: unknown variable %s", term.Var)
+				}
+				factors = append(factors, ra.Project([]int{j}, ra.Rel("V")))
+				if _, seen := colOfVar[term.Var]; !seen {
+					colOfVar[term.Var] = i
+				}
+			} else {
+				factors = append(factors, ra.Constant(relation.Singleton(value.NewTuple(term.Const))))
+			}
+		}
+		// Extra columns n+1.. for condition variables not already provided by
+		// a tuple position.
+		for _, x := range condition.Vars(row.Cond) {
+			if _, ok := colOfVar[x]; ok {
+				continue
+			}
+			j, ok := varIndex[x]
+			if !ok {
+				return nil, 0, fmt.Errorf("ctable: unknown variable %s", x)
+			}
+			colOfVar[x] = len(factors)
+			factors = append(factors, ra.Project([]int{j}, ra.Rel("V")))
+		}
+		pred, err := conditionToPredicate(row.Cond, colOfVar)
+		if err != nil {
+			return nil, 0, err
+		}
+		cols := make([]int, n)
+		for i := range cols {
+			cols[i] = i
+		}
+		branches = append(branches, ra.Project(cols, ra.Select(pred, ra.CrossAll(factors...))))
+	}
+	if len(branches) == 0 {
+		// The empty c-table represents {∅}; an always-empty SPJU query of the
+		// right arity does the job.
+		factors := make([]ra.Query, n)
+		for i := range factors {
+			factors[i] = ra.Project([]int{0}, ra.Rel("V"))
+		}
+		cols := make([]int, n)
+		for i := range cols {
+			cols[i] = i
+		}
+		return ra.Project(cols, ra.Select(ra.False(), ra.CrossAll(factors...))), k, nil
+	}
+	return ra.UnionAll(branches...), k, nil
+}
+
+// conditionToPredicate translates a c-table condition into a selection
+// predicate over the product columns, replacing each variable by the column
+// it is bound to (the ψ_t of the paper's proof).
+func conditionToPredicate(c condition.Condition, colOfVar map[condition.Variable]int) (ra.Predicate, error) {
+	switch c := c.(type) {
+	case condition.TrueCond:
+		return ra.True(), nil
+	case condition.FalseCond:
+		return ra.False(), nil
+	case condition.Cmp:
+		l, err := condTermToRATerm(c.Left, colOfVar)
+		if err != nil {
+			return nil, err
+		}
+		r, err := condTermToRATerm(c.Right, colOfVar)
+		if err != nil {
+			return nil, err
+		}
+		if c.Neq {
+			return ra.Ne(l, r), nil
+		}
+		return ra.Eq(l, r), nil
+	case condition.AndCond:
+		preds := make([]ra.Predicate, 0, len(c.Conds))
+		for _, sub := range c.Conds {
+			p, err := conditionToPredicate(sub, colOfVar)
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, p)
+		}
+		return ra.AndOf(preds...), nil
+	case condition.OrCond:
+		preds := make([]ra.Predicate, 0, len(c.Conds))
+		for _, sub := range c.Conds {
+			p, err := conditionToPredicate(sub, colOfVar)
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, p)
+		}
+		return ra.OrOf(preds...), nil
+	case condition.NotCond:
+		p, err := conditionToPredicate(c.Cond, colOfVar)
+		if err != nil {
+			return nil, err
+		}
+		return ra.NotOf(p), nil
+	default:
+		return nil, fmt.Errorf("ctable: unsupported condition %T", c)
+	}
+}
+
+func condTermToRATerm(t condition.Term, colOfVar map[condition.Variable]int) (ra.Term, error) {
+	if !t.IsVar {
+		return ra.Const(t.Const), nil
+	}
+	col, ok := colOfVar[t.Var]
+	if !ok {
+		return ra.Term{}, fmt.Errorf("ctable: variable %s has no column binding", t.Var)
+	}
+	return ra.Col(col), nil
+}
+
+// Proposition4Query returns the RA query q of Proposition 4 such that
+// q(N) = Z_n: applied to any single instance V of arity n it returns V when
+// |V| = 1 and the fixed singleton {t} otherwise, so that the image of the
+// set of all instances is exactly the set of all one-tuple instances.
+// The tuple t is (0, 0, ..., 0).
+func Proposition4Query(n int) ra.Query {
+	if n <= 0 {
+		panic("ctable: Proposition4Query needs n >= 1")
+	}
+	v := ra.Rel("V")
+	// q'(V) := V − π_ℓ(σ_{ℓ≠r}(V × V)) — V if |V| ≤ 1, ∅ otherwise.
+	left := make([]int, n)
+	neqs := make([]ra.Predicate, n)
+	for i := 0; i < n; i++ {
+		left[i] = i
+		neqs[i] = ra.Ne(ra.Col(i), ra.Col(n+i))
+	}
+	qPrime := ra.Diff(v, ra.Project(left, ra.Select(ra.OrOf(neqs...), ra.Cross(v, v))))
+	// q(V) := q'(V) ∪ ({t} − π_ℓ({t} × q'(V))).
+	t := relation.Singleton(value.Ints(make([]int64, n)...))
+	tQ := ra.Constant(t)
+	return ra.Union(qPrime, ra.Diff(tQ, ra.Project(left, ra.Cross(tQ, qPrime))))
+}
+
+// BooleanCTableFromIDatabase implements the proof of Theorem 3: it returns
+// a boolean c-table T (variables x1..xℓ ranging over {false,true}, occurring
+// only in conditions) with Mod(T) equal to the given finite incomplete
+// database. It returns an error when the database has no instances at all,
+// since Mod of a c-table is never empty.
+func BooleanCTableFromIDatabase(db *incomplete.IDatabase) (*CTable, error) {
+	instances := db.Instances()
+	m := len(instances)
+	if m == 0 {
+		return nil, fmt.Errorf("ctable: the empty incomplete database is not representable by a c-table")
+	}
+	t := New(db.Arity())
+	// ℓ = ⌈lg m⌉ boolean variables.
+	ell := 0
+	if m > 1 {
+		ell = bits.Len(uint(m - 1))
+	}
+	boolDom := value.BoolDomain()
+	for i := 1; i <= ell; i++ {
+		t.SetDomain(boolVarName(i), boolDom)
+	}
+	// φ_i selects the valuation whose bits spell i−1 (1-indexed instances).
+	phi := func(i int) condition.Condition {
+		conds := make([]condition.Condition, 0, ell)
+		for j := 1; j <= ell; j++ {
+			bit := (i - 1) >> (j - 1) & 1
+			if bit == 1 {
+				conds = append(conds, condition.IsTrueVar(boolVarName(j)))
+			} else {
+				conds = append(conds, condition.IsFalseVar(boolVarName(j)))
+			}
+		}
+		return condition.And(conds...)
+	}
+	for i := 1; i < m; i++ {
+		for _, tuple := range instances[i-1].Tuples() {
+			t.AddConstRow(tuple, phi(i))
+		}
+	}
+	// Last instance: condition φ_m ∨ ... ∨ φ_{2^ℓ} (all remaining patterns).
+	var rest []condition.Condition
+	for i := m; i <= 1<<ell; i++ {
+		rest = append(rest, phi(i))
+	}
+	lastCond := condition.Or(rest...)
+	if ell == 0 {
+		lastCond = condition.True()
+	}
+	for _, tuple := range instances[m-1].Tuples() {
+		t.AddConstRow(tuple, lastCond)
+	}
+	return t, nil
+}
+
+func boolVarName(i int) string { return fmt.Sprintf("x%d", i) }
+
+// ExpandToBooleanCTable converts any finite-domain c-table into an
+// equivalent boolean c-table by enumerating Mod and applying Theorem 3.
+// This is the (exponential) naïve translation whose blowup Example 5
+// quantifies; the succinctness benchmark E6 uses it.
+func ExpandToBooleanCTable(t *CTable) (*CTable, error) {
+	db, err := t.Mod()
+	if err != nil {
+		return nil, err
+	}
+	return BooleanCTableFromIDatabase(db)
+}

@@ -1,0 +1,299 @@
+package ctable
+
+import (
+	"testing"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/incomplete"
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
+)
+
+// E4 / Theorem 1: for a c-table T the constructed SPJU query q satisfies
+// q(Mod(Z_k)) = Mod(T). We check it over small finite domains (the theorem
+// is domain-generic; the finite check exercises the same construction).
+func TestTheorem1RADefinable(t *testing.T) {
+	tables := []*CTable{finiteS(), paperVTableR(), booleanPair()}
+	for ti, tab := range tables {
+		dom := value.IntRange(1, 3)
+		if ti == 2 {
+			dom = value.BoolDomain()
+		}
+		// Give every variable the same domain for the finite check.
+		for _, x := range tab.Vars() {
+			tab.SetDomain(string(x), dom)
+		}
+		q, k, err := RADefinabilityQuery(tab)
+		if err != nil {
+			t.Fatalf("table %d: %v", ti, err)
+		}
+		if !ra.InFragment(q, ra.FragmentSPJU) {
+			t.Fatalf("table %d: Theorem 1 query must be SPJU, uses %s", ti, ra.DescribeOperators(q))
+		}
+		// Build Mod(Z_k) over dom: all one-tuple k-ary relations.
+		zk := Zk(k)
+		zkMod, err := zk.ModOver(dom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := incomplete.MustMap(q, zkMod)
+		want := tab.MustMod()
+		if !got.Equal(want) {
+			t.Fatalf("table %d: q(Mod(Z_%d)) has %d instances, Mod(T) has %d", ti, k, got.Size(), want.Size())
+		}
+	}
+}
+
+// booleanPair is a small boolean c-table used across construction tests.
+func booleanPair() *CTable {
+	b := New(2)
+	b.AddRow(VarRow(1, 2), condition.IsTrueVar("p"))
+	b.AddRow(VarRow(3, 4), condition.IsFalseVar("p"))
+	b.SetDomain("p", value.BoolDomain())
+	return b
+}
+
+// E4 / Example 4: the explicit query given in the paper for the c-table S
+// of Example 2 defines Mod(S) from Z_3.
+//
+// Note: the paper renders the third branch as σ_{3≠'1',3≠4}, i.e. with the
+// comma that elsewhere denotes conjunction, but the condition of the third
+// row of S is the disjunction x≠1 ∨ x≠y; the conjunctive reading yields only
+// 12 of the 15 instances of Mod(S) over {1,2,3}. We transcribe the branch
+// with the disjunction, which is what Theorem 1's construction produces.
+func TestExample4Query(t *testing.T) {
+	// q(V) := π123({1}×{2}×V) ∪ π123(σ_{2=3 ∧ 4≠2}({3}×V)) ∪ π512(σ_{3≠1 ∨ 3≠4}({4}×{5}×V))
+	// (columns 1-based in the paper; 0-based below).
+	v := ra.Rel("V")
+	one := ra.SingletonConst(value.Ints(1))
+	two := ra.SingletonConst(value.Ints(2))
+	three := ra.SingletonConst(value.Ints(3))
+	four := ra.SingletonConst(value.Ints(4))
+	five := ra.SingletonConst(value.Ints(5))
+
+	q := ra.UnionAll(
+		ra.Project([]int{0, 1, 2}, ra.CrossAll(one, two, v)),
+		ra.Project([]int{0, 1, 2}, ra.Select(ra.AndOf(ra.Eq(ra.Col(1), ra.Col(2)), ra.Ne(ra.Col(3), ra.ConstInt(2))), ra.CrossAll(three, v))),
+		ra.Project([]int{4, 0, 1}, ra.Select(ra.OrOf(ra.Ne(ra.Col(2), ra.ConstInt(1)), ra.Ne(ra.Col(2), ra.Col(3))), ra.CrossAll(four, five, v))),
+	)
+
+	dom := value.IntRange(1, 3)
+	zkMod, err := Zk(3).ModOver(dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := incomplete.MustMap(q, zkMod)
+	want := finiteS().MustMod()
+	if !got.Equal(want) {
+		t.Fatalf("Example 4 query: got %d instances, want %d", got.Size(), want.Size())
+	}
+}
+
+// Theorem 2 (RA-completeness of c-tables) in its effective form: q̄(Z_k)
+// represents q(Mod(Z_k)) for any RA query q, i.e. any RA-definable
+// incomplete database is representable by a c-table.
+func TestTheorem2RACompleteness(t *testing.T) {
+	dom := value.IntRange(1, 2)
+	queries := []ra.Query{
+		ra.Select(ra.Eq(ra.Col(0), ra.Col(1)), ra.Rel("V")),
+		ra.Project([]int{0}, ra.Rel("V")),
+		ra.Union(ra.Project([]int{0, 0}, ra.Rel("V")), ra.Rel("V")),
+		ra.Diff(ra.Cross(ra.Project([]int{0}, ra.Rel("V")), ra.Project([]int{1}, ra.Rel("V"))), ra.Rel("V")),
+	}
+	for qi, q := range queries {
+		zk := Zk(2)
+		tbl, err := EvalQuery(q, zk)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		got, err := tbl.ModOver(dom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zkMod, _ := zk.ModOver(dom)
+		want := incomplete.MustMap(q, zkMod)
+		if !got.Equal(want) {
+			t.Fatalf("query %d (%s): Mod(q̄(Z_2)) ≠ q(Mod(Z_2))", qi, q)
+		}
+	}
+}
+
+// E5 / Theorem 3: any finite incomplete database is represented by the
+// constructed boolean c-table.
+func TestTheorem3FiniteCompleteness(t *testing.T) {
+	cases := []*incomplete.IDatabase{
+		incomplete.FromInstances(2,
+			relation.FromInts([]int64{1, 2}),
+			relation.FromInts([]int64{2, 1})),
+		incomplete.FromInstances(1,
+			relation.FromInts([]int64{1}),
+			relation.FromInts([]int64{2}),
+			relation.FromInts([]int64{3}),
+			relation.FromInts([]int64{1}, []int64{2}, []int64{3}),
+			relation.New(1)),
+		incomplete.FromInstances(2, relation.FromInts([]int64{7, 7})),
+		incomplete.FromInstances(1, relation.New(1)),
+	}
+	for i, db := range cases {
+		tab, err := BooleanCTableFromIDatabase(db)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !tab.IsBoolean() {
+			t.Fatalf("case %d: construction must produce a boolean c-table", i)
+		}
+		got := tab.MustMod()
+		if !got.Equal(db) {
+			t.Fatalf("case %d: Mod(T) = %v, want %v", i, got.Instances(), db.Instances())
+		}
+	}
+	if _, err := BooleanCTableFromIDatabase(incomplete.New(1)); err == nil {
+		t.Fatal("empty incomplete database must be rejected")
+	}
+}
+
+// The i-database {{(1,2)},{(2,1)}} of Section 3 cannot be represented by a
+// finite v-table, but the Theorem 3 boolean c-table represents it; this test
+// pins the example and its boolean-c-table representation.
+func TestSection3SwapExample(t *testing.T) {
+	db := incomplete.FromInstances(2,
+		relation.FromInts([]int64{1, 2}),
+		relation.FromInts([]int64{2, 1}))
+	tab, err := BooleanCTableFromIDatabase(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.MustMod(); !got.Equal(db) {
+		t.Fatalf("Mod = %v", got.Instances())
+	}
+	// One boolean variable suffices for two instances.
+	if len(tab.Vars()) != 1 {
+		t.Fatalf("expected 1 boolean variable, got %v", tab.Vars())
+	}
+}
+
+// E6 / Example 5: the finite c-table {(x1,...,xm) : true} with
+// dom(xi) = {1..n} has 1 row, while the equivalent boolean c-table produced
+// by the naïve expansion has n^m rows.
+func TestExample5Blowup(t *testing.T) {
+	m, n := 2, 3
+	tab := New(m)
+	terms := make([]condition.Term, m)
+	for i := 0; i < m; i++ {
+		name := string(rune('a' + i))
+		terms[i] = condition.Var(name)
+		tab.SetDomain(name, value.IntRange(1, int64(n)))
+	}
+	tab.AddRow(terms, nil)
+
+	boolTab, err := ExpandToBooleanCTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWorlds := 9 // n^m
+	if got := tab.MustMod().Size(); got != wantWorlds {
+		t.Fatalf("Mod size = %d, want %d", got, wantWorlds)
+	}
+	if boolTab.NumRows() != wantWorlds {
+		t.Fatalf("boolean c-table rows = %d, want n^m = %d", boolTab.NumRows(), wantWorlds)
+	}
+	eq, err := equivalentTables(tab, boolTab)
+	if err != nil || !eq {
+		t.Fatalf("expansion not equivalent: %v %v", eq, err)
+	}
+	if tab.NumRows() != 1 {
+		t.Fatal("original table must stay a single row")
+	}
+}
+
+func equivalentTables(a, b *CTable) (bool, error) {
+	am, err := a.Mod()
+	if err != nil {
+		return false, err
+	}
+	bm, err := b.Mod()
+	if err != nil {
+		return false, err
+	}
+	return am.Equal(bm), nil
+}
+
+// Proposition 4: the query q with q(N) = Z_n maps any instance with more
+// than one tuple (or none) to the fixed singleton, and any singleton to
+// itself.
+func TestProposition4Query(t *testing.T) {
+	q := Proposition4Query(2)
+	// Singleton stays put.
+	single := relation.FromInts([]int64{4, 5})
+	got, err := ra.EvalSingle(q, single)
+	if err != nil || !got.Equal(single) {
+		t.Fatalf("singleton: %v %v", got, err)
+	}
+	// Multi-tuple instance collapses to {t} = {(0,0)}.
+	multi := relation.FromInts([]int64{1, 2}, []int64{3, 4})
+	got, err = ra.EvalSingle(q, multi)
+	if err != nil || !got.Equal(relation.FromInts([]int64{0, 0})) {
+		t.Fatalf("multi: %v %v", got, err)
+	}
+	// Empty instance also maps to {t}.
+	got, err = ra.EvalSingle(q, relation.New(2))
+	if err != nil || !got.Equal(relation.FromInts([]int64{0, 0})) {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+}
+
+// RADefinabilityQuery on a table with repeated variables inside one row must
+// correlate the repeated positions.
+func TestTheorem1RepeatedVariable(t *testing.T) {
+	tab := New(2)
+	tab.AddRow(VarRow("x", "x"), nil)
+	tab.SetDomain("x", value.IntRange(1, 3))
+	q, k, err := RADefinabilityQuery(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zkMod, _ := Zk(k).ModOver(value.IntRange(1, 3))
+	got := incomplete.MustMap(q, zkMod)
+	want := tab.MustMod()
+	if !got.Equal(want) {
+		t.Fatalf("repeated-variable definability failed: got %d want %d instances", got.Size(), want.Size())
+	}
+	for _, inst := range got.Instances() {
+		for _, tuple := range inst.Tuples() {
+			if tuple[0] != tuple[1] {
+				t.Fatalf("uncorrelated tuple %v", tuple)
+			}
+		}
+	}
+}
+
+// The empty c-table (no rows) is RA-definable as well: its Mod is {∅}.
+func TestTheorem1EmptyTable(t *testing.T) {
+	tab := New(2)
+	q, k, err := RADefinabilityQuery(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zkMod, _ := Zk(k).ModOver(value.IntRange(1, 2))
+	got := incomplete.MustMap(q, zkMod)
+	if got.Size() != 1 || !got.Contains(relation.New(2)) {
+		t.Fatalf("empty table definability: %v", got.Instances())
+	}
+}
+
+// Constant-only tables are RA-definable too.
+func TestTheorem1ConstantTable(t *testing.T) {
+	tab := New(1)
+	tab.AddRow(VarRow(5), nil)
+	tab.AddRow(VarRow(7), nil)
+	q, k, err := RADefinabilityQuery(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zkMod, _ := Zk(k).ModOver(value.IntRange(1, 2))
+	got := incomplete.MustMap(q, zkMod)
+	if got.Size() != 1 || !got.Contains(relation.FromInts([]int64{5}, []int64{7})) {
+		t.Fatalf("constant table definability: %v", got.Instances())
+	}
+}

@@ -1,0 +1,294 @@
+package ctable
+
+import (
+	"testing"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/incomplete"
+	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
+)
+
+// paperVTableR is the v-table R of Example 1:
+//
+//	1 2 x
+//	3 x y
+//	z 4 5
+func paperVTableR() *CTable {
+	t := New(3)
+	t.AddRow(VarRow(1, 2, "x"), nil)
+	t.AddRow(VarRow(3, "x", "y"), nil)
+	t.AddRow(VarRow("z", 4, 5), nil)
+	return t
+}
+
+// paperCTableS is the c-table S of Example 2:
+//
+//	1 2 x
+//	3 x y   x = y ∧ z ≠ 2
+//	z 4 5   x ≠ 1 ∨ x ≠ y
+func paperCTableS() *CTable {
+	t := New(3)
+	t.AddRow(VarRow(1, 2, "x"), nil)
+	t.AddRow(VarRow(3, "x", "y"),
+		condition.And(condition.Eq(condition.Var("x"), condition.Var("y")),
+			condition.Neq(condition.Var("z"), condition.ConstInt(2))))
+	t.AddRow(VarRow("z", 4, 5),
+		condition.Or(condition.Neq(condition.Var("x"), condition.ConstInt(1)),
+			condition.Neq(condition.Var("x"), condition.Var("y"))))
+	return t
+}
+
+func TestBasicsAndClassification(t *testing.T) {
+	r := paperVTableR()
+	if r.Arity() != 3 || r.NumRows() != 3 {
+		t.Fatalf("arity/rows wrong: %d/%d", r.Arity(), r.NumRows())
+	}
+	if !r.IsVTable() || r.IsCoddTable() {
+		t.Fatal("R is a v-table but not a Codd table (x repeats)")
+	}
+	s := paperCTableS()
+	if s.IsVTable() {
+		t.Fatal("S has nontrivial conditions")
+	}
+	vars := s.Vars()
+	if len(vars) != 3 || vars[0] != "x" || vars[1] != "y" || vars[2] != "z" {
+		t.Fatalf("Vars = %v", vars)
+	}
+	tv := s.TupleVars()
+	if len(tv) != 3 {
+		t.Fatalf("TupleVars = %v", tv)
+	}
+	codd := New(2)
+	codd.AddRow(VarRow("a", "b"), nil)
+	codd.AddRow(VarRow(1, "c"), nil)
+	if !codd.IsCoddTable() {
+		t.Fatal("codd should be a Codd table")
+	}
+	if s.IsBoolean() {
+		t.Fatal("S is not boolean")
+	}
+	b := New(1)
+	b.AddRow(VarRow(1), condition.IsTrueVar("p"))
+	b.SetDomain("p", value.BoolDomain())
+	if !b.IsBoolean() {
+		t.Fatal("b should be boolean")
+	}
+}
+
+func TestApplyValuation(t *testing.T) {
+	s := paperCTableS()
+	// ν = {x↦1, y↦1, z↦1}: row 2 kept (1=1 ∧ 1≠2), row 3 dropped (1≠1 ∨ 1≠1 is false).
+	inst, err := s.Apply(condition.Valuation{
+		"x": value.Int(1), "y": value.Int(1), "z": value.Int(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.FromInts([]int64{1, 2, 1}, []int64{3, 1, 1})
+	if !inst.Equal(want) {
+		t.Fatalf("Apply = %v, want %v", inst, want)
+	}
+	// Unbound variable is an error.
+	if _, err := s.Apply(condition.Valuation{"x": value.Int(1)}); err == nil {
+		t.Fatal("expected unbound-variable error")
+	}
+}
+
+// E1: the instances displayed in Example 1 are members of Mod(R).
+func TestExample1VTable(t *testing.T) {
+	r := paperVTableR()
+	members := []*relation.Relation{
+		relation.FromInts([]int64{1, 2, 1}, []int64{3, 1, 1}, []int64{1, 4, 5}),
+		relation.FromInts([]int64{1, 2, 2}, []int64{3, 2, 1}, []int64{1, 4, 5}),
+		relation.FromInts([]int64{1, 2, 1}, []int64{3, 1, 2}, []int64{1, 4, 5}),
+		relation.FromInts([]int64{1, 2, 77}, []int64{3, 77, 89}, []int64{97, 4, 5}),
+	}
+	dom := value.IntRange(1, 100)
+	for i, m := range members {
+		ok, err := r.MemberOver(m, dom)
+		if err != nil || !ok {
+			t.Errorf("instance %d should be in Mod(R): ok=%v err=%v", i+1, ok, err)
+		}
+	}
+	// An instance that disagrees on a constant position is not a member.
+	not := relation.FromInts([]int64{9, 2, 1}, []int64{3, 1, 1}, []int64{1, 4, 5})
+	if ok, _ := r.MemberOver(not, dom); ok {
+		t.Fatal("unexpected member")
+	}
+}
+
+// E2: the instances displayed in Example 2 are members of Mod(S), and the
+// middle row disappears when its condition fails.
+func TestExample2CTable(t *testing.T) {
+	s := paperCTableS()
+	dom := value.IntRange(1, 100)
+	members := []*relation.Relation{
+		relation.FromInts([]int64{1, 2, 1}, []int64{3, 1, 1}),
+		relation.FromInts([]int64{1, 2, 2}, []int64{1, 4, 5}),
+		relation.FromInts([]int64{1, 2, 77}, []int64{97, 4, 5}),
+	}
+	for i, m := range members {
+		ok, err := s.MemberOver(m, dom)
+		if err != nil || !ok {
+			t.Errorf("instance %d should be in Mod(S): ok=%v err=%v", i+1, ok, err)
+		}
+	}
+	// The v-table instance containing all three rows with x=1,y=1,z=1 is NOT
+	// in Mod(S): when x=y=1 the third row's condition fails.
+	not := relation.FromInts([]int64{1, 2, 1}, []int64{3, 1, 1}, []int64{1, 4, 5})
+	if ok, _ := s.MemberOver(not, dom); ok {
+		t.Fatal("instance should not be in Mod(S)")
+	}
+}
+
+func TestModFiniteDomain(t *testing.T) {
+	// Finite v-table {(1,x),(x,1)} with dom(x)={1,2} from Section 3.
+	tab := New(2)
+	tab.AddRow(VarRow(1, "x"), nil)
+	tab.AddRow(VarRow("x", 1), nil)
+	tab.SetDomain("x", value.IntRange(1, 2))
+	db := tab.MustMod()
+	want := incomplete.FromInstances(2,
+		relation.FromInts([]int64{1, 1}),
+		relation.FromInts([]int64{1, 2}, []int64{2, 1}))
+	if !db.Equal(want) {
+		t.Fatalf("Mod = %v", db.Instances())
+	}
+	// Member agrees with Mod.
+	if ok, _ := tab.Member(relation.FromInts([]int64{1, 2}, []int64{2, 1})); !ok {
+		t.Fatal("member missing")
+	}
+	if ok, _ := tab.Member(relation.FromInts([]int64{2, 2})); ok {
+		t.Fatal("spurious member")
+	}
+}
+
+func TestModRequiresDomains(t *testing.T) {
+	tab := New(1)
+	tab.AddRow(VarRow("x"), nil)
+	if _, err := tab.Mod(); err == nil {
+		t.Fatal("expected error for missing domain")
+	}
+	if _, err := tab.ModOver(value.IntRange(1, 2)); err != nil {
+		t.Fatalf("ModOver should work: %v", err)
+	}
+}
+
+func TestZk(t *testing.T) {
+	z3 := Zk(3)
+	if !z3.IsCoddTable() || z3.Arity() != 3 || z3.NumRows() != 1 {
+		t.Fatal("Z_3 malformed")
+	}
+	db, err := z3.ModOver(value.IntRange(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 8 one-tuple relations over {1,2}^3.
+	if db.Size() != 8 {
+		t.Fatalf("Mod(Z_3) over {1,2} has %d instances, want 8", db.Size())
+	}
+	for _, inst := range db.Instances() {
+		if inst.Size() != 1 {
+			t.Fatalf("instance %v is not a singleton", inst)
+		}
+	}
+}
+
+func TestSimplifyTable(t *testing.T) {
+	tab := New(1)
+	tab.AddRow(VarRow(1), condition.And(condition.True(), condition.Eq(condition.Var("x"), condition.Var("x"))))
+	tab.AddRow(VarRow(2), condition.And(condition.Eq(condition.ConstInt(1), condition.ConstInt(2))))
+	s := tab.Simplify()
+	if s.NumRows() != 1 {
+		t.Fatalf("Simplify should drop the false row, got %d rows", s.NumRows())
+	}
+	if _, ok := s.Rows()[0].Cond.(condition.TrueCond); !ok {
+		t.Fatalf("condition should fold to true, got %s", s.Rows()[0].Cond)
+	}
+}
+
+func TestFromRelationRoundTrip(t *testing.T) {
+	r := relation.FromInts([]int64{1, 2}, []int64{3, 4})
+	tab := FromRelation(r)
+	if tab.NumRows() != 2 || len(tab.Vars()) != 0 {
+		t.Fatal("FromRelation wrong shape")
+	}
+	db := tab.MustMod()
+	if db.Size() != 1 || !db.Contains(r) {
+		t.Fatal("Mod of a complete table must be the single instance")
+	}
+}
+
+func TestConstantsOfTable(t *testing.T) {
+	s := paperCTableS()
+	consts := s.Constants()
+	for _, want := range []int64{1, 2, 3, 4, 5} {
+		if !consts.Contains(value.Int(want)) {
+			t.Errorf("constant %d missing from %v", want, consts)
+		}
+	}
+}
+
+func TestCopyIndependence(t *testing.T) {
+	s := paperCTableS()
+	c := s.Copy()
+	c.AddRow(VarRow(9, 9, 9), nil)
+	c.SetDomain("x", value.IntRange(1, 2))
+	if s.NumRows() != 3 || s.DomainOf("x") != nil {
+		t.Fatal("Copy not independent")
+	}
+}
+
+func TestVarRowPanicsOnBadEntry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	VarRow(3.14)
+}
+
+func TestEquivalentTo(t *testing.T) {
+	// {(x)} with dom {1,2} is equivalent to the or-set-style two-row table
+	// {(1):b=true, (2):b=false} over booleans... which represents {{1},{2}}.
+	a := New(1)
+	a.AddRow(VarRow("x"), nil)
+	a.SetDomain("x", value.IntRange(1, 2))
+
+	b := New(1)
+	b.AddRow(VarRow(1), condition.IsTrueVar("p"))
+	b.AddRow(VarRow(2), condition.IsFalseVar("p"))
+	b.SetDomain("p", value.BoolDomain())
+
+	eq, err := a.EquivalentTo(b)
+	if err != nil || !eq {
+		t.Fatalf("tables should be equivalent: %v %v", eq, err)
+	}
+
+	c := New(1)
+	c.AddRow(VarRow(1), nil)
+	if eq, _ := a.EquivalentTo(c); eq {
+		t.Fatal("tables should differ")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := paperCTableS()
+	s.SetDomain("x", value.IntRange(1, 2))
+	str := s.String()
+	for _, want := range []string{"c-table(arity=3)", "(1, 2, x) : true", "x=y", "dom(x)"} {
+		if !containsStr(str, want) {
+			t.Errorf("String() missing %q in:\n%s", want, str)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,203 @@
+// Package incomplete defines incomplete databases (Definition 1 of the
+// paper): sets of conventional instances ("possible worlds"), together with
+// the notion of a representation system (Definition 2), queries applied to
+// incomplete databases, and the classical certain/possible answer
+// semantics.
+//
+// An incomplete database over an infinite domain may be infinite; this
+// package represents the *finite* incomplete databases explicitly (they are
+// what the finite-completeness results of the paper are about), and the
+// ctable package layers lazy/symbolic treatments of infinite Mod(T) on top.
+package incomplete
+
+import (
+	"sort"
+
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/relation"
+)
+
+// IDatabase is a finite incomplete database: a finite set of instances of a
+// fixed arity. The zero value is not usable; use New.
+type IDatabase struct {
+	arity     int
+	instances map[string]*relation.Relation
+}
+
+// New returns an empty incomplete database of the given arity.
+// Note that the empty set of instances is a legitimate (if degenerate)
+// incomplete database, distinct from {∅} which contains the empty instance.
+func New(arity int) *IDatabase {
+	return &IDatabase{arity: arity, instances: make(map[string]*relation.Relation)}
+}
+
+// FromInstances builds an incomplete database containing the given
+// instances, which must all share the given arity.
+func FromInstances(arity int, instances ...*relation.Relation) *IDatabase {
+	db := New(arity)
+	for _, inst := range instances {
+		db.Add(inst)
+	}
+	return db
+}
+
+// Arity returns the arity of the instances of db.
+func (db *IDatabase) Arity() int { return arity(db) }
+
+func arity(db *IDatabase) int { return db.arity }
+
+// Size returns the number of distinct instances in db.
+func (db *IDatabase) Size() int { return len(db.instances) }
+
+// Add inserts an instance (set semantics). It panics on arity mismatch.
+func (db *IDatabase) Add(inst *relation.Relation) {
+	if inst.Arity() != db.arity {
+		panic("incomplete: instance arity mismatch")
+	}
+	db.instances[inst.Key()] = inst.Copy()
+}
+
+// Contains reports whether inst is one of the possible worlds of db.
+func (db *IDatabase) Contains(inst *relation.Relation) bool {
+	if inst.Arity() != db.arity {
+		return false
+	}
+	_, ok := db.instances[inst.Key()]
+	return ok
+}
+
+// Instances returns the possible worlds in a canonical (sorted-key) order.
+func (db *IDatabase) Instances() []*relation.Relation {
+	keys := make([]string, 0, len(db.instances))
+	for k := range db.instances {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*relation.Relation, len(keys))
+	for i, k := range keys {
+		out[i] = db.instances[k]
+	}
+	return out
+}
+
+// Equal reports whether db and other contain exactly the same instances.
+func (db *IDatabase) Equal(other *IDatabase) bool {
+	if db.arity != other.arity || len(db.instances) != len(other.instances) {
+		return false
+	}
+	for k := range db.instances {
+		if _, ok := other.instances[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Copy returns an independent copy of db.
+func (db *IDatabase) Copy() *IDatabase {
+	c := New(db.arity)
+	for _, inst := range db.instances {
+		c.Add(inst)
+	}
+	return c
+}
+
+// MaxCardinality returns the size of the largest instance in db (0 when db
+// is empty). c-tables can only represent incomplete databases whose
+// instances have cardinality at most the number of rows of the table
+// (Section 3 of the paper), so this is a useful bound.
+func (db *IDatabase) MaxCardinality() int {
+	max := 0
+	for _, inst := range db.instances {
+		if inst.Size() > max {
+			max = inst.Size()
+		}
+	}
+	return max
+}
+
+// Map applies a query with one input relation to every possible world and
+// returns the resulting incomplete database q(I) = {q(I) | I ∈ I}.
+// The query's arity under the input arity of db determines the output
+// arity; Map returns an error if the query is ill-formed.
+func Map(q ra.Query, db *IDatabase) (*IDatabase, error) {
+	arities := ra.ArityEnv{inputNameFor(q): db.arity}
+	for name := range ra.InputNames(q) {
+		arities[name] = db.arity
+	}
+	outArity, err := ra.Arity(q, arities)
+	if err != nil {
+		return nil, err
+	}
+	out := New(outArity)
+	for _, inst := range db.instances {
+		res, err := ra.EvalSingle(q, inst)
+		if err != nil {
+			return nil, err
+		}
+		out.Add(res)
+	}
+	return out, nil
+}
+
+// MustMap is Map that panics on error.
+func MustMap(q ra.Query, db *IDatabase) *IDatabase {
+	out, err := Map(q, db)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// inputNameFor returns some input relation name of q (queries in this
+// library follow the paper's single-input convention); when the query
+// references no input at all, a dummy name is returned.
+func inputNameFor(q ra.Query) string {
+	for name := range ra.InputNames(q) {
+		return name
+	}
+	return "V"
+}
+
+// CertainAnswers returns the tuples present in q(I) for every possible
+// world I of db: the classical certain-answer semantics. When db is empty
+// the result is the empty relation of the query's output arity.
+func CertainAnswers(q ra.Query, db *IDatabase) (*relation.Relation, error) {
+	mapped, err := Map(q, db)
+	if err != nil {
+		return nil, err
+	}
+	insts := mapped.Instances()
+	if len(insts) == 0 {
+		return relation.New(mapped.arity), nil
+	}
+	out := insts[0].Copy()
+	for _, inst := range insts[1:] {
+		out = relation.Intersection(out, inst)
+	}
+	return out, nil
+}
+
+// PossibleAnswers returns the tuples present in q(I) for at least one
+// possible world I of db.
+func PossibleAnswers(q ra.Query, db *IDatabase) (*relation.Relation, error) {
+	mapped, err := Map(q, db)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(mapped.arity)
+	for _, inst := range mapped.Instances() {
+		out = relation.Union(out, inst)
+	}
+	return out, nil
+}
+
+// Representation is the interface implemented by every finite
+// representation system table in this library (Definition 2): a table T
+// together with the incomplete database Mod(T) it denotes.
+type Representation interface {
+	// Arity returns the arity of the represented instances.
+	Arity() int
+	// Mod returns the represented (finite) incomplete database.
+	Mod() *IDatabase
+}

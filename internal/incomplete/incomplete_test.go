@@ -1,0 +1,130 @@
+package incomplete
+
+import (
+	"testing"
+
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
+)
+
+func inst(rows ...[]int64) *relation.Relation {
+	if len(rows) == 0 {
+		return relation.New(2)
+	}
+	return relation.FromInts(rows...)
+}
+
+func TestAddContainsEqual(t *testing.T) {
+	db := New(2)
+	a := inst([]int64{1, 2})
+	b := inst([]int64{1, 2}, []int64{3, 4})
+	db.Add(a)
+	db.Add(a) // duplicate world absorbed
+	db.Add(b)
+	if db.Size() != 2 {
+		t.Fatalf("size = %d", db.Size())
+	}
+	if !db.Contains(a) || !db.Contains(b) || db.Contains(inst([]int64{9, 9})) {
+		t.Fatal("Contains wrong")
+	}
+	other := FromInstances(2, b, a)
+	if !db.Equal(other) {
+		t.Fatal("Equal should hold regardless of insertion order")
+	}
+	other.Add(inst([]int64{7, 7}))
+	if db.Equal(other) {
+		t.Fatal("Equal should fail after extra world")
+	}
+	if db.Contains(relation.New(3)) {
+		t.Fatal("arity-mismatched instance cannot be contained")
+	}
+}
+
+func TestAddArityPanic(t *testing.T) {
+	db := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	db.Add(relation.New(3))
+}
+
+func TestCopyIndependent(t *testing.T) {
+	db := FromInstances(2, inst([]int64{1, 2}))
+	c := db.Copy()
+	c.Add(inst([]int64{3, 4}))
+	if db.Size() != 1 || c.Size() != 2 {
+		t.Fatal("Copy not independent")
+	}
+}
+
+func TestMaxCardinality(t *testing.T) {
+	db := FromInstances(2, inst([]int64{1, 2}), inst([]int64{1, 2}, []int64{3, 4}, []int64{5, 6}))
+	if db.MaxCardinality() != 3 {
+		t.Fatalf("MaxCardinality = %d", db.MaxCardinality())
+	}
+	if New(2).MaxCardinality() != 0 {
+		t.Fatal("empty db max cardinality should be 0")
+	}
+}
+
+func TestMapAndAnswers(t *testing.T) {
+	// Worlds: {(1,2)} and {(1,2),(3,4)}.
+	db := FromInstances(2, inst([]int64{1, 2}), inst([]int64{1, 2}, []int64{3, 4}))
+	q := ra.Project([]int{0}, ra.Rel("V"))
+
+	mapped := MustMap(q, db)
+	if mapped.Arity() != 1 || mapped.Size() != 2 {
+		t.Fatalf("mapped = %d instances of arity %d", mapped.Size(), mapped.Arity())
+	}
+
+	certain, err := CertainAnswers(q, db)
+	if err != nil || !certain.Equal(relation.FromInts([]int64{1})) {
+		t.Fatalf("certain = %v, %v", certain, err)
+	}
+	possible, err := PossibleAnswers(q, db)
+	if err != nil || !possible.Equal(relation.FromInts([]int64{1}, []int64{3})) {
+		t.Fatalf("possible = %v, %v", possible, err)
+	}
+}
+
+func TestMapCollapsesWorlds(t *testing.T) {
+	// Two distinct worlds with the same projection collapse to one world.
+	db := FromInstances(2, inst([]int64{1, 2}), inst([]int64{1, 3}))
+	mapped := MustMap(ra.Project([]int{0}, ra.Rel("V")), db)
+	if mapped.Size() != 1 {
+		t.Fatalf("mapped size = %d, want 1", mapped.Size())
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	db := FromInstances(2, inst([]int64{1, 2}))
+	if _, err := Map(ra.Project([]int{5}, ra.Rel("V")), db); err == nil {
+		t.Fatal("expected error for out-of-range projection")
+	}
+	if _, err := CertainAnswers(ra.Project([]int{5}, ra.Rel("V")), db); err == nil {
+		t.Fatal("expected error from CertainAnswers")
+	}
+	if _, err := PossibleAnswers(ra.Project([]int{5}, ra.Rel("V")), db); err == nil {
+		t.Fatal("expected error from PossibleAnswers")
+	}
+}
+
+func TestCertainAnswersEmptyDatabase(t *testing.T) {
+	db := New(2)
+	got, err := CertainAnswers(ra.Project([]int{0}, ra.Rel("V")), db)
+	if err != nil || got.Size() != 0 || got.Arity() != 1 {
+		t.Fatalf("certain over empty db = %v, %v", got, err)
+	}
+}
+
+func TestQueryWithConstantOnly(t *testing.T) {
+	db := FromInstances(1, relation.FromInts([]int64{1}), relation.FromInts([]int64{2}))
+	q := ra.Constant(relation.Singleton(value.Ints(7)))
+	mapped := MustMap(q, db)
+	if mapped.Size() != 1 || !mapped.Contains(relation.FromInts([]int64{7})) {
+		t.Fatalf("constant query mapping = %v", mapped.Instances())
+	}
+}

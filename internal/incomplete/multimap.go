@@ -1,0 +1,82 @@
+package incomplete
+
+import (
+	"sort"
+
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/relation"
+)
+
+// MapEnv applies a query over a schema of several incomplete relations:
+// the result is {q(I_1,...,I_r) | I_j ∈ Mod of the j-th input}, i.e. the
+// image of the product of the input incomplete databases under q. The
+// paper's definitions are stated for a single relation name "to simplify
+// the notation" but several of the completion constructions in the Appendix
+// use a pair of tables; MapEnv is the corresponding semantics.
+func MapEnv(q ra.Query, inputs map[string]*IDatabase) (*IDatabase, error) {
+	names := make([]string, 0, len(inputs))
+	for name := range inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	arities := make(ra.ArityEnv, len(inputs))
+	for name, db := range inputs {
+		arities[name] = db.arity
+	}
+	outArity, err := ra.Arity(q, arities)
+	if err != nil {
+		return nil, err
+	}
+	out := New(outArity)
+
+	env := ra.Env{}
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(names) {
+			res, err := ra.Eval(q, env)
+			if err != nil {
+				return err
+			}
+			out.Add(res)
+			return nil
+		}
+		worlds := inputs[names[i]].Instances()
+		if len(worlds) == 0 {
+			// An input with no possible worlds makes the whole product empty.
+			return nil
+		}
+		for _, w := range worlds {
+			env[names[i]] = w
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MustMapEnv is MapEnv that panics on error.
+func MustMapEnv(q ra.Query, inputs map[string]*IDatabase) *IDatabase {
+	out, err := MapEnv(q, inputs)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Complete reports whether the incomplete database db equals the target —
+// a readability helper used by the completion experiments.
+func Complete(db, target *IDatabase) bool { return db.Equal(target) }
+
+// SingletonWorld returns the incomplete database containing exactly the
+// given instance (a conventional, complete database).
+func SingletonWorld(inst *relation.Relation) *IDatabase {
+	db := New(inst.Arity())
+	db.Add(inst)
+	return db
+}

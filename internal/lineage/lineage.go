@@ -1,0 +1,257 @@
+// Package lineage implements the connection pointed out in Section 9 of the
+// paper: the condition that decorates a tuple of q̄(T) is the lineage
+// (why-provenance) of that tuple. The package lifts a conventional instance
+// into a boolean c-table with one presence variable per input tuple, runs
+// the c-table algebra, and reads the answer conditions back as
+// why-provenance: sets of input-tuple witnesses.
+package lineage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
+)
+
+// TrackedRelation is a conventional instance whose tuples have been tagged
+// with presence variables for provenance tracking.
+type TrackedRelation struct {
+	source *relation.Relation
+	table  *ctable.CTable
+	// varToTuple maps presence-variable names back to source tuples.
+	varToTuple map[condition.Variable]value.Tuple
+	tupleToVar map[string]condition.Variable
+}
+
+// Track lifts an instance into a provenance-tracking boolean c-table: tuple
+// number i is guarded by the fresh boolean variable p_i.
+func Track(r *relation.Relation) *TrackedRelation {
+	t := &TrackedRelation{
+		source:     r.Copy(),
+		table:      ctable.New(r.Arity()),
+		varToTuple: make(map[condition.Variable]value.Tuple),
+		tupleToVar: make(map[string]condition.Variable),
+	}
+	boolDom := value.BoolDomain()
+	for i, tuple := range r.Tuples() {
+		name := fmt.Sprintf("p%d", i+1)
+		t.table.AddConstRow(tuple, condition.IsTrueVar(name))
+		t.table.SetDomain(name, boolDom)
+		t.varToTuple[condition.Variable(name)] = tuple
+		t.tupleToVar[tuple.Key()] = condition.Variable(name)
+	}
+	return t
+}
+
+// Source returns the tracked instance.
+func (t *TrackedRelation) Source() *relation.Relation { return t.source }
+
+// Table returns the underlying provenance-tracking boolean c-table.
+func (t *TrackedRelation) Table() *ctable.CTable { return t.table }
+
+// TupleOf returns the source tuple guarded by the given presence variable.
+func (t *TrackedRelation) TupleOf(x condition.Variable) (value.Tuple, bool) {
+	tp, ok := t.varToTuple[x]
+	return tp, ok
+}
+
+// Witness is one why-provenance witness: a set of input tuples that
+// together make the answer tuple appear.
+type Witness []value.Tuple
+
+// String renders the witness as a set of tuples.
+func (w Witness) String() string {
+	parts := make([]string, len(w))
+	for i, tp := range w {
+		parts[i] = tp.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// key returns a canonical key of the witness for deduplication.
+func (w Witness) key() string {
+	keys := make([]string, len(w))
+	for i, tp := range w {
+		keys[i] = tp.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+// AnswerLineage is the lineage of one answer tuple: the tuple, the raw
+// condition produced by the c-table algebra, and its why-provenance (the
+// minimal witnesses extracted from the condition's DNF).
+type AnswerLineage struct {
+	Tuple     value.Tuple
+	Condition condition.Condition
+	Witnesses []Witness
+}
+
+// Lineage evaluates the query over the tracked relation using the c-table
+// algebra and returns, for every possible answer tuple, its lineage
+// condition and why-provenance. Queries must be monotone for the
+// why-provenance reading to be meaningful (selection, projection, join,
+// cross product, union, intersection); a query containing difference is
+// rejected, matching the classical definition of why-provenance.
+func (t *TrackedRelation) Lineage(q ra.Query) ([]AnswerLineage, error) {
+	if containsDifference(q) {
+		return nil, fmt.Errorf("lineage: why-provenance is defined for monotone queries only")
+	}
+	answer, err := ctable.EvalQuery(q, t.table)
+	if err != nil {
+		return nil, err
+	}
+	// Group answer rows by their (constant) tuple; the tracked table is
+	// boolean, so q̄ keeps all tuple positions constant.
+	byTuple := make(map[string]*AnswerLineage)
+	var order []string
+	for _, row := range answer.Rows() {
+		tuple := make(value.Tuple, len(row.Terms))
+		for i, term := range row.Terms {
+			if term.IsVar {
+				return nil, fmt.Errorf("lineage: unexpected variable %s in answer tuple", term.Var)
+			}
+			tuple[i] = term.Const
+		}
+		key := tuple.Key()
+		if entry, ok := byTuple[key]; ok {
+			entry.Condition = condition.Simplify(condition.Or(entry.Condition, row.Cond))
+			continue
+		}
+		byTuple[key] = &AnswerLineage{Tuple: tuple, Condition: condition.Simplify(row.Cond)}
+		order = append(order, key)
+	}
+	sort.Strings(order)
+	out := make([]AnswerLineage, 0, len(order))
+	for _, key := range order {
+		entry := byTuple[key]
+		witnesses, err := t.witnessesOf(entry.Condition)
+		if err != nil {
+			return nil, err
+		}
+		entry.Witnesses = witnesses
+		if len(witnesses) == 0 {
+			// The tuple can never appear (condition unsatisfiable); skip it.
+			continue
+		}
+		out = append(out, *entry)
+	}
+	return out, nil
+}
+
+// witnessesOf extracts the minimal why-provenance witnesses from a positive
+// boolean condition over presence variables: the minimal sets of variables
+// that, set to true, satisfy the condition.
+func (t *TrackedRelation) witnessesOf(c condition.Condition) ([]Witness, error) {
+	varSets, err := minimalSupports(c)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []Witness
+	for _, vs := range varSets {
+		w := make(Witness, 0, len(vs))
+		for _, x := range vs {
+			tp, ok := t.varToTuple[x]
+			if !ok {
+				return nil, fmt.Errorf("lineage: unknown presence variable %s", x)
+			}
+			w = append(w, tp)
+		}
+		sort.Slice(w, func(i, j int) bool { return w[i].Compare(w[j]) < 0 })
+		if k := w.key(); !seen[k] {
+			seen[k] = true
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out, nil
+}
+
+// minimalSupports returns the minimal sets of variables that satisfy the
+// (monotone, positive) condition when set to true and all others to false.
+// It enumerates satisfying assignments over the condition's variables and
+// keeps the minimal ones; conditions arising from monotone queries over
+// boolean presence variables are positive, so minimality is well defined.
+func minimalSupports(c condition.Condition) ([][]condition.Variable, error) {
+	vars := condition.Vars(c)
+	if len(vars) > 20 {
+		return nil, fmt.Errorf("lineage: condition over %d variables is too large for exact why-provenance", len(vars))
+	}
+	var supports [][]condition.Variable
+	total := 1 << len(vars)
+	for mask := 0; mask < total; mask++ {
+		val := condition.Valuation{}
+		for i, x := range vars {
+			val[x] = value.Bool(mask>>i&1 == 1)
+		}
+		holds, err := c.Eval(val)
+		if err != nil {
+			return nil, err
+		}
+		if !holds {
+			continue
+		}
+		var support []condition.Variable
+		for i, x := range vars {
+			if mask>>i&1 == 1 {
+				support = append(support, x)
+			}
+		}
+		supports = append(supports, support)
+	}
+	// Keep only minimal supports.
+	var minimal [][]condition.Variable
+	for i, s := range supports {
+		isMin := true
+		for j, u := range supports {
+			if i != j && subsetOf(u, s) && len(u) < len(s) {
+				isMin = false
+				break
+			}
+		}
+		if isMin {
+			minimal = append(minimal, s)
+		}
+	}
+	return minimal, nil
+}
+
+func subsetOf(a, b []condition.Variable) bool {
+	set := make(map[condition.Variable]bool, len(b))
+	for _, x := range b {
+		set[x] = true
+	}
+	for _, x := range a {
+		if !set[x] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsDifference(q ra.Query) bool {
+	switch q := q.(type) {
+	case ra.DiffQ:
+		return true
+	case ra.SelectQ:
+		return containsDifference(q.Input)
+	case ra.ProjectQ:
+		return containsDifference(q.Input)
+	case ra.CrossQ:
+		return containsDifference(q.Left) || containsDifference(q.Right)
+	case ra.JoinQ:
+		return containsDifference(q.Left) || containsDifference(q.Right)
+	case ra.UnionQ:
+		return containsDifference(q.Left) || containsDifference(q.Right)
+	case ra.IntersectQ:
+		return containsDifference(q.Left) || containsDifference(q.Right)
+	default:
+		return false
+	}
+}

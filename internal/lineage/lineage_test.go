@@ -1,0 +1,147 @@
+package lineage
+
+import (
+	"testing"
+
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
+)
+
+func TestTrackBasics(t *testing.T) {
+	r := relation.FromInts([]int64{1, 2}, []int64{3, 4})
+	tr := Track(r)
+	if !tr.Table().IsBoolean() {
+		t.Fatal("tracking table must be a boolean c-table")
+	}
+	if tr.Table().NumRows() != 2 {
+		t.Fatal("one row per tuple expected")
+	}
+	vars := tr.Table().Vars()
+	if len(vars) != 2 {
+		t.Fatal("one presence variable per tuple expected")
+	}
+	if tp, ok := tr.TupleOf(vars[0]); !ok || len(tp) != 2 {
+		t.Fatal("TupleOf broken")
+	}
+	if !tr.Source().Equal(r) {
+		t.Fatal("Source changed")
+	}
+}
+
+func TestLineageProjection(t *testing.T) {
+	// R = {(1,10),(1,20),(2,10)}; π_1(R): answer 1 has two alternative
+	// witnesses, answer 2 has one.
+	r := relation.FromInts([]int64{1, 10}, []int64{1, 20}, []int64{2, 10})
+	tr := Track(r)
+	res, err := tr.Lineage(ra.Project([]int{0}, ra.Rel("R")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("answers = %v", res)
+	}
+	byKey := map[string]AnswerLineage{}
+	for _, a := range res {
+		byKey[a.Tuple.Key()] = a
+	}
+	one := byKey[value.Ints(1).Key()]
+	if len(one.Witnesses) != 2 {
+		t.Fatalf("answer (1) witnesses = %v", one.Witnesses)
+	}
+	for _, w := range one.Witnesses {
+		if len(w) != 1 {
+			t.Fatalf("projection witnesses should be single tuples, got %v", w)
+		}
+	}
+	two := byKey[value.Ints(2).Key()]
+	if len(two.Witnesses) != 1 || !two.Witnesses[0][0].Equal(value.Ints(2, 10)) {
+		t.Fatalf("answer (2) witnesses = %v", two.Witnesses)
+	}
+}
+
+func TestLineageJoin(t *testing.T) {
+	// Self-join: σ_{$2=$3}(R × R) — each answer's witness is the pair of
+	// joining tuples (or a single tuple joined with itself).
+	r := relation.FromInts([]int64{1, 5}, []int64{5, 9}, []int64{7, 7})
+	tr := Track(r)
+	res, err := tr.Lineage(ra.Join(ra.Rel("R"), ra.Rel("R"), ra.Eq(ra.Col(1), ra.Col(2))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]AnswerLineage{}
+	for _, a := range res {
+		byKey[a.Tuple.Key()] = a
+	}
+	joined := byKey[value.Ints(1, 5, 5, 9).Key()]
+	if len(joined.Witnesses) != 1 || len(joined.Witnesses[0]) != 2 {
+		t.Fatalf("join witness = %v", joined.Witnesses)
+	}
+	selfJoined := byKey[value.Ints(7, 7, 7, 7).Key()]
+	if len(selfJoined.Witnesses) != 1 || len(selfJoined.Witnesses[0]) != 1 {
+		t.Fatalf("self-join witness should be the single tuple, got %v", selfJoined.Witnesses)
+	}
+}
+
+func TestLineageUnionOfSelections(t *testing.T) {
+	r := relation.FromInts([]int64{1}, []int64{2})
+	tr := Track(r)
+	q := ra.Union(
+		ra.Select(ra.Eq(ra.Col(0), ra.ConstInt(1)), ra.Rel("R")),
+		ra.Select(ra.Ne(ra.Col(0), ra.ConstInt(2)), ra.Rel("R")))
+	res, err := tr.Lineage(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("answers = %v", res)
+	}
+	// The single answer (1) is witnessed by the single input tuple (1).
+	if len(res[0].Witnesses) != 1 || !res[0].Witnesses[0][0].Equal(value.Ints(1)) {
+		t.Fatalf("witnesses = %v", res[0].Witnesses)
+	}
+}
+
+func TestLineageRejectsDifference(t *testing.T) {
+	tr := Track(relation.FromInts([]int64{1}))
+	if _, err := tr.Lineage(ra.Diff(ra.Rel("R"), ra.Rel("R"))); err == nil {
+		t.Fatal("difference must be rejected")
+	}
+}
+
+func TestLineageUnsatisfiableAnswerDropped(t *testing.T) {
+	tr := Track(relation.FromInts([]int64{1}))
+	res, err := tr.Lineage(ra.Select(ra.Eq(ra.Col(0), ra.ConstInt(9)), ra.Rel("R")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("expected no possible answers, got %v", res)
+	}
+}
+
+func TestMinimalSupportsMinimality(t *testing.T) {
+	// Intersection of two selections: the answer requires its own presence
+	// variable only once (minimal witness has size 1, not 2).
+	r := relation.FromInts([]int64{1}, []int64{2})
+	tr := Track(r)
+	q := ra.Intersect(ra.Rel("R"), ra.Select(ra.Ne(ra.Col(0), ra.ConstInt(99)), ra.Rel("R")))
+	res, err := tr.Lineage(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res {
+		for _, w := range a.Witnesses {
+			if len(w) != 1 {
+				t.Fatalf("witness for %v should be minimal (size 1), got %v", a.Tuple, w)
+			}
+		}
+	}
+}
+
+func TestWitnessString(t *testing.T) {
+	w := Witness{value.Ints(1, 2), value.Ints(3, 4)}
+	if got := w.String(); got != "{(1, 2), (3, 4)}" {
+		t.Fatalf("String = %q", got)
+	}
+}

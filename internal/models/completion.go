@@ -1,0 +1,541 @@
+package models
+
+import (
+	"fmt"
+	"math/bits"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/incomplete"
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
+)
+
+// This file implements the algebraic-completion constructions of Section 5:
+//
+//   - Theorem 5 (RA-completion): Codd tables + SPJU and v-tables + SP can
+//     represent any c-table-representable incomplete database.
+//   - Theorem 6 (finite completion): or-set tables + PJ, finite v-tables +
+//     PJ or S⁺P, R_sets + PJ or PU, and R_⊕≡ + S⁺PJ can represent any finite
+//     incomplete database.
+//   - Theorem 7 / Corollary 1 (general finite completion): any system with
+//     arbitrarily large Mod, closed under full RA, is finitely complete
+//     (e.g. ?-tables).
+//
+// Each construction returns the weaker-system table(s) together with the
+// query in the required fragment; the tests check that applying the query to
+// the table's possible worlds reproduces the target incomplete database
+// exactly, and that the query really lies in the claimed fragment.
+
+// CompletionResult is a table of a weaker representation system paired with
+// a query, representing the incomplete database q(Mod(tables)).
+// Tables maps input relation names used by Query to the incomplete database
+// of the corresponding table (most constructions use a single input "V";
+// the or-set, R_sets/PJ and R_⊕≡ constructions follow the paper's Appendix
+// and use a pair of tables).
+type CompletionResult struct {
+	Query    ra.Query
+	Fragment ra.Fragment
+	Tables   map[string]*incomplete.IDatabase
+	// Description summarises the construction for reports.
+	Description string
+}
+
+// Mod evaluates the closed representation: the image of the product of the
+// table worlds under the query.
+func (r *CompletionResult) Mod() (*incomplete.IDatabase, error) {
+	return incomplete.MapEnv(r.Query, r.Tables)
+}
+
+// InClaimedFragment reports whether the query indeed lies in the fragment
+// the theorem claims.
+func (r *CompletionResult) InClaimedFragment() bool {
+	return ra.InFragment(r.Query, r.Fragment)
+}
+
+// --- Theorem 5: RA-completion ---------------------------------------------
+
+// CompletionCoddSPJU implements Theorem 5(1): given any c-table T it
+// produces a Codd table (Z_k) and an SPJU query q with q(Mod(Z_k)) = Mod(T).
+// The Codd-table worlds must be taken over the same domain as the target
+// table's variables; the caller supplies that domain for the finite check.
+func CompletionCoddSPJU(target *ctable.CTable, dom *value.Domain) (*CompletionResult, error) {
+	q, k, err := ctable.RADefinabilityQuery(target)
+	if err != nil {
+		return nil, err
+	}
+	zkWorlds, err := ctable.Zk(k).ModOver(dom)
+	if err != nil {
+		return nil, err
+	}
+	return &CompletionResult{
+		Query:       q,
+		Fragment:    ra.FragmentSPJU,
+		Tables:      map[string]*incomplete.IDatabase{"V": zkWorlds},
+		Description: fmt.Sprintf("Theorem 5(1): Codd table Z_%d + SPJU query", k),
+	}, nil
+}
+
+// CompletionVTableSP implements Theorem 5(2): given any c-table T of arity
+// k with variables x1..xn it produces a v-table S of arity k+n+1 and an SP
+// query q with q(Mod(S)) = Mod(T). The v-table worlds are again taken over
+// the supplied domain for the finite check.
+func CompletionVTableSP(target *ctable.CTable, dom *value.Domain) (*CompletionResult, error) {
+	k := target.Arity()
+	vars := target.Vars()
+	n := len(vars)
+	colOfVar := make(map[condition.Variable]int, n)
+	for j, x := range vars {
+		colOfVar[x] = k + 1 + j
+	}
+
+	vtab := ctable.New(k + n + 1)
+	var branches []ra.Predicate
+	for i, row := range target.Rows() {
+		terms := make([]condition.Term, 0, k+n+1)
+		terms = append(terms, row.Terms...)
+		terms = append(terms, condition.ConstInt(int64(i+1)))
+		for _, x := range vars {
+			terms = append(terms, condition.VarT(x))
+		}
+		vtab.AddRow(terms, nil)
+
+		psi, err := conditionToPredicateCols(row.Cond, colOfVar)
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, ra.AndOf(ra.Eq(ra.Col(k), ra.ConstInt(int64(i+1))), psi))
+	}
+	cols := make([]int, k)
+	for i := range cols {
+		cols[i] = i
+	}
+	var q ra.Query
+	if len(branches) == 0 {
+		q = ra.Project(cols, ra.Select(ra.False(), ra.Rel("V")))
+		// An empty v-table has Mod = {∅} of the wrong arity; use a one-row
+		// dummy table so the selection can produce the empty instance.
+		vtab.AddConstRow(value.Ints(make([]int64, k+n+1)...), nil)
+	} else {
+		q = ra.Project(cols, ra.Select(ra.OrOf(branches...), ra.Rel("V")))
+	}
+
+	worlds, err := vtab.ModOver(dom)
+	if err != nil {
+		return nil, err
+	}
+	return &CompletionResult{
+		Query:       q,
+		Fragment:    ra.FragmentSP,
+		Tables:      map[string]*incomplete.IDatabase{"V": worlds},
+		Description: fmt.Sprintf("Theorem 5(2): v-table of arity %d + SP query", k+n+1),
+	}, nil
+}
+
+// conditionToPredicateCols translates a c-table condition into a selection
+// predicate, replacing every variable by a fixed column index.
+func conditionToPredicateCols(c condition.Condition, colOfVar map[condition.Variable]int) (ra.Predicate, error) {
+	switch c := c.(type) {
+	case condition.TrueCond:
+		return ra.True(), nil
+	case condition.FalseCond:
+		return ra.False(), nil
+	case condition.Cmp:
+		toTerm := func(t condition.Term) (ra.Term, error) {
+			if !t.IsVar {
+				return ra.Const(t.Const), nil
+			}
+			col, ok := colOfVar[t.Var]
+			if !ok {
+				return ra.Term{}, fmt.Errorf("models: variable %s has no column", t.Var)
+			}
+			return ra.Col(col), nil
+		}
+		l, err := toTerm(c.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := toTerm(c.Right)
+		if err != nil {
+			return nil, err
+		}
+		if c.Neq {
+			return ra.Ne(l, r), nil
+		}
+		return ra.Eq(l, r), nil
+	case condition.AndCond:
+		ps := make([]ra.Predicate, 0, len(c.Conds))
+		for _, sub := range c.Conds {
+			p, err := conditionToPredicateCols(sub, colOfVar)
+			if err != nil {
+				return nil, err
+			}
+			ps = append(ps, p)
+		}
+		return ra.AndOf(ps...), nil
+	case condition.OrCond:
+		ps := make([]ra.Predicate, 0, len(c.Conds))
+		for _, sub := range c.Conds {
+			p, err := conditionToPredicateCols(sub, colOfVar)
+			if err != nil {
+				return nil, err
+			}
+			ps = append(ps, p)
+		}
+		return ra.OrOf(ps...), nil
+	case condition.NotCond:
+		p, err := conditionToPredicateCols(c.Cond, colOfVar)
+		if err != nil {
+			return nil, err
+		}
+		return ra.NotOf(p), nil
+	default:
+		return nil, fmt.Errorf("models: unsupported condition %T", c)
+	}
+}
+
+// --- Theorem 6: finite completion ------------------------------------------
+
+// CompletionOrSetPJ implements Theorem 6(1): given a non-empty finite
+// incomplete database I = {I_1,...,I_n} of arity k it builds a pair of
+// or-set tables S (tuples of each I_i tagged with i) and T (a single or-set
+// ⟨1..n⟩) and the PJ query π_{1..k}(S ⋈_{k+1=k+2} T).
+func CompletionOrSetPJ(target *incomplete.IDatabase) (*CompletionResult, error) {
+	instances := target.Instances()
+	n := len(instances)
+	if n == 0 {
+		return nil, fmt.Errorf("models: empty incomplete database")
+	}
+	k := target.Arity()
+
+	s := NewOrSetTable(k + 1)
+	for i, inst := range instances {
+		for _, tp := range inst.Tuples() {
+			cells := make([]OrSetCell, 0, k+1)
+			for _, v := range tp {
+				cells = append(cells, ConstCell(v))
+			}
+			cells = append(cells, ConstCell(value.Int(int64(i+1))))
+			s.AddRow(cells...)
+		}
+	}
+	choices := make([]value.Value, n)
+	for i := range choices {
+		choices[i] = value.Int(int64(i + 1))
+	}
+	t := NewOrSetTable(1)
+	t.AddRow(OrCell(choices...))
+
+	cols := make([]int, k)
+	for i := range cols {
+		cols[i] = i
+	}
+	q := ra.Project(cols, ra.Join(ra.Rel("S"), ra.Rel("T"), ra.Eq(ra.Col(k), ra.Col(k+1))))
+	return &CompletionResult{
+		Query:       q,
+		Fragment:    ra.FragmentPJ,
+		Tables:      map[string]*incomplete.IDatabase{"S": s.Mod(), "T": t.Mod()},
+		Description: "Theorem 6(1): or-set tables + PJ query",
+	}, nil
+}
+
+// CompletionFiniteVTablePJ implements the PJ half of Theorem 6(2): finite
+// v-tables are at least as expressive as or-set tables, so the Theorem 6(1)
+// construction carries over verbatim with the or-set tables replaced by
+// equivalent finite-domain Codd tables.
+func CompletionFiniteVTablePJ(target *incomplete.IDatabase) (*CompletionResult, error) {
+	res, err := CompletionOrSetPJ(target)
+	if err != nil {
+		return nil, err
+	}
+	res.Description = "Theorem 6(2)/PJ: finite v-tables (as finite Codd tables) + PJ query"
+	return res, nil
+}
+
+// CompletionFiniteVTableSPlusP implements the S⁺P half of Theorem 6(2): a
+// single finite v-table representing the cross product of the Theorem 6(1)
+// tables (the selector or-set becomes a shared variable y), queried with
+// π_{1..k}(σ_{k+1=k+2}(W)).
+func CompletionFiniteVTableSPlusP(target *incomplete.IDatabase) (*CompletionResult, error) {
+	instances := target.Instances()
+	n := len(instances)
+	if n == 0 {
+		return nil, fmt.Errorf("models: empty incomplete database")
+	}
+	k := target.Arity()
+
+	w := ctable.New(k + 2)
+	w.SetDomain("y", value.IntRange(1, int64(n)))
+	for i, inst := range instances {
+		for _, tp := range inst.Tuples() {
+			terms := make([]condition.Term, 0, k+2)
+			for _, v := range tp {
+				terms = append(terms, condition.Const(v))
+			}
+			terms = append(terms, condition.ConstInt(int64(i+1)), condition.Var("y"))
+			w.AddRow(terms, nil)
+		}
+	}
+	if !w.IsVTable() {
+		return nil, fmt.Errorf("models: internal error: construction must be a v-table")
+	}
+
+	cols := make([]int, k)
+	for i := range cols {
+		cols[i] = i
+	}
+	q := ra.Project(cols, ra.Select(ra.Eq(ra.Col(k), ra.Col(k+1)), ra.Rel("V")))
+	worlds, err := w.Mod()
+	if err != nil {
+		return nil, err
+	}
+	return &CompletionResult{
+		Query:       q,
+		Fragment:    ra.FragmentSPlusP,
+		Tables:      map[string]*incomplete.IDatabase{"V": worlds},
+		Description: "Theorem 6(2)/S+P: single finite v-table + positive selection",
+	}, nil
+}
+
+// CompletionRSetsPJ implements the PJ half of Theorem 6(3): R_sets is at
+// least as expressive as or-set tables, so the Theorem 6(1) tables are
+// re-expressed as R_sets tables (each constant row is a singleton block;
+// the selector or-set is a block of unary tuples).
+func CompletionRSetsPJ(target *incomplete.IDatabase) (*CompletionResult, error) {
+	instances := target.Instances()
+	n := len(instances)
+	if n == 0 {
+		return nil, fmt.Errorf("models: empty incomplete database")
+	}
+	k := target.Arity()
+
+	s := NewRSetsTable(k + 1)
+	for i, inst := range instances {
+		for _, tp := range inst.Tuples() {
+			s.AddBlock(tp.Concat(value.Ints(int64(i + 1))))
+		}
+	}
+	selector := make([]value.Tuple, n)
+	for i := range selector {
+		selector[i] = value.Ints(int64(i + 1))
+	}
+	t := NewRSetsTable(1)
+	t.AddBlock(selector...)
+
+	cols := make([]int, k)
+	for i := range cols {
+		cols[i] = i
+	}
+	q := ra.Project(cols, ra.Join(ra.Rel("S"), ra.Rel("T"), ra.Eq(ra.Col(k), ra.Col(k+1))))
+	return &CompletionResult{
+		Query:       q,
+		Fragment:    ra.FragmentPJ,
+		Tables:      map[string]*incomplete.IDatabase{"S": s.Mod(), "T": t.Mod()},
+		Description: "Theorem 6(3)/PJ: R_sets tables + PJ query",
+	}, nil
+}
+
+// CompletionRSetsPU implements the PU half of Theorem 6(3): a single R_sets
+// table with one block holding, per instance, all its tuples concatenated
+// into one wide row (padded with repeats), queried with a union of
+// projections. The construction requires every instance to be non-empty
+// (an empty instance cannot be padded); it returns an error otherwise,
+// which the experiments record as a caveat of the paper's proof sketch.
+func CompletionRSetsPU(target *incomplete.IDatabase) (*CompletionResult, error) {
+	instances := target.Instances()
+	n := len(instances)
+	if n == 0 {
+		return nil, fmt.Errorf("models: empty incomplete database")
+	}
+	k := target.Arity()
+	m := target.MaxCardinality()
+	if m == 0 {
+		return nil, fmt.Errorf("models: PU construction needs non-empty instances")
+	}
+	for _, inst := range instances {
+		if inst.Size() == 0 {
+			return nil, fmt.Errorf("models: PU construction cannot pad the empty instance")
+		}
+	}
+
+	t := NewRSetsTable(k * m)
+	var block []value.Tuple
+	for _, inst := range instances {
+		tuples := inst.Tuples()
+		wide := make(value.Tuple, 0, k*m)
+		for j := 0; j < m; j++ {
+			if j < len(tuples) {
+				wide = wide.Concat(tuples[j])
+			} else {
+				wide = wide.Concat(tuples[0]) // pad with an arbitrary tuple of the instance
+			}
+		}
+		block = append(block, wide)
+	}
+	t.AddBlock(block...)
+
+	var branches []ra.Query
+	for i := 0; i < m; i++ {
+		cols := make([]int, k)
+		for j := range cols {
+			cols[j] = i*k + j
+		}
+		branches = append(branches, ra.Project(cols, ra.Rel("T")))
+	}
+	q := ra.UnionAll(branches...)
+	return &CompletionResult{
+		Query:       q,
+		Fragment:    ra.FragmentPU,
+		Tables:      map[string]*incomplete.IDatabase{"T": t.Mod()},
+		Description: "Theorem 6(3)/PU: single wide R_sets block + union of projections",
+	}, nil
+}
+
+// CompletionXorEquivSPlusPJ implements Theorem 6(4): a pair of R_⊕≡ tables
+// — a data table whose rows carry the target tuples tagged with the binary
+// representation of their instance index (forced present by the
+// duplicate-⊕ trick on the tuple multiset), and a selector table with an
+// exclusive-or pair of bit tuples per binary position — combined by an
+// S⁺PJ query that keeps the data rows whose tag equals the selected bit
+// string. Surplus bit patterns are mapped to the last instance, exactly as
+// in the proof of Theorem 3.
+func CompletionXorEquivSPlusPJ(target *incomplete.IDatabase) (*CompletionResult, error) {
+	instances := target.Instances()
+	n := len(instances)
+	if n == 0 {
+		return nil, fmt.Errorf("models: empty incomplete database")
+	}
+	k := target.Arity()
+	m := 0
+	if n > 1 {
+		m = bits.Len(uint(n - 1))
+	}
+
+	// Data table: arity k+m; tuple of instance min(i,n) tagged with the bits
+	// of i-1, for every pattern i in 1..2^m. Every data tuple is duplicated
+	// with an exclusive-or constraint between the copies so that it is
+	// present in every world.
+	data := NewXorEquivTable(k + m)
+	addForced := func(tp value.Tuple) {
+		a := data.Add(tp)
+		b := data.Add(tp)
+		data.AddXor(a, b)
+	}
+	bitsOf := func(i int) value.Tuple {
+		out := make(value.Tuple, m)
+		for j := 0; j < m; j++ {
+			out[j] = value.Int(int64(i >> j & 1))
+		}
+		return out
+	}
+	total := 1 << m
+	for i := 1; i <= total; i++ {
+		idx := i
+		if idx > n {
+			idx = n
+		}
+		for _, tp := range instances[idx-1].Tuples() {
+			addForced(tp.Concat(bitsOf(i - 1)))
+		}
+	}
+
+	if m == 0 {
+		cols := make([]int, k)
+		for i := range cols {
+			cols[i] = i
+		}
+		return &CompletionResult{
+			Query:       ra.Project(cols, ra.Rel("T")),
+			Fragment:    ra.FragmentSPlusPJ,
+			Tables:      map[string]*incomplete.IDatabase{"T": data.Mod()},
+			Description: "Theorem 6(4): single-instance degenerate case",
+		}, nil
+	}
+
+	// Selector table: for each bit position j, tuples (0,j) and (1,j) with an
+	// exclusive-or constraint, so each world chooses one bit per position.
+	sel := NewXorEquivTable(2)
+	for j := 1; j <= m; j++ {
+		zero := sel.Add(value.Ints(0, int64(j)))
+		one := sel.Add(value.Ints(1, int64(j)))
+		sel.AddXor(zero, one)
+	}
+
+	// q'(S) := Π_{j=1..m} π_1(σ_{2=j}(S)) — the chosen bit string.
+	factors := make([]ra.Query, m)
+	for j := 1; j <= m; j++ {
+		factors[j-1] = ra.Project([]int{0}, ra.Select(ra.Eq(ra.Col(1), ra.ConstInt(int64(j))), ra.Rel("S")))
+	}
+	qPrime := ra.CrossAll(factors...)
+
+	// q := π_{1..k}(σ_{tag = selected bits}(T × q'(S))).
+	var eqs []ra.Predicate
+	for j := 0; j < m; j++ {
+		eqs = append(eqs, ra.Eq(ra.Col(k+j), ra.Col(k+m+j)))
+	}
+	cols := make([]int, k)
+	for i := range cols {
+		cols[i] = i
+	}
+	q := ra.Project(cols, ra.Select(ra.AndOf(eqs...), ra.Cross(ra.Rel("T"), qPrime)))
+
+	return &CompletionResult{
+		Query:       q,
+		Fragment:    ra.FragmentSPlusPJ,
+		Tables:      map[string]*incomplete.IDatabase{"T": data.Mod(), "S": sel.Mod()},
+		Description: "Theorem 6(4): R_⊕≡ data + bit-selector tables, S+PJ query",
+	}, nil
+}
+
+// --- Theorem 7 / Corollary 1: general finite completion ---------------------
+
+// GeneralCompletionRA implements Theorem 7: given a target finite incomplete
+// database {I_1,...,I_k} and the possible worlds {J_1,...,J_ℓ} (ℓ ≥ k) of
+// some table of an arbitrary representation system, it builds the RA query
+//
+//	q(V) := ⋃_{1≤i≤k-1} I_i × q_i(V)  ∪  ⋃_{k≤i≤ℓ} I_k × q_i(V)
+//
+// where I_i is the constant query constructing instance I_i and q_i(V) is
+// the boolean (0-ary) query "V = J_i". Then q(Mod(T)) equals the target.
+func GeneralCompletionRA(target, source *incomplete.IDatabase) (*CompletionResult, error) {
+	k := target.Size()
+	if k == 0 {
+		return nil, fmt.Errorf("models: empty target incomplete database")
+	}
+	if source.Size() < k {
+		return nil, fmt.Errorf("models: source has %d worlds, need at least %d", source.Size(), k)
+	}
+	targets := target.Instances()
+	sources := source.Instances()
+
+	var branches []ra.Query
+	for i, world := range sources {
+		ti := i
+		if ti >= k {
+			ti = k - 1
+		}
+		branches = append(branches, ra.Cross(ra.Constant(targets[ti]), equalsWorldQuery(world)))
+	}
+	q := ra.UnionAll(branches...)
+	return &CompletionResult{
+		Query:       q,
+		Fragment:    ra.FragmentRA,
+		Tables:      map[string]*incomplete.IDatabase{"V": source},
+		Description: "Theorem 7: arbitrary system with large Mod + full RA",
+	}, nil
+}
+
+// equalsWorldQuery returns the 0-ary ("boolean") query that evaluates to the
+// one-element 0-ary relation {()} exactly when the input V equals the fixed
+// instance J, and to the empty 0-ary relation otherwise:
+//
+//	dee − ( π_∅(V − J) ∪ π_∅(J − V) )
+func equalsWorldQuery(world *relation.Relation) ra.Query {
+	dee := ra.Constant(relation.Singleton(value.NewTuple()))
+	j := ra.Constant(world)
+	v := ra.Rel("V")
+	nonemptyDiff1 := ra.Project(nil, ra.Diff(v, j))
+	nonemptyDiff2 := ra.Project(nil, ra.Diff(j, v))
+	return ra.Diff(dee, ra.Union(nonemptyDiff1, nonemptyDiff2))
+}

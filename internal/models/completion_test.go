@@ -1,0 +1,295 @@
+package models
+
+import (
+	"testing"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/incomplete"
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
+)
+
+// checkCompletion verifies that a completion result (i) lies in the claimed
+// fragment and (ii) reproduces the target incomplete database exactly.
+func checkCompletion(t *testing.T, res *CompletionResult, target *incomplete.IDatabase) {
+	t.Helper()
+	if !res.InClaimedFragment() {
+		t.Fatalf("%s: query uses %s, not in fragment %s", res.Description, ra.DescribeOperators(res.Query), res.Fragment.Name)
+	}
+	got, err := res.Mod()
+	if err != nil {
+		t.Fatalf("%s: %v", res.Description, err)
+	}
+	if !got.Equal(target) {
+		t.Fatalf("%s: got %d worlds, want %d\ngot:  %v\nwant: %v",
+			res.Description, got.Size(), target.Size(), got.Instances(), target.Instances())
+	}
+}
+
+// smallFiniteTargets returns finite incomplete databases that exercise the
+// finite-completion constructions (including empty instances and singleton
+// databases).
+func smallFiniteTargets() []*incomplete.IDatabase {
+	return []*incomplete.IDatabase{
+		incomplete.FromInstances(1,
+			relation.FromInts([]int64{1}),
+			relation.FromInts([]int64{2}),
+			relation.FromInts([]int64{1}, []int64{3})),
+		incomplete.FromInstances(2,
+			relation.FromInts([]int64{1, 2}),
+			relation.FromInts([]int64{2, 1})),
+		incomplete.FromInstances(1, relation.FromInts([]int64{7})),
+		incomplete.FromInstances(2,
+			relation.New(2),
+			relation.FromInts([]int64{1, 1}, []int64{2, 2})),
+		incomplete.FromInstances(1,
+			relation.FromInts([]int64{1}),
+			relation.FromInts([]int64{2}),
+			relation.FromInts([]int64{3}),
+			relation.FromInts([]int64{4}),
+			relation.FromInts([]int64{5})),
+	}
+}
+
+// E9 / Theorem 5(1): Codd tables closed under SPJU queries are RA-complete.
+func TestTheorem5CompletionCoddSPJU(t *testing.T) {
+	// Targets are given as finite-domain c-tables (the RA-definable
+	// incomplete databases); the completion must reproduce Mod(T).
+	targets := []*ctable.CTable{finiteDomainS(), swapTable()}
+	for i, tab := range targets {
+		dom := value.IntRange(1, 3)
+		res, err := CompletionCoddSPJU(tab, dom)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		checkCompletion(t, res, tab.MustMod())
+	}
+}
+
+// E9 / Theorem 5(2): v-tables closed under SP queries are RA-complete.
+func TestTheorem5CompletionVTableSP(t *testing.T) {
+	targets := []*ctable.CTable{finiteDomainS(), swapTable()}
+	for i, tab := range targets {
+		dom := value.IntRange(1, 3)
+		res, err := CompletionVTableSP(tab, dom)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		checkCompletion(t, res, tab.MustMod())
+	}
+}
+
+// finiteDomainS is the c-table S of Example 2 over the domain {1,2,3}.
+func finiteDomainS() *ctable.CTable {
+	s := ctable.New(3)
+	s.AddRow(ctable.VarRow(1, 2, "x"), nil)
+	s.AddRow(ctable.VarRow(3, "x", "y"),
+		condition.And(
+			condition.Eq(condition.Var("x"), condition.Var("y")),
+			condition.Neq(condition.Var("z"), condition.ConstInt(2))))
+	s.AddRow(ctable.VarRow("z", 4, 5),
+		condition.Or(
+			condition.Neq(condition.Var("x"), condition.ConstInt(1)),
+			condition.Neq(condition.Var("x"), condition.Var("y"))))
+	dom := value.IntRange(1, 3)
+	s.SetDomain("x", dom)
+	s.SetDomain("y", dom)
+	s.SetDomain("z", dom)
+	return s
+}
+
+// swapTable is a finite-domain c-table representing a two-way choice
+// between (1,2) and (2,1) plus an unconditional tuple.
+func swapTable() *ctable.CTable {
+	s := ctable.New(2)
+	s.AddRow(ctable.VarRow(1, 2), condition.EqVarConst("b", value.Int(1)))
+	s.AddRow(ctable.VarRow(2, 1), condition.Neq(condition.Var("b"), condition.ConstInt(1)))
+	s.AddRow(ctable.VarRow(3, 3), nil)
+	s.SetDomain("b", value.IntRange(1, 2))
+	return s
+}
+
+// E9 / Theorem 6(1): or-set tables + PJ are finitely complete.
+func TestTheorem6CompletionOrSetPJ(t *testing.T) {
+	for i, target := range smallFiniteTargets() {
+		res, err := CompletionOrSetPJ(target)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		checkCompletion(t, res, target)
+	}
+	if _, err := CompletionOrSetPJ(incomplete.New(1)); err == nil {
+		t.Fatal("empty target must be rejected")
+	}
+}
+
+// E9 / Theorem 6(2): finite v-tables + PJ and + S⁺P are finitely complete.
+func TestTheorem6CompletionFiniteVTable(t *testing.T) {
+	for i, target := range smallFiniteTargets() {
+		resPJ, err := CompletionFiniteVTablePJ(target)
+		if err != nil {
+			t.Fatalf("case %d (PJ): %v", i, err)
+		}
+		checkCompletion(t, resPJ, target)
+
+		resSP, err := CompletionFiniteVTableSPlusP(target)
+		if err != nil {
+			t.Fatalf("case %d (S+P): %v", i, err)
+		}
+		checkCompletion(t, resSP, target)
+	}
+}
+
+// E9 / Theorem 6(3): R_sets + PJ and + PU are finitely complete (the PU
+// construction requires all instances non-empty; see EXPERIMENTS.md).
+func TestTheorem6CompletionRSets(t *testing.T) {
+	for i, target := range smallFiniteTargets() {
+		resPJ, err := CompletionRSetsPJ(target)
+		if err != nil {
+			t.Fatalf("case %d (PJ): %v", i, err)
+		}
+		checkCompletion(t, resPJ, target)
+
+		resPU, err := CompletionRSetsPU(target)
+		if err != nil {
+			// Only acceptable when the target contains an empty instance.
+			hasEmpty := false
+			for _, inst := range target.Instances() {
+				if inst.Size() == 0 {
+					hasEmpty = true
+				}
+			}
+			if !hasEmpty {
+				t.Fatalf("case %d (PU): %v", i, err)
+			}
+			continue
+		}
+		checkCompletion(t, resPU, target)
+	}
+}
+
+// E9 / Theorem 6(4): R_⊕≡ + S⁺PJ is finitely complete.
+func TestTheorem6CompletionXorEquiv(t *testing.T) {
+	for i, target := range smallFiniteTargets() {
+		if target.Arity()*target.MaxCardinality() > 6 {
+			continue // keep the exponential Mod enumeration small
+		}
+		res, err := CompletionXorEquivSPlusPJ(target)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		checkCompletion(t, res, target)
+	}
+}
+
+// E9 / Theorem 7 and Corollary 1: closing a system with arbitrarily large
+// Mod under full RA is finitely complete; ?-tables are such a system.
+func TestTheorem7GeneralCompletion(t *testing.T) {
+	for i, target := range smallFiniteTargets() {
+		// Source: a ?-table with enough optional tuples that its Mod has at
+		// least as many worlds as the target.
+		src := NewQTable(1)
+		n := 0
+		for 1<<n < target.Size() {
+			n++
+		}
+		for j := 0; j < n; j++ {
+			src.AddOptional(value.Ints(int64(100 + j)))
+		}
+		res, err := GeneralCompletionRA(target, src.Mod())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		checkCompletion(t, res, target)
+	}
+}
+
+func TestTheorem7Errors(t *testing.T) {
+	target := incomplete.FromInstances(1, relation.FromInts([]int64{1}), relation.FromInts([]int64{2}))
+	small := incomplete.FromInstances(1, relation.FromInts([]int64{9}))
+	if _, err := GeneralCompletionRA(target, small); err == nil {
+		t.Fatal("source with too few worlds must be rejected")
+	}
+	if _, err := GeneralCompletionRA(incomplete.New(1), small); err == nil {
+		t.Fatal("empty target must be rejected")
+	}
+}
+
+// E8 / Proposition 1: the weaker systems are not closed.
+func TestProposition1NonClosure(t *testing.T) {
+	// Codd tables / v-tables / or-set tables / finite v-tables are not
+	// closed under selection: σ_{$1=1}(Mod(Z_1 or ⟨1,2⟩)) contains both the
+	// empty instance and a non-empty one, which no table without conditions
+	// can represent.
+	orset := NewOrSetTable(1)
+	orset.AddRow(OrCellInts(1, 2))
+	sel := ra.Select(ra.Eq(ra.Col(0), ra.ConstInt(1)), ra.Rel("V"))
+	image := incomplete.MustMap(sel, orset.Mod())
+	if image.Size() != 2 || !image.Contains(relation.New(1)) {
+		t.Fatalf("selection image = %v", image.Instances())
+	}
+	if RepresentableByVTable(image) {
+		t.Fatal("image must not be representable by condition-free tables")
+	}
+	// Sanity: the cardinality criterion accepts databases it should accept.
+	if !RepresentableByVTable(orset.Mod()) {
+		t.Fatal("or-set Mod should pass the necessary condition")
+	}
+
+	// ?-tables are not closed under join: σ_{1≠2}(T × T) over the ?-table
+	// {(1)?, (2)?} yields {∅, {(1,2),(2,1)}}, which no ?-table represents.
+	qt := NewQTable(1)
+	qt.AddOptional(value.Ints(1))
+	qt.AddOptional(value.Ints(2))
+	join := ra.Join(ra.Rel("V"), ra.Rel("V"), ra.Ne(ra.Col(0), ra.Col(1)))
+	qimage := incomplete.MustMap(join, qt.Mod())
+	want := incomplete.FromInstances(2,
+		relation.New(2),
+		relation.FromInts([]int64{1, 2}, []int64{2, 1}))
+	if !qimage.Equal(want) {
+		t.Fatalf("join image = %v", qimage.Instances())
+	}
+	if RepresentableByQTable(qimage) {
+		t.Fatal("join image must not be representable by a ?-table")
+	}
+	// Sanity: the searcher does find representable databases.
+	if !RepresentableByQTable(qt.Mod()) {
+		t.Fatal("the ?-table's own Mod must be found representable")
+	}
+
+	// R_sets is not closed under join: same image.
+	rs := NewRSetsTable(1)
+	rs.AddOptionalBlock(value.Ints(1))
+	rs.AddOptionalBlock(value.Ints(2))
+	rimage := incomplete.MustMap(join, rs.Mod())
+	if !rimage.Equal(want) {
+		t.Fatalf("R_sets join image = %v", rimage.Instances())
+	}
+	if RepresentableByRSets(rimage, 3) {
+		t.Fatal("join image must not be representable by an R_sets table (≤3 blocks)")
+	}
+	if !RepresentableByRSets(rs.Mod(), 2) {
+		t.Fatal("the R_sets table's own Mod must be found representable")
+	}
+
+	// R_⊕≡ is not closed under join: V × V over two unconstrained tuples
+	// yields {∅, {(1,1)}, {(2,2)}, {(1,1),(1,2),(2,1),(2,2)}}, which has no
+	// R_⊕≡ representation (its world set is not a product of independent
+	// presence components).
+	xe := NewXorEquivTable(1)
+	xe.Add(value.Ints(1))
+	xe.Add(value.Ints(2))
+	cross := ra.Cross(ra.Rel("V"), ra.Rel("V"))
+	ximage := incomplete.MustMap(cross, xe.Mod())
+	if ximage.Size() != 4 {
+		t.Fatalf("R⊕≡ cross image has %d worlds", ximage.Size())
+	}
+	if RepresentableByXorEquiv(ximage, 4) {
+		t.Fatal("cross image must not be representable by an R⊕≡ table (≤4 tuples)")
+	}
+	if !RepresentableByXorEquiv(xe.Mod(), 2) {
+		t.Fatal("the R⊕≡ table's own Mod must be found representable")
+	}
+}

@@ -1,0 +1,153 @@
+package models
+
+import (
+	"fmt"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/value"
+)
+
+// This file implements the equivalences between the models of [29] and
+// tables with variables that Section 3 of the paper points out:
+//
+//   - or-set tables are equivalent to finite-domain Codd tables,
+//   - ?-tables are equivalent to boolean c-tables whose conditions are a
+//     single positive literal on a private variable,
+//   - finite-domain c-tables and R_A^prop are equally expressive, with the
+//     naïve translation going through the represented incomplete database.
+
+// ToCoddTable converts an or-set table to an equivalent finite-domain Codd
+// table: each or-set cell becomes a fresh variable whose domain is the
+// or-set, and each singleton cell stays a constant.
+func (t *OrSetTable) ToCoddTable() *ctable.CTable {
+	out := ctable.New(t.arity)
+	varCount := 0
+	for _, row := range t.rows {
+		terms := make([]condition.Term, len(row))
+		for i, cell := range row {
+			if cell.IsConstant() {
+				terms[i] = condition.Const(cell.Choices.At(0))
+				continue
+			}
+			varCount++
+			name := fmt.Sprintf("v%d", varCount)
+			terms[i] = condition.Var(name)
+			out.SetDomain(name, cell.Choices.Copy())
+		}
+		out.AddRow(terms, nil)
+	}
+	return out
+}
+
+// OrSetTableFromCoddTable converts a finite-domain Codd table to an
+// equivalent or-set table: each variable is replaced by the or-set dom(x).
+// It returns an error if the table is not a Codd table or some variable has
+// no finite domain.
+func OrSetTableFromCoddTable(t *ctable.CTable) (*OrSetTable, error) {
+	if !t.IsCoddTable() {
+		return nil, fmt.Errorf("models: table is not a Codd table")
+	}
+	out := NewOrSetTable(t.Arity())
+	for _, row := range t.Rows() {
+		cells := make([]OrSetCell, len(row.Terms))
+		for i, term := range row.Terms {
+			if !term.IsVar {
+				cells[i] = ConstCell(term.Const)
+				continue
+			}
+			dom := t.DomainOf(term.Var)
+			if dom == nil {
+				return nil, fmt.Errorf("models: variable %s has no finite domain", term.Var)
+			}
+			cells[i] = OrSetCell{Choices: dom.Copy()}
+		}
+		out.AddRow(cells...)
+	}
+	return out, nil
+}
+
+// ToCTable converts a ?-table to an equivalent boolean c-table in which
+// every '?' tuple is guarded by "b=true" for a private boolean variable b
+// (the restricted boolean c-tables of Section 3).
+func (t *QTable) ToCTable() *ctable.CTable {
+	out := ctable.New(t.arity)
+	boolDom := value.BoolDomain()
+	for i, row := range t.rows {
+		var cond condition.Condition
+		if row.Optional {
+			name := fmt.Sprintf("b%d", i+1)
+			out.SetDomain(name, boolDom)
+			cond = condition.IsTrueVar(name)
+		}
+		out.AddConstRow(row.Tuple, cond)
+	}
+	return out
+}
+
+// ToCTable converts an or-set-?-table to an equivalent finite-domain
+// c-table: or-set cells become variables with the or-set as domain, and '?'
+// rows are guarded by a private boolean variable.
+func (t *OrSetQTable) ToCTable() *ctable.CTable {
+	out := ctable.New(t.arity)
+	boolDom := value.BoolDomain()
+	varCount := 0
+	for i, row := range t.rows {
+		terms := make([]condition.Term, len(row.Cells))
+		for j, cell := range row.Cells {
+			if cell.IsConstant() {
+				terms[j] = condition.Const(cell.Choices.At(0))
+				continue
+			}
+			varCount++
+			name := fmt.Sprintf("v%d", varCount)
+			terms[j] = condition.Var(name)
+			out.SetDomain(name, cell.Choices.Copy())
+		}
+		var cond condition.Condition
+		if row.Optional {
+			name := fmt.Sprintf("b%d", i+1)
+			out.SetDomain(name, boolDom)
+			cond = condition.IsTrueVar(name)
+		}
+		out.AddRow(terms, cond)
+	}
+	return out
+}
+
+// ToCTable converts an R_sets table to an equivalent finite-domain c-table:
+// block i gets a private selector variable s_i whose domain indexes the
+// block's tuples (plus a "none" value 0 for optional blocks), and the j-th
+// tuple of the block is guarded by s_i = j.
+func (t *RSetsTable) ToCTable() *ctable.CTable {
+	out := ctable.New(t.arity)
+	for i, blk := range t.blocks {
+		name := fmt.Sprintf("s%d", i+1)
+		lo := int64(1)
+		if blk.Optional {
+			lo = 0
+		}
+		out.SetDomain(name, value.IntRange(lo, int64(len(blk.Tuples))))
+		for j, tp := range blk.Tuples {
+			out.AddConstRow(tp, condition.EqVarConst(name, value.Int(int64(j+1))))
+		}
+	}
+	return out
+}
+
+// PropTableFromCTable converts a finite-domain c-table to an equivalent
+// R_A^prop table via the naïve algorithm the paper describes (enumerate the
+// represented incomplete database and re-encode it).
+func PropTableFromCTable(t *ctable.CTable) (*PropTable, error) {
+	db, err := t.Mod()
+	if err != nil {
+		return nil, err
+	}
+	return PropTableFromIDatabase(db)
+}
+
+// BooleanCTableFromPropTable converts an R_A^prop table to an equivalent
+// boolean c-table, again via the naïve enumeration route.
+func BooleanCTableFromPropTable(t *PropTable) (*ctable.CTable, error) {
+	return ctable.BooleanCTableFromIDatabase(t.Mod())
+}

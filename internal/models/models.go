@@ -1,0 +1,344 @@
+// Package models implements the representation systems of Sarma, Benjelloun,
+// Halevy and Widom ("Working Models for Uncertain Data", ICDE 2006) that the
+// paper compares against tables with variables:
+//
+//   - ?-tables (R?): conventional instances with optionally-present tuples,
+//   - or-set tables (RA): attribute values may be or-sets,
+//   - or-set-?-tables (RA?): both features combined,
+//   - R_sets: multisets of blocks of tuples, optionally '?'-labelled,
+//   - R_⊕≡: multisets of tuples with exclusive-or and equivalence constraints,
+//   - R_A^prop: or-set tuples guarded by a propositional formula over
+//     tuple-presence variables (the finitely complete system of [29]).
+//
+// Every model exposes Mod() (its finite incomplete database), conversions to
+// the tables-with-variables world where the paper states equivalences, and
+// the algebraic-completion constructions of Theorems 5–7.
+package models
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uncertaindb/internal/incomplete"
+	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
+)
+
+// QTable is a ?-table (R? of [29]): a conventional instance in which tuples
+// may be labelled with '?', meaning the tuple may be missing.
+type QTable struct {
+	arity int
+	rows  []QRow
+}
+
+// QRow is a tuple with an optional-presence flag.
+type QRow struct {
+	Tuple    value.Tuple
+	Optional bool
+}
+
+// NewQTable returns an empty ?-table of the given arity.
+func NewQTable(arity int) *QTable {
+	if arity <= 0 {
+		panic("models: arity must be positive")
+	}
+	return &QTable{arity: arity}
+}
+
+// Add appends a required tuple.
+func (t *QTable) Add(tuple value.Tuple) *QTable { return t.add(tuple, false) }
+
+// AddOptional appends a '?'-labelled tuple.
+func (t *QTable) AddOptional(tuple value.Tuple) *QTable { return t.add(tuple, true) }
+
+func (t *QTable) add(tuple value.Tuple, opt bool) *QTable {
+	if len(tuple) != t.arity {
+		panic("models: tuple arity mismatch")
+	}
+	t.rows = append(t.rows, QRow{Tuple: tuple.Copy(), Optional: opt})
+	return t
+}
+
+// Arity returns the arity of the table.
+func (t *QTable) Arity() int { return t.arity }
+
+// Rows returns the rows of the table.
+func (t *QTable) Rows() []QRow { return t.rows }
+
+// Mod enumerates the 2^(#optional) possible worlds.
+func (t *QTable) Mod() *incomplete.IDatabase {
+	var optional []int
+	base := relation.New(t.arity)
+	for i, r := range t.rows {
+		if r.Optional {
+			optional = append(optional, i)
+		} else {
+			base.Add(r.Tuple)
+		}
+	}
+	out := incomplete.New(t.arity)
+	for mask := 0; mask < 1<<len(optional); mask++ {
+		inst := base.Copy()
+		for bit, idx := range optional {
+			if mask>>bit&1 == 1 {
+				inst.Add(t.rows[idx].Tuple)
+			}
+		}
+		out.Add(inst)
+	}
+	return out
+}
+
+// String renders the ?-table.
+func (t *QTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "?-table(arity=%d)\n", t.arity)
+	for _, r := range t.rows {
+		mark := ""
+		if r.Optional {
+			mark = " ?"
+		}
+		fmt.Fprintf(&b, "  %s%s\n", r.Tuple, mark)
+	}
+	return b.String()
+}
+
+// OrSetCell is one attribute value of an or-set table: a non-empty finite
+// set of domain values, exactly one of which is the actual value. A
+// singleton cell is an ordinary constant.
+type OrSetCell struct{ Choices *value.Domain }
+
+// OrCell builds an or-set cell from the given choices.
+func OrCell(vs ...value.Value) OrSetCell {
+	d := value.NewDomain(vs...)
+	d.MustNonEmpty("or-set cell")
+	return OrSetCell{Choices: d}
+}
+
+// OrCellInts builds an or-set cell of integer choices.
+func OrCellInts(xs ...int64) OrSetCell {
+	vs := make([]value.Value, len(xs))
+	for i, x := range xs {
+		vs[i] = value.Int(x)
+	}
+	return OrCell(vs...)
+}
+
+// ConstCell builds a singleton cell.
+func ConstCell(v value.Value) OrSetCell { return OrCell(v) }
+
+// IsConstant reports whether the cell has a single choice.
+func (c OrSetCell) IsConstant() bool { return c.Choices.Size() == 1 }
+
+// String renders the cell as a constant or ⟨v1,...,vk⟩.
+func (c OrSetCell) String() string {
+	if c.IsConstant() {
+		return c.Choices.At(0).String()
+	}
+	parts := make([]string, c.Choices.Size())
+	for i, v := range c.Choices.Values() {
+		parts[i] = v.String()
+	}
+	return "⟨" + strings.Join(parts, ",") + "⟩"
+}
+
+// OrSetTable is an or-set table (RA of [29]).
+type OrSetTable struct {
+	arity int
+	rows  [][]OrSetCell
+}
+
+// NewOrSetTable returns an empty or-set table of the given arity.
+func NewOrSetTable(arity int) *OrSetTable {
+	if arity <= 0 {
+		panic("models: arity must be positive")
+	}
+	return &OrSetTable{arity: arity}
+}
+
+// AddRow appends a row of cells.
+func (t *OrSetTable) AddRow(cells ...OrSetCell) *OrSetTable {
+	if len(cells) != t.arity {
+		panic("models: row arity mismatch")
+	}
+	t.rows = append(t.rows, append([]OrSetCell(nil), cells...))
+	return t
+}
+
+// Arity returns the arity of the table.
+func (t *OrSetTable) Arity() int { return t.arity }
+
+// Rows returns the rows of the table.
+func (t *OrSetTable) Rows() [][]OrSetCell { return t.rows }
+
+// Mod enumerates all instances obtained by picking one choice per or-set.
+func (t *OrSetTable) Mod() *incomplete.IDatabase {
+	out := incomplete.New(t.arity)
+	if len(t.rows) == 0 {
+		out.Add(relation.New(t.arity))
+		return out
+	}
+	forEachOrSetChoice(t.rows, func(inst *relation.Relation) { out.Add(inst) })
+	return out
+}
+
+// forEachOrSetChoice enumerates the instances generated by all choice
+// combinations of the given or-set rows.
+func forEachOrSetChoice(rows [][]OrSetCell, fn func(*relation.Relation)) {
+	if len(rows) == 0 {
+		fn(relation.New(0))
+		return
+	}
+	arity := len(rows[0])
+	current := make([]value.Tuple, len(rows))
+	for i := range current {
+		current[i] = make(value.Tuple, arity)
+	}
+	var rec func(row, col int)
+	rec = func(row, col int) {
+		if row == len(rows) {
+			inst := relation.New(arity)
+			for _, tp := range current {
+				inst.Add(tp)
+			}
+			fn(inst)
+			return
+		}
+		if col == arity {
+			rec(row+1, 0)
+			return
+		}
+		for _, v := range rows[row][col].Choices.Values() {
+			current[row][col] = v
+			rec(row, col+1)
+		}
+	}
+	rec(0, 0)
+}
+
+// String renders the or-set table.
+func (t *OrSetTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "or-set-table(arity=%d)\n", t.arity)
+	for _, row := range t.rows {
+		parts := make([]string, len(row))
+		for i, c := range row {
+			parts[i] = c.String()
+		}
+		fmt.Fprintf(&b, "  (%s)\n", strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+// OrSetQTable is an or-set-?-table (RA? of [29]): rows are or-set tuples
+// that may additionally be '?'-labelled.
+type OrSetQTable struct {
+	arity int
+	rows  []OrSetQRow
+}
+
+// OrSetQRow is one row of an or-set-?-table.
+type OrSetQRow struct {
+	Cells    []OrSetCell
+	Optional bool
+}
+
+// NewOrSetQTable returns an empty or-set-?-table of the given arity.
+func NewOrSetQTable(arity int) *OrSetQTable {
+	if arity <= 0 {
+		panic("models: arity must be positive")
+	}
+	return &OrSetQTable{arity: arity}
+}
+
+// AddRow appends a required or-set row.
+func (t *OrSetQTable) AddRow(cells ...OrSetCell) *OrSetQTable { return t.add(cells, false) }
+
+// AddOptionalRow appends a '?'-labelled or-set row.
+func (t *OrSetQTable) AddOptionalRow(cells ...OrSetCell) *OrSetQTable { return t.add(cells, true) }
+
+func (t *OrSetQTable) add(cells []OrSetCell, opt bool) *OrSetQTable {
+	if len(cells) != t.arity {
+		panic("models: row arity mismatch")
+	}
+	t.rows = append(t.rows, OrSetQRow{Cells: append([]OrSetCell(nil), cells...), Optional: opt})
+	return t
+}
+
+// Arity returns the arity of the table.
+func (t *OrSetQTable) Arity() int { return t.arity }
+
+// Rows returns the rows of the table.
+func (t *OrSetQTable) Rows() []OrSetQRow { return t.rows }
+
+// Mod enumerates all worlds: every subset of the optional rows may be
+// dropped, and every or-set picks one value.
+func (t *OrSetQTable) Mod() *incomplete.IDatabase {
+	var optional []int
+	for i, r := range t.rows {
+		if r.Optional {
+			optional = append(optional, i)
+		}
+	}
+	out := incomplete.New(t.arity)
+	for mask := 0; mask < 1<<len(optional); mask++ {
+		dropped := make(map[int]bool)
+		for bit, idx := range optional {
+			if mask>>bit&1 == 0 {
+				dropped[idx] = true
+			}
+		}
+		var kept [][]OrSetCell
+		for i, r := range t.rows {
+			if !dropped[i] {
+				kept = append(kept, r.Cells)
+			}
+		}
+		if len(kept) == 0 {
+			out.Add(relation.New(t.arity))
+			continue
+		}
+		forEachOrSetChoice(kept, func(inst *relation.Relation) { out.Add(inst) })
+	}
+	return out
+}
+
+// String renders the or-set-?-table.
+func (t *OrSetQTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "or-set-?-table(arity=%d)\n", t.arity)
+	for _, r := range t.rows {
+		parts := make([]string, len(r.Cells))
+		for i, c := range r.Cells {
+			parts[i] = c.String()
+		}
+		mark := ""
+		if r.Optional {
+			mark = " ?"
+		}
+		fmt.Fprintf(&b, "  (%s)%s\n", strings.Join(parts, ", "), mark)
+	}
+	return b.String()
+}
+
+// sortedTuples returns the tuples of all instances of a database, sorted and
+// deduplicated; used by completion constructions and brute-force searches.
+func sortedTuples(db *incomplete.IDatabase) []value.Tuple {
+	seen := make(map[string]value.Tuple)
+	for _, inst := range db.Instances() {
+		for _, t := range inst.Tuples() {
+			seen[t.Key()] = t
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]value.Tuple, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}

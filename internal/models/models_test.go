@@ -1,0 +1,313 @@
+package models
+
+import (
+	"testing"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/incomplete"
+	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
+)
+
+func TestQTableMod(t *testing.T) {
+	q := NewQTable(2)
+	q.Add(value.Ints(1, 2))
+	q.AddOptional(value.Ints(3, 4))
+	q.AddOptional(value.Ints(5, 6))
+	db := q.Mod()
+	if db.Size() != 4 {
+		t.Fatalf("Mod size = %d, want 4", db.Size())
+	}
+	if !db.Contains(relation.FromInts([]int64{1, 2})) {
+		t.Fatal("world without optional tuples missing")
+	}
+	if !db.Contains(relation.FromInts([]int64{1, 2}, []int64{3, 4}, []int64{5, 6})) {
+		t.Fatal("maximal world missing")
+	}
+	if db.Contains(relation.FromInts([]int64{3, 4})) {
+		t.Fatal("required tuple cannot be absent")
+	}
+}
+
+func TestQTableToCTable(t *testing.T) {
+	q := NewQTable(1)
+	q.Add(value.Ints(1))
+	q.AddOptional(value.Ints(2))
+	ct := q.ToCTable()
+	if !ct.IsBoolean() {
+		t.Fatal("?-table conversion must yield a boolean c-table")
+	}
+	if !ct.MustMod().Equal(q.Mod()) {
+		t.Fatal("conversion changed Mod")
+	}
+}
+
+// E3 / Example 3: the or-set-?-table T of the paper and (some of) its
+// possible worlds.
+func TestExample3OrSetQTable(t *testing.T) {
+	tab := NewOrSetQTable(3)
+	tab.AddRow(ConstCell(value.Int(1)), ConstCell(value.Int(2)), OrCellInts(1, 2))
+	tab.AddRow(ConstCell(value.Int(3)), OrCellInts(1, 2), OrCellInts(3, 4))
+	tab.AddOptionalRow(OrCellInts(4, 5), ConstCell(value.Int(4)), ConstCell(value.Int(5)))
+	db := tab.Mod()
+
+	members := []*relation.Relation{
+		relation.FromInts([]int64{1, 2, 1}, []int64{3, 1, 3}, []int64{4, 4, 5}),
+		relation.FromInts([]int64{1, 2, 1}, []int64{3, 1, 3}),
+		relation.FromInts([]int64{1, 2, 2}, []int64{3, 1, 3}, []int64{4, 4, 5}),
+		relation.FromInts([]int64{1, 2, 2}, []int64{3, 2, 4}),
+	}
+	for i, m := range members {
+		if !db.Contains(m) {
+			t.Errorf("world %d from Example 3 missing from Mod(T)", i+1)
+		}
+	}
+	// 2*2*2 or-set choices * (optional row present: 2 or-set choices... ) =
+	// 8 * (2+1 instantiations of the last row: present with 4 or 5, absent).
+	if db.Size() != 24 {
+		t.Fatalf("Mod size = %d, want 24 distinct worlds", db.Size())
+	}
+	if db.Contains(relation.New(3)) {
+		t.Fatal("the first two rows are required; the empty world is impossible")
+	}
+}
+
+func TestOrSetTableModAndConversion(t *testing.T) {
+	tab := NewOrSetTable(2)
+	tab.AddRow(ConstCell(value.Int(1)), OrCellInts(2, 3))
+	tab.AddRow(OrCellInts(6, 7), ConstCell(value.Int(5)))
+	db := tab.Mod()
+	if db.Size() != 4 {
+		t.Fatalf("Mod size = %d, want 4", db.Size())
+	}
+	// Equivalence with finite-domain Codd tables (Section 3).
+	codd := tab.ToCoddTable()
+	if !codd.IsCoddTable() || !codd.IsFiniteDomain() {
+		t.Fatal("conversion must yield a finite-domain Codd table")
+	}
+	if !codd.MustMod().Equal(db) {
+		t.Fatal("Codd conversion changed Mod")
+	}
+	back, err := OrSetTableFromCoddTable(codd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Mod().Equal(db) {
+		t.Fatal("round-trip conversion changed Mod")
+	}
+}
+
+func TestOrSetTableFromCoddTableErrors(t *testing.T) {
+	// Not a Codd table: the same variable appears twice.
+	notCodd := ctable.New(2)
+	notCodd.AddRow([]condition.Term{condition.Var("x"), condition.Var("x")}, nil)
+	if _, err := OrSetTableFromCoddTable(notCodd); err == nil {
+		t.Fatal("expected error for non-Codd table")
+	}
+	// A Codd table whose variable lacks a finite domain is also rejected.
+	codd := ctable.New(1)
+	codd.AddRow([]condition.Term{condition.Var("x")}, nil)
+	if _, err := OrSetTableFromCoddTable(codd); err == nil {
+		t.Fatal("expected error for missing domain")
+	}
+}
+
+func TestOrSetQTableToCTable(t *testing.T) {
+	tab := NewOrSetQTable(2)
+	tab.AddRow(ConstCell(value.Int(1)), OrCellInts(2, 3))
+	tab.AddOptionalRow(OrCellInts(7, 8), ConstCell(value.Int(9)))
+	ct := tab.ToCTable()
+	if !ct.IsFiniteDomain() {
+		t.Fatal("conversion must yield a finite-domain c-table")
+	}
+	if !ct.MustMod().Equal(tab.Mod()) {
+		t.Fatal("conversion changed Mod")
+	}
+}
+
+func TestRSetsMod(t *testing.T) {
+	tab := NewRSetsTable(1)
+	tab.AddBlock(value.Ints(1), value.Ints(2))
+	tab.AddOptionalBlock(value.Ints(3))
+	db := tab.Mod()
+	want := incomplete.FromInstances(1,
+		relation.FromInts([]int64{1}),
+		relation.FromInts([]int64{2}),
+		relation.FromInts([]int64{1}, []int64{3}),
+		relation.FromInts([]int64{2}, []int64{3}))
+	if !db.Equal(want) {
+		t.Fatalf("Mod = %v", db.Instances())
+	}
+	ct := tab.ToCTable()
+	if !ct.MustMod().Equal(db) {
+		t.Fatal("R_sets → c-table conversion changed Mod")
+	}
+}
+
+func TestXorEquivMod(t *testing.T) {
+	tab := NewXorEquivTable(1)
+	t1 := tab.Add(value.Ints(1))
+	t2 := tab.Add(value.Ints(2))
+	t3 := tab.Add(value.Ints(3))
+	tab.AddXor(t1, t2)
+	tab.AddEquiv(t2, t3)
+	// Worlds: t1 present, t2,t3 absent → {1}; t1 absent, t2,t3 present → {2,3}.
+	db := tab.Mod()
+	want := incomplete.FromInstances(1,
+		relation.FromInts([]int64{1}),
+		relation.FromInts([]int64{2}, []int64{3}))
+	if !db.Equal(want) {
+		t.Fatalf("Mod = %v", db.Instances())
+	}
+}
+
+func TestXorEquivUnsatisfiable(t *testing.T) {
+	tab := NewXorEquivTable(1)
+	a := tab.Add(value.Ints(1))
+	b := tab.Add(value.Ints(2))
+	tab.AddXor(a, b)
+	tab.AddEquiv(a, b)
+	if tab.Mod().Size() != 0 {
+		t.Fatal("contradictory constraints must yield no worlds")
+	}
+}
+
+func TestPropTableMod(t *testing.T) {
+	tab := NewPropTable(1)
+	i0 := tab.AddRow(OrCellInts(1, 2))
+	i1 := tab.AddRow(ConstCell(value.Int(3)))
+	// Formula: exactly one of the two tuples present.
+	tab.SetFormula(condition.Or(
+		condition.And(condition.IsTrueVar(PresenceVar(i0)), condition.IsFalseVar(PresenceVar(i1))),
+		condition.And(condition.IsFalseVar(PresenceVar(i0)), condition.IsTrueVar(PresenceVar(i1)))))
+	db := tab.Mod()
+	want := incomplete.FromInstances(1,
+		relation.FromInts([]int64{1}),
+		relation.FromInts([]int64{2}),
+		relation.FromInts([]int64{3}))
+	if !db.Equal(want) {
+		t.Fatalf("Mod = %v", db.Instances())
+	}
+}
+
+func TestPropTableFromIDatabase(t *testing.T) {
+	targets := []*incomplete.IDatabase{
+		incomplete.FromInstances(2,
+			relation.FromInts([]int64{1, 2}),
+			relation.FromInts([]int64{2, 1}),
+			relation.FromInts([]int64{1, 2}, []int64{2, 1})),
+		incomplete.FromInstances(1, relation.New(1)),
+		incomplete.FromInstances(1, relation.New(1), relation.FromInts([]int64{5})),
+	}
+	for i, target := range targets {
+		tab, err := PropTableFromIDatabase(target)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !tab.Mod().Equal(target) {
+			t.Fatalf("case %d: Mod mismatch", i)
+		}
+	}
+	if _, err := PropTableFromIDatabase(incomplete.New(1)); err == nil {
+		t.Fatal("empty database must be rejected")
+	}
+}
+
+func TestPropTableCTableEquivalenceRoundTrip(t *testing.T) {
+	// Finite-domain c-tables and RAprop are equally expressive; check the
+	// naïve translations both ways on a small example.
+	target := incomplete.FromInstances(1,
+		relation.FromInts([]int64{1}),
+		relation.FromInts([]int64{1}, []int64{2}),
+		relation.New(1))
+	prop, err := PropTableFromIDatabase(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boolCT, err := BooleanCTableFromPropTable(prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !boolCT.MustMod().Equal(target) {
+		t.Fatal("RAprop → boolean c-table changed Mod")
+	}
+	prop2, err := PropTableFromCTable(boolCT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prop2.Mod().Equal(target) {
+		t.Fatal("c-table → RAprop changed Mod")
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	q := NewQTable(1)
+	q.Add(value.Ints(1))
+	q.AddOptional(value.Ints(2))
+	if s := q.String(); !contains(s, "?") {
+		t.Errorf("?-table String missing ?: %s", s)
+	}
+	or := NewOrSetTable(1)
+	or.AddRow(OrCellInts(1, 2))
+	if s := or.String(); !contains(s, "⟨1,2⟩") {
+		t.Errorf("or-set String: %s", s)
+	}
+	rs := NewRSetsTable(1)
+	rs.AddOptionalBlock(value.Ints(1))
+	if s := rs.String(); !contains(s, "?") {
+		t.Errorf("Rsets String: %s", s)
+	}
+	xe := NewXorEquivTable(1)
+	a := xe.Add(value.Ints(1))
+	b := xe.Add(value.Ints(2))
+	xe.AddXor(a, b)
+	if s := xe.String(); !contains(s, "⊕") {
+		t.Errorf("R⊕≡ String: %s", s)
+	}
+	pt := NewPropTable(1)
+	pt.AddRow(OrCellInts(1))
+	if s := pt.String(); !contains(s, "formula") {
+		t.Errorf("RAprop String: %s", s)
+	}
+	osq := NewOrSetQTable(1)
+	osq.AddOptionalRow(OrCellInts(1, 2))
+	if s := osq.String(); !contains(s, "?") {
+		t.Errorf("or-set-? String: %s", s)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewQTable(0) },
+		func() { NewOrSetTable(-1) },
+		func() { NewOrSetQTable(0) },
+		func() { NewRSetsTable(0) },
+		func() { NewXorEquivTable(0) },
+		func() { NewPropTable(0) },
+		func() { NewQTable(1).Add(value.Ints(1, 2)) },
+		func() { NewOrSetTable(2).AddRow(ConstCell(value.Int(1))) },
+		func() { NewRSetsTable(1).AddBlock() },
+		func() { NewXorEquivTable(1).AddXor(0, 1) },
+		func() { OrCell() },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

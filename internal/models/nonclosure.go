@@ -1,0 +1,217 @@
+package models
+
+import (
+	"uncertaindb/internal/incomplete"
+	"uncertaindb/internal/value"
+)
+
+// This file provides the machinery behind Proposition 1: witnesses showing
+// that the weaker representation systems are not closed under the relational
+// algebra. For the tables-with-variables systems the argument is analytic
+// (v-tables, Codd tables, or-set tables and finite v-tables can never
+// represent an incomplete database that contains the empty instance together
+// with a non-empty one); for ?-tables, R_sets and R_⊕≡ we search the
+// bounded candidate space exhaustively. In each case the restriction to
+// candidate tables whose tuples are drawn from the target's tuples is
+// justified in the function comment.
+
+// RepresentableByVTable reports whether a finite incomplete database could
+// possibly be represented by a v-table, Codd table, finite v-table or
+// or-set table, using the cardinality argument: such tables have no
+// conditions, so every valuation instantiates every row and the represented
+// instances are empty only when the table itself is empty. Hence a target
+// that contains the empty instance alongside a non-empty instance is not
+// representable; a target that is exactly {∅} is (by the empty table); any
+// other target may or may not be representable — this predicate only
+// captures the necessary condition used by Proposition 1.
+func RepresentableByVTable(target *incomplete.IDatabase) bool {
+	containsEmpty := false
+	containsNonEmpty := false
+	for _, inst := range target.Instances() {
+		if inst.Size() == 0 {
+			containsEmpty = true
+		} else {
+			containsNonEmpty = true
+		}
+	}
+	return !(containsEmpty && containsNonEmpty)
+}
+
+// RepresentableByQTable reports whether some ?-table represents the target
+// exactly, by exhaustive search. Any ?-table representing the target can
+// only contain tuples that occur in some target instance (a required extra
+// tuple would occur in every world; an optional extra tuple would occur in
+// some world; either way a world not in the target would be produced), so
+// the search space is 3^(#target tuples): each candidate tuple is absent,
+// required, or optional.
+func RepresentableByQTable(target *incomplete.IDatabase) bool {
+	tuples := sortedTuples(target)
+	n := len(tuples)
+	if n > 12 {
+		panic("models: RepresentableByQTable search space too large")
+	}
+	assign := make([]int, n) // 0 = absent, 1 = required, 2 = optional
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			cand := NewQTable(target.Arity())
+			for j, a := range assign {
+				switch a {
+				case 1:
+					cand.Add(tuples[j])
+				case 2:
+					cand.AddOptional(tuples[j])
+				}
+			}
+			return cand.Mod().Equal(target)
+		}
+		for a := 0; a < 3; a++ {
+			assign[i] = a
+			if rec(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// RepresentableByRSets reports whether some R_sets table with at most
+// maxBlocks blocks represents the target exactly. Every tuple that appears
+// in any block of an R_sets table appears in some possible world (each
+// block member is chosen in at least one world), so candidate blocks only
+// draw from the target's tuples.
+func RepresentableByRSets(target *incomplete.IDatabase, maxBlocks int) bool {
+	tuples := sortedTuples(target)
+	n := len(tuples)
+	if n > 4 || maxBlocks > 4 {
+		panic("models: RepresentableByRSets search space too large")
+	}
+	// Enumerate candidate blocks: every non-empty subset of the tuples, with
+	// or without the '?' label.
+	type blockSpec struct {
+		mask     int
+		optional bool
+	}
+	var blockSpecs []blockSpec
+	for mask := 1; mask < 1<<n; mask++ {
+		blockSpecs = append(blockSpecs, blockSpec{mask, false}, blockSpec{mask, true})
+	}
+	var build func(chosen []blockSpec) bool
+	check := func(chosen []blockSpec) bool {
+		cand := NewRSetsTable(target.Arity())
+		for _, spec := range chosen {
+			var blk []value.Tuple
+			for j := 0; j < n; j++ {
+				if spec.mask>>j&1 == 1 {
+					blk = append(blk, tuples[j])
+				}
+			}
+			if spec.optional {
+				cand.AddOptionalBlock(blk...)
+			} else {
+				cand.AddBlock(blk...)
+			}
+		}
+		return cand.Mod().Equal(target)
+	}
+	build = func(chosen []blockSpec) bool {
+		if check(chosen) {
+			return true
+		}
+		if len(chosen) == maxBlocks {
+			return false
+		}
+		for _, spec := range blockSpecs {
+			if build(append(chosen, spec)) {
+				return true
+			}
+		}
+		return false
+	}
+	return build(nil)
+}
+
+// RepresentableByXorEquiv reports whether some R_⊕≡ table with at most
+// maxTuples multiset members represents the target exactly. Every multiset
+// member of an R_⊕≡ table occurs in some possible world whenever the table
+// has any world at all (the complement of a satisfying presence assignment
+// is again satisfying, because ⊕ and ≡ are both self-dual), so candidates
+// only draw from the target's tuples; duplicates are allowed because the
+// model is a multiset.
+func RepresentableByXorEquiv(target *incomplete.IDatabase, maxTuples int) bool {
+	tuples := sortedTuples(target)
+	n := len(tuples)
+	if n > 4 || maxTuples > 4 {
+		panic("models: RepresentableByXorEquiv search space too large")
+	}
+	// Enumerate multisets of size 1..maxTuples over the tuple types, then all
+	// constraint assignments over pairs (none / ⊕ / ≡).
+	var multiset []int
+	var tryConstraints func(cand *XorEquivTable, pairs [][2]int, idx int) bool
+	tryConstraints = func(cand *XorEquivTable, pairs [][2]int, idx int) bool {
+		if idx == len(pairs) {
+			return cand.Mod().Equal(target)
+		}
+		// none
+		if tryConstraints(cand, pairs, idx+1) {
+			return true
+		}
+		// ⊕
+		xorCopy := cloneXorEquiv(cand)
+		xorCopy.AddXor(pairs[idx][0], pairs[idx][1])
+		if tryConstraints(xorCopy, pairs, idx+1) {
+			return true
+		}
+		// ≡
+		eqCopy := cloneXorEquiv(cand)
+		eqCopy.AddEquiv(pairs[idx][0], pairs[idx][1])
+		return tryConstraints(eqCopy, pairs, idx+1)
+	}
+	checkMultiset := func() bool {
+		cand := NewXorEquivTable(target.Arity())
+		for _, typ := range multiset {
+			cand.Add(tuples[typ])
+		}
+		var pairs [][2]int
+		for i := 0; i < len(multiset); i++ {
+			for j := i + 1; j < len(multiset); j++ {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+		return tryConstraints(cand, pairs, 0)
+	}
+	var rec func(next int) bool
+	rec = func(next int) bool {
+		if len(multiset) > 0 && checkMultiset() {
+			return true
+		}
+		if len(multiset) == maxTuples {
+			return false
+		}
+		for typ := next; typ < n; typ++ {
+			multiset = append(multiset, typ)
+			if rec(typ) {
+				return true
+			}
+			multiset = multiset[:len(multiset)-1]
+		}
+		return false
+	}
+	// Also consider the empty table (represents exactly {∅}... actually all
+	// subsets of nothing, i.e. {∅}).
+	if NewXorEquivTable(target.Arity()).Mod().Equal(target) {
+		return true
+	}
+	return rec(0)
+}
+
+func cloneXorEquiv(t *XorEquivTable) *XorEquivTable {
+	c := NewXorEquivTable(t.arity)
+	for _, tp := range t.tuples {
+		c.Add(tp)
+	}
+	c.xors = append([][2]int(nil), t.xors...)
+	c.equivs = append([][2]int(nil), t.equivs...)
+	return c
+}

@@ -1,0 +1,354 @@
+package models
+
+import (
+	"fmt"
+	"strings"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/incomplete"
+	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
+)
+
+// This file implements the remaining representation systems of [29] used by
+// the paper's Appendix: R_sets (Definition 14), R_⊕≡ (Definition 15) and
+// R_A^prop (Definition 16).
+
+// Block is one block of an R_sets table: a set of tuples from which exactly
+// one (or at most one, if Optional) tuple is chosen.
+type Block struct {
+	Tuples   []value.Tuple
+	Optional bool
+}
+
+// RSetsTable is a table of the R_sets representation system.
+type RSetsTable struct {
+	arity  int
+	blocks []Block
+}
+
+// NewRSetsTable returns an empty R_sets table of the given arity.
+func NewRSetsTable(arity int) *RSetsTable {
+	if arity <= 0 {
+		panic("models: arity must be positive")
+	}
+	return &RSetsTable{arity: arity}
+}
+
+// AddBlock appends a block from which exactly one tuple must be chosen.
+func (t *RSetsTable) AddBlock(tuples ...value.Tuple) *RSetsTable { return t.add(tuples, false) }
+
+// AddOptionalBlock appends a '?'-labelled block from which at most one tuple
+// is chosen.
+func (t *RSetsTable) AddOptionalBlock(tuples ...value.Tuple) *RSetsTable { return t.add(tuples, true) }
+
+func (t *RSetsTable) add(tuples []value.Tuple, opt bool) *RSetsTable {
+	if len(tuples) == 0 {
+		panic("models: empty block")
+	}
+	cp := make([]value.Tuple, len(tuples))
+	for i, tp := range tuples {
+		if len(tp) != t.arity {
+			panic("models: tuple arity mismatch")
+		}
+		cp[i] = tp.Copy()
+	}
+	t.blocks = append(t.blocks, Block{Tuples: cp, Optional: opt})
+	return t
+}
+
+// Arity returns the arity of the table.
+func (t *RSetsTable) Arity() int { return t.arity }
+
+// Blocks returns the blocks of the table.
+func (t *RSetsTable) Blocks() []Block { return t.blocks }
+
+// Mod enumerates all worlds: one tuple per block, or none for '?' blocks.
+func (t *RSetsTable) Mod() *incomplete.IDatabase {
+	out := incomplete.New(t.arity)
+	chosen := make([]int, len(t.blocks)) // index into block, or -1 for "skip"
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(t.blocks) {
+			inst := relation.New(t.arity)
+			for b, c := range chosen {
+				if c >= 0 {
+					inst.Add(t.blocks[b].Tuples[c])
+				}
+			}
+			out.Add(inst)
+			return
+		}
+		for c := range t.blocks[i].Tuples {
+			chosen[i] = c
+			rec(i + 1)
+		}
+		if t.blocks[i].Optional {
+			chosen[i] = -1
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// String renders the R_sets table.
+func (t *RSetsTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Rsets-table(arity=%d)\n", t.arity)
+	for _, blk := range t.blocks {
+		parts := make([]string, len(blk.Tuples))
+		for i, tp := range blk.Tuples {
+			parts[i] = tp.String()
+		}
+		mark := ""
+		if blk.Optional {
+			mark = " ?"
+		}
+		fmt.Fprintf(&b, "  {%s}%s\n", strings.Join(parts, ", "), mark)
+	}
+	return b.String()
+}
+
+// XorEquivTable is a table of the R_⊕≡ representation system: a multiset of
+// tuples together with exclusive-or ("exactly one of the two is present")
+// and equivalence ("both present or both absent") constraints between tuple
+// positions (0-based indexes into the multiset).
+type XorEquivTable struct {
+	arity  int
+	tuples []value.Tuple
+	xors   [][2]int
+	equivs [][2]int
+}
+
+// NewXorEquivTable returns an empty R_⊕≡ table of the given arity.
+func NewXorEquivTable(arity int) *XorEquivTable {
+	if arity <= 0 {
+		panic("models: arity must be positive")
+	}
+	return &XorEquivTable{arity: arity}
+}
+
+// Add appends a tuple and returns its index in the multiset.
+func (t *XorEquivTable) Add(tuple value.Tuple) int {
+	if len(tuple) != t.arity {
+		panic("models: tuple arity mismatch")
+	}
+	t.tuples = append(t.tuples, tuple.Copy())
+	return len(t.tuples) - 1
+}
+
+// AddXor records the constraint i ⊕ j.
+func (t *XorEquivTable) AddXor(i, j int) *XorEquivTable {
+	t.checkIndex(i)
+	t.checkIndex(j)
+	t.xors = append(t.xors, [2]int{i, j})
+	return t
+}
+
+// AddEquiv records the constraint i ≡ j.
+func (t *XorEquivTable) AddEquiv(i, j int) *XorEquivTable {
+	t.checkIndex(i)
+	t.checkIndex(j)
+	t.equivs = append(t.equivs, [2]int{i, j})
+	return t
+}
+
+func (t *XorEquivTable) checkIndex(i int) {
+	if i < 0 || i >= len(t.tuples) {
+		panic(fmt.Sprintf("models: tuple index %d out of range", i))
+	}
+}
+
+// Arity returns the arity of the table.
+func (t *XorEquivTable) Arity() int { return t.arity }
+
+// NumTuples returns the size of the tuple multiset.
+func (t *XorEquivTable) NumTuples() int { return len(t.tuples) }
+
+// Mod enumerates all subsets of the tuple multiset that satisfy the
+// constraints (Definition 15).
+func (t *XorEquivTable) Mod() *incomplete.IDatabase {
+	out := incomplete.New(t.arity)
+	n := len(t.tuples)
+	if n > 20 {
+		panic("models: XorEquivTable.Mod is exponential; table too large")
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		present := func(i int) bool { return mask>>i&1 == 1 }
+		ok := true
+		for _, x := range t.xors {
+			if present(x[0]) == present(x[1]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, e := range t.equivs {
+				if present(e[0]) != present(e[1]) {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		inst := relation.New(t.arity)
+		for i := 0; i < n; i++ {
+			if present(i) {
+				inst.Add(t.tuples[i])
+			}
+		}
+		out.Add(inst)
+	}
+	return out
+}
+
+// String renders the R_⊕≡ table.
+func (t *XorEquivTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "R⊕≡-table(arity=%d)\n", t.arity)
+	for i, tp := range t.tuples {
+		fmt.Fprintf(&b, "  t%d = %s\n", i+1, tp)
+	}
+	for _, x := range t.xors {
+		fmt.Fprintf(&b, "  t%d ⊕ t%d\n", x[0]+1, x[1]+1)
+	}
+	for _, e := range t.equivs {
+		fmt.Fprintf(&b, "  t%d ≡ t%d\n", e[0]+1, e[1]+1)
+	}
+	return b.String()
+}
+
+// PropTable is a table of the R_A^prop representation system
+// (Definition 16): a multiset of or-set tuples t1,...,tm together with a
+// boolean formula over the presence variables t1,...,tm. Mod consists of the
+// instances obtained by choosing a satisfying presence assignment and one
+// value per or-set of each present tuple.
+//
+// The formula is expressed in the condition language with boolean variables
+// named by PresenceVar(i).
+type PropTable struct {
+	arity   int
+	rows    [][]OrSetCell
+	formula condition.Condition
+}
+
+// PresenceVar returns the name of the presence variable of the i-th
+// (0-based) tuple of a PropTable.
+func PresenceVar(i int) string { return fmt.Sprintf("t%d", i+1) }
+
+// NewPropTable returns an R_A^prop table with formula "true".
+func NewPropTable(arity int) *PropTable {
+	if arity <= 0 {
+		panic("models: arity must be positive")
+	}
+	return &PropTable{arity: arity, formula: condition.True()}
+}
+
+// AddRow appends an or-set tuple and returns its 0-based index.
+func (t *PropTable) AddRow(cells ...OrSetCell) int {
+	if len(cells) != t.arity {
+		panic("models: row arity mismatch")
+	}
+	t.rows = append(t.rows, append([]OrSetCell(nil), cells...))
+	return len(t.rows) - 1
+}
+
+// SetFormula sets the propositional formula over the presence variables.
+func (t *PropTable) SetFormula(f condition.Condition) *PropTable {
+	t.formula = f
+	return t
+}
+
+// Arity returns the arity of the table.
+func (t *PropTable) Arity() int { return t.arity }
+
+// NumRows returns the number of or-set tuples.
+func (t *PropTable) NumRows() int { return len(t.rows) }
+
+// Mod enumerates the represented incomplete database.
+func (t *PropTable) Mod() *incomplete.IDatabase {
+	out := incomplete.New(t.arity)
+	n := len(t.rows)
+	if n > 20 {
+		panic("models: PropTable.Mod is exponential; table too large")
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		val := condition.Valuation{}
+		for i := 0; i < n; i++ {
+			val[condition.Variable(PresenceVar(i))] = value.Bool(mask>>i&1 == 1)
+		}
+		ok, err := t.formula.Eval(val)
+		if err != nil || !ok {
+			continue
+		}
+		var kept [][]OrSetCell
+		for i := 0; i < n; i++ {
+			if mask>>i&1 == 1 {
+				kept = append(kept, t.rows[i])
+			}
+		}
+		if len(kept) == 0 {
+			out.Add(relation.New(t.arity))
+			continue
+		}
+		forEachOrSetChoice(kept, func(inst *relation.Relation) { out.Add(inst) })
+	}
+	return out
+}
+
+// String renders the R_A^prop table.
+func (t *PropTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RAprop-table(arity=%d)\n", t.arity)
+	for i, row := range t.rows {
+		parts := make([]string, len(row))
+		for j, c := range row {
+			parts[j] = c.String()
+		}
+		fmt.Fprintf(&b, "  %s = (%s)\n", PresenceVar(i), strings.Join(parts, ", "))
+	}
+	fmt.Fprintf(&b, "  formula: %s\n", t.formula)
+	return b.String()
+}
+
+// PropTableFromIDatabase builds an R_A^prop table representing the given
+// finite incomplete database: one constant tuple per distinct tuple of the
+// database, and a formula that is a disjunction over instances of "exactly
+// the tuples of this instance are present" — the direct finite-completeness
+// construction for R_A^prop from [29].
+func PropTableFromIDatabase(db *incomplete.IDatabase) (*PropTable, error) {
+	if db.Size() == 0 {
+		return nil, fmt.Errorf("models: the empty incomplete database has no RAprop representation")
+	}
+	t := NewPropTable(db.Arity())
+	tuples := sortedTuples(db)
+	indexOf := make(map[string]int, len(tuples))
+	for _, tp := range tuples {
+		cells := make([]OrSetCell, len(tp))
+		for i, v := range tp {
+			cells[i] = ConstCell(v)
+		}
+		indexOf[tp.Key()] = t.AddRow(cells...)
+	}
+	var branches []condition.Condition
+	for _, inst := range db.Instances() {
+		inInst := make(map[int]bool)
+		for _, tp := range inst.Tuples() {
+			inInst[indexOf[tp.Key()]] = true
+		}
+		var lits []condition.Condition
+		for i := range tuples {
+			if inInst[i] {
+				lits = append(lits, condition.IsTrueVar(PresenceVar(i)))
+			} else {
+				lits = append(lits, condition.IsFalseVar(PresenceVar(i)))
+			}
+		}
+		branches = append(branches, condition.And(lits...))
+	}
+	t.SetFormula(condition.Or(branches...))
+	return t, nil
+}

@@ -1,0 +1,224 @@
+// Package parser implements a small text syntax for the tables and queries
+// of this library, used by the command-line tools and the examples.
+//
+// Table syntax (one directive per line, '#' starts a comment):
+//
+//	table Takes arity 2
+//	row 'Alice', x
+//	row 'Bob',   x   | x = 'phys' || x = 'chem'
+//	row 'Theo',  'math' | t = 1
+//	dom  x = {'math','phys','chem'}
+//	dist x = {'math':0.3, 'phys':0.3, 'chem':0.4}
+//	dist t = {0:0.15, 1:0.85}
+//
+// Cell and condition terms are integers, single-quoted strings, the boolean
+// literals true/false, or variable names. A "dist" directive implies the
+// corresponding "dom".
+//
+// Query syntax (expression string):
+//
+//	project[1,2]( select[$1 = 'phys' && $2 != 3]( R ) )
+//	R join[$2 = $3] R
+//	R union R,  R minus R,  R intersect R,  R x R
+//
+// Columns in predicates are written $1, $2, ... (1-based).
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"uncertaindb/internal/value"
+)
+
+// lexeme kinds for the shared tokenizer.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	input string
+	pos   int
+	toks  []token
+	idx   int
+}
+
+// symbols recognised by the tokenizer, longest first. Unicode spellings are
+// canonicalised to their ASCII forms by canonicalSymbol.
+var symbols = []string{
+	"&&", "||", "!=", ">=", "<=", "∧", "∨", "¬", "≠", "=", "<", ">", "(", ")", "[", "]", "{", "}", ",", ":", "|", "$", "!",
+}
+
+func lex(input string) (*lexer, error) {
+	l := &lexer{input: input}
+	i := 0
+	for i < len(input) {
+		c, size := utf8.DecodeRuneInString(input[i:])
+		switch {
+		case unicode.IsSpace(c):
+			i += size
+		case c == '#':
+			for i < len(input) && input[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			j := i + 1
+			for j < len(input) && input[j] != '\'' {
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("parser: unterminated string at offset %d", i)
+			}
+			l.toks = append(l.toks, token{tokString, input[i+1 : j], i})
+			i = j + 1
+		case c == '-' || unicode.IsDigit(c):
+			j := i + 1
+			seenDot := false
+			for j < len(input) {
+				d := input[j]
+				if d >= '0' && d <= '9' {
+					j++
+					continue
+				}
+				if d == '.' && !seenDot && j+1 < len(input) && input[j+1] >= '0' && input[j+1] <= '9' {
+					seenDot = true
+					j++
+					continue
+				}
+				break
+			}
+			l.toks = append(l.toks, token{tokNumber, input[i:j], i})
+			i = j
+		case unicode.IsLetter(c) && !isSymbolPrefix(input[i:]) || c == '_':
+			j := i + size
+			for j < len(input) {
+				r, rs := utf8.DecodeRuneInString(input[j:])
+				if !(unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_') || isSymbolPrefix(input[j:]) {
+					break
+				}
+				j += rs
+			}
+			l.toks = append(l.toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			matched := false
+			for _, s := range symbols {
+				if strings.HasPrefix(input[i:], s) {
+					l.toks = append(l.toks, token{tokSymbol, canonicalSymbol(s), i})
+					i += len(s)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("parser: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", len(input)})
+	return l, nil
+}
+
+// isSymbolPrefix reports whether the input starts with one of the unicode
+// operator symbols, which unicode.IsLetter would otherwise misclassify as
+// identifier characters on some classifications.
+func isSymbolPrefix(s string) bool {
+	for _, sym := range []string{"∧", "∨", "¬", "≠"} {
+		if strings.HasPrefix(s, sym) {
+			return true
+		}
+	}
+	return false
+}
+
+// canonicalSymbol maps unicode operator spellings to their ASCII canonical
+// forms so that the parsers only deal with one spelling.
+func canonicalSymbol(s string) string {
+	switch s {
+	case "∧":
+		return "&&"
+	case "∨":
+		return "||"
+	case "¬":
+		return "!"
+	case "≠":
+		return "!="
+	default:
+		return s
+	}
+}
+
+func (l *lexer) peek() token { return l.toks[l.idx] }
+
+func (l *lexer) next() token {
+	t := l.toks[l.idx]
+	if l.idx < len(l.toks)-1 {
+		l.idx++
+	}
+	return t
+}
+
+func (l *lexer) expectSymbol(s string) error {
+	t := l.next()
+	if t.kind != tokSymbol || t.text != s {
+		return fmt.Errorf("parser: expected %q at offset %d, got %q", s, t.pos, t.text)
+	}
+	return nil
+}
+
+func (l *lexer) acceptSymbol(s string) bool {
+	t := l.peek()
+	if t.kind == tokSymbol && t.text == s {
+		l.next()
+		return true
+	}
+	return false
+}
+
+func (l *lexer) acceptIdent(s string) bool {
+	t := l.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, s) {
+		l.next()
+		return true
+	}
+	return false
+}
+
+// parseValue parses a literal value: integer, quoted string or boolean.
+// Fractional numbers are not domain values (they only appear as
+// probabilities in dist directives).
+func parseValue(t token) (value.Value, bool) {
+	switch t.kind {
+	case tokNumber:
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return value.Null, false
+		}
+		return value.Int(n), true
+	case tokString:
+		return value.Str(t.text), true
+	case tokIdent:
+		if strings.EqualFold(t.text, "true") {
+			return value.Bool(true), true
+		}
+		if strings.EqualFold(t.text, "false") {
+			return value.Bool(false), true
+		}
+	}
+	return value.Null, false
+}

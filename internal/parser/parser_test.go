@@ -1,0 +1,211 @@
+package parser
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
+)
+
+const coursesText = `
+# The pc-table from the paper's introduction.
+table Takes arity 2
+row 'Alice', x
+row 'Bob',   x      | x = 'phys' || x = 'chem'
+row 'Theo',  'math' | t = 1
+dist x = {'math':0.3, 'phys':0.3, 'chem':0.4}
+dist t = {0:0.15, 1:0.85}
+`
+
+func TestParseCoursesTable(t *testing.T) {
+	parsed, err := ParseTableString(coursesText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Name != "Takes" || parsed.CTable.Arity() != 2 || parsed.CTable.NumRows() != 3 {
+		t.Fatalf("parsed shape wrong: %+v", parsed)
+	}
+	if !parsed.HasDistributions {
+		t.Fatal("distributions missing")
+	}
+	db, err := parsed.PCTable.Mod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Check(); err != nil {
+		t.Fatal(err)
+	}
+	got := db.TupleProbability(value.NewTuple(value.Str("Bob"), value.Str("chem")))
+	if math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("P(Bob,chem) = %g", got)
+	}
+	got = db.TupleProbability(value.NewTuple(value.Str("Theo"), value.Str("math")))
+	if math.Abs(got-0.85) > 1e-9 {
+		t.Fatalf("P(Theo,math) = %g", got)
+	}
+}
+
+func TestParseTableWithDomOnly(t *testing.T) {
+	text := `
+table R arity 2
+row 1, x
+row x, 1
+dom x = {1, 2}
+`
+	parsed, err := ParseTableString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.HasDistributions {
+		t.Fatal("no distributions expected")
+	}
+	db, err := parsed.CTable.Mod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Size() != 2 {
+		t.Fatalf("Mod size = %d", db.Size())
+	}
+}
+
+func TestParseTableErrors(t *testing.T) {
+	cases := []string{
+		"row 1, 2",                               // row before table
+		"table R arity 0",                        // bad arity
+		"table R arity 2\nrow 1",                 // wrong cell count
+		"table R arity 1\nrow 1\nbogus x",        // unknown directive
+		"table R arity 1\nrow 'unterminated",     // lexer error
+		"table R arity 1\nrow 1\ndom x = {}",     // empty domain
+		"table R arity 1\nrow 1 | x <",           // bad condition
+		"",                                       // no table at all
+		"table R arity 1\nrow 1\ndist x = {1:2}", // probability out of range
+	}
+	for i, c := range cases {
+		if _, err := ParseTableString(c); err == nil {
+			t.Errorf("case %d: expected error for %q", i, c)
+		}
+	}
+}
+
+func TestParseCondition(t *testing.T) {
+	c, err := ParseCondition("x = y && z != 2 || !(t = true)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := condition.Valuation{
+		"x": value.Int(1), "y": value.Int(2), "z": value.Int(3), "t": value.Bool(false),
+	}
+	got, err := c.Eval(val)
+	if err != nil || !got {
+		t.Fatalf("eval = %v, %v", got, err)
+	}
+	// Unicode operators round-trip: parse the String() rendering back.
+	c2, err := ParseCondition(c.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q failed: %v", c.String(), err)
+	}
+	if !condition.Equivalent(c, c2, condition.UniformDomains{Domain: value.IntRange(1, 3).Union(value.BoolDomain())}) {
+		t.Fatal("re-parsed condition differs")
+	}
+}
+
+func TestParseConditionErrors(t *testing.T) {
+	for i, s := range []string{"x =", "x ? y", "(x = 1", "x = 1 &&", "x = 1 extra"} {
+		if _, err := ParseCondition(s); err == nil {
+			t.Errorf("case %d: expected error for %q", i, s)
+		}
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	q, err := ParseQuery("project[1]( select[$1 = 1 && $2 != 4]( R ) ) union project[2](R)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.FromInts([]int64{1, 2}, []int64{3, 4})
+	got, err := ra.EvalSingle(q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.FromInts([]int64{1}, []int64{2}, []int64{4})
+	if !got.Equal(want) {
+		t.Fatalf("eval = %v, want %v", got, want)
+	}
+}
+
+func TestParseQueryJoinAndSetOps(t *testing.T) {
+	q, err := ParseQuery("(R join[$1 = $3] R) minus (R x R)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.(ra.DiffQ); !ok {
+		t.Fatalf("expected difference at top level, got %T", q)
+	}
+	r := relation.FromInts([]int64{1, 2})
+	got, err := ra.EvalSingle(q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 0 {
+		t.Fatalf("difference should be empty, got %v", got)
+	}
+	q2, err := ParseQuery("R intersect R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := ra.EvalSingle(q2, r)
+	if !got2.Equal(r) {
+		t.Fatal("intersect wrong")
+	}
+}
+
+func TestParseQueryPredicateOperators(t *testing.T) {
+	q, err := ParseQuery("select[$1 >= 2 && !($1 > 3)](R)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.FromInts([]int64{1}, []int64{2}, []int64{3}, []int64{4})
+	got, _ := ra.EvalSingle(q, r)
+	if !got.Equal(relation.FromInts([]int64{2}, []int64{3})) {
+		t.Fatalf("eval = %v", got)
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	for i, s := range []string{
+		"select[$1 = 1](", "project[0](R)", "project[a](R)", "R join R",
+		"select[$x = 1](R)", "R union", "", "R ) extra",
+	} {
+		if _, err := ParseQuery(s); err == nil {
+			t.Errorf("case %d: expected error for %q", i, s)
+		}
+	}
+}
+
+func TestLexerStringsAndComments(t *testing.T) {
+	lx, err := lex("  'a b' # comment\n 42 x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokKind{}
+	for {
+		tok := lx.next()
+		if tok.kind == tokEOF {
+			break
+		}
+		kinds = append(kinds, tok.kind)
+	}
+	if len(kinds) != 3 || kinds[0] != tokString || kinds[1] != tokNumber || kinds[2] != tokIdent {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestParseFromReaderError(t *testing.T) {
+	if _, err := ParseTable(strings.NewReader("table R arity two")); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,264 @@
+package parser
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/pctable"
+	"uncertaindb/internal/value"
+)
+
+// ParsedTable is the result of parsing a table description: a (probabilistic)
+// c-table plus its name. When the description contains no "dist" directives
+// the table is a plain (finite-domain) c-table and PCTable carries no
+// distributions.
+type ParsedTable struct {
+	Name    string
+	CTable  *ctable.CTable
+	PCTable *pctable.PCTable
+	// HasDistributions reports whether any dist directive appeared.
+	HasDistributions bool
+}
+
+// ParseTable reads a table description from r (see the package comment for
+// the syntax) and returns the parsed table.
+func ParseTable(r io.Reader) (*ParsedTable, error) {
+	scanner := bufio.NewScanner(r)
+	var (
+		name    string
+		arity   = -1
+		tab     *ctable.CTable
+		dists   = map[string]map[value.Value]float64{}
+		lineNum int
+	)
+	for scanner.Scan() {
+		lineNum++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch strings.ToLower(fields[0]) {
+		case "table":
+			if len(fields) != 4 || strings.ToLower(fields[2]) != "arity" {
+				return nil, fmt.Errorf("parser: line %d: expected \"table <name> arity <n>\"", lineNum)
+			}
+			n, err := strconv.Atoi(fields[3])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("parser: line %d: bad arity %q", lineNum, fields[3])
+			}
+			name = fields[1]
+			arity = n
+			tab = ctable.New(n)
+		case "row":
+			if tab == nil {
+				return nil, fmt.Errorf("parser: line %d: row before table declaration", lineNum)
+			}
+			rest := strings.TrimSpace(line[len(fields[0]):])
+			terms, cond, err := parseRow(rest, arity)
+			if err != nil {
+				return nil, fmt.Errorf("parser: line %d: %v", lineNum, err)
+			}
+			tab.AddRow(terms, cond)
+		case "dom":
+			if tab == nil {
+				return nil, fmt.Errorf("parser: line %d: dom before table declaration", lineNum)
+			}
+			varName, dom, err := parseDom(strings.TrimSpace(line[len(fields[0]):]))
+			if err != nil {
+				return nil, fmt.Errorf("parser: line %d: %v", lineNum, err)
+			}
+			tab.SetDomain(varName, dom)
+		case "dist":
+			if tab == nil {
+				return nil, fmt.Errorf("parser: line %d: dist before table declaration", lineNum)
+			}
+			varName, dist, err := parseDist(strings.TrimSpace(line[len(fields[0]):]))
+			if err != nil {
+				return nil, fmt.Errorf("parser: line %d: %v", lineNum, err)
+			}
+			dists[varName] = dist
+		default:
+			return nil, fmt.Errorf("parser: line %d: unknown directive %q", lineNum, fields[0])
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if tab == nil {
+		return nil, fmt.Errorf("parser: no table declaration found")
+	}
+	pt := pctable.New(tab)
+	for varName, dist := range dists {
+		pt.SetDist(varName, dist)
+	}
+	return &ParsedTable{Name: name, CTable: tab, PCTable: pt, HasDistributions: len(dists) > 0}, nil
+}
+
+// ParseTableString is ParseTable over a string.
+func ParseTableString(s string) (*ParsedTable, error) { return ParseTable(strings.NewReader(s)) }
+
+// parseRow parses "t1, t2, ..., tn [| condition]".
+func parseRow(s string, arity int) ([]condition.Term, condition.Condition, error) {
+	cellPart := s
+	condPart := ""
+	if i := strings.Index(s, "|"); i >= 0 {
+		cellPart, condPart = s[:i], s[i+1:]
+	}
+	lx, err := lex(cellPart)
+	if err != nil {
+		return nil, nil, err
+	}
+	var terms []condition.Term
+	for {
+		t := lx.next()
+		if t.kind == tokEOF {
+			break
+		}
+		term, err := tokenToTerm(t)
+		if err != nil {
+			return nil, nil, err
+		}
+		terms = append(terms, term)
+		if lx.peek().kind == tokEOF {
+			break
+		}
+		if err := lx.expectSymbol(","); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(terms) != arity {
+		return nil, nil, fmt.Errorf("row has %d cells, table arity is %d", len(terms), arity)
+	}
+	var cond condition.Condition
+	if strings.TrimSpace(condPart) != "" {
+		cond, err = ParseCondition(condPart)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return terms, cond, nil
+}
+
+func tokenToTerm(t token) (condition.Term, error) {
+	if v, ok := parseValue(t); ok {
+		return condition.Const(v), nil
+	}
+	if t.kind == tokIdent {
+		return condition.Var(t.text), nil
+	}
+	return condition.Term{}, fmt.Errorf("unexpected token %q in row", t.text)
+}
+
+// parseDom parses "x = {v1, v2, ...}".
+func parseDom(s string) (string, *value.Domain, error) {
+	lx, err := lex(s)
+	if err != nil {
+		return "", nil, err
+	}
+	nameTok := lx.next()
+	if nameTok.kind != tokIdent {
+		return "", nil, fmt.Errorf("expected variable name, got %q", nameTok.text)
+	}
+	if err := lx.expectSymbol("="); err != nil {
+		return "", nil, err
+	}
+	if err := lx.expectSymbol("{"); err != nil {
+		return "", nil, err
+	}
+	var vals []value.Value
+	for {
+		t := lx.next()
+		if t.kind == tokSymbol && t.text == "}" {
+			break
+		}
+		v, ok := parseValue(t)
+		if !ok {
+			return "", nil, fmt.Errorf("expected value in domain, got %q", t.text)
+		}
+		vals = append(vals, v)
+		if lx.acceptSymbol(",") {
+			continue
+		}
+		if err := lx.expectSymbol("}"); err != nil {
+			return "", nil, err
+		}
+		break
+	}
+	if len(vals) == 0 {
+		return "", nil, fmt.Errorf("empty domain for %s", nameTok.text)
+	}
+	return nameTok.text, value.NewDomain(vals...), nil
+}
+
+// parseDist parses "x = {v1:p1, v2:p2, ...}".
+func parseDist(s string) (string, map[value.Value]float64, error) {
+	lx, err := lex(s)
+	if err != nil {
+		return "", nil, err
+	}
+	nameTok := lx.next()
+	if nameTok.kind != tokIdent {
+		return "", nil, fmt.Errorf("expected variable name, got %q", nameTok.text)
+	}
+	if err := lx.expectSymbol("="); err != nil {
+		return "", nil, err
+	}
+	if err := lx.expectSymbol("{"); err != nil {
+		return "", nil, err
+	}
+	dist := map[value.Value]float64{}
+	for {
+		t := lx.next()
+		if t.kind == tokSymbol && t.text == "}" {
+			break
+		}
+		v, ok := parseValue(t)
+		if !ok {
+			return "", nil, fmt.Errorf("expected value in distribution, got %q", t.text)
+		}
+		if err := lx.expectSymbol(":"); err != nil {
+			return "", nil, err
+		}
+		// Probability: integer part, optionally ". digits" (the lexer splits
+		// on '.' being unknown — accept "<int>" or "<int>.<int>" forms by
+		// reading the raw text around the current token).
+		p, err := parseProbability(lx)
+		if err != nil {
+			return "", nil, err
+		}
+		dist[v] = p
+		if lx.acceptSymbol(",") {
+			continue
+		}
+		if err := lx.expectSymbol("}"); err != nil {
+			return "", nil, err
+		}
+		break
+	}
+	if len(dist) == 0 {
+		return "", nil, fmt.Errorf("empty distribution for %s", nameTok.text)
+	}
+	return nameTok.text, dist, nil
+}
+
+// parseProbability reads a probability literal such as "0.3" or "1".
+func parseProbability(lx *lexer) (float64, error) {
+	t := lx.next()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("expected probability, got %q", t.text)
+	}
+	f, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 || f > 1 {
+		return 0, fmt.Errorf("probability %g out of range", f)
+	}
+	return f, nil
+}

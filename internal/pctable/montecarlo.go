@@ -1,0 +1,108 @@
+package pctable
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/value"
+)
+
+// This file provides a Monte-Carlo estimator for condition probabilities
+// and tuple marginals. Exact computation enumerates the valuations of the
+// condition's variables, which is exponential in the number of variables;
+// sampling trades exactness for scalability and is used by the benchmarks
+// to show the crossover (experiment E12's third series).
+
+// Sampler draws independent valuations of a pc-table's variables according
+// to their distributions.
+type Sampler struct {
+	table *PCTable
+	rng   *rand.Rand
+	// cumulative per-variable distributions for inverse-CDF sampling.
+	cdf map[condition.Variable][]cdfEntry
+}
+
+type cdfEntry struct {
+	upTo float64
+	v    value.Value
+}
+
+// NewSampler builds a sampler over the table's variables using the given
+// random seed (deterministic across runs for a fixed seed).
+func NewSampler(t *PCTable, seed int64) (*Sampler, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sampler{table: t, rng: rand.New(rand.NewSource(seed)), cdf: make(map[condition.Variable][]cdfEntry)}
+	for _, x := range t.Vars() {
+		space := t.Dist(x)
+		acc := 0.0
+		entries := make([]cdfEntry, 0, space.Size())
+		for _, o := range space.Outcomes() {
+			acc += o.P
+			entries = append(entries, cdfEntry{upTo: acc, v: o.ValuePayload()})
+		}
+		s.cdf[x] = entries
+	}
+	return s, nil
+}
+
+// SampleValuation draws one valuation of the given variables.
+func (s *Sampler) SampleValuation(vars []condition.Variable, into condition.Valuation) condition.Valuation {
+	if into == nil {
+		into = make(condition.Valuation, len(vars))
+	}
+	for _, x := range vars {
+		entries := s.cdf[x]
+		u := s.rng.Float64()
+		chosen := entries[len(entries)-1].v
+		for _, e := range entries {
+			if u <= e.upTo {
+				chosen = e.v
+				break
+			}
+		}
+		into[x] = chosen
+	}
+	return into
+}
+
+// EstimateConditionProbability estimates P[c] by drawing n samples of the
+// condition's variables. It returns the estimate and its standard error.
+func (s *Sampler) EstimateConditionProbability(c condition.Condition, n int) (estimate, stderr float64, err error) {
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("pctable: sample count must be positive")
+	}
+	vars := condition.Vars(c)
+	for _, x := range vars {
+		if _, ok := s.cdf[x]; !ok {
+			return 0, 0, fmt.Errorf("pctable: variable %s has no distribution", x)
+		}
+	}
+	val := make(condition.Valuation, len(vars))
+	hits := 0
+	for i := 0; i < n; i++ {
+		s.SampleValuation(vars, val)
+		holds, evalErr := c.Eval(val)
+		if evalErr != nil {
+			return 0, 0, evalErr
+		}
+		if holds {
+			hits++
+		}
+	}
+	p := float64(hits) / float64(n)
+	se := 0.0
+	if n > 1 {
+		se = math.Sqrt(p * (1 - p) / float64(n))
+	}
+	return p, se, nil
+}
+
+// EstimateTupleProbability estimates the marginal probability of a tuple
+// via the lineage condition.
+func (s *Sampler) EstimateTupleProbability(tuple value.Tuple, n int) (float64, float64, error) {
+	return s.EstimateConditionProbability(s.table.Lineage(tuple), n)
+}

@@ -1,0 +1,284 @@
+package pctable
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/prob"
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/value"
+)
+
+// PCTable is a probabilistic c-table (Definition 13): a c-table together
+// with a finite probability distribution dom(x) for every variable x
+// occurring in it. The variables are assumed independent; Mod(T) is the
+// image of the product space of the variable distributions under ν ↦ ν(T).
+type PCTable struct {
+	table *ctable.CTable
+	dists map[condition.Variable]*prob.Space
+}
+
+// New wraps a c-table into a pc-table with no distributions yet; attach
+// them with SetDist before calling Mod.
+func New(table *ctable.CTable) *PCTable {
+	return &PCTable{table: table, dists: make(map[condition.Variable]*prob.Space)}
+}
+
+// NewWithArity creates a pc-table over a fresh empty c-table.
+func NewWithArity(arity int) *PCTable { return New(ctable.New(arity)) }
+
+// Table returns the underlying c-table.
+func (t *PCTable) Table() *ctable.CTable { return t.table }
+
+// Arity returns the arity of the table.
+func (t *PCTable) Arity() int { return t.table.Arity() }
+
+// AddRow adds a row to the underlying c-table.
+func (t *PCTable) AddRow(terms []condition.Term, cond condition.Condition) *PCTable {
+	t.table.AddRow(terms, cond)
+	return t
+}
+
+// AddConstRow adds a constant row to the underlying c-table.
+func (t *PCTable) AddConstRow(tuple value.Tuple, cond condition.Condition) *PCTable {
+	t.table.AddConstRow(tuple, cond)
+	return t
+}
+
+// SetDist attaches the distribution of variable x. The c-table's finite
+// domain for x is set to the support of the distribution so that the
+// incompleteness semantics and the probabilistic semantics agree.
+func (t *PCTable) SetDist(x string, dist map[value.Value]float64) *PCTable {
+	space := prob.MustNewValueSpace(dist)
+	t.dists[condition.Variable(x)] = space
+	support := make([]value.Value, 0, space.Size())
+	for _, o := range space.Outcomes() {
+		support = append(support, o.ValuePayload())
+	}
+	t.table.SetDomain(x, value.NewDomain(support...))
+	return t
+}
+
+// SetBoolDist attaches a Bernoulli distribution P[x=true] = p, the common
+// case for boolean pc-tables and probabilistic ?-tables.
+func (t *PCTable) SetBoolDist(x string, p float64) *PCTable {
+	return t.SetDist(x, map[value.Value]float64{value.Bool(true): p, value.Bool(false): 1 - p})
+}
+
+// Dist returns the distribution of variable x (nil if not set).
+func (t *PCTable) Dist(x condition.Variable) *prob.Space { return t.dists[x] }
+
+// Vars returns the variables of the underlying c-table.
+func (t *PCTable) Vars() []condition.Variable { return t.table.Vars() }
+
+// IsBoolean reports whether the underlying c-table is a boolean c-table
+// (variables only in conditions, boolean domains).
+func (t *PCTable) IsBoolean() bool { return t.table.IsBoolean() }
+
+// Validate checks that every variable of the table has a distribution.
+func (t *PCTable) Validate() error {
+	for _, x := range t.table.Vars() {
+		if t.dists[x] == nil {
+			return fmt.Errorf("pctable: variable %s has no distribution", x)
+		}
+	}
+	return nil
+}
+
+// Copy returns an independent copy (distributions are shared, they are
+// immutable).
+func (t *PCTable) Copy() *PCTable {
+	c := New(t.table.Copy())
+	for x, d := range t.dists {
+		c.dists[x] = d
+	}
+	return c
+}
+
+// valuationProbability returns the product probability of a valuation of
+// the given variables.
+func (t *PCTable) valuationProbability(vars []condition.Variable, v condition.Valuation) float64 {
+	p := 1.0
+	for _, x := range vars {
+		p *= t.dists[x].P(v[x].Key())
+	}
+	return p
+}
+
+// Mod returns the probabilistic database represented by the pc-table: the
+// image of the product of the variable distributions under ν ↦ ν(T)
+// (Definition 13 and the construction below it).
+func (t *PCTable) Mod() (*PDatabase, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	vars := t.table.Vars()
+	out := NewPDatabase(t.table.Arity())
+	var applyErr error
+	condition.ForEachValuation(vars, t.table, func(v condition.Valuation) bool {
+		inst, err := t.table.Apply(v)
+		if err != nil {
+			applyErr = err
+			return false
+		}
+		out.AddWorld(inst, t.valuationProbability(vars, v))
+		return true
+	})
+	if applyErr != nil {
+		return nil, applyErr
+	}
+	if err := out.Check(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MustMod is Mod that panics on error.
+func (t *PCTable) MustMod() *PDatabase {
+	db, err := t.Mod()
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// ConditionProbability returns the probability that the condition c holds
+// under the independent variable distributions of the table. It enumerates
+// the valuations of the variables occurring in c only — this is the payoff
+// of lineage-based query answering over naïve world enumeration.
+func (t *PCTable) ConditionProbability(c condition.Condition) (float64, error) {
+	vars := condition.Vars(c)
+	for _, x := range vars {
+		if t.dists[x] == nil {
+			return 0, fmt.Errorf("pctable: variable %s has no distribution", x)
+		}
+	}
+	p := 0.0
+	var evalErr error
+	condition.ForEachValuation(vars, t.table, func(v condition.Valuation) bool {
+		holds, err := c.Eval(v)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if holds {
+			p += t.valuationProbability(vars, v)
+		}
+		return true
+	})
+	if evalErr != nil {
+		return 0, evalErr
+	}
+	return p, nil
+}
+
+// EvalQuery implements Theorem 9: pc-tables are closed under the relational
+// algebra. The result is the pc-table whose underlying c-table is q̄(T) and
+// whose variable distributions are unchanged.
+func (t *PCTable) EvalQuery(q ra.Query) (*PCTable, error) {
+	res, err := ctable.EvalQuery(q, t.table)
+	if err != nil {
+		return nil, err
+	}
+	out := New(res)
+	for x, d := range t.dists {
+		out.dists[x] = d
+	}
+	return out, nil
+}
+
+// TupleProbability returns the marginal probability that the tuple occurs
+// in the represented instance, computed from the lineage condition
+//
+//	⋁_{rows (u:φ)} ( φ ∧ u = t )
+//
+// rather than by enumerating possible worlds.
+func (t *PCTable) TupleProbability(tuple value.Tuple) (float64, error) {
+	if len(tuple) != t.table.Arity() {
+		return 0, fmt.Errorf("pctable: tuple arity %d, table arity %d", len(tuple), t.table.Arity())
+	}
+	lineage := t.Lineage(tuple)
+	return t.ConditionProbability(lineage)
+}
+
+// Lineage returns the boolean condition (over the table's variables) that
+// is true exactly when the given tuple belongs to the represented instance
+// — the "lineage"/why-provenance reading of c-table conditions discussed in
+// Section 9 of the paper.
+func (t *PCTable) Lineage(tuple value.Tuple) condition.Condition {
+	var disj []condition.Condition
+	for _, row := range t.table.Rows() {
+		conds := []condition.Condition{row.Cond}
+		matches := true
+		for i, term := range row.Terms {
+			if term.IsVar {
+				conds = append(conds, condition.Eq(term, condition.Const(tuple[i])))
+				continue
+			}
+			if term.Const != tuple[i] {
+				matches = false
+				break
+			}
+		}
+		if matches {
+			disj = append(disj, condition.And(conds...))
+		}
+	}
+	return condition.Simplify(condition.Or(disj...))
+}
+
+// AnswerTupleProbabilities evaluates q over the pc-table (Theorem 9) and
+// returns the marginal probability of every possible answer tuple, the
+// problem studied by Fuhr–Rölleke, Zimányi and ProbView. Tuples are found
+// by enumerating the answer table's possible worlds over the variable
+// supports; probabilities are then computed from lineage conditions.
+func (t *PCTable) AnswerTupleProbabilities(q ra.Query) ([]TupleProb, error) {
+	answer, err := t.EvalQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	// Collect candidate tuples from the answer's possible worlds.
+	worlds, err := answer.table.Mod()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]value.Tuple)
+	for _, inst := range worlds.Instances() {
+		for _, tp := range inst.Tuples() {
+			seen[tp.Key()] = tp
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]TupleProb, 0, len(keys))
+	for _, k := range keys {
+		tp := seen[k]
+		p, err := answer.TupleProbability(tp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TupleProb{Tuple: tp, P: p})
+	}
+	return out, nil
+}
+
+// String renders the pc-table: the underlying c-table plus the variable
+// distributions.
+func (t *PCTable) String() string {
+	var b strings.Builder
+	b.WriteString(strings.TrimSuffix(t.table.String(), "\n"))
+	b.WriteString("\n")
+	vars := t.table.Vars()
+	for _, x := range vars {
+		if d := t.dists[x]; d != nil {
+			fmt.Fprintf(&b, "  %s ~ %s\n", x, d)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,424 @@
+package pctable
+
+import (
+	"math"
+	"testing"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
+)
+
+// introCoursesTable builds the pc-table from the paper's introduction:
+//
+//	Student Course   Condition
+//	Alice   x
+//	Bob     x        x = phys ∨ x = chem
+//	Theo    math     t = 1
+//
+// with x ~ {math:0.3, phys:0.3, chem:0.4} and t ~ {0:0.15, 1:0.85}.
+func introCoursesTable() *PCTable {
+	t := NewWithArity(2)
+	t.AddRow([]condition.Term{condition.Const(value.Str("Alice")), condition.Var("x")}, nil)
+	t.AddRow([]condition.Term{condition.Const(value.Str("Bob")), condition.Var("x")},
+		condition.Or(
+			condition.EqVarConst("x", value.Str("phys")),
+			condition.EqVarConst("x", value.Str("chem"))))
+	t.AddRow([]condition.Term{condition.Const(value.Str("Theo")), condition.Const(value.Str("math"))},
+		condition.EqVarConst("t", value.Int(1)))
+	t.SetDist("x", map[value.Value]float64{
+		value.Str("math"): 0.3, value.Str("phys"): 0.3, value.Str("chem"): 0.4,
+	})
+	t.SetDist("t", map[value.Value]float64{value.Int(0): 0.15, value.Int(1): 0.85})
+	return t
+}
+
+// E12 (part): the intro example's distribution over worlds behaves as the
+// paper describes.
+func TestIntroCourseExample(t *testing.T) {
+	tab := introCoursesTable()
+	db, err := tab.Mod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// World: x = math, t = 1 → {(Alice,math),(Theo,math)} with p 0.3*0.85.
+	w1 := relation.NewFromTuples(2,
+		value.NewTuple(value.Str("Alice"), value.Str("math")),
+		value.NewTuple(value.Str("Theo"), value.Str("math")))
+	if got, want := db.P(w1), 0.3*0.85; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("P(world math,t=1) = %g, want %g", got, want)
+	}
+	// World: x = phys, t = 0 → {(Alice,phys),(Bob,phys)} with p 0.3*0.15.
+	w2 := relation.NewFromTuples(2,
+		value.NewTuple(value.Str("Alice"), value.Str("phys")),
+		value.NewTuple(value.Str("Bob"), value.Str("phys")))
+	if got, want := db.P(w2), 0.3*0.15; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("P(world phys,t=0) = %g, want %g", got, want)
+	}
+	// Marginals: Bob takes some course iff x ∈ {phys, chem} → 0.7.
+	pBobPhys := db.TupleProbability(value.NewTuple(value.Str("Bob"), value.Str("phys")))
+	if math.Abs(pBobPhys-0.3) > 1e-9 {
+		t.Fatalf("P(Bob,phys) = %g", pBobPhys)
+	}
+	pTheo := db.TupleProbability(value.NewTuple(value.Str("Theo"), value.Str("math")))
+	if math.Abs(pTheo-0.85) > 1e-9 {
+		t.Fatalf("P(Theo,math) = %g", pTheo)
+	}
+	// The same marginals via lineage-based computation (no world enumeration).
+	got, err := tab.TupleProbability(value.NewTuple(value.Str("Bob"), value.Str("phys")))
+	if err != nil || math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("lineage P(Bob,phys) = %g, %v", got, err)
+	}
+	got, err = tab.TupleProbability(value.NewTuple(value.Str("Alice"), value.Str("chem")))
+	if err != nil || math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("lineage P(Alice,chem) = %g, %v", got, err)
+	}
+}
+
+func TestPCTableValidation(t *testing.T) {
+	tab := NewWithArity(1)
+	tab.AddRow([]condition.Term{condition.Var("x")}, nil)
+	if err := tab.Validate(); err == nil {
+		t.Fatal("missing distribution must be detected")
+	}
+	if _, err := tab.Mod(); err == nil {
+		t.Fatal("Mod must fail without distributions")
+	}
+	tab.SetDist("x", map[value.Value]float64{value.Int(1): 0.5, value.Int(2): 0.5})
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.TupleProbability(value.Ints(1, 2)); err == nil {
+		t.Fatal("arity mismatch must be detected")
+	}
+}
+
+// E10 / Propositions 2–3: the p-?-table product-space semantics yields
+// jointly independent tuple events with the right marginals, and matches
+// the closed-form world probability.
+func TestPQTableProductSemantics(t *testing.T) {
+	pq := NewPQTable(2)
+	pq.Add(value.Ints(1, 2), 0.4)
+	pq.Add(value.Ints(3, 4), 0.3)
+	pq.Add(value.Ints(5, 6), 1.0)
+	db, err := pq.Mod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Marginals match the table.
+	for _, r := range pq.Rows() {
+		if got := db.TupleProbability(r.Tuple); math.Abs(got-r.P) > 1e-9 {
+			t.Fatalf("P(%v) = %g, want %g", r.Tuple, got, r.P)
+		}
+	}
+	// The closed formula and the product-space semantics agree on every world.
+	for _, w := range db.Worlds() {
+		if direct := pq.DirectWorldProbability(w.Instance); math.Abs(direct-w.P) > 1e-9 {
+			t.Fatalf("world %v: product %g vs formula %g", w.Instance, w.P, direct)
+		}
+	}
+	// Unlisted tuples have probability 0.
+	if db.TupleProbability(value.Ints(9, 9)) != 0 {
+		t.Fatal("unlisted tuple must have probability 0")
+	}
+}
+
+// E10: tuple events are jointly independent in the p-?-table model.
+func TestTupleIndependence(t *testing.T) {
+	pq := NewPQTable(1)
+	pq.Add(value.Ints(1), 0.4)
+	pq.Add(value.Ints(2), 0.7)
+	db, err := pq.Mod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBoth := 0.0
+	for _, w := range db.Worlds() {
+		if w.Instance.Contains(value.Ints(1)) && w.Instance.Contains(value.Ints(2)) {
+			pBoth += w.P
+		}
+	}
+	if math.Abs(pBoth-0.4*0.7) > 1e-9 {
+		t.Fatalf("P(t1 ∧ t2) = %g, want %g", pBoth, 0.4*0.7)
+	}
+}
+
+func TestPOrSetTable(t *testing.T) {
+	// The p-or-set-table S of Example 6.
+	s := NewPOrSetTable(2)
+	s.AddRow(PConst(value.Int(1)), PChoice(map[value.Value]float64{value.Int(2): 0.3, value.Int(3): 0.7}))
+	s.AddRow(PConst(value.Int(4)), PConst(value.Int(5)))
+	s.AddRow(
+		PChoice(map[value.Value]float64{value.Int(6): 0.5, value.Int(7): 0.5}),
+		PChoice(map[value.Value]float64{value.Int(8): 0.1, value.Int(9): 0.9}))
+	db, err := s.Mod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if db.NumWorlds() != 8 {
+		t.Fatalf("worlds = %d, want 8", db.NumWorlds())
+	}
+	// P[(1,2) present] = 0.3; P[(4,5)] = 1; P[(7,9)] = 0.45.
+	cases := []struct {
+		tuple value.Tuple
+		want  float64
+	}{
+		{value.Ints(1, 2), 0.3},
+		{value.Ints(1, 3), 0.7},
+		{value.Ints(4, 5), 1.0},
+		{value.Ints(7, 9), 0.45},
+		{value.Ints(6, 8), 0.05},
+	}
+	for _, c := range cases {
+		if got := db.TupleProbability(c.tuple); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P(%v) = %g, want %g", c.tuple, got, c.want)
+		}
+	}
+}
+
+// E11 / Theorem 8: boolean pc-tables represent any probabilistic database.
+func TestTheorem8Completeness(t *testing.T) {
+	targets := []*PDatabase{}
+
+	d1 := NewPDatabase(1)
+	d1.AddWorld(relation.FromInts([]int64{1}), 0.2)
+	d1.AddWorld(relation.FromInts([]int64{2}), 0.3)
+	d1.AddWorld(relation.FromInts([]int64{1}, []int64{2}), 0.5)
+	targets = append(targets, d1)
+
+	d2 := NewPDatabase(2)
+	d2.AddWorld(relation.New(2), 0.25)
+	d2.AddWorld(relation.FromInts([]int64{1, 2}), 0.25)
+	d2.AddWorld(relation.FromInts([]int64{2, 1}), 0.25)
+	d2.AddWorld(relation.FromInts([]int64{1, 2}, []int64{2, 1}), 0.25)
+	targets = append(targets, d2)
+
+	d3 := NewPDatabase(1)
+	d3.AddWorld(relation.FromInts([]int64{7}), 1.0)
+	targets = append(targets, d3)
+
+	d4 := NewPDatabase(1)
+	d4.AddWorld(relation.New(1), 0.6)
+	d4.AddWorld(relation.FromInts([]int64{5}), 0.4)
+	targets = append(targets, d4)
+
+	for i, target := range targets {
+		bt, err := BooleanPCTableFromPDatabase(target)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bt.IsBoolean() {
+			t.Fatalf("case %d: construction must yield a boolean pc-table", i)
+		}
+		got, err := bt.Mod()
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !got.ApproxEqual(target, 1e-9) {
+			t.Fatalf("case %d: distribution mismatch\ngot  %s\nwant %s", i, got, target)
+		}
+	}
+
+	empty := NewPDatabase(1)
+	if _, err := BooleanPCTableFromPDatabase(empty); err == nil {
+		t.Fatal("database with no positive-probability world must be rejected")
+	}
+}
+
+// E12 / Theorem 9: pc-tables are closed under the relational algebra — the
+// image distribution of Mod(T) under q equals Mod(q̄(T)).
+func TestTheorem9Closure(t *testing.T) {
+	tab := introCoursesTable()
+	queries := []ra.Query{
+		ra.Select(ra.Eq(ra.Col(1), ra.Const(value.Str("math"))), ra.Rel("R")),
+		ra.Project([]int{1}, ra.Rel("R")),
+		ra.Project([]int{0}, ra.Select(ra.Eq(ra.Col(1), ra.Const(value.Str("phys"))), ra.Rel("R"))),
+		ra.Join(ra.Rel("R"), ra.Rel("R"), ra.Eq(ra.Col(1), ra.Col(3))),
+		ra.Diff(ra.Project([]int{0}, ra.Rel("R")),
+			ra.Project([]int{0}, ra.Select(ra.Eq(ra.Col(1), ra.Const(value.Str("math"))), ra.Rel("R")))),
+		ra.Union(ra.Rel("R"), ra.Constant(relation.NewFromTuples(2, value.NewTuple(value.Str("Zoe"), value.Str("art"))))),
+	}
+	source := tab.MustMod()
+	for qi, q := range queries {
+		closed, err := tab.EvalQuery(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		lhs, err := closed.Mod()
+		if err != nil {
+			t.Fatalf("query %d: Mod(q̄(T)): %v", qi, err)
+		}
+		rhs, err := source.Map(q)
+		if err != nil {
+			t.Fatalf("query %d: image: %v", qi, err)
+		}
+		if !lhs.ApproxEqual(rhs, 1e-9) {
+			t.Fatalf("query %d (%s): closure violated\nMod(q̄(T)) = %s\nimage      = %s", qi, q, lhs, rhs)
+		}
+	}
+}
+
+// The answer-tuple probabilities computed via lineage agree with the ones
+// computed from the answer distribution (the Fuhr/Zimányi/ProbView
+// query-answering problem).
+func TestAnswerTupleProbabilities(t *testing.T) {
+	tab := introCoursesTable()
+	q := ra.Project([]int{0}, ra.Select(ra.OrOf(
+		ra.Eq(ra.Col(1), ra.Const(value.Str("phys"))),
+		ra.Eq(ra.Col(1), ra.Const(value.Str("chem")))), ra.Rel("R")))
+	probs, err := tab.AnswerTupleProbabilities(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		value.NewTuple(value.Str("Alice")).Key(): 0.7,
+		value.NewTuple(value.Str("Bob")).Key():   0.7,
+	}
+	if len(probs) != len(want) {
+		t.Fatalf("answer tuples = %v", probs)
+	}
+	for _, tp := range probs {
+		if w, ok := want[tp.Tuple.Key()]; !ok || math.Abs(tp.P-w) > 1e-9 {
+			t.Errorf("P(%v) = %g, want %g", tp.Tuple, tp.P, w)
+		}
+	}
+	// Cross-check against the image distribution.
+	img, err := tab.MustMod().Map(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range probs {
+		if got := img.TupleProbability(tp.Tuple); math.Abs(got-tp.P) > 1e-9 {
+			t.Errorf("lineage %g vs world-enumeration %g for %v", tp.P, got, tp.Tuple)
+		}
+	}
+}
+
+func TestUniformPCTable(t *testing.T) {
+	ct := introCoursesTable().Table().Copy()
+	u, err := UniformPCTable(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := u.Mod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// x uniform over 3 courses → P(Alice takes math) = 1/3.
+	if got := db.TupleProbability(value.NewTuple(value.Str("Alice"), value.Str("math"))); math.Abs(got-1.0/3) > 1e-9 {
+		t.Fatalf("uniform marginal = %g", got)
+	}
+}
+
+func TestMonteCarloEstimates(t *testing.T) {
+	tab := introCoursesTable()
+	s, err := NewSampler(tab, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, se, err := s.EstimateTupleProbability(value.NewTuple(value.Str("Bob"), value.Str("phys")), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-0.3) > 0.02 {
+		t.Fatalf("estimate %g too far from 0.3 (stderr %g)", est, se)
+	}
+	// Estimating a condition with an unknown variable fails.
+	if _, _, err := s.EstimateConditionProbability(condition.IsTrueVar("nosuch"), 10); err == nil {
+		t.Fatal("unknown variable must be reported")
+	}
+	if _, _, err := s.EstimateConditionProbability(condition.True(), 0); err == nil {
+		t.Fatal("non-positive sample count must be rejected")
+	}
+}
+
+func TestPDatabaseBasics(t *testing.T) {
+	db := NewPDatabase(1)
+	db.AddWorld(relation.FromInts([]int64{1}), 0.5)
+	db.AddWorld(relation.FromInts([]int64{1}), 0.25) // accumulates
+	db.AddWorld(relation.New(1), 0.25)
+	if err := db.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if db.NumWorlds() != 2 {
+		t.Fatalf("worlds = %d", db.NumWorlds())
+	}
+	if got := db.P(relation.FromInts([]int64{1})); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("P = %g", got)
+	}
+	marg := db.TupleMarginals()
+	if len(marg) != 1 || math.Abs(marg[0].P-0.75) > 1e-9 {
+		t.Fatalf("marginals = %v", marg)
+	}
+	bad := NewPDatabase(1)
+	bad.AddWorld(relation.New(1), 0.5)
+	if err := bad.Check(); err == nil {
+		t.Fatal("probabilities not summing to 1 must be reported")
+	}
+}
+
+func TestPDatabaseMapErrors(t *testing.T) {
+	db := NewPDatabase(1)
+	db.AddWorld(relation.FromInts([]int64{1}), 1)
+	if _, err := db.Map(ra.Project([]int{5}, ra.Rel("V"))); err == nil {
+		t.Fatal("ill-formed query must be reported")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewPQTable(0) },
+		func() { NewPOrSetTable(0) },
+		func() { NewPQTable(1).Add(value.Ints(1, 2), 0.5) },
+		func() { NewPQTable(1).Add(value.Ints(1), 1.5) },
+		func() { NewPOrSetTable(2).AddRow(PConst(value.Int(1))) },
+		func() { NewPDatabase(1).AddWorld(relation.New(2), 0.5) },
+		func() { NewPDatabase(1).AddWorld(relation.New(1), -0.5) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	tab := introCoursesTable()
+	s := tab.String()
+	for _, want := range []string{"'Alice'", "x ~", "t ~"} {
+		if !strContains(s, want) {
+			t.Errorf("pc-table String missing %q:\n%s", want, s)
+		}
+	}
+	db := tab.MustMod()
+	if !strContains(db.String(), "p-database(arity=2)") {
+		t.Error("p-database String wrong")
+	}
+}
+
+func strContains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,212 @@
+// Package pctable implements the probabilistic models of Sections 6–8 of
+// the paper: probabilistic databases (finite distributions over possible
+// worlds), probabilistic ?-tables, probabilistic or-set tables, and the
+// paper's new model — probabilistic c-tables (pc-tables) — together with
+//
+//   - the completeness construction of Theorem 8 (boolean pc-tables can
+//     represent any probabilistic database),
+//   - closure under the relational algebra, Theorem 9 (evaluate q̄ on the
+//     underlying c-table and keep the variable distributions), and
+//   - query answering: exact tuple marginal probabilities computed either
+//     naïvely (enumerate worlds) or via the lineage condition produced by
+//     the c-table algebra, plus a Monte-Carlo estimator.
+package pctable
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
+)
+
+// ProbTolerance is the absolute tolerance used when validating that world
+// probabilities sum to one and when comparing distributions.
+const ProbTolerance = 1e-9
+
+// PDatabase is a probabilistic database (Definition 9): a finite
+// probability space whose outcomes are conventional instances. Only the
+// worlds with non-zero probability are stored explicitly.
+type PDatabase struct {
+	arity  int
+	worlds map[string]worldEntry
+}
+
+type worldEntry struct {
+	inst *relation.Relation
+	p    float64
+}
+
+// NewPDatabase returns an empty probabilistic database of the given arity;
+// add worlds with AddWorld and validate with Check.
+func NewPDatabase(arity int) *PDatabase {
+	return &PDatabase{arity: arity, worlds: make(map[string]worldEntry)}
+}
+
+// AddWorld adds probability mass p to the world inst (worlds added twice
+// accumulate, mirroring image-space construction). Zero-probability worlds
+// are recorded too so that Check can verify totals exactly.
+func (db *PDatabase) AddWorld(inst *relation.Relation, p float64) {
+	if inst.Arity() != db.arity {
+		panic("pctable: world arity mismatch")
+	}
+	if p < 0 {
+		panic("pctable: negative probability")
+	}
+	key := inst.Key()
+	if e, ok := db.worlds[key]; ok {
+		e.p += p
+		db.worlds[key] = e
+		return
+	}
+	db.worlds[key] = worldEntry{inst: inst.Copy(), p: p}
+}
+
+// Check verifies that the world probabilities sum to 1 within tolerance.
+func (db *PDatabase) Check() error {
+	sum := 0.0
+	for _, e := range db.worlds {
+		sum += e.p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("pctable: world probabilities sum to %g", sum)
+	}
+	return nil
+}
+
+// Arity returns the arity of the worlds.
+func (db *PDatabase) Arity() int { return db.arity }
+
+// NumWorlds returns the number of distinct worlds with recorded mass.
+func (db *PDatabase) NumWorlds() int { return len(db.worlds) }
+
+// P returns the probability of the instance inst.
+func (db *PDatabase) P(inst *relation.Relation) float64 {
+	if inst.Arity() != db.arity {
+		return 0
+	}
+	return db.worlds[inst.Key()].p
+}
+
+// Worlds returns the worlds in canonical order together with their
+// probabilities.
+func (db *PDatabase) Worlds() []World {
+	keys := make([]string, 0, len(db.worlds))
+	for k := range db.worlds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]World, len(keys))
+	for i, k := range keys {
+		out[i] = World{Instance: db.worlds[k].inst, P: db.worlds[k].p}
+	}
+	return out
+}
+
+// World is one possible world together with its probability.
+type World struct {
+	Instance *relation.Relation
+	P        float64
+}
+
+// TupleProbability returns P[t ∈ I], the marginal probability that the
+// tuple t occurs in the instance.
+func (db *PDatabase) TupleProbability(t value.Tuple) float64 {
+	p := 0.0
+	for _, e := range db.worlds {
+		if e.inst.Contains(t) {
+			p += e.p
+		}
+	}
+	return p
+}
+
+// TupleMarginals returns the marginal probability of every tuple that
+// occurs in some world, keyed canonically and returned in sorted order.
+func (db *PDatabase) TupleMarginals() []TupleProb {
+	acc := make(map[string]*TupleProb)
+	for _, e := range db.worlds {
+		for _, t := range e.inst.Tuples() {
+			k := t.Key()
+			if tp, ok := acc[k]; ok {
+				tp.P += e.p
+				continue
+			}
+			acc[k] = &TupleProb{Tuple: t, P: e.p}
+		}
+	}
+	keys := make([]string, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]TupleProb, len(keys))
+	for i, k := range keys {
+		out[i] = *acc[k]
+	}
+	return out
+}
+
+// TupleProb pairs a tuple with its marginal probability.
+type TupleProb struct {
+	Tuple value.Tuple
+	P     float64
+}
+
+// Map returns the image distribution of db under the query q
+// (Definition 10 applied to Definition 11): worlds map through q and
+// probabilities of colliding results add up.
+func (db *PDatabase) Map(q ra.Query) (*PDatabase, error) {
+	arities := ra.ArityEnv{}
+	for name := range ra.InputNames(q) {
+		arities[name] = db.arity
+	}
+	if len(arities) == 0 {
+		arities["V"] = db.arity
+	}
+	outArity, err := ra.Arity(q, arities)
+	if err != nil {
+		return nil, err
+	}
+	out := NewPDatabase(outArity)
+	for _, e := range db.worlds {
+		res, err := ra.EvalSingle(q, e.inst)
+		if err != nil {
+			return nil, err
+		}
+		out.AddWorld(res, e.p)
+	}
+	return out, nil
+}
+
+// ApproxEqual reports whether two probabilistic databases assign the same
+// probability (within tol) to every world appearing in either.
+func (db *PDatabase) ApproxEqual(other *PDatabase, tol float64) bool {
+	if db.arity != other.arity {
+		return false
+	}
+	for k, e := range db.worlds {
+		if math.Abs(e.p-other.worlds[k].p) > tol {
+			return false
+		}
+	}
+	for k, e := range other.worlds {
+		if math.Abs(e.p-db.worlds[k].p) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the distribution world by world.
+func (db *PDatabase) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p-database(arity=%d)\n", db.arity)
+	for _, w := range db.Worlds() {
+		fmt.Fprintf(&b, "  %.6g : %s\n", w.P, w.Instance)
+	}
+	return b.String()
+}

@@ -1,0 +1,266 @@
+package pctable
+
+import (
+	"fmt"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
+)
+
+// This file implements the simpler probabilistic representation systems of
+// Section 7 — probabilistic ?-tables and probabilistic or-set tables — as
+// special cases of pc-tables, and the completeness construction of
+// Theorem 8.
+
+// PQTable is a probabilistic ?-table (p-?-table): an assignment of a
+// probability to each listed tuple; unlisted tuples have probability 0.
+// Tuples occur in the instance independently (the "independent tuples"
+// model of Fuhr–Rölleke, Zimányi, Dalvi–Suciu).
+type PQTable struct {
+	arity int
+	rows  []PQRow
+}
+
+// PQRow is one tuple with its occurrence probability.
+type PQRow struct {
+	Tuple value.Tuple
+	P     float64
+}
+
+// NewPQTable returns an empty p-?-table of the given arity.
+func NewPQTable(arity int) *PQTable {
+	if arity <= 0 {
+		panic("pctable: arity must be positive")
+	}
+	return &PQTable{arity: arity}
+}
+
+// Add records that the tuple occurs with probability p.
+func (t *PQTable) Add(tuple value.Tuple, p float64) *PQTable {
+	if len(tuple) != t.arity {
+		panic("pctable: tuple arity mismatch")
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("pctable: probability %g out of range", p))
+	}
+	t.rows = append(t.rows, PQRow{Tuple: tuple.Copy(), P: p})
+	return t
+}
+
+// Arity returns the arity of the table.
+func (t *PQTable) Arity() int { return t.arity }
+
+// Rows returns the rows of the table.
+func (t *PQTable) Rows() []PQRow { return t.rows }
+
+// ToPCTable converts the p-?-table to the equivalent boolean pc-table:
+// tuple t_i is guarded by "b_i = true" with P[b_i = true] = p_i. This is
+// the probabilistic counterpart of the ?-table ↔ restricted boolean c-table
+// correspondence of Section 3, and realises Proposition 2's product-space
+// semantics via the pc-table product space.
+func (t *PQTable) ToPCTable() *PCTable {
+	out := NewWithArity(t.arity)
+	for i, r := range t.rows {
+		name := fmt.Sprintf("b%d", i+1)
+		out.AddConstRow(r.Tuple, condition.IsTrueVar(name))
+		out.SetBoolDist(name, r.P)
+	}
+	return out
+}
+
+// Mod returns the represented probabilistic database, via the boolean
+// pc-table translation (equivalently, the product of the per-tuple
+// Bernoulli spaces, Proposition 2).
+func (t *PQTable) Mod() (*PDatabase, error) { return t.ToPCTable().Mod() }
+
+// DirectWorldProbability computes P[I] for a concrete instance directly
+// from the closed formula the papers use,
+//
+//	P[I] = ∏_{t∈I} p_t · ∏_{t∉I, t listed} (1 − p_t),
+//
+// returning 0 when I contains an unlisted tuple. It exists to check that
+// the product-space semantics and the closed formula agree (Proposition 2).
+func (t *PQTable) DirectWorldProbability(inst *relation.Relation) float64 {
+	if inst.Arity() != t.arity {
+		return 0
+	}
+	listed := make(map[string]bool, len(t.rows))
+	p := 1.0
+	for _, r := range t.rows {
+		listed[r.Tuple.Key()] = true
+		if inst.Contains(r.Tuple) {
+			p *= r.P
+		} else {
+			p *= 1 - r.P
+		}
+	}
+	for _, tp := range inst.Tuples() {
+		if !listed[tp.Key()] {
+			return 0
+		}
+	}
+	return p
+}
+
+// POrSetTable is a probabilistic or-set table (p-or-set-table): attribute
+// values are finite probability spaces over domain values. It corresponds
+// to the simplified ProbView model with point probabilities.
+type POrSetTable struct {
+	arity int
+	rows  [][]PCell
+}
+
+// PCell is one attribute value of a p-or-set-table: either a constant or a
+// distribution over constants.
+type PCell struct {
+	dist map[value.Value]float64
+}
+
+// PConst returns a cell holding the constant v.
+func PConst(v value.Value) PCell { return PCell{dist: map[value.Value]float64{v: 1}} }
+
+// PChoice returns a cell holding a distribution over values.
+func PChoice(dist map[value.Value]float64) PCell {
+	cp := make(map[value.Value]float64, len(dist))
+	for k, v := range dist {
+		cp[k] = v
+	}
+	return PCell{dist: cp}
+}
+
+// IsConstant reports whether the cell is deterministic.
+func (c PCell) IsConstant() bool { return len(c.dist) == 1 }
+
+// Dist returns the cell's distribution.
+func (c PCell) Dist() map[value.Value]float64 { return c.dist }
+
+// NewPOrSetTable returns an empty p-or-set-table of the given arity.
+func NewPOrSetTable(arity int) *POrSetTable {
+	if arity <= 0 {
+		panic("pctable: arity must be positive")
+	}
+	return &POrSetTable{arity: arity}
+}
+
+// AddRow appends a row of cells.
+func (t *POrSetTable) AddRow(cells ...PCell) *POrSetTable {
+	if len(cells) != t.arity {
+		panic("pctable: row arity mismatch")
+	}
+	t.rows = append(t.rows, append([]PCell(nil), cells...))
+	return t
+}
+
+// Arity returns the arity of the table.
+func (t *POrSetTable) Arity() int { return t.arity }
+
+// Rows returns the rows of the table.
+func (t *POrSetTable) Rows() [][]PCell { return t.rows }
+
+// ToPCTable converts the p-or-set-table to the equivalent probabilistic
+// Codd table: every non-constant cell becomes a fresh variable carrying the
+// cell's distribution.
+func (t *POrSetTable) ToPCTable() *PCTable {
+	out := NewWithArity(t.arity)
+	varCount := 0
+	for _, row := range t.rows {
+		terms := make([]condition.Term, len(row))
+		for i, cell := range row {
+			if cell.IsConstant() {
+				for v := range cell.dist {
+					terms[i] = condition.Const(v)
+				}
+				continue
+			}
+			varCount++
+			name := fmt.Sprintf("v%d", varCount)
+			terms[i] = condition.Var(name)
+			out.SetDist(name, cell.dist)
+		}
+		out.AddRow(terms, nil)
+	}
+	return out
+}
+
+// Mod returns the represented probabilistic database.
+func (t *POrSetTable) Mod() (*PDatabase, error) { return t.ToPCTable().Mod() }
+
+// BooleanPCTableFromPDatabase implements Theorem 8: every probabilistic
+// database is representable by a boolean pc-table. Instances with non-zero
+// probability I_1,...,I_k (probabilities p_1,...,p_k) are encoded with
+// boolean variables x_1,...,x_{k-1}: the tuples of I_i carry the condition
+// ¬x_1 ∧ ... ∧ ¬x_{i-1} ∧ x_i (and I_k carries ¬x_1 ∧ ... ∧ ¬x_{k-1}), with
+//
+//	P[x_i = true] = p_i / (1 − Σ_{j<i} p_j).
+func BooleanPCTableFromPDatabase(db *PDatabase) (*PCTable, error) {
+	if err := db.Check(); err != nil {
+		return nil, err
+	}
+	var worlds []World
+	for _, w := range db.Worlds() {
+		if w.P > 0 {
+			worlds = append(worlds, w)
+		}
+	}
+	if len(worlds) == 0 {
+		return nil, fmt.Errorf("pctable: no world has positive probability")
+	}
+	k := len(worlds)
+	out := NewWithArity(db.Arity())
+
+	varName := func(i int) string { return fmt.Sprintf("x%d", i) }
+	prefix := func(i int) []condition.Condition {
+		// ¬x_1 ∧ ... ∧ ¬x_{i-1}
+		conds := make([]condition.Condition, 0, i-1)
+		for j := 1; j < i; j++ {
+			conds = append(conds, condition.IsFalseVar(varName(j)))
+		}
+		return conds
+	}
+	cumulative := 0.0
+	for i := 1; i <= k-1; i++ {
+		conds := append(prefix(i), condition.IsTrueVar(varName(i)))
+		cond := condition.And(conds...)
+		for _, tuple := range worlds[i-1].Instance.Tuples() {
+			out.AddConstRow(tuple, cond)
+		}
+		denom := 1 - cumulative
+		if denom <= 0 {
+			return nil, fmt.Errorf("pctable: degenerate cumulative probability at world %d", i)
+		}
+		out.SetBoolDist(varName(i), worlds[i-1].P/denom)
+		cumulative += worlds[i-1].P
+	}
+	lastCond := condition.And(prefix(k)...)
+	for _, tuple := range worlds[k-1].Instance.Tuples() {
+		out.AddConstRow(tuple, lastCond)
+	}
+	// If some world is empty its tuples contribute no rows; the conditions on
+	// the other rows still carve out the right probability mass, and the
+	// variables introduced above may include ones that no row mentions. Give
+	// any such variable its distribution anyway (SetBoolDist above already
+	// did), and make sure the c-table knows the boolean domain of every
+	// variable used in conditions even if the last world added no rows.
+	return out, nil
+}
+
+// UniformPCTable builds a pc-table from a finite-domain c-table by giving
+// every variable the uniform distribution over its declared domain — a
+// convenience used by examples and benchmarks.
+func UniformPCTable(t *ctable.CTable) (*PCTable, error) {
+	out := New(t.Copy())
+	for _, x := range t.Vars() {
+		dom := t.DomainOf(x)
+		if dom == nil {
+			return nil, fmt.Errorf("pctable: variable %s has no finite domain", x)
+		}
+		dist := make(map[value.Value]float64, dom.Size())
+		for _, v := range dom.Values() {
+			dist[v] = 1 / float64(dom.Size())
+		}
+		out.SetDist(string(x), dist)
+	}
+	return out, nil
+}

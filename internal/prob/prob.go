@@ -1,0 +1,216 @@
+// Package prob implements the elementary finite probability theory used by
+// Sections 6–8 of the paper: finite probability spaces (Definition 9's
+// (Ω, p) formulation), product spaces (Definition 12) and image spaces
+// (Definition 10). Outcomes are kept generic via string keys plus an
+// attached payload, which is all the probabilistic table models need.
+package prob
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"uncertaindb/internal/value"
+)
+
+// Tolerance is the absolute tolerance used when checking that outcome
+// probabilities sum to one.
+const Tolerance = 1e-9
+
+// Space is a finite probability space: a finite set of outcomes with an
+// outcome probability assignment summing to one. Outcomes are identified by
+// unique keys; each outcome may carry an arbitrary payload.
+type Space struct {
+	outcomes []Outcome
+	index    map[string]int
+}
+
+// Outcome is one element of a finite probability space.
+type Outcome struct {
+	Key     string
+	Payload interface{}
+	P       float64
+}
+
+// New builds a finite probability space from the given outcomes. It returns
+// an error if a key repeats, a probability is negative, or the
+// probabilities do not sum to 1 within Tolerance.
+func New(outcomes []Outcome) (*Space, error) {
+	s := &Space{index: make(map[string]int, len(outcomes))}
+	sum := 0.0
+	for _, o := range outcomes {
+		if o.P < 0 {
+			return nil, fmt.Errorf("prob: negative probability %g for outcome %q", o.P, o.Key)
+		}
+		if _, dup := s.index[o.Key]; dup {
+			return nil, fmt.Errorf("prob: duplicate outcome %q", o.Key)
+		}
+		s.index[o.Key] = len(s.outcomes)
+		s.outcomes = append(s.outcomes, o)
+		sum += o.P
+	}
+	if len(outcomes) == 0 {
+		return nil, fmt.Errorf("prob: a probability space needs at least one outcome")
+	}
+	if math.Abs(sum-1) > Tolerance {
+		return nil, fmt.Errorf("prob: outcome probabilities sum to %g, not 1", sum)
+	}
+	return s, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(outcomes []Outcome) *Space {
+	s, err := New(outcomes)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewValueSpace builds a space whose outcomes are domain values with the
+// given probabilities — the dom(x) distributions attached to pc-table
+// variables (Definition 13).
+func NewValueSpace(dist map[value.Value]float64) (*Space, error) {
+	keys := make([]value.Value, 0, len(dist))
+	for v := range dist {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
+	outcomes := make([]Outcome, 0, len(keys))
+	for _, v := range keys {
+		outcomes = append(outcomes, Outcome{Key: v.Key(), Payload: v, P: dist[v]})
+	}
+	return New(outcomes)
+}
+
+// MustNewValueSpace is NewValueSpace that panics on error.
+func MustNewValueSpace(dist map[value.Value]float64) *Space {
+	s, err := NewValueSpace(dist)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Bernoulli returns the two-outcome boolean space with P[true] = p — the
+// space B_t used to give semantics to p-?-tables (Section 7).
+func Bernoulli(p float64) (*Space, error) {
+	return NewValueSpace(map[value.Value]float64{
+		value.Bool(true):  p,
+		value.Bool(false): 1 - p,
+	})
+}
+
+// Size returns the number of outcomes.
+func (s *Space) Size() int { return len(s.outcomes) }
+
+// Outcomes returns the outcomes in insertion order.
+func (s *Space) Outcomes() []Outcome { return s.outcomes }
+
+// P returns the probability of the outcome with the given key (0 if absent).
+func (s *Space) P(key string) float64 {
+	if i, ok := s.index[key]; ok {
+		return s.outcomes[i].P
+	}
+	return 0
+}
+
+// PEvent returns the probability of the event defined by the predicate.
+func (s *Space) PEvent(pred func(Outcome) bool) float64 {
+	p := 0.0
+	for _, o := range s.outcomes {
+		if pred(o) {
+			p += o.P
+		}
+	}
+	return p
+}
+
+// ValuePayload returns the value payload of an outcome, for spaces built
+// with NewValueSpace; it panics if the payload is not a value.
+func (o Outcome) ValuePayload() value.Value {
+	v, ok := o.Payload.(value.Value)
+	if !ok {
+		panic(fmt.Sprintf("prob: outcome %q has no value payload", o.Key))
+	}
+	return v
+}
+
+// Product returns the product space of the given spaces (Definition 12):
+// outcomes are tuples of outcomes, probabilities multiply. Payloads of the
+// product outcomes are []Outcome slices holding the component outcomes, and
+// keys are the joined component keys.
+func Product(spaces ...*Space) (*Space, error) {
+	if len(spaces) == 0 {
+		return New([]Outcome{{Key: "", Payload: []Outcome{}, P: 1}})
+	}
+	outcomes := []Outcome{{Key: "", Payload: []Outcome{}, P: 1}}
+	for _, sp := range spaces {
+		var next []Outcome
+		for _, acc := range outcomes {
+			for _, o := range sp.outcomes {
+				combined := append(append([]Outcome{}, acc.Payload.([]Outcome)...), o)
+				key := acc.Key
+				if key != "" {
+					key += "⊗"
+				}
+				key += strings.ReplaceAll(o.Key, "⊗", "⊗⊗")
+				next = append(next, Outcome{Key: key, Payload: combined, P: acc.P * o.P})
+			}
+		}
+		outcomes = next
+	}
+	return New(outcomes)
+}
+
+// Image returns the image of the space under f (Definition 10): outcomes
+// are merged by the key returned by f, probabilities add. The payload of a
+// merged outcome is the payload returned by f for (any) contributing
+// outcome — f must return the same payload for outcomes with the same key.
+func (s *Space) Image(f func(Outcome) (string, interface{})) (*Space, error) {
+	merged := make(map[string]*Outcome)
+	var order []string
+	for _, o := range s.outcomes {
+		key, payload := f(o)
+		if m, ok := merged[key]; ok {
+			m.P += o.P
+			continue
+		}
+		merged[key] = &Outcome{Key: key, Payload: payload, P: o.P}
+		order = append(order, key)
+	}
+	out := make([]Outcome, 0, len(order))
+	for _, k := range order {
+		out = append(out, *merged[k])
+	}
+	return New(out)
+}
+
+// String renders the space as a list of outcome:probability pairs.
+func (s *Space) String() string {
+	parts := make([]string, len(s.outcomes))
+	for i, o := range s.outcomes {
+		parts[i] = fmt.Sprintf("%s:%.4g", o.Key, o.P)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// ApproxEqual reports whether two spaces have the same outcome keys with
+// probabilities equal within the tolerance.
+func (s *Space) ApproxEqual(t *Space, tol float64) bool {
+	if len(s.outcomes) != len(t.outcomes) {
+		// Allow outcomes of probability ~0 to be missing on either side.
+		return approxSubset(s, t, tol) && approxSubset(t, s, tol)
+	}
+	return approxSubset(s, t, tol) && approxSubset(t, s, tol)
+}
+
+func approxSubset(s, t *Space, tol float64) bool {
+	for _, o := range s.outcomes {
+		if math.Abs(o.P-t.P(o.Key)) > tol {
+			return false
+		}
+	}
+	return true
+}

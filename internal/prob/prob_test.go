@@ -1,0 +1,140 @@
+package prob
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"uncertaindb/internal/value"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty space must be rejected")
+	}
+	if _, err := New([]Outcome{{Key: "a", P: 0.5}, {Key: "a", P: 0.5}}); err == nil {
+		t.Fatal("duplicate keys must be rejected")
+	}
+	if _, err := New([]Outcome{{Key: "a", P: -0.1}, {Key: "b", P: 1.1}}); err == nil {
+		t.Fatal("negative probability must be rejected")
+	}
+	if _, err := New([]Outcome{{Key: "a", P: 0.5}, {Key: "b", P: 0.4}}); err == nil {
+		t.Fatal("probabilities not summing to 1 must be rejected")
+	}
+	s := MustNew([]Outcome{{Key: "a", P: 0.25}, {Key: "b", P: 0.75}})
+	if s.Size() != 2 || s.P("a") != 0.25 || s.P("missing") != 0 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestBernoulliAndValueSpace(t *testing.T) {
+	b, err := Bernoulli(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.P(value.Bool(true).Key())-0.3) > 1e-12 {
+		t.Fatal("Bernoulli wrong")
+	}
+	s := MustNewValueSpace(map[value.Value]float64{
+		value.Str("math"): 0.3, value.Str("phys"): 0.3, value.Str("chem"): 0.4,
+	})
+	if s.Size() != 3 {
+		t.Fatal("value space wrong size")
+	}
+	p := s.PEvent(func(o Outcome) bool { return o.ValuePayload() != value.Str("math") })
+	if math.Abs(p-0.7) > 1e-12 {
+		t.Fatalf("PEvent = %g", p)
+	}
+}
+
+func TestProductSpace(t *testing.T) {
+	a := MustNew([]Outcome{{Key: "a1", P: 0.5}, {Key: "a2", P: 0.5}})
+	b := MustNew([]Outcome{{Key: "b1", P: 0.1}, {Key: "b2", P: 0.9}})
+	p, err := Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 4 {
+		t.Fatalf("product size = %d", p.Size())
+	}
+	// Proposition 3(1): P[A1 × A2] = P[A1]·P[A2].
+	got := p.PEvent(func(o Outcome) bool {
+		comps := o.Payload.([]Outcome)
+		return comps[0].Key == "a1" && comps[1].Key == "b2"
+	})
+	if math.Abs(got-0.45) > 1e-12 {
+		t.Fatalf("product event probability = %g", got)
+	}
+	// Proposition 3(2): component events are independent.
+	pa := p.PEvent(func(o Outcome) bool { return o.Payload.([]Outcome)[0].Key == "a1" })
+	pb := p.PEvent(func(o Outcome) bool { return o.Payload.([]Outcome)[1].Key == "b2" })
+	if math.Abs(pa*pb-got) > 1e-12 {
+		t.Fatal("independence violated")
+	}
+}
+
+func TestProductOfNothing(t *testing.T) {
+	p, err := Product()
+	if err != nil || p.Size() != 1 || math.Abs(p.Outcomes()[0].P-1) > 1e-12 {
+		t.Fatalf("empty product = %v, %v", p, err)
+	}
+}
+
+func TestImageSpace(t *testing.T) {
+	s := MustNew([]Outcome{
+		{Key: "1", P: 0.2}, {Key: "2", P: 0.3}, {Key: "3", P: 0.5},
+	})
+	// Merge odd outcomes together.
+	img, err := s.Image(func(o Outcome) (string, interface{}) {
+		if o.Key == "2" {
+			return "even", nil
+		}
+		return "odd", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Size() != 2 || math.Abs(img.P("odd")-0.7) > 1e-12 || math.Abs(img.P("even")-0.3) > 1e-12 {
+		t.Fatalf("image = %v", img)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	a := MustNew([]Outcome{{Key: "x", P: 0.5}, {Key: "y", P: 0.5}})
+	b := MustNew([]Outcome{{Key: "y", P: 0.5000001}, {Key: "x", P: 0.4999999}})
+	if !a.ApproxEqual(b, 1e-3) {
+		t.Fatal("ApproxEqual should hold")
+	}
+	c := MustNew([]Outcome{{Key: "x", P: 1}})
+	if a.ApproxEqual(c, 1e-3) {
+		t.Fatal("ApproxEqual should fail")
+	}
+}
+
+func TestValuePayloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Outcome{Key: "k", Payload: 42}.ValuePayload()
+}
+
+// Property: product-space probabilities always sum to 1 and each component
+// marginal matches the original space.
+func TestQuickProductMarginals(t *testing.T) {
+	f := func(raw uint8) bool {
+		p := float64(raw%99+1) / 100
+		a := MustNew([]Outcome{{Key: "t", P: p}, {Key: "f", P: 1 - p}})
+		b := MustNew([]Outcome{{Key: "u", P: 0.25}, {Key: "v", P: 0.75}})
+		prod, err := Product(a, b)
+		if err != nil {
+			return false
+		}
+		marginal := prod.PEvent(func(o Outcome) bool { return o.Payload.([]Outcome)[0].Key == "t" })
+		return math.Abs(marginal-p) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

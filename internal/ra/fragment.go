@@ -1,0 +1,212 @@
+package ra
+
+import (
+	"sort"
+	"strings"
+)
+
+// Op identifies a relational algebra operator for fragment classification.
+type Op uint8
+
+// The operators of the algebra. SelectPos is recorded (in addition to
+// Select) when a selection's predicate is positive, so that membership in
+// the S⁺ fragments of Theorem 6 can be checked.
+const (
+	OpSelect Op = iota
+	OpSelectPos
+	OpProject
+	OpCross
+	OpJoin
+	OpUnion
+	OpDiff
+	OpIntersect
+	OpConst
+)
+
+// String names the operator with the letters used in the paper.
+func (o Op) String() string {
+	switch o {
+	case OpSelect:
+		return "S"
+	case OpSelectPos:
+		return "S+"
+	case OpProject:
+		return "P"
+	case OpCross:
+		return "×"
+	case OpJoin:
+		return "J"
+	case OpUnion:
+		return "U"
+	case OpDiff:
+		return "−"
+	case OpIntersect:
+		return "∩"
+	case OpConst:
+		return "const"
+	default:
+		return "?"
+	}
+}
+
+// Fragment is a sublanguage of the relational algebra, given by the set of
+// operators it permits. The named fragments of the paper are provided as
+// package variables. Cross product and θ-join are both counted as "J"
+// (the paper's SPJU fragment is select-project-join-union where join
+// subsumes cross product).
+type Fragment struct {
+	Name string
+	// allowSelect: arbitrary selections allowed; allowSelectPos: only
+	// positive selections allowed (ignored when allowSelect is true).
+	allowSelect    bool
+	allowSelectPos bool
+	allowProject   bool
+	allowJoin      bool
+	allowUnion     bool
+	allowDiff      bool
+	allowIntersect bool
+}
+
+// The query-language fragments used by the completion theorems.
+var (
+	// FragmentSP allows selection and projection (Theorem 5, case 2).
+	FragmentSP = Fragment{Name: "SP", allowSelect: true, allowSelectPos: true, allowProject: true}
+	// FragmentPJ allows projection and join/cross (Theorem 6, cases 1–3).
+	FragmentPJ = Fragment{Name: "PJ", allowProject: true, allowJoin: true}
+	// FragmentPU allows projection and union (Theorem 6, case 3).
+	FragmentPU = Fragment{Name: "PU", allowProject: true, allowUnion: true}
+	// FragmentSPlusP allows positive selection and projection (Theorem 6, case 2).
+	FragmentSPlusP = Fragment{Name: "S+P", allowSelectPos: true, allowProject: true}
+	// FragmentSPlusPJ allows positive selection, projection and join (Theorem 6, case 4).
+	FragmentSPlusPJ = Fragment{Name: "S+PJ", allowSelectPos: true, allowProject: true, allowJoin: true}
+	// FragmentSPJU allows selection, projection, join and union (Theorem 5, case 1).
+	FragmentSPJU = Fragment{Name: "SPJU", allowSelect: true, allowSelectPos: true, allowProject: true, allowJoin: true, allowUnion: true}
+	// FragmentRA is the full relational algebra (Theorem 7, Corollary 1).
+	FragmentRA = Fragment{Name: "RA", allowSelect: true, allowSelectPos: true, allowProject: true, allowJoin: true, allowUnion: true, allowDiff: true, allowIntersect: true}
+)
+
+// Allows reports whether the fragment permits the operator.
+func (f Fragment) Allows(op Op) bool {
+	switch op {
+	case OpSelect:
+		return f.allowSelect
+	case OpSelectPos:
+		return f.allowSelect || f.allowSelectPos
+	case OpProject:
+		return f.allowProject
+	case OpCross, OpJoin:
+		return f.allowJoin
+	case OpUnion:
+		return f.allowUnion
+	case OpDiff:
+		return f.allowDiff
+	case OpIntersect:
+		return f.allowIntersect
+	case OpConst:
+		return true
+	default:
+		return false
+	}
+}
+
+// Operators returns the multiset-free list of operators (with positive
+// selections reported as S+ when the predicate is positive) appearing in q.
+func Operators(q Query) []Op {
+	seen := map[Op]bool{}
+	var walk func(Query)
+	walk = func(q Query) {
+		switch q := q.(type) {
+		case SelectQ:
+			if q.Pred.Positive() {
+				seen[OpSelectPos] = true
+			} else {
+				seen[OpSelect] = true
+			}
+		case ProjectQ:
+			seen[OpProject] = true
+		case CrossQ:
+			seen[OpCross] = true
+		case JoinQ:
+			// A θ-join with a positive (equality-only) predicate counts as a
+			// plain join, matching the paper's use of "J" for natural/equi
+			// joins; a join with negations or inequalities also needs "S".
+			if !q.Pred.Positive() {
+				seen[OpSelect] = true
+			}
+			seen[OpJoin] = true
+		case UnionQ:
+			seen[OpUnion] = true
+		case DiffQ:
+			seen[OpDiff] = true
+		case IntersectQ:
+			seen[OpIntersect] = true
+		case ConstRel:
+			seen[OpConst] = true
+		}
+		for _, c := range q.children() {
+			walk(c)
+		}
+	}
+	walk(q)
+	ops := make([]Op, 0, len(seen))
+	for op := range seen {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	return ops
+}
+
+// InFragment reports whether every operator occurring in q is permitted by
+// the fragment f. A JoinQ with a non-positive predicate counts as using
+// both J and S; a SelectQ with a positive predicate counts as S⁺ only.
+func InFragment(q Query, f Fragment) bool {
+	ok := true
+	var walk func(Query)
+	walk = func(q Query) {
+		if !ok {
+			return
+		}
+		switch q := q.(type) {
+		case SelectQ:
+			if q.Pred.Positive() {
+				ok = ok && f.Allows(OpSelectPos)
+			} else {
+				ok = ok && f.Allows(OpSelect)
+			}
+		case ProjectQ:
+			ok = ok && f.Allows(OpProject)
+		case CrossQ:
+			ok = ok && f.Allows(OpCross)
+		case JoinQ:
+			ok = ok && f.Allows(OpJoin)
+			if !q.Pred.Positive() {
+				ok = ok && f.Allows(OpSelect)
+			}
+		case UnionQ:
+			ok = ok && f.Allows(OpUnion)
+		case DiffQ:
+			ok = ok && f.Allows(OpDiff)
+		case IntersectQ:
+			ok = ok && f.Allows(OpIntersect)
+		}
+		for _, c := range q.children() {
+			walk(c)
+		}
+	}
+	walk(q)
+	return ok
+}
+
+// DescribeOperators returns a compact string like "S+,P,J" describing the
+// operators used by q; useful in error messages and experiment reports.
+func DescribeOperators(q Query) string {
+	ops := Operators(q)
+	parts := make([]string, 0, len(ops))
+	for _, op := range ops {
+		if op == OpConst {
+			continue
+		}
+		parts = append(parts, op.String())
+	}
+	return strings.Join(parts, ",")
+}

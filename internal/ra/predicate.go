@@ -1,0 +1,291 @@
+// Package ra implements the relational algebra of the paper in its unnamed
+// (positional) form: selection σ, projection π, cross product ×, union ∪,
+// difference −, intersection ∩ and the derived θ-join, together with an
+// evaluator over conventional instances and classification of queries into
+// the operator fragments used by the algebraic-completion theorems
+// (SP, PJ, PU, SPJU, S⁺P, S⁺PJ, RA).
+package ra
+
+import (
+	"fmt"
+
+	"uncertaindb/internal/value"
+)
+
+// Term is either a (0-based) column reference or a constant; terms are the
+// operands of selection predicates.
+type Term struct {
+	IsCol bool
+	Col   int
+	Const value.Value
+}
+
+// Col returns the term referring to column i (0-based).
+func Col(i int) Term { return Term{IsCol: true, Col: i} }
+
+// Const returns the constant term v.
+func Const(v value.Value) Term { return Term{Const: v} }
+
+// ConstInt returns the constant term for the integer i.
+func ConstInt(i int64) Term { return Term{Const: value.Int(i)} }
+
+// String renders the term in the σ-subscript syntax of the paper: columns
+// are 1-based in the rendering, matching the paper's examples.
+func (t Term) String() string {
+	if t.IsCol {
+		return fmt.Sprintf("$%d", t.Col+1)
+	}
+	return t.Const.String()
+}
+
+// eval resolves the term against a tuple.
+func (t Term) eval(tp value.Tuple) value.Value {
+	if t.IsCol {
+		return tp[t.Col]
+	}
+	return t.Const
+}
+
+// maxCol returns the largest column index referenced, or -1 for constants.
+func (t Term) maxCol() int {
+	if t.IsCol {
+		return t.Col
+	}
+	return -1
+}
+
+// CmpOp is a comparison operator in a selection predicate.
+type CmpOp uint8
+
+// Comparison operators. The paper's conditions use only equality and
+// inequality; ordering comparisons are provided because they are standard
+// in RA selections and harmless for the results (they never appear in the
+// reproduction of the theorems).
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator.
+func (o CmpOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "≠"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "≤"
+	case OpGt:
+		return ">"
+	case OpGe:
+		return "≥"
+	default:
+		return "?"
+	}
+}
+
+// Negate returns the complementary operator (e.g. = ↦ ≠).
+func (o CmpOp) Negate() CmpOp {
+	switch o {
+	case OpEq:
+		return OpNe
+	case OpNe:
+		return OpEq
+	case OpLt:
+		return OpGe
+	case OpLe:
+		return OpGt
+	case OpGt:
+		return OpLe
+	case OpGe:
+		return OpLt
+	default:
+		return o
+	}
+}
+
+// Holds evaluates "a o b" on concrete values.
+func (o CmpOp) Holds(a, b value.Value) bool {
+	switch o {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a.Compare(b) < 0
+	case OpLe:
+		return a.Compare(b) <= 0
+	case OpGt:
+		return a.Compare(b) > 0
+	case OpGe:
+		return a.Compare(b) >= 0
+	default:
+		return false
+	}
+}
+
+// Predicate is a boolean combination of comparisons between terms, used as
+// the subscript of a selection.
+type Predicate interface {
+	// Holds evaluates the predicate on a concrete tuple.
+	Holds(t value.Tuple) bool
+	// MaxCol returns the largest column index mentioned (-1 if none).
+	MaxCol() int
+	// Positive reports whether the predicate lies in the positive fragment
+	// used by the S⁺ selections of the paper: negation-free and built only
+	// from equality comparisons, conjunction and disjunction.
+	Positive() bool
+	fmt.Stringer
+}
+
+// TruePred is the always-true predicate.
+type TruePred struct{}
+
+// FalsePred is the always-false predicate.
+type FalsePred struct{}
+
+// Cmp is the atomic comparison "Left Op Right".
+type Cmp struct {
+	Left  Term
+	Op    CmpOp
+	Right Term
+}
+
+// And is conjunction of one or more predicates.
+type And struct{ Preds []Predicate }
+
+// Or is disjunction of one or more predicates.
+type Or struct{ Preds []Predicate }
+
+// Not is negation of a predicate.
+type Not struct{ Pred Predicate }
+
+// True returns the always-true predicate.
+func True() Predicate { return TruePred{} }
+
+// False returns the always-false predicate.
+func False() Predicate { return FalsePred{} }
+
+// Eq returns the predicate l = r.
+func Eq(l, r Term) Predicate { return Cmp{Left: l, Op: OpEq, Right: r} }
+
+// Ne returns the predicate l ≠ r.
+func Ne(l, r Term) Predicate { return Cmp{Left: l, Op: OpNe, Right: r} }
+
+// Compare returns the predicate l op r.
+func Compare(l Term, op CmpOp, r Term) Predicate { return Cmp{Left: l, Op: op, Right: r} }
+
+// AndOf returns the conjunction of the given predicates (True if empty).
+func AndOf(ps ...Predicate) Predicate {
+	if len(ps) == 0 {
+		return TruePred{}
+	}
+	if len(ps) == 1 {
+		return ps[0]
+	}
+	return And{Preds: ps}
+}
+
+// OrOf returns the disjunction of the given predicates (False if empty).
+func OrOf(ps ...Predicate) Predicate {
+	if len(ps) == 0 {
+		return FalsePred{}
+	}
+	if len(ps) == 1 {
+		return ps[0]
+	}
+	return Or{Preds: ps}
+}
+
+// NotOf returns the negation of p.
+func NotOf(p Predicate) Predicate { return Not{Pred: p} }
+
+func (TruePred) Holds(value.Tuple) bool { return true }
+func (TruePred) MaxCol() int            { return -1 }
+func (TruePred) Positive() bool         { return true }
+func (TruePred) String() string         { return "true" }
+
+func (FalsePred) Holds(value.Tuple) bool { return false }
+func (FalsePred) MaxCol() int            { return -1 }
+func (FalsePred) Positive() bool         { return true }
+func (FalsePred) String() string         { return "false" }
+
+func (c Cmp) Holds(t value.Tuple) bool { return c.Op.Holds(c.Left.eval(t), c.Right.eval(t)) }
+
+func (c Cmp) MaxCol() int {
+	m := c.Left.maxCol()
+	if r := c.Right.maxCol(); r > m {
+		m = r
+	}
+	return m
+}
+
+func (c Cmp) Positive() bool { return c.Op == OpEq }
+
+func (c Cmp) String() string { return c.Left.String() + c.Op.String() + c.Right.String() }
+
+func (a And) Holds(t value.Tuple) bool {
+	for _, p := range a.Preds {
+		if !p.Holds(t) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a And) MaxCol() int    { return maxColOf(a.Preds) }
+func (a And) Positive() bool { return allPositive(a.Preds) }
+func (a And) String() string { return joinPreds(a.Preds, " ∧ ") }
+func (o Or) Holds(t value.Tuple) bool {
+	for _, p := range o.Preds {
+		if p.Holds(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func (o Or) MaxCol() int    { return maxColOf(o.Preds) }
+func (o Or) Positive() bool { return allPositive(o.Preds) }
+func (o Or) String() string { return joinPreds(o.Preds, " ∨ ") }
+
+func (n Not) Holds(t value.Tuple) bool { return !n.Pred.Holds(t) }
+func (n Not) MaxCol() int              { return n.Pred.MaxCol() }
+func (n Not) Positive() bool           { return false }
+func (n Not) String() string           { return "¬(" + n.Pred.String() + ")" }
+
+func maxColOf(ps []Predicate) int {
+	m := -1
+	for _, p := range ps {
+		if c := p.MaxCol(); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+func allPositive(ps []Predicate) bool {
+	for _, p := range ps {
+		if !p.Positive() {
+			return false
+		}
+	}
+	return true
+}
+
+func joinPreds(ps []Predicate, sep string) string {
+	s := "("
+	for i, p := range ps {
+		if i > 0 {
+			s += sep
+		}
+		s += p.String()
+	}
+	return s + ")"
+}

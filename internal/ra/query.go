@@ -1,0 +1,310 @@
+package ra
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
+)
+
+// Query is a relational algebra expression. Queries are immutable trees;
+// all constructors perform no validation — use Arity/Validate to check
+// well-formedness against an environment of input-relation arities.
+type Query interface {
+	fmt.Stringer
+	// children returns the sub-queries, used by generic tree walks.
+	children() []Query
+}
+
+// BaseRel references an input relation by name.
+type BaseRel struct{ Name string }
+
+// ConstRel is a constant relation embedded in the query (the singletons
+// {c} of the Theorem 1 construction and the instance-building queries of
+// Theorem 7 are constant relations).
+type ConstRel struct{ Rel *relation.Relation }
+
+// SelectQ is σ_Pred(Input).
+type SelectQ struct {
+	Pred  Predicate
+	Input Query
+}
+
+// ProjectQ is π_Cols(Input), with 0-based column indexes.
+type ProjectQ struct {
+	Cols  []int
+	Input Query
+}
+
+// CrossQ is Left × Right.
+type CrossQ struct{ Left, Right Query }
+
+// JoinQ is the θ-join Left ⋈_Pred Right, a derived operator equal to
+// σ_Pred(Left × Right) with Pred over the concatenated columns.
+type JoinQ struct {
+	Left, Right Query
+	Pred        Predicate
+}
+
+// UnionQ is Left ∪ Right.
+type UnionQ struct{ Left, Right Query }
+
+// DiffQ is Left − Right.
+type DiffQ struct{ Left, Right Query }
+
+// IntersectQ is Left ∩ Right.
+type IntersectQ struct{ Left, Right Query }
+
+// Rel returns a reference to the input relation called name.
+func Rel(name string) Query { return BaseRel{Name: name} }
+
+// Constant returns a constant-relation query.
+func Constant(r *relation.Relation) Query { return ConstRel{Rel: r} }
+
+// SingletonConst returns the constant query for the one-tuple relation {t}.
+func SingletonConst(t value.Tuple) Query { return ConstRel{Rel: relation.Singleton(t)} }
+
+// Select returns σ_p(q).
+func Select(p Predicate, q Query) Query { return SelectQ{Pred: p, Input: q} }
+
+// Project returns π_cols(q) with 0-based columns.
+func Project(cols []int, q Query) Query {
+	return ProjectQ{Cols: append([]int(nil), cols...), Input: q}
+}
+
+// Cross returns l × r.
+func Cross(l, r Query) Query { return CrossQ{Left: l, Right: r} }
+
+// Join returns l ⋈_p r.
+func Join(l, r Query, p Predicate) Query { return JoinQ{Left: l, Right: r, Pred: p} }
+
+// Union returns l ∪ r.
+func Union(l, r Query) Query { return UnionQ{Left: l, Right: r} }
+
+// Diff returns l − r.
+func Diff(l, r Query) Query { return DiffQ{Left: l, Right: r} }
+
+// Intersect returns l ∩ r.
+func Intersect(l, r Query) Query { return IntersectQ{Left: l, Right: r} }
+
+// UnionAll folds a non-empty list of queries into a left-deep union.
+func UnionAll(qs ...Query) Query {
+	if len(qs) == 0 {
+		panic("ra: UnionAll of nothing")
+	}
+	q := qs[0]
+	for _, rest := range qs[1:] {
+		q = Union(q, rest)
+	}
+	return q
+}
+
+// CrossAll folds a non-empty list of queries into a left-deep cross product.
+func CrossAll(qs ...Query) Query {
+	if len(qs) == 0 {
+		panic("ra: CrossAll of nothing")
+	}
+	q := qs[0]
+	for _, rest := range qs[1:] {
+		q = Cross(q, rest)
+	}
+	return q
+}
+
+func (q BaseRel) children() []Query    { return nil }
+func (q ConstRel) children() []Query   { return nil }
+func (q SelectQ) children() []Query    { return []Query{q.Input} }
+func (q ProjectQ) children() []Query   { return []Query{q.Input} }
+func (q CrossQ) children() []Query     { return []Query{q.Left, q.Right} }
+func (q JoinQ) children() []Query      { return []Query{q.Left, q.Right} }
+func (q UnionQ) children() []Query     { return []Query{q.Left, q.Right} }
+func (q DiffQ) children() []Query      { return []Query{q.Left, q.Right} }
+func (q IntersectQ) children() []Query { return []Query{q.Left, q.Right} }
+
+func (q BaseRel) String() string  { return q.Name }
+func (q ConstRel) String() string { return q.Rel.String() }
+func (q SelectQ) String() string  { return "σ[" + q.Pred.String() + "](" + q.Input.String() + ")" }
+
+func (q ProjectQ) String() string {
+	cols := make([]string, len(q.Cols))
+	for i, c := range q.Cols {
+		cols[i] = strconv.Itoa(c + 1)
+	}
+	return "π[" + strings.Join(cols, ",") + "](" + q.Input.String() + ")"
+}
+
+func (q CrossQ) String() string { return "(" + q.Left.String() + " × " + q.Right.String() + ")" }
+func (q JoinQ) String() string {
+	return "(" + q.Left.String() + " ⋈[" + q.Pred.String() + "] " + q.Right.String() + ")"
+}
+func (q UnionQ) String() string { return "(" + q.Left.String() + " ∪ " + q.Right.String() + ")" }
+func (q DiffQ) String() string  { return "(" + q.Left.String() + " − " + q.Right.String() + ")" }
+func (q IntersectQ) String() string {
+	return "(" + q.Left.String() + " ∩ " + q.Right.String() + ")"
+}
+
+// Env maps input relation names to their instances for evaluation.
+type Env map[string]*relation.Relation
+
+// ArityEnv maps input relation names to arities for static validation.
+type ArityEnv map[string]int
+
+// Arity computes the output arity of q under the given input arities,
+// validating the query along the way: projection indexes must be in range,
+// selection predicates must only reference existing columns, and the
+// operands of ∪, −, ∩ must have equal arity.
+func Arity(q Query, env ArityEnv) (int, error) {
+	switch q := q.(type) {
+	case BaseRel:
+		a, ok := env[q.Name]
+		if !ok {
+			return 0, fmt.Errorf("ra: unknown relation %q", q.Name)
+		}
+		return a, nil
+	case ConstRel:
+		return q.Rel.Arity(), nil
+	case SelectQ:
+		a, err := Arity(q.Input, env)
+		if err != nil {
+			return 0, err
+		}
+		if q.Pred.MaxCol() >= a {
+			return 0, fmt.Errorf("ra: selection predicate %s references column beyond arity %d", q.Pred, a)
+		}
+		return a, nil
+	case ProjectQ:
+		a, err := Arity(q.Input, env)
+		if err != nil {
+			return 0, err
+		}
+		for _, c := range q.Cols {
+			if c < 0 || c >= a {
+				return 0, fmt.Errorf("ra: projection column %d out of range for arity %d", c+1, a)
+			}
+		}
+		return len(q.Cols), nil
+	case CrossQ:
+		l, err := Arity(q.Left, env)
+		if err != nil {
+			return 0, err
+		}
+		r, err := Arity(q.Right, env)
+		if err != nil {
+			return 0, err
+		}
+		return l + r, nil
+	case JoinQ:
+		l, err := Arity(q.Left, env)
+		if err != nil {
+			return 0, err
+		}
+		r, err := Arity(q.Right, env)
+		if err != nil {
+			return 0, err
+		}
+		if q.Pred.MaxCol() >= l+r {
+			return 0, fmt.Errorf("ra: join predicate %s references column beyond arity %d", q.Pred, l+r)
+		}
+		return l + r, nil
+	case UnionQ:
+		return binarySameArity(q.Left, q.Right, env, "∪")
+	case DiffQ:
+		return binarySameArity(q.Left, q.Right, env, "−")
+	case IntersectQ:
+		return binarySameArity(q.Left, q.Right, env, "∩")
+	default:
+		return 0, fmt.Errorf("ra: unknown query node %T", q)
+	}
+}
+
+func binarySameArity(l, r Query, env ArityEnv, op string) (int, error) {
+	la, err := Arity(l, env)
+	if err != nil {
+		return 0, err
+	}
+	ra, err := Arity(r, env)
+	if err != nil {
+		return 0, err
+	}
+	if la != ra {
+		return 0, fmt.Errorf("ra: %s operands have arities %d and %d", op, la, ra)
+	}
+	return la, nil
+}
+
+// InputNames returns the set of input relation names referenced by q.
+func InputNames(q Query) map[string]bool {
+	names := make(map[string]bool)
+	var walk func(Query)
+	walk = func(q Query) {
+		if b, ok := q.(BaseRel); ok {
+			names[b.Name] = true
+		}
+		for _, c := range q.children() {
+			walk(c)
+		}
+	}
+	walk(q)
+	return names
+}
+
+// Eval evaluates q over the environment env of conventional instances.
+// It returns an error if the query is ill-formed with respect to env.
+func Eval(q Query, env Env) (*relation.Relation, error) {
+	arities := make(ArityEnv, len(env))
+	for name, r := range env {
+		arities[name] = r.Arity()
+	}
+	if _, err := Arity(q, arities); err != nil {
+		return nil, err
+	}
+	return eval(q, env), nil
+}
+
+// MustEval is Eval that panics on error; it is convenient in tests and in
+// internal constructions that build queries known to be well-formed.
+func MustEval(q Query, env Env) *relation.Relation {
+	r, err := Eval(q, env)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// EvalSingle evaluates a query with a single input relation name over the
+// instance in, binding every BaseRel occurrence to in regardless of name.
+// This matches the paper's convention of queries with one input relation.
+func EvalSingle(q Query, in *relation.Relation) (*relation.Relation, error) {
+	env := Env{}
+	for name := range InputNames(q) {
+		env[name] = in
+	}
+	return Eval(q, env)
+}
+
+func eval(q Query, env Env) *relation.Relation {
+	switch q := q.(type) {
+	case BaseRel:
+		return env[q.Name]
+	case ConstRel:
+		return q.Rel
+	case SelectQ:
+		return relation.Select(eval(q.Input, env), q.Pred.Holds)
+	case ProjectQ:
+		return relation.Project(eval(q.Input, env), q.Cols)
+	case CrossQ:
+		return relation.CrossProduct(eval(q.Left, env), eval(q.Right, env))
+	case JoinQ:
+		return relation.Select(relation.CrossProduct(eval(q.Left, env), eval(q.Right, env)), q.Pred.Holds)
+	case UnionQ:
+		return relation.Union(eval(q.Left, env), eval(q.Right, env))
+	case DiffQ:
+		return relation.Difference(eval(q.Left, env), eval(q.Right, env))
+	case IntersectQ:
+		return relation.Intersection(eval(q.Left, env), eval(q.Right, env))
+	default:
+		panic(fmt.Sprintf("ra: unknown query node %T", q))
+	}
+}

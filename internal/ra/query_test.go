@@ -1,0 +1,280 @@
+package ra
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
+)
+
+func ints(rows ...[]int64) *relation.Relation { return relation.FromInts(rows...) }
+
+func TestEvalBaseAndConst(t *testing.T) {
+	r := ints([]int64{1, 2}, []int64{3, 4})
+	got, err := Eval(Rel("R"), Env{"R": r})
+	if err != nil || !got.Equal(r) {
+		t.Fatalf("base eval: %v %v", got, err)
+	}
+	got, err = Eval(Constant(r), Env{})
+	if err != nil || !got.Equal(r) {
+		t.Fatalf("const eval: %v %v", got, err)
+	}
+	if _, err := Eval(Rel("missing"), Env{}); err == nil {
+		t.Fatal("expected error for unknown relation")
+	}
+}
+
+func TestEvalSelect(t *testing.T) {
+	r := ints([]int64{1, 1}, []int64{1, 2}, []int64{2, 2})
+	q := Select(Eq(Col(0), Col(1)), Rel("R"))
+	got := MustEval(q, Env{"R": r})
+	if !got.Equal(ints([]int64{1, 1}, []int64{2, 2})) {
+		t.Fatalf("select = %v", got)
+	}
+	q = Select(Ne(Col(0), ConstInt(1)), Rel("R"))
+	got = MustEval(q, Env{"R": r})
+	if !got.Equal(ints([]int64{2, 2})) {
+		t.Fatalf("select ≠ = %v", got)
+	}
+}
+
+func TestEvalProjectCrossJoin(t *testing.T) {
+	r := ints([]int64{1, 10}, []int64{2, 20})
+	s := ints([]int64{1, 100}, []int64{3, 300})
+	p := MustEval(Project([]int{1}, Rel("R")), Env{"R": r})
+	if !p.Equal(ints([]int64{10}, []int64{20})) {
+		t.Fatalf("project = %v", p)
+	}
+	x := MustEval(Cross(Rel("R"), Rel("S")), Env{"R": r, "S": s})
+	if x.Size() != 4 || x.Arity() != 4 {
+		t.Fatalf("cross = %v", x)
+	}
+	j := MustEval(Join(Rel("R"), Rel("S"), Eq(Col(0), Col(2))), Env{"R": r, "S": s})
+	if !j.Equal(relation.NewFromTuples(4, value.Ints(1, 10, 1, 100))) {
+		t.Fatalf("join = %v", j)
+	}
+}
+
+func TestEvalSetOps(t *testing.T) {
+	a := ints([]int64{1}, []int64{2})
+	b := ints([]int64{2}, []int64{3})
+	env := Env{"A": a, "B": b}
+	if got := MustEval(Union(Rel("A"), Rel("B")), env); got.Size() != 3 {
+		t.Fatalf("union = %v", got)
+	}
+	if got := MustEval(Diff(Rel("A"), Rel("B")), env); !got.Equal(ints([]int64{1})) {
+		t.Fatalf("diff = %v", got)
+	}
+	if got := MustEval(Intersect(Rel("A"), Rel("B")), env); !got.Equal(ints([]int64{2})) {
+		t.Fatalf("intersect = %v", got)
+	}
+}
+
+func TestArityValidation(t *testing.T) {
+	env := ArityEnv{"R": 2, "S": 3}
+	cases := []struct {
+		q    Query
+		want int
+		ok   bool
+	}{
+		{Rel("R"), 2, true},
+		{Rel("X"), 0, false},
+		{Project([]int{0, 0, 1}, Rel("R")), 3, true},
+		{Project([]int{2}, Rel("R")), 0, false},
+		{Select(Eq(Col(1), ConstInt(5)), Rel("R")), 2, true},
+		{Select(Eq(Col(2), ConstInt(5)), Rel("R")), 0, false},
+		{Cross(Rel("R"), Rel("S")), 5, true},
+		{Join(Rel("R"), Rel("S"), Eq(Col(4), Col(0))), 5, true},
+		{Join(Rel("R"), Rel("S"), Eq(Col(5), Col(0))), 0, false},
+		{Union(Rel("R"), Rel("S")), 0, false},
+		{Union(Rel("R"), Rel("R")), 2, true},
+		{Diff(Rel("R"), Project([]int{0, 1}, Rel("S"))), 2, true},
+		{Intersect(Rel("R"), Rel("S")), 0, false},
+	}
+	for i, c := range cases {
+		got, err := Arity(c.q, env)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("case %d (%s): got %d, %v; want %d", i, c.q, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("case %d (%s): expected error", i, c.q)
+		}
+	}
+}
+
+func TestEvalSingleBindsAllNames(t *testing.T) {
+	r := ints([]int64{1}, []int64{2})
+	q := Union(Rel("V"), Rel("W"))
+	got, err := EvalSingle(q, r)
+	if err != nil || !got.Equal(r) {
+		t.Fatalf("EvalSingle = %v, %v", got, err)
+	}
+}
+
+func TestPredicateEvaluation(t *testing.T) {
+	tp := value.Ints(1, 2, 2)
+	cases := []struct {
+		p    Predicate
+		want bool
+	}{
+		{True(), true},
+		{False(), false},
+		{Eq(Col(1), Col(2)), true},
+		{Eq(Col(0), Col(1)), false},
+		{Ne(Col(0), Col(1)), true},
+		{Compare(Col(0), OpLt, Col(1)), true},
+		{Compare(Col(0), OpGe, Col(1)), false},
+		{Compare(Col(2), OpLe, ConstInt(2)), true},
+		{Compare(Col(2), OpGt, ConstInt(2)), false},
+		{AndOf(Eq(Col(1), Col(2)), Ne(Col(0), Col(1))), true},
+		{AndOf(Eq(Col(1), Col(2)), Eq(Col(0), Col(1))), false},
+		{OrOf(Eq(Col(0), Col(1)), Eq(Col(1), Col(2))), true},
+		{OrOf(), false},
+		{AndOf(), true},
+		{NotOf(Eq(Col(0), Col(1))), true},
+	}
+	for i, c := range cases {
+		if got := c.p.Holds(tp); got != c.want {
+			t.Errorf("case %d (%s): got %v, want %v", i, c.p, got, c.want)
+		}
+	}
+}
+
+func TestPredicatePositive(t *testing.T) {
+	if !AndOf(Eq(Col(0), Col(1)), OrOf(Eq(Col(0), ConstInt(1)), True())).Positive() {
+		t.Fatal("positive predicate misclassified")
+	}
+	if Ne(Col(0), Col(1)).Positive() || NotOf(Eq(Col(0), Col(1))).Positive() {
+		t.Fatal("negative predicate misclassified")
+	}
+	if Compare(Col(0), OpLt, Col(1)).Positive() {
+		t.Fatal("ordering comparison should not be positive")
+	}
+}
+
+func TestCmpOpNegate(t *testing.T) {
+	ops := []CmpOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	for _, op := range ops {
+		if op.Negate().Negate() != op {
+			t.Errorf("double negation of %v changed it", op)
+		}
+	}
+	a, b := value.Int(1), value.Int(2)
+	for _, op := range ops {
+		if op.Holds(a, b) == op.Negate().Holds(a, b) {
+			t.Errorf("%v and its negation agree", op)
+		}
+	}
+}
+
+func TestFragmentMembership(t *testing.T) {
+	sel := Select(Ne(Col(0), ConstInt(1)), Rel("R"))
+	selPos := Select(Eq(Col(0), ConstInt(1)), Rel("R"))
+	proj := Project([]int{0}, Rel("R"))
+	cross := Cross(Rel("R"), Rel("R"))
+	union := Union(Rel("R"), Rel("R"))
+	diff := Diff(Rel("R"), Rel("R"))
+
+	cases := []struct {
+		q    Query
+		f    Fragment
+		want bool
+	}{
+		{sel, FragmentSP, true},
+		{sel, FragmentSPlusP, false},
+		{selPos, FragmentSPlusP, true},
+		{proj, FragmentPJ, true},
+		{cross, FragmentPJ, true},
+		{cross, FragmentSP, false},
+		{union, FragmentPU, true},
+		{union, FragmentPJ, false},
+		{diff, FragmentSPJU, false},
+		{diff, FragmentRA, true},
+		{Join(Rel("R"), Rel("R"), Eq(Col(0), Col(1))), FragmentSPlusPJ, true},
+		{Join(Rel("R"), Rel("R"), Eq(Col(0), Col(1))), FragmentPJ, true},
+		{Join(Rel("R"), Rel("R"), Ne(Col(0), Col(1))), FragmentSPlusPJ, false},
+		{Join(Rel("R"), Rel("R"), True()), FragmentPJ, true},
+		{Project([]int{0}, Select(Eq(Col(0), ConstInt(3)), Cross(Rel("R"), Rel("R")))), FragmentSPJU, true},
+	}
+	for i, c := range cases {
+		if got := InFragment(c.q, c.f); got != c.want {
+			t.Errorf("case %d: InFragment(%s, %s) = %v, want %v (ops %s)", i, c.q, c.f.Name, got, c.want, DescribeOperators(c.q))
+		}
+	}
+}
+
+func TestOperatorsAndDescribe(t *testing.T) {
+	q := Union(Project([]int{0}, Select(Ne(Col(0), ConstInt(1)), Rel("R"))), Constant(ints([]int64{7})))
+	desc := DescribeOperators(q)
+	if desc != "S,P,U" {
+		t.Fatalf("DescribeOperators = %q", desc)
+	}
+}
+
+func TestQueryStrings(t *testing.T) {
+	q := Project([]int{0, 2}, Select(AndOf(Eq(Col(0), Col(1)), Ne(Col(2), ConstInt(2))), Cross(Rel("R"), Rel("S"))))
+	s := q.String()
+	for _, want := range []string{"π[1,3]", "σ[", "$1=$2", "$3≠2", "R × S"} {
+		if !contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+// Property: σ_true is identity, σ_false is empty and π over all columns is
+// identity, on random unary/binary relations.
+func TestQuickAlgebraLaws(t *testing.T) {
+	mk := func(rows [][2]int64) *relation.Relation {
+		r := relation.New(2)
+		for _, row := range rows {
+			r.Add(value.Ints(row[0], row[1]))
+		}
+		return r
+	}
+	f := func(rows [][2]int64) bool {
+		r := mk(rows)
+		env := Env{"R": r}
+		if !MustEval(Select(True(), Rel("R")), env).Equal(r) {
+			return false
+		}
+		if MustEval(Select(False(), Rel("R")), env).Size() != 0 {
+			return false
+		}
+		return MustEval(Project([]int{0, 1}, Rel("R")), env).Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cross product distributes over union: A × (B ∪ C) = (A×B) ∪ (A×C).
+func TestQuickCrossDistributesOverUnion(t *testing.T) {
+	mk := func(xs []int64) *relation.Relation {
+		r := relation.New(1)
+		for _, x := range xs {
+			r.Add(value.Ints(x))
+		}
+		return r
+	}
+	f := func(xs, ys, zs []int64) bool {
+		env := Env{"A": mk(xs), "B": mk(ys), "C": mk(zs)}
+		lhs := MustEval(Cross(Rel("A"), Union(Rel("B"), Rel("C"))), env)
+		rhs := MustEval(Union(Cross(Rel("A"), Rel("B")), Cross(Rel("A"), Rel("C"))), env)
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package relation
+
+import "uncertaindb/internal/value"
+
+// Union returns r ∪ s. Both relations must have the same arity.
+func Union(r, s *Relation) *Relation {
+	mustSameArity(r, s)
+	out := r.Copy()
+	out.names = nil
+	for _, t := range s.tuples {
+		out.Add(t)
+	}
+	return out
+}
+
+// Difference returns r − s. Both relations must have the same arity.
+func Difference(r, s *Relation) *Relation {
+	mustSameArity(r, s)
+	out := New(r.arity)
+	for _, t := range r.tuples {
+		if !s.Contains(t) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Intersection returns r ∩ s. Both relations must have the same arity.
+func Intersection(r, s *Relation) *Relation {
+	mustSameArity(r, s)
+	out := New(r.arity)
+	for _, t := range r.tuples {
+		if s.Contains(t) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// CrossProduct returns r × s, whose arity is the sum of the arities.
+func CrossProduct(r, s *Relation) *Relation {
+	out := New(r.arity + s.arity)
+	for _, a := range r.tuples {
+		for _, b := range s.tuples {
+			out.Add(a.Concat(b))
+		}
+	}
+	return out
+}
+
+// Project returns π_idx(r) with 0-based column indexes; columns may be
+// repeated or reordered, matching the unnamed algebra of the paper.
+func Project(r *Relation, idx []int) *Relation {
+	for _, j := range idx {
+		if j < 0 || j >= r.arity {
+			panic("relation: projection index out of range")
+		}
+	}
+	out := New(len(idx))
+	for _, t := range r.tuples {
+		out.Add(t.Project(idx))
+	}
+	return out
+}
+
+// Select returns σ_pred(r) for an arbitrary tuple predicate.
+func Select(r *Relation, pred func(value.Tuple) bool) *Relation {
+	out := New(r.arity)
+	for _, t := range r.tuples {
+		if pred(t) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Singleton returns the one-tuple relation {t}.
+func Singleton(t value.Tuple) *Relation {
+	r := New(len(t))
+	r.Add(t)
+	return r
+}
+
+func mustSameArity(r, s *Relation) {
+	if r.arity != s.arity {
+		panic("relation: arity mismatch")
+	}
+}

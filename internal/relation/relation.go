@@ -1,0 +1,161 @@
+// Package relation implements conventional relational instances: finite
+// n-ary relations over the value domain D (the set N of the paper, whose
+// elements are the "possible worlds" of an incomplete database).
+//
+// The paper uses the unnamed perspective of the relational algebra, so a
+// Relation is essentially a set of value.Tuple of a fixed arity; attribute
+// names are carried only as optional presentation metadata.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uncertaindb/internal/value"
+)
+
+// Relation is a finite set of tuples of a fixed arity. The zero Relation is
+// not usable; construct relations with New or NewFromTuples.
+type Relation struct {
+	arity  int
+	names  []string // optional column names, len == arity when set
+	tuples map[string]value.Tuple
+}
+
+// New returns an empty relation of the given arity.
+func New(arity int) *Relation {
+	if arity < 0 {
+		panic("relation: negative arity")
+	}
+	return &Relation{arity: arity, tuples: make(map[string]value.Tuple)}
+}
+
+// NewFromTuples returns a relation of the given arity containing the given
+// tuples. It panics if a tuple has the wrong arity.
+func NewFromTuples(arity int, tuples ...value.Tuple) *Relation {
+	r := New(arity)
+	for _, t := range tuples {
+		r.Add(t)
+	}
+	return r
+}
+
+// FromInts builds a relation out of rows of integer literals; a convenience
+// mirroring the integer tables in the paper's examples.
+func FromInts(rows ...[]int64) *Relation {
+	if len(rows) == 0 {
+		panic("relation: FromInts needs at least one row to determine arity")
+	}
+	r := New(len(rows[0]))
+	for _, row := range rows {
+		r.Add(value.Ints(row...))
+	}
+	return r
+}
+
+// WithNames attaches presentation column names to r and returns r.
+// It panics if the number of names does not match the arity.
+func (r *Relation) WithNames(names ...string) *Relation {
+	if len(names) != r.arity {
+		panic(fmt.Sprintf("relation: %d names for arity %d", len(names), r.arity))
+	}
+	r.names = append([]string(nil), names...)
+	return r
+}
+
+// Names returns the presentation column names, or nil if none were set.
+func (r *Relation) Names() []string { return r.names }
+
+// Arity returns the arity of r.
+func (r *Relation) Arity() int { return r.arity }
+
+// Size returns the number of tuples in r.
+func (r *Relation) Size() int { return len(r.tuples) }
+
+// IsEmpty reports whether r contains no tuples.
+func (r *Relation) IsEmpty() bool { return len(r.tuples) == 0 }
+
+// Add inserts t into r (set semantics: duplicates are absorbed).
+// It panics if t has the wrong arity.
+func (r *Relation) Add(t value.Tuple) {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("relation: tuple arity %d, relation arity %d", len(t), r.arity))
+	}
+	r.tuples[t.Key()] = t.Copy()
+}
+
+// Remove deletes t from r if present.
+func (r *Relation) Remove(t value.Tuple) { delete(r.tuples, t.Key()) }
+
+// Contains reports whether t is a member of r.
+func (r *Relation) Contains(t value.Tuple) bool {
+	_, ok := r.tuples[t.Key()]
+	return ok
+}
+
+// Tuples returns the tuples of r in canonical (sorted) order.
+func (r *Relation) Tuples() []value.Tuple {
+	out := make([]value.Tuple, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Copy returns an independent copy of r (names included).
+func (r *Relation) Copy() *Relation {
+	c := New(r.arity)
+	if r.names != nil {
+		c.names = append([]string(nil), r.names...)
+	}
+	for k, t := range r.tuples {
+		c.tuples[k] = t.Copy()
+	}
+	return c
+}
+
+// Equal reports whether r and s contain exactly the same tuples (names are
+// ignored: they are presentation metadata only).
+func (r *Relation) Equal(s *Relation) bool {
+	if r.arity != s.arity || len(r.tuples) != len(s.tuples) {
+		return false
+	}
+	for k := range r.tuples {
+		if _, ok := s.tuples[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string encoding of r's contents, injective on
+// relations of the same arity. It is used to deduplicate possible worlds.
+func (r *Relation) Key() string {
+	keys := make([]string, 0, len(r.tuples))
+	for k := range r.tuples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return fmt.Sprintf("%d;%s", r.arity, strings.Join(keys, "#"))
+}
+
+// String renders r as a set of tuples in canonical order.
+func (r *Relation) String() string {
+	ts := r.Tuples()
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// ActiveDomain returns the set of values appearing anywhere in r.
+func (r *Relation) ActiveDomain() *value.Domain {
+	var vs []value.Value
+	for _, t := range r.tuples {
+		vs = append(vs, t...)
+	}
+	return value.NewDomain(vs...)
+}

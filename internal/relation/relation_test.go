@@ -1,0 +1,204 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uncertaindb/internal/value"
+)
+
+func TestAddContainsRemove(t *testing.T) {
+	r := New(2)
+	r.Add(value.Ints(1, 2))
+	r.Add(value.Ints(1, 2)) // duplicate absorbed
+	r.Add(value.Ints(3, 4))
+	if r.Size() != 2 {
+		t.Fatalf("size = %d, want 2", r.Size())
+	}
+	if !r.Contains(value.Ints(1, 2)) || r.Contains(value.Ints(2, 1)) {
+		t.Fatal("Contains wrong")
+	}
+	r.Remove(value.Ints(1, 2))
+	if r.Size() != 1 || r.Contains(value.Ints(1, 2)) {
+		t.Fatal("Remove wrong")
+	}
+}
+
+func TestArityPanics(t *testing.T) {
+	r := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arity mismatch")
+		}
+	}()
+	r.Add(value.Ints(1, 2, 3))
+}
+
+func TestEqualAndKey(t *testing.T) {
+	a := FromInts([]int64{1, 2}, []int64{3, 4})
+	b := FromInts([]int64{3, 4}, []int64{1, 2})
+	c := FromInts([]int64{1, 2})
+	if !a.Equal(b) || a.Key() != b.Key() {
+		t.Fatal("order must not matter")
+	}
+	if a.Equal(c) || a.Key() == c.Key() {
+		t.Fatal("distinct relations compared equal")
+	}
+	if a.Equal(New(3)) {
+		t.Fatal("arity mismatch compared equal")
+	}
+}
+
+func TestCopyIndependence(t *testing.T) {
+	a := FromInts([]int64{1, 2})
+	b := a.Copy()
+	b.Add(value.Ints(5, 6))
+	if a.Size() != 1 || b.Size() != 2 {
+		t.Fatal("Copy is not independent")
+	}
+}
+
+func TestTuplesSorted(t *testing.T) {
+	a := FromInts([]int64{3, 0}, []int64{1, 9}, []int64{1, 2})
+	ts := a.Tuples()
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1].Compare(ts[i]) >= 0 {
+			t.Fatal("Tuples not sorted")
+		}
+	}
+}
+
+func TestStringAndNames(t *testing.T) {
+	a := FromInts([]int64{1, 2}).WithNames("x", "y")
+	if got := a.String(); got != "{(1, 2)}" {
+		t.Fatalf("String = %q", got)
+	}
+	if len(a.Names()) != 2 {
+		t.Fatal("names lost")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong name count")
+		}
+	}()
+	a.WithNames("only-one")
+}
+
+func TestActiveDomain(t *testing.T) {
+	a := FromInts([]int64{1, 2}, []int64{2, 3})
+	d := a.ActiveDomain()
+	if d.Size() != 3 || !d.Contains(value.Int(3)) {
+		t.Fatalf("active domain = %v", d)
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	a := FromInts([]int64{1}, []int64{2})
+	b := FromInts([]int64{2}, []int64{3})
+	if got := Union(a, b); got.Size() != 3 {
+		t.Fatalf("union = %v", got)
+	}
+	if got := Difference(a, b); !got.Equal(FromInts([]int64{1})) {
+		t.Fatalf("difference = %v", got)
+	}
+	if got := Intersection(a, b); !got.Equal(FromInts([]int64{2})) {
+		t.Fatalf("intersection = %v", got)
+	}
+}
+
+func TestCrossProductAndProject(t *testing.T) {
+	a := FromInts([]int64{1}, []int64{2})
+	b := FromInts([]int64{10, 20})
+	x := CrossProduct(a, b)
+	if x.Arity() != 3 || x.Size() != 2 {
+		t.Fatalf("cross = %v", x)
+	}
+	if !x.Contains(value.Ints(1, 10, 20)) || !x.Contains(value.Ints(2, 10, 20)) {
+		t.Fatalf("cross contents = %v", x)
+	}
+	p := Project(x, []int{2, 0})
+	if !p.Contains(value.Ints(20, 1)) || p.Arity() != 2 {
+		t.Fatalf("project = %v", p)
+	}
+}
+
+func TestProjectDuplicateCollapse(t *testing.T) {
+	a := FromInts([]int64{1, 5}, []int64{1, 7})
+	p := Project(a, []int{0})
+	if p.Size() != 1 {
+		t.Fatalf("projection should collapse duplicates, got %v", p)
+	}
+}
+
+func TestSelectAndSingleton(t *testing.T) {
+	a := FromInts([]int64{1, 1}, []int64{1, 2}, []int64{3, 3})
+	s := Select(a, func(tp value.Tuple) bool { return tp[0] == tp[1] })
+	if s.Size() != 2 || !s.Contains(value.Ints(3, 3)) {
+		t.Fatalf("select = %v", s)
+	}
+	if got := Singleton(value.Ints(9, 9)); got.Size() != 1 || got.Arity() != 2 {
+		t.Fatalf("singleton = %v", got)
+	}
+}
+
+func TestOpsPanicsOnArityMismatch(t *testing.T) {
+	a, b := New(1), New(2)
+	for i, f := range []func(){
+		func() { Union(a, b) },
+		func() { Difference(a, b) },
+		func() { Intersection(a, b) },
+		func() { Project(a, []int{5}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: union is commutative, associative and idempotent on random
+// unary integer relations.
+func TestQuickUnionLaws(t *testing.T) {
+	mk := func(xs []int64) *Relation {
+		r := New(1)
+		for _, x := range xs {
+			r.Add(value.Ints(x))
+		}
+		return r
+	}
+	f := func(xs, ys, zs []int64) bool {
+		a, b, c := mk(xs), mk(ys), mk(zs)
+		if !Union(a, b).Equal(Union(b, a)) {
+			return false
+		}
+		if !Union(Union(a, b), c).Equal(Union(a, Union(b, c))) {
+			return false
+		}
+		return Union(a, a).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: difference and intersection satisfy a ∩ b = a − (a − b).
+func TestQuickDiffIntersect(t *testing.T) {
+	mk := func(xs []int64) *Relation {
+		r := New(1)
+		for _, x := range xs {
+			r.Add(value.Ints(x))
+		}
+		return r
+	}
+	f := func(xs, ys []int64) bool {
+		a, b := mk(xs), mk(ys)
+		return Intersection(a, b).Equal(Difference(a, Difference(a, b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package value
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Domain is a finite subset of D, used as the active domain for valuation
+// enumeration over tables with variables and as dom(x) for finite-domain
+// tables and or-sets (Definition 6 of the paper).
+//
+// A Domain is an ordered set without duplicates; the order is the canonical
+// Value.Compare order so that enumeration is deterministic.
+type Domain struct {
+	values []Value
+	index  map[Value]int
+}
+
+// NewDomain builds a domain from the given values, discarding duplicates.
+func NewDomain(vs ...Value) *Domain {
+	d := &Domain{index: make(map[Value]int, len(vs))}
+	for _, v := range vs {
+		if _, ok := d.index[v]; ok {
+			continue
+		}
+		d.index[v] = 0 // placeholder; fixed after sorting
+		d.values = append(d.values, v)
+	}
+	sort.Slice(d.values, func(i, j int) bool { return d.values[i].Compare(d.values[j]) < 0 })
+	for i, v := range d.values {
+		d.index[v] = i
+	}
+	return d
+}
+
+// IntRange returns the domain {lo, lo+1, ..., hi} of integers.
+func IntRange(lo, hi int64) *Domain {
+	if hi < lo {
+		return NewDomain()
+	}
+	vs := make([]Value, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		vs = append(vs, Int(i))
+	}
+	return NewDomain(vs...)
+}
+
+// BoolDomain returns the two-element domain {false, true} used by boolean
+// c-tables.
+func BoolDomain() *Domain { return NewDomain(Bool(false), Bool(true)) }
+
+// Size returns the number of elements of d.
+func (d *Domain) Size() int { return len(d.values) }
+
+// Values returns the elements of d in canonical order. The returned slice
+// must not be modified.
+func (d *Domain) Values() []Value { return d.values }
+
+// Contains reports whether v is an element of d.
+func (d *Domain) Contains(v Value) bool {
+	_, ok := d.index[v]
+	return ok
+}
+
+// At returns the i-th element in canonical order.
+func (d *Domain) At(i int) Value { return d.values[i] }
+
+// IndexOf returns the position of v in canonical order, or -1 if absent.
+func (d *Domain) IndexOf(v Value) int {
+	if i, ok := d.index[v]; ok {
+		return i
+	}
+	return -1
+}
+
+// Union returns the domain containing the elements of d and e.
+func (d *Domain) Union(e *Domain) *Domain {
+	vs := make([]Value, 0, len(d.values)+len(e.values))
+	vs = append(vs, d.values...)
+	vs = append(vs, e.values...)
+	return NewDomain(vs...)
+}
+
+// Equal reports whether d and e contain exactly the same elements.
+func (d *Domain) Equal(e *Domain) bool {
+	if d.Size() != e.Size() {
+		return false
+	}
+	for i, v := range d.values {
+		if e.values[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the domain as "{v1, v2, ...}".
+func (d *Domain) String() string {
+	s := "{"
+	for i, v := range d.values {
+		if i > 0 {
+			s += ", "
+		}
+		s += v.String()
+	}
+	return s + "}"
+}
+
+// Copy returns an independent copy of d.
+func (d *Domain) Copy() *Domain { return NewDomain(d.values...) }
+
+// MustNonEmpty panics with a descriptive message if the domain is empty.
+// Finite-domain tables require every variable domain to be non-empty;
+// constructors call this to fail fast on ill-formed inputs.
+func (d *Domain) MustNonEmpty(what string) {
+	if d.Size() == 0 {
+		panic(fmt.Sprintf("value: empty domain for %s", what))
+	}
+}

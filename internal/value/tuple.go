@@ -1,0 +1,124 @@
+package value
+
+import "strings"
+
+// Tuple is an element of D^n: a finite sequence of values.
+//
+// Tuples are value-like: Copy produces an independent tuple, Key produces an
+// injective string encoding suitable for map keys, and Compare orders tuples
+// lexicographically.
+type Tuple []Value
+
+// NewTuple builds a tuple from the given values.
+func NewTuple(vs ...Value) Tuple {
+	t := make(Tuple, len(vs))
+	copy(t, vs)
+	return t
+}
+
+// Ints builds a tuple of integer values; a convenience for tests and
+// examples that mirror the paper's integer-only tables.
+func Ints(xs ...int64) Tuple {
+	t := make(Tuple, len(xs))
+	for i, x := range xs {
+		t[i] = Int(x)
+	}
+	return t
+}
+
+// Strs builds a tuple of string values.
+func Strs(xs ...string) Tuple {
+	t := make(Tuple, len(xs))
+	for i, x := range xs {
+		t[i] = Str(x)
+	}
+	return t
+}
+
+// Arity returns the number of components of t.
+func (t Tuple) Arity() int { return len(t) }
+
+// Copy returns an independent copy of t.
+func (t Tuple) Copy() Tuple {
+	u := make(Tuple, len(t))
+	copy(u, t)
+	return u
+}
+
+// Equal reports componentwise equality of t and u.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples first by arity and then lexicographically by
+// component using Value.Compare.
+func (t Tuple) Compare(u Tuple) int {
+	if len(t) != len(u) {
+		if len(t) < len(u) {
+			return -1
+		}
+		return 1
+	}
+	for i := range t {
+		if c := t[i].Compare(u[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Key returns an injective string encoding of t, usable as a map key.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		k := v.Key()
+		// Escape the separator so that keys remain injective even when
+		// string values contain '|'.
+		b.WriteString(strings.ReplaceAll(k, "|", "||"))
+	}
+	return b.String()
+}
+
+// String renders t as "(v1, v2, ..., vn)".
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Concat returns the concatenation of t and u as a fresh tuple.
+func (t Tuple) Concat(u Tuple) Tuple {
+	r := make(Tuple, 0, len(t)+len(u))
+	r = append(r, t...)
+	r = append(r, u...)
+	return r
+}
+
+// Project returns the tuple (t[idx[0]], ..., t[idx[k-1]]). Indexes are
+// 0-based; Project panics if an index is out of range (callers validate
+// query well-formedness before evaluation).
+func (t Tuple) Project(idx []int) Tuple {
+	r := make(Tuple, len(idx))
+	for i, j := range idx {
+		r[i] = t[j]
+	}
+	return r
+}

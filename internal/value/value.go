@@ -1,0 +1,180 @@
+// Package value defines the value domain D used by all table models in this
+// library, together with tuples over D^n.
+//
+// The paper works over a single countably infinite domain D of constants.
+// We model D as the disjoint union of 64-bit integers and strings (booleans
+// are included for convenience of the probabilistic boolean models, and a
+// distinguished Null is provided for interoperability with SQL-style data,
+// although the paper itself has no NULL value: Codd tables model nulls with
+// variables). Values are a small closed sum implemented as a tagged struct
+// so that tuples are comparable, hashable and allocation-friendly.
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the variants of a Value.
+type Kind uint8
+
+// The kinds of values in the domain D.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindString
+	KindBool
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single element of the domain D. The zero Value is Null.
+//
+// Value is a comparable type: it may be used directly as a map key and
+// compared with ==. Two values are == exactly when they denote the same
+// domain element.
+type Value struct {
+	kind Kind
+	i    int64
+	s    string
+}
+
+// Null is the distinguished null value (the zero Value).
+var Null = Value{}
+
+// Int returns the domain element for the integer i.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// String_ returns the domain element for the string s.
+//
+// The trailing underscore avoids a collision with the fmt.Stringer method.
+func String_(s string) Value { return Value{kind: KindString, s: s} }
+
+// Str is a shorthand alias for String_.
+func Str(s string) Value { return String_(s) }
+
+// Bool returns the domain element for the boolean b.
+func Bool(b bool) Value {
+	if b {
+		return Value{kind: KindBool, i: 1}
+	}
+	return Value{kind: KindBool, i: 0}
+}
+
+// Kind reports which variant v holds.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer held by v. It panics if v is not an int.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("value: AsInt on %s value", v.kind))
+	}
+	return v.i
+}
+
+// AsString returns the string held by v. It panics if v is not a string.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("value: AsString on %s value", v.kind))
+	}
+	return v.s
+}
+
+// AsBool returns the boolean held by v. It panics if v is not a bool.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("value: AsBool on %s value", v.kind))
+	}
+	return v.i != 0
+}
+
+// Equal reports whether v and w denote the same domain element.
+// It is identical to v == w and provided for readability.
+func (v Value) Equal(w Value) bool { return v == w }
+
+// Compare orders values: Null < ints (by value) < strings (lexicographically)
+// < Bool(false) < Bool(true). It returns -1, 0 or +1. The order is total
+// and is used only for canonicalisation (sorting tuples, deterministic
+// output); it carries no semantic weight in the paper.
+func (v Value) Compare(w Value) int {
+	if v.kind != w.kind {
+		if v.kind < w.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindInt, KindBool:
+		switch {
+		case v.i < w.i:
+			return -1
+		case v.i > w.i:
+			return 1
+		}
+		return 0
+	case KindString:
+		return strings.Compare(v.s, w.s)
+	}
+	return 0
+}
+
+// String renders v in the textual syntax used throughout the library:
+// integers as decimal literals, strings single-quoted, booleans as
+// true/false and null as "⊥".
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "⊥"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindString:
+		return "'" + v.s + "'"
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Key returns a compact string key that uniquely identifies v. Unlike
+// String it is injective across kinds (e.g. Int(1) and Str("1") differ).
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "n"
+	case KindInt:
+		return "i" + strconv.FormatInt(v.i, 10)
+	case KindString:
+		return "s" + v.s
+	case KindBool:
+		if v.i != 0 {
+			return "b1"
+		}
+		return "b0"
+	default:
+		return "?"
+	}
+}

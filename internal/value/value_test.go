@@ -1,0 +1,201 @@
+package value
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	if !Null.IsNull() || Null.Kind() != KindNull {
+		t.Fatalf("zero Value should be null, got %v", Null)
+	}
+	if Int(7).Kind() != KindInt || Int(7).AsInt() != 7 {
+		t.Fatalf("Int round-trip failed")
+	}
+	if Str("a").Kind() != KindString || Str("a").AsString() != "a" {
+		t.Fatalf("Str round-trip failed")
+	}
+	if Bool(true).Kind() != KindBool || !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Fatalf("Bool round-trip failed")
+	}
+}
+
+func TestValueEqualityAcrossKinds(t *testing.T) {
+	if Int(1) == Str("1") {
+		t.Fatal("Int(1) must differ from Str(\"1\")")
+	}
+	if Int(0) == Bool(false) {
+		t.Fatal("Int(0) must differ from Bool(false)")
+	}
+	if Int(1).Key() == Str("1").Key() {
+		t.Fatal("Key must be injective across kinds")
+	}
+}
+
+func TestValueAsPanics(t *testing.T) {
+	cases := []func(){
+		func() { Str("x").AsInt() },
+		func() { Int(1).AsString() },
+		func() { Int(1).AsBool() },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestValueCompareTotalOrder(t *testing.T) {
+	vs := []Value{Null, Int(-3), Int(0), Int(9), Str(""), Str("a"), Str("b"), Bool(false), Bool(true)}
+	for i, a := range vs {
+		for j, b := range vs {
+			c := a.Compare(b)
+			switch {
+			case i == j && c != 0:
+				t.Errorf("Compare(%v,%v)=%d, want 0", a, b, c)
+			case i < j && c >= 0:
+				t.Errorf("Compare(%v,%v)=%d, want <0", a, b, c)
+			case i > j && c <= 0:
+				t.Errorf("Compare(%v,%v)=%d, want >0", a, b, c)
+			}
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"⊥":     Null,
+		"42":    Int(42),
+		"'hi'":  Str("hi"),
+		"true":  Bool(true),
+		"false": Bool(false),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%#v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestTupleBasics(t *testing.T) {
+	tp := Ints(1, 2, 3)
+	if tp.Arity() != 3 {
+		t.Fatalf("arity = %d, want 3", tp.Arity())
+	}
+	if !tp.Equal(NewTuple(Int(1), Int(2), Int(3))) {
+		t.Fatal("Equal failed on identical tuples")
+	}
+	if tp.Equal(Ints(1, 2)) || tp.Equal(Ints(1, 2, 4)) {
+		t.Fatal("Equal matched distinct tuples")
+	}
+	cp := tp.Copy()
+	cp[0] = Int(99)
+	if tp[0] != Int(1) {
+		t.Fatal("Copy is not independent")
+	}
+	if got := tp.String(); got != "(1, 2, 3)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestTupleProjectConcat(t *testing.T) {
+	tp := Ints(10, 20, 30, 40)
+	if got := tp.Project([]int{3, 0}); !got.Equal(Ints(40, 10)) {
+		t.Fatalf("Project = %v", got)
+	}
+	if got := Ints(1).Concat(Ints(2, 3)); !got.Equal(Ints(1, 2, 3)) {
+		t.Fatalf("Concat = %v", got)
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	// Tuples that concatenate to the same string must still get distinct keys.
+	a := NewTuple(Str("a|b"), Str("c"))
+	b := NewTuple(Str("a"), Str("b|c"))
+	if a.Key() == b.Key() {
+		t.Fatal("Key not injective under separator collisions")
+	}
+	if Ints(1, 2).Key() == Ints(12).Key() {
+		t.Fatal("Key not injective across arities")
+	}
+}
+
+func TestDomainDedupAndOrder(t *testing.T) {
+	d := NewDomain(Int(3), Int(1), Int(3), Int(2), Int(1))
+	if d.Size() != 3 {
+		t.Fatalf("size = %d, want 3", d.Size())
+	}
+	if !sort.SliceIsSorted(d.Values(), func(i, j int) bool { return d.Values()[i].Compare(d.Values()[j]) < 0 }) {
+		t.Fatal("domain values not sorted")
+	}
+	if !d.Contains(Int(2)) || d.Contains(Int(5)) {
+		t.Fatal("Contains wrong")
+	}
+	if d.IndexOf(Int(1)) != 0 || d.IndexOf(Int(9)) != -1 {
+		t.Fatal("IndexOf wrong")
+	}
+}
+
+func TestDomainHelpers(t *testing.T) {
+	if IntRange(1, 3).Size() != 3 || IntRange(5, 4).Size() != 0 {
+		t.Fatal("IntRange wrong")
+	}
+	if BoolDomain().Size() != 2 {
+		t.Fatal("BoolDomain wrong")
+	}
+	a := NewDomain(Int(1), Int(2))
+	b := NewDomain(Int(2), Int(3))
+	if u := a.Union(b); u.Size() != 3 || !u.Equal(NewDomain(Int(1), Int(2), Int(3))) {
+		t.Fatal("Union wrong")
+	}
+	if a.Equal(b) {
+		t.Fatal("Equal should be false")
+	}
+	if !a.Copy().Equal(a) {
+		t.Fatal("Copy should be equal")
+	}
+}
+
+func TestDomainMustNonEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty domain")
+		}
+	}()
+	NewDomain().MustNonEmpty("x")
+}
+
+// Property: Compare is antisymmetric and consistent with equality on int values.
+func TestQuickCompareConsistency(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		c1, c2 := va.Compare(vb), vb.Compare(va)
+		if a == b {
+			return c1 == 0 && c2 == 0 && va == vb
+		}
+		return c1 == -c2 && c1 != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Tuple.Key is injective on random integer tuples.
+func TestQuickTupleKeyInjective(t *testing.T) {
+	f := func(a, b []int64) bool {
+		ta, tb := Ints(a...), Ints(b...)
+		if ta.Equal(tb) {
+			return ta.Key() == tb.Key()
+		}
+		return ta.Key() != tb.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package workload generates the synthetic inputs used by the benchmark
+// harness and the examples. The paper has no datasets of its own, so every
+// experiment is driven by scalable versions of the paper's running examples
+// plus random tables with controlled shape (rows, arity, variables, domain
+// size, condition size).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/incomplete"
+	"uncertaindb/internal/pctable"
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
+)
+
+// CTableSpec controls random c-table generation.
+type CTableSpec struct {
+	Rows       int
+	Arity      int
+	NumVars    int // number of distinct variables
+	DomainSize int // size of dom(x) for every variable
+	PVarCell   float64
+	PCondAtom  float64 // probability a row gets each of up to two condition atoms
+	Seed       int64
+}
+
+// RandomCTable generates a finite-domain c-table according to the spec.
+func RandomCTable(spec CTableSpec) *ctable.CTable {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	t := ctable.New(spec.Arity)
+	varNames := make([]string, spec.NumVars)
+	dom := value.IntRange(1, int64(spec.DomainSize))
+	for i := range varNames {
+		varNames[i] = fmt.Sprintf("x%d", i+1)
+		t.SetDomain(varNames[i], dom)
+	}
+	randTerm := func() condition.Term {
+		if spec.NumVars > 0 && rng.Float64() < spec.PVarCell {
+			return condition.Var(varNames[rng.Intn(spec.NumVars)])
+		}
+		return condition.ConstInt(int64(rng.Intn(spec.DomainSize) + 1))
+	}
+	randAtom := func() condition.Condition {
+		l := condition.Var(varNames[rng.Intn(spec.NumVars)])
+		var r condition.Term
+		if rng.Intn(2) == 0 {
+			r = condition.Var(varNames[rng.Intn(spec.NumVars)])
+		} else {
+			r = condition.ConstInt(int64(rng.Intn(spec.DomainSize) + 1))
+		}
+		if rng.Intn(2) == 0 {
+			return condition.Eq(l, r)
+		}
+		return condition.Neq(l, r)
+	}
+	for i := 0; i < spec.Rows; i++ {
+		terms := make([]condition.Term, spec.Arity)
+		for j := range terms {
+			terms[j] = randTerm()
+		}
+		var conds []condition.Condition
+		if spec.NumVars > 0 {
+			for a := 0; a < 2; a++ {
+				if rng.Float64() < spec.PCondAtom {
+					conds = append(conds, randAtom())
+				}
+			}
+		}
+		t.AddRow(terms, condition.And(conds...))
+	}
+	return t
+}
+
+// RandomPQTable generates a p-?-table with the given number of tuples of
+// the given arity, values drawn from [1, domain], and independent tuple
+// probabilities drawn uniformly from (0, 1).
+func RandomPQTable(rows, arity int, domain int64, seed int64) *pctable.PQTable {
+	rng := rand.New(rand.NewSource(seed))
+	t := pctable.NewPQTable(arity)
+	seen := make(map[string]bool)
+	for len(seen) < rows {
+		tuple := make(value.Tuple, arity)
+		for i := range tuple {
+			tuple[i] = value.Int(rng.Int63n(domain) + 1)
+		}
+		if seen[tuple.Key()] {
+			continue
+		}
+		seen[tuple.Key()] = true
+		t.Add(tuple, 0.05+0.9*rng.Float64())
+	}
+	return t
+}
+
+// RandomRelation generates a conventional instance with the given number of
+// distinct tuples.
+func RandomRelation(rows, arity int, domain int64, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New(arity)
+	for r.Size() < rows {
+		tuple := make(value.Tuple, arity)
+		for i := range tuple {
+			tuple[i] = value.Int(rng.Int63n(domain) + 1)
+		}
+		r.Add(tuple)
+	}
+	return r
+}
+
+// RandomIDatabase generates a finite incomplete database with the given
+// number of distinct worlds, each with up to maxTuples tuples.
+func RandomIDatabase(worlds, maxTuples, arity int, domain int64, seed int64) *incomplete.IDatabase {
+	rng := rand.New(rand.NewSource(seed))
+	db := incomplete.New(arity)
+	for db.Size() < worlds {
+		rows := rng.Intn(maxTuples + 1)
+		inst := relation.New(arity)
+		for inst.Size() < rows {
+			tuple := make(value.Tuple, arity)
+			for i := range tuple {
+				tuple[i] = value.Int(rng.Int63n(domain) + 1)
+			}
+			inst.Add(tuple)
+		}
+		db.Add(inst)
+	}
+	return db
+}
+
+// Courses generates a scaled version of the paper's introductory example: a
+// pc-table Takes(student, course) with the given number of students, each
+// taking one of numCourses courses according to a skewed distribution, plus
+// a fraction of "follower" students whose enrolment is conditioned on the
+// course choice of student 0 (the Bob/Alice pattern) and a fraction of
+// tuples guarded by an independent boolean (the Theo pattern).
+func Courses(students, numCourses int, seed int64) *pctable.PCTable {
+	rng := rand.New(rand.NewSource(seed))
+	t := pctable.NewWithArity(2)
+	courseValue := func(c int) value.Value { return value.Str(fmt.Sprintf("course%d", c)) }
+
+	courseDist := func() map[value.Value]float64 {
+		// A simple skew: course i gets weight 1/(i+1), normalised.
+		weights := make([]float64, numCourses)
+		total := 0.0
+		for i := range weights {
+			weights[i] = 1 / float64(i+1)
+			total += weights[i]
+		}
+		dist := make(map[value.Value]float64, numCourses)
+		for i, w := range weights {
+			dist[courseValue(i)] = w / total
+		}
+		return dist
+	}
+
+	for s := 0; s < students; s++ {
+		student := value.Str(fmt.Sprintf("student%d", s))
+		switch {
+		case s > 0 && s%5 == 1:
+			// Follower: takes the same course as student 0, provided that
+			// course is not course0 (the Bob pattern).
+			t.AddRow(
+				[]condition.Term{condition.Const(student), condition.Var("c0")},
+				condition.Neq(condition.Var("c0"), condition.Const(courseValue(0))))
+		case s%5 == 2:
+			// Optional attendee: fixed course guarded by a boolean (Theo).
+			b := fmt.Sprintf("b%d", s)
+			t.AddRow(
+				[]condition.Term{condition.Const(student), condition.Const(courseValue(rng.Intn(numCourses)))},
+				condition.IsTrueVar(b))
+			t.SetBoolDist(b, 0.5+0.5*rng.Float64())
+		default:
+			// Independent chooser with a private course variable (Alice).
+			x := fmt.Sprintf("c%d", s)
+			t.AddRow([]condition.Term{condition.Const(student), condition.Var(x)}, nil)
+			t.SetDist(x, courseDist())
+		}
+	}
+	if _, ok := firstVar(t, "c0"); !ok {
+		// Ensure c0 exists even for tiny inputs (student 0 is always a chooser).
+		t.SetDist("c0", courseDist())
+	}
+	return t
+}
+
+func firstVar(t *pctable.PCTable, name string) (condition.Variable, bool) {
+	for _, x := range t.Vars() {
+		if string(x) == name && t.Dist(x) != nil {
+			return x, true
+		}
+	}
+	return "", false
+}
+
+// SelectionQuery returns σ_{$col = v}(V).
+func SelectionQuery(col int, v value.Value) ra.Query {
+	return ra.Select(ra.Eq(ra.Col(col), ra.Const(v)), ra.Rel("V"))
+}
+
+// ProjectionQuery returns π_{cols}(V).
+func ProjectionQuery(cols ...int) ra.Query { return ra.Project(cols, ra.Rel("V")) }
+
+// SelfJoinQuery returns V ⋈_{$l = $r} V with r indexed into the second copy.
+func SelfJoinQuery(arity, l, r int) ra.Query {
+	return ra.Join(ra.Rel("V"), ra.Rel("V"), ra.Eq(ra.Col(l), ra.Col(arity+r)))
+}

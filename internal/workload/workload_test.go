@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"testing"
+
+	"uncertaindb/internal/value"
+)
+
+func TestRandomCTableShape(t *testing.T) {
+	spec := CTableSpec{Rows: 10, Arity: 3, NumVars: 4, DomainSize: 5, PVarCell: 0.5, PCondAtom: 0.5, Seed: 1}
+	tab := RandomCTable(spec)
+	if tab.NumRows() != 10 || tab.Arity() != 3 {
+		t.Fatalf("shape = %d rows, arity %d", tab.NumRows(), tab.Arity())
+	}
+	if !tab.IsFiniteDomain() {
+		t.Fatal("generated table must be finite-domain")
+	}
+	// Determinism for a fixed seed.
+	again := RandomCTable(spec)
+	if tab.String() != again.String() {
+		t.Fatal("generation must be deterministic for a fixed seed")
+	}
+}
+
+func TestRandomPQTable(t *testing.T) {
+	pq := RandomPQTable(8, 2, 10, 3)
+	if len(pq.Rows()) != 8 || pq.Arity() != 2 {
+		t.Fatalf("shape wrong: %d rows", len(pq.Rows()))
+	}
+	for _, r := range pq.Rows() {
+		if r.P <= 0 || r.P >= 1 {
+			t.Fatalf("probability %g out of (0,1)", r.P)
+		}
+	}
+}
+
+func TestRandomRelationAndIDatabase(t *testing.T) {
+	r := RandomRelation(6, 2, 5, 4)
+	if r.Size() != 6 || r.Arity() != 2 {
+		t.Fatal("relation shape wrong")
+	}
+	db := RandomIDatabase(5, 3, 2, 4, 9)
+	if db.Size() != 5 || db.Arity() != 2 {
+		t.Fatal("idatabase shape wrong")
+	}
+	if db.MaxCardinality() > 3 {
+		t.Fatal("instance too large")
+	}
+}
+
+func TestCoursesWorkload(t *testing.T) {
+	tab := Courses(10, 3, 42)
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	db, err := tab.Mod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Student 0 is always an independent chooser over the three courses.
+	total := 0.0
+	for c := 0; c < 3; c++ {
+		total += db.TupleProbability(value.NewTuple(value.Str("student0"), value.Str("course"+string(rune('0'+c)))))
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("student0 course marginals sum to %g", total)
+	}
+}
+
+func TestQueryHelpers(t *testing.T) {
+	if SelectionQuery(1, value.Int(3)).String() == "" {
+		t.Fatal("selection query empty")
+	}
+	if ProjectionQuery(0, 1).String() == "" {
+		t.Fatal("projection query empty")
+	}
+	if SelfJoinQuery(2, 1, 0).String() == "" {
+		t.Fatal("join query empty")
+	}
+}
