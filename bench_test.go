@@ -4,8 +4,9 @@
 // its qualitative claims — succinctness of c-tables vs boolean c-tables
 // (Example 5), cost of the closure-based query answering vs naïve possible
 // world enumeration (Theorems 4 and 9), the cost of the completeness and
-// completion constructions (Theorems 1, 3, 5–8), and ablations of the
-// design choices called out in DESIGN.md.
+// completion constructions (Theorems 1, 3, 5–8), and ablations of central
+// design choices (condition simplification, exact-vs-decomposed-vs-sampled
+// probability computation).
 package uncertaindb
 
 import (
@@ -176,17 +177,18 @@ func BenchmarkTheorem8Construction(b *testing.B) {
 }
 
 // E12 — Theorem 9 and Section 7: probabilistic query answering. Compares
-// (a) lineage-based exact marginals (closure + condition probability over
-// the lineage variables only), (b) naïve possible-world enumeration, and
-// (c) Monte-Carlo estimation, on growing versions of the courses workload.
+// (a) lineage-based exact marginals computed by the d-tree decomposition
+// engine, (b) the same marginals by brute-force enumeration of the lineage
+// variables, (c) naïve possible-world enumeration, and (d) Monte-Carlo
+// estimation (sequential and parallel), on growing courses workloads.
 func BenchmarkProbabilisticQueryAnswering(b *testing.B) {
 	query := workload.ProjectionQuery(0)
 	target := value.NewTuple(value.Str("student0"))
 	for _, students := range []int{6, 9, 12} {
 		tab := workload.Courses(students, 3, 17)
-		// (a) Closure + lineage: only the variables in the answer tuple's
-		// lineage condition are enumerated.
-		b.Run(fmt.Sprintf("lineage/students=%d", students), func(b *testing.B) {
+		// (a) Closure + lineage, decomposed: the d-tree engine splits the
+		// lineage condition instead of enumerating its valuations.
+		b.Run(fmt.Sprintf("lineage-dtree/students=%d", students), func(b *testing.B) {
 			answer, err := tab.EvalQuery(query)
 			if err != nil {
 				b.Fatal(err)
@@ -194,6 +196,20 @@ func BenchmarkProbabilisticQueryAnswering(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := answer.TupleProbability(target); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// (b) Closure + lineage, enumerated: exponential in the number of
+		// lineage variables.
+		b.Run(fmt.Sprintf("lineage-enum/students=%d", students), func(b *testing.B) {
+			answer, err := tab.EvalQuery(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := answer.TupleProbabilityEnum(target); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -213,7 +229,8 @@ func BenchmarkProbabilisticQueryAnswering(b *testing.B) {
 				img.TupleProbability(target)
 			}
 		})
-		// (c) Monte-Carlo estimation of the same marginal.
+		// (d) Monte-Carlo estimation of the same marginal, sequential and
+		// sharded across a worker pool.
 		b.Run(fmt.Sprintf("montecarlo1k/students=%d", students), func(b *testing.B) {
 			answer, err := tab.EvalQuery(query)
 			if err != nil {
@@ -230,6 +247,89 @@ func BenchmarkProbabilisticQueryAnswering(b *testing.B) {
 				}
 			}
 		})
+		b.Run(fmt.Sprintf("montecarlo10k-par4/students=%d", students), func(b *testing.B) {
+			answer, err := tab.EvalQuery(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sampler, err := pctable.NewSampler(answer, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sampler.EstimateTupleProbabilityParallel(target, 10000, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E12b — the exact-engine crossover, the tentpole measurement of the
+// probcalc subsystem: exact condition probability on lineage-style
+// disjunctions with up to 20 variables, comparing brute-force enumeration
+// (2^vars valuations), d-tree decomposition, and parallel Monte-Carlo. Two
+// condition shapes are measured: "indep" (variable-disjoint conjunction
+// pairs, decomposed by independence splits) and "chain" (adjacent disjuncts
+// share a variable, forcing Shannon expansion with memoization).
+func BenchmarkExactEngineCrossover(b *testing.B) {
+	shapes := []struct {
+		name  string
+		build func(vars int) condition.Condition
+	}{
+		{"indep", func(vars int) condition.Condition {
+			var disj []condition.Condition
+			for i := 0; i+1 < vars; i += 2 {
+				x, y := fmt.Sprintf("b%d", i), fmt.Sprintf("b%d", i+1)
+				disj = append(disj, condition.And(condition.IsTrueVar(x), condition.IsTrueVar(y)))
+			}
+			return condition.Or(disj...)
+		}},
+		{"chain", func(vars int) condition.Condition {
+			var disj []condition.Condition
+			for i := 0; i+1 < vars; i++ {
+				x, y := fmt.Sprintf("b%d", i), fmt.Sprintf("b%d", i+1)
+				disj = append(disj, condition.And(condition.IsTrueVar(x), condition.IsTrueVar(y)))
+			}
+			return condition.Or(disj...)
+		}},
+	}
+	for _, shape := range shapes {
+		for _, vars := range []int{8, 16, 20} {
+			tab := pctable.NewWithArity(1)
+			for i := 0; i < vars; i++ {
+				tab.SetBoolDist(fmt.Sprintf("b%d", i), 0.3)
+			}
+			cond := shape.build(vars)
+			tab.AddConstRow(value.Ints(1), cond)
+			b.Run(fmt.Sprintf("%s/enum/vars=%d", shape.name, vars), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := tab.ConditionProbabilityEnum(cond); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("%s/dtree/vars=%d", shape.name, vars), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := tab.ConditionProbability(cond); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("%s/montecarlo10k-par4/vars=%d", shape.name, vars), func(b *testing.B) {
+				sampler, err := pctable.NewSampler(tab, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := sampler.EstimateConditionProbabilityParallel(cond, 10000, 4); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -264,8 +364,8 @@ func BenchmarkAblationSimplify(b *testing.B) {
 	}
 }
 
-// Ablation — exact condition probability vs Monte-Carlo estimation as the
-// number of variables in the lineage grows.
+// Ablation — exact condition probability (enumerated vs decomposed) vs
+// Monte-Carlo estimation as the number of variables in the lineage grows.
 func BenchmarkAblationConditionProbability(b *testing.B) {
 	for _, vars := range []int{4, 8, 12} {
 		tab := pctable.NewWithArity(1)
@@ -277,7 +377,14 @@ func BenchmarkAblationConditionProbability(b *testing.B) {
 		}
 		tab.AddConstRow(value.Ints(1), condition.Or(disj...))
 		cond := condition.Or(disj...)
-		b.Run(fmt.Sprintf("exact/vars=%d", vars), func(b *testing.B) {
+		b.Run(fmt.Sprintf("exact-enum/vars=%d", vars), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tab.ConditionProbabilityEnum(cond); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("exact-dtree/vars=%d", vars), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := tab.ConditionProbability(cond); err != nil {
 					b.Fatal(err)

@@ -1,94 +1,171 @@
 // Command pctable answers queries over probabilistic c-tables: it prints
 // the answer pc-table (closure, Theorem 9), the distribution over answer
-// worlds, and exact (lineage-based) or Monte-Carlo tuple probabilities.
+// worlds, and exact or Monte-Carlo tuple probabilities.
 //
 // Usage:
 //
-//	pctable -table takes.tbl -query "project[1](select[$2 = 'phys'](Takes))" [-samples 10000]
+//	pctable -table takes.tbl -query "project[1](select[$2 = 'phys'](Takes))" \
+//	        [-engine dtree|enum|mc] [-samples 10000] [-workers 4]
+//
+// The exact engines differ in how tuple marginals are computed: dtree (the
+// default) decomposes lineage conditions via internal/probcalc, enum
+// enumerates every valuation of the lineage variables, and mc skips exact
+// computation entirely in favour of Monte-Carlo estimation.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
+	"uncertaindb/internal/condition"
 	"uncertaindb/internal/parser"
 	"uncertaindb/internal/pctable"
+	"uncertaindb/internal/value"
 )
 
 func main() {
 	log.SetFlags(0)
-	tablePath := flag.String("table", "", "path to the table description file (must contain dist directives)")
-	queryText := flag.String("query", "", "relational algebra query (optional; defaults to the identity)")
-	samples := flag.Int("samples", 0, "if positive, also estimate tuple probabilities by Monte-Carlo sampling")
-	seed := flag.Int64("seed", 1, "random seed for the Monte-Carlo estimator")
-	showDist := flag.Bool("dist", false, "print the full distribution over answer worlds")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run is the testable body of the command: it parses flags from args and
+// writes all output to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pctable", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	tablePath := fs.String("table", "", "path to the table description file (must contain dist directives)")
+	queryText := fs.String("query", "", "relational algebra query (optional; defaults to the identity)")
+	engine := fs.String("engine", "dtree", "marginal engine: dtree (decomposition), enum (brute force) or mc (Monte-Carlo only)")
+	samples := fs.Int("samples", 0, "if positive, also estimate tuple probabilities by Monte-Carlo sampling (default 10000 with -engine=mc)")
+	workers := fs.Int("workers", 1, "worker goroutines for the Monte-Carlo estimator")
+	seed := fs.Int64("seed", 1, "random seed for the Monte-Carlo estimator")
+	showDist := fs.Bool("dist", false, "print the full distribution over answer worlds")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(out)
+			fs.Usage()
+			return nil
+		}
+		// The FlagSet's own output is discarded so the error reaches the
+		// caller exactly once; point the user at the usage listing.
+		return fmt.Errorf("%w (run with -h for usage)", err)
+	}
+
+	switch *engine {
+	case "dtree", "enum", "mc":
+	default:
+		return fmt.Errorf("pctable: unknown -engine %q (want enum, dtree or mc)", *engine)
+	}
+	if *engine == "mc" && *samples <= 0 {
+		*samples = 10000
+	}
 	if *tablePath == "" {
-		log.Fatal("pctable: -table is required")
+		return fmt.Errorf("pctable: -table is required")
 	}
 	f, err := os.Open(*tablePath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer f.Close()
 	parsed, err := parser.ParseTable(f)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if !parsed.HasDistributions {
-		log.Fatal("pctable: the table has no dist directives; use cmd/ctable for purely incomplete tables")
+		return fmt.Errorf("pctable: the table has no dist directives; use cmd/ctable for purely incomplete tables")
 	}
 	tab := parsed.PCTable
 	if err := tab.Validate(); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("Loaded probabilistic c-table %s:\n%s", parsed.Name, tab)
+	fmt.Fprintf(out, "Loaded probabilistic c-table %s:\n%s", parsed.Name, tab)
 
 	answer := tab
 	if *queryText != "" {
 		q, err := parser.ParseQuery(*queryText)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		answer, err = tab.EvalQuery(q)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("\nAnswer pc-table (conditions are lineage):\n%s", answer)
+		fmt.Fprintf(out, "\nAnswer pc-table (conditions are lineage):\n%s", answer)
 	}
 
-	dist, err := answer.Mod()
+	// Candidate tuples come from the answer table's rows over the variable
+	// supports — never from possible-world enumeration, which is exponential
+	// in the total variable count and would defeat the scalable engines.
+	// Only -dist pays for the full world distribution. Each candidate's
+	// lineage is computed once and shared by the enum and Monte-Carlo paths.
+	type candidate struct {
+		tuple   value.Tuple
+		lineage condition.Condition
+	}
+	possible, err := answer.PossibleTuples()
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	candidates := make([]candidate, 0, len(possible))
+	for _, tp := range possible {
+		lineage := answer.Lineage(tp)
+		if _, isFalse := lineage.(condition.FalseCond); !isFalse {
+			candidates = append(candidates, candidate{tuple: tp, lineage: lineage})
+		}
 	}
 	if *showDist {
-		fmt.Printf("\nDistribution over answer worlds:\n%s", dist)
+		dist, err := answer.Mod()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nDistribution over answer worlds:\n%s", dist)
 	}
 
-	fmt.Println("\nAnswer-tuple marginal probabilities (exact, lineage-based):")
-	for _, tp := range dist.TupleMarginals() {
-		exact, err := answer.TupleProbability(tp.Tuple)
+	switch *engine {
+	case "dtree":
+		fmt.Fprintf(out, "\nAnswer-tuple marginal probabilities (exact, lineage-based, dtree engine):\n")
+		probs, err := answer.TupleProbabilities()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("  P[%s] = %.6f\n", tp.Tuple, exact)
+		for _, tp := range probs {
+			fmt.Fprintf(out, "  P[%s] = %.6f\n", tp.Tuple, tp.P)
+		}
+	case "enum":
+		fmt.Fprintf(out, "\nAnswer-tuple marginal probabilities (exact, lineage-based, enum engine):\n")
+		for _, c := range candidates {
+			p, err := answer.ConditionProbabilityEnum(c.lineage)
+			if err != nil {
+				return err
+			}
+			if p == 0 {
+				// Row-pattern candidate with unsatisfiable lineage — not a
+				// possible answer.
+				continue
+			}
+			fmt.Fprintf(out, "  P[%s] = %.6f\n", c.tuple, p)
+		}
 	}
 
 	if *samples > 0 {
 		sampler, err := pctable.NewSampler(answer, *seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("\nMonte-Carlo estimates (n=%d):\n", *samples)
-		for _, tp := range dist.TupleMarginals() {
-			est, se, err := sampler.EstimateTupleProbability(tp.Tuple, *samples)
+		fmt.Fprintf(out, "\nMonte-Carlo estimates (n=%d, workers=%d):\n", *samples, *workers)
+		for _, c := range candidates {
+			est, se, err := sampler.EstimateConditionProbabilityParallel(c.lineage, *samples, *workers)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("  P[%s] ≈ %.6f ± %.6f\n", tp.Tuple, est, se)
+			fmt.Fprintf(out, "  P[%s] ≈ %.6f ± %.6f\n", c.tuple, est, se)
 		}
 	}
+	return nil
 }

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const introTable = `table Takes arity 2
+row 'Alice', x
+row 'Bob',   x | x = 'phys' || x = 'chem'
+row 'Theo',  'math' | t = 1
+dist x = {'math':0.3, 'phys':0.3, 'chem':0.4}
+dist t = {0:0.15, 1:0.85}
+`
+
+func writeTable(t *testing.T, contents string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "takes.tbl")
+	if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCapture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf strings.Builder
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestRunExactEnginesAgree(t *testing.T) {
+	path := writeTable(t, introTable)
+	outDtree, err := runCapture(t, "-table", path, "-engine", "dtree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outEnum, err := runCapture(t, "-table", path, "-engine", "enum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"P[('Bob', 'phys')] = 0.300000", "P[('Theo', 'math')] = 0.850000"} {
+		if !strings.Contains(outDtree, want) {
+			t.Errorf("dtree output missing %q:\n%s", want, outDtree)
+		}
+		if !strings.Contains(outEnum, want) {
+			t.Errorf("enum output missing %q:\n%s", want, outEnum)
+		}
+	}
+}
+
+func TestRunQueryAndDist(t *testing.T) {
+	path := writeTable(t, introTable)
+	out, err := runCapture(t, "-table", path,
+		"-query", "project[1](select[$2 = 'phys'](Takes))", "-dist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Answer pc-table", "Distribution over answer worlds", "P[('Alice')] = 0.300000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMonteCarloEngine(t *testing.T) {
+	path := writeTable(t, introTable)
+	out, err := runCapture(t, "-table", path, "-engine", "mc", "-samples", "2000", "-workers", "3", "-seed", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "exact, lineage-based") {
+		t.Errorf("mc engine must skip the exact marginal section:\n%s", out)
+	}
+	if !strings.Contains(out, "Monte-Carlo estimates (n=2000, workers=3)") {
+		t.Errorf("output missing Monte-Carlo section:\n%s", out)
+	}
+	// Determinism: same seed and sharding reproduce the output exactly.
+	out2, err := runCapture(t, "-table", path, "-engine", "mc", "-samples", "2000", "-workers", "3", "-seed", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != out2 {
+		t.Error("Monte-Carlo output not deterministic for a fixed seed")
+	}
+}
+
+// A table with 24 boolean guard variables (2^24 worlds) completes quickly:
+// candidate tuples are discovered from rows, not world enumeration, and the
+// d-tree engine decomposes the lineage conditions.
+func TestRunLargeVariableCount(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("table Big arity 1\n")
+	for r := 0; r < 3; r++ {
+		b.WriteString(fmt.Sprintf("row %d | ", r))
+		for i := 0; i < 8; i++ {
+			if i > 0 {
+				b.WriteString(" || ")
+			}
+			b.WriteString(fmt.Sprintf("g%d_%d = 1", r, i))
+		}
+		b.WriteString("\n")
+	}
+	for r := 0; r < 3; r++ {
+		for i := 0; i < 8; i++ {
+			b.WriteString(fmt.Sprintf("dist g%d_%d = {0:0.5, 1:0.5}\n", r, i))
+		}
+	}
+	path := writeTable(t, b.String())
+	out, err := runCapture(t, "-table", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P[row present] = 1 - 0.5^8 = 0.996094 for each of the three rows.
+	for r := 0; r < 3; r++ {
+		want := fmt.Sprintf("P[(%d)] = 0.996094", r)
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunHelpPrintsUsage(t *testing.T) {
+	out, err := runCapture(t, "-h")
+	if err != nil {
+		t.Fatalf("-h must not be an error, got %v", err)
+	}
+	if !strings.Contains(out, "Usage of pctable") || !strings.Contains(out, "-engine") {
+		t.Errorf("-h output missing usage text:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTable(t, introTable)
+	noDist := writeTable(t, "table T arity 1\nrow x\ndom x = {1, 2}\n")
+	cases := [][]string{
+		{},                                   // missing -table
+		{"-table", path, "-engine", "bogus"}, // unknown engine
+		{"-table", filepath.Join(t.TempDir(), "absent.tbl")}, // unreadable file
+		{"-table", noDist},                     // no dist directives
+		{"-table", path, "-query", "select[("}, // bad query
+		{"-badflag"},                           // flag parse error
+	}
+	for i, args := range cases {
+		if _, err := runCapture(t, args...); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

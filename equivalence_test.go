@@ -1,0 +1,135 @@
+package uncertaindb
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/pctable"
+	"uncertaindb/internal/probcalc"
+	"uncertaindb/internal/value"
+	"uncertaindb/internal/workload"
+)
+
+// Property: on randomized c-tables, the d-tree engine computes the same
+// tuple-marginal probabilities as brute-force enumeration — within float
+// tolerance for the float64 engine, and bit-identically (equal rationals)
+// for the exact engine vs exact enumeration.
+func TestDTreeMatchesEnumerationOnRandomTables(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		spec := workload.CTableSpec{
+			Rows: 5, Arity: 2, NumVars: 5, DomainSize: 3,
+			PVarCell: 0.5, PCondAtom: 0.7, Seed: seed,
+		}
+		ct := workload.RandomCTable(spec)
+		pc, err := pctable.UniformPCTable(ct)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		worlds, err := ct.Mod()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		seen := make(map[string]value.Tuple)
+		for _, inst := range worlds.Instances() {
+			for _, tp := range inst.Tuples() {
+				seen[tp.Key()] = tp
+			}
+		}
+		exact := probcalc.NewExact(pc)
+		for _, tp := range seen {
+			lineage := pc.Lineage(tp)
+
+			got, err := pc.ConditionProbability(lineage)
+			if err != nil {
+				t.Fatalf("seed %d: dtree: %v", seed, err)
+			}
+			want, err := pc.ConditionProbabilityEnum(lineage)
+			if err != nil {
+				t.Fatalf("seed %d: enum: %v", seed, err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("seed %d, tuple %s: dtree %.17g vs enum %.17g\nlineage: %s",
+					seed, tp, got, want, lineage)
+			}
+
+			gotRat, err := exact.ProbabilityRat(lineage)
+			if err != nil {
+				t.Fatalf("seed %d: exact dtree: %v", seed, err)
+			}
+			wantRat, err := probcalc.EnumProbabilityRat(lineage, pc)
+			if err != nil {
+				t.Fatalf("seed %d: exact enum: %v", seed, err)
+			}
+			if gotRat.Cmp(wantRat) != 0 {
+				t.Errorf("seed %d, tuple %s: exact dtree %s vs exact enum %s — not bit-identical\nlineage: %s",
+					seed, tp, gotRat, wantRat, lineage)
+			}
+		}
+	}
+}
+
+// Property: on the scaled courses workload, the d-tree marginal of every
+// answer tuple matches enumeration, and Monte-Carlo estimates (sequential
+// and parallel) land within sampling tolerance.
+func TestCoursesMarginalsAcrossEngines(t *testing.T) {
+	query := workload.ProjectionQuery(0)
+	for _, students := range []int{6, 9} {
+		tab := workload.Courses(students, 3, 17)
+		answer, err := tab.EvalQuery(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampler, err := pctable.NewSampler(answer, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < students; s++ {
+			target := value.NewTuple(value.Str(fmt.Sprintf("student%d", s)))
+			got, err := answer.TupleProbability(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := answer.TupleProbabilityEnum(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("students=%d, %s: dtree %.17g vs enum %.17g", students, target, got, want)
+			}
+			est, se, err := sampler.EstimateTupleProbabilityParallel(target, 20000, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(est-want) > 5*se+2e-2 {
+				t.Errorf("students=%d, %s: estimate %g too far from exact %g (stderr %g)",
+					students, target, est, want, se)
+			}
+		}
+	}
+}
+
+// The d-tree engine handles condition sizes far beyond enumeration: a
+// 30-variable disjunction of independent conjunction pairs has a closed-form
+// probability, and enumeration over 2^30 valuations would be hopeless.
+func TestDTreeScalesBeyondEnumeration(t *testing.T) {
+	tab := pctable.NewWithArity(1)
+	var disj []condition.Condition
+	pairs := 15
+	for i := 0; i < pairs; i++ {
+		a, b := fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)
+		tab.SetBoolDist(a, 0.5)
+		tab.SetBoolDist(b, 0.5)
+		disj = append(disj, condition.And(condition.IsTrueVar(a), condition.IsTrueVar(b)))
+	}
+	c := condition.Or(disj...)
+	got, err := tab.ConditionProbability(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - math.Pow(1-0.25, float64(pairs))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("P = %.17g, want %.17g", got, want)
+	}
+}

@@ -1,0 +1,3 @@
+module uncertaindb
+
+go 1.22

@@ -4,21 +4,25 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"uncertaindb/internal/condition"
 	"uncertaindb/internal/value"
 )
 
 // This file provides a Monte-Carlo estimator for condition probabilities
-// and tuple marginals. Exact computation enumerates the valuations of the
-// condition's variables, which is exponential in the number of variables;
-// sampling trades exactness for scalability and is used by the benchmarks
-// to show the crossover (experiment E12's third series).
+// and tuple marginals. Exact computation (even decomposed) can degenerate
+// on adversarial conditions; sampling trades exactness for scalability and
+// is used by the benchmarks to show the crossover (experiment E12's third
+// series). The parallel estimator shards the draw across a worker pool with
+// per-worker RNG streams, so estimates are deterministic for a fixed
+// (seed, n, workers) regardless of scheduling.
 
 // Sampler draws independent valuations of a pc-table's variables according
 // to their distributions.
 type Sampler struct {
 	table *PCTable
+	seed  int64
 	rng   *rand.Rand
 	// cumulative per-variable distributions for inverse-CDF sampling.
 	cdf map[condition.Variable][]cdfEntry
@@ -35,7 +39,7 @@ func NewSampler(t *PCTable, seed int64) (*Sampler, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Sampler{table: t, rng: rand.New(rand.NewSource(seed)), cdf: make(map[condition.Variable][]cdfEntry)}
+	s := &Sampler{table: t, seed: seed, rng: rand.New(rand.NewSource(seed)), cdf: make(map[condition.Variable][]cdfEntry)}
 	for _, x := range t.Vars() {
 		space := t.Dist(x)
 		acc := 0.0
@@ -51,12 +55,18 @@ func NewSampler(t *PCTable, seed int64) (*Sampler, error) {
 
 // SampleValuation draws one valuation of the given variables.
 func (s *Sampler) SampleValuation(vars []condition.Variable, into condition.Valuation) condition.Valuation {
+	return s.sampleWith(s.rng, vars, into)
+}
+
+// sampleWith draws one valuation using the given RNG stream; the cdf table
+// is read-only, so distinct streams may sample concurrently.
+func (s *Sampler) sampleWith(rng *rand.Rand, vars []condition.Variable, into condition.Valuation) condition.Valuation {
 	if into == nil {
 		into = make(condition.Valuation, len(vars))
 	}
 	for _, x := range vars {
 		entries := s.cdf[x]
-		u := s.rng.Float64()
+		u := rng.Float64()
 		chosen := entries[len(entries)-1].v
 		for _, e := range entries {
 			if u <= e.upTo {
@@ -105,4 +115,88 @@ func (s *Sampler) EstimateConditionProbability(c condition.Condition, n int) (es
 // via the lineage condition.
 func (s *Sampler) EstimateTupleProbability(tuple value.Tuple, n int) (float64, float64, error) {
 	return s.EstimateConditionProbability(s.table.Lineage(tuple), n)
+}
+
+// EstimateConditionProbabilityParallel estimates P[c] by drawing n samples
+// sharded across a pool of workers goroutines. Each worker owns a private
+// RNG stream derived from the sampler's seed and its shard index, and the
+// shard sizes depend only on (n, workers), so the estimate is deterministic
+// for a fixed (seed, n, workers) regardless of goroutine scheduling. The
+// parallel path does not advance the sampler's sequential RNG stream.
+// workers <= 1 falls back to the sequential estimator.
+func (s *Sampler) EstimateConditionProbabilityParallel(c condition.Condition, n, workers int) (estimate, stderr float64, err error) {
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("pctable: sample count must be positive")
+	}
+	if workers <= 1 {
+		return s.EstimateConditionProbability(c, n)
+	}
+	if workers > n {
+		workers = n
+	}
+	vars := condition.Vars(c)
+	for _, x := range vars {
+		if _, ok := s.cdf[x]; !ok {
+			return 0, 0, fmt.Errorf("pctable: variable %s has no distribution", x)
+		}
+	}
+	hits := make([]int, workers)
+	errs := make([]error, workers)
+	base, rem := n/workers, n%workers
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		count := base
+		if i < rem {
+			count++
+		}
+		wg.Add(1)
+		go func(shard, count int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(shardSeed(s.seed, shard)))
+			val := make(condition.Valuation, len(vars))
+			h := 0
+			for j := 0; j < count; j++ {
+				s.sampleWith(rng, vars, val)
+				holds, evalErr := c.Eval(val)
+				if evalErr != nil {
+					errs[shard] = evalErr
+					return
+				}
+				if holds {
+					h++
+				}
+			}
+			hits[shard] = h
+		}(i, count)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return 0, 0, e
+		}
+	}
+	total := 0
+	for _, h := range hits {
+		total += h
+	}
+	p := float64(total) / float64(n)
+	se := 0.0
+	if n > 1 {
+		se = math.Sqrt(p * (1 - p) / float64(n))
+	}
+	return p, se, nil
+}
+
+// EstimateTupleProbabilityParallel estimates the marginal probability of a
+// tuple via the lineage condition, sharded across workers.
+func (s *Sampler) EstimateTupleProbabilityParallel(tuple value.Tuple, n, workers int) (float64, float64, error) {
+	return s.EstimateConditionProbabilityParallel(s.table.Lineage(tuple), n, workers)
+}
+
+// shardSeed derives the RNG seed of one worker shard: the base seed plus a
+// large odd multiplier of the shard index (plus one, so shard 0 does not
+// reuse the sequential stream's seed).
+func shardSeed(seed int64, shard int) int64 {
+	const mix = int64(-7046029254386353131) // 2^64 / golden ratio, odd, as int64
+	return seed + int64(shard+1)*mix
 }

@@ -1,0 +1,110 @@
+package pctable
+
+import (
+	"math"
+	"testing"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/value"
+)
+
+// The decomposition-backed ConditionProbability agrees with the brute-force
+// reference on the intro example's lineage conditions and on nested
+// combinations.
+func TestConditionProbabilityEngineAgreement(t *testing.T) {
+	tab := introCoursesTable()
+	conds := []condition.Condition{
+		condition.EqVarConst("x", value.Str("phys")),
+		condition.Or(
+			condition.EqVarConst("x", value.Str("phys")),
+			condition.EqVarConst("x", value.Str("chem"))),
+		condition.And(
+			condition.EqVarConst("x", value.Str("math")),
+			condition.EqVarConst("t", value.Int(1))),
+		condition.Or(
+			condition.And(condition.EqVarConst("x", value.Str("math")), condition.EqVarConst("t", value.Int(1))),
+			condition.And(condition.EqVarConst("x", value.Str("phys")), condition.EqVarConst("t", value.Int(0)))),
+		condition.Not(condition.Or(
+			condition.EqVarConst("x", value.Str("math")),
+			condition.EqVarConst("t", value.Int(0)))),
+		tab.Lineage(value.NewTuple(value.Str("Bob"), value.Str("phys"))),
+		tab.Lineage(value.NewTuple(value.Str("Theo"), value.Str("math"))),
+		condition.True(),
+		condition.False(),
+	}
+	for i, c := range conds {
+		got, err := tab.ConditionProbability(c)
+		if err != nil {
+			t.Fatalf("case %d: dtree: %v", i, err)
+		}
+		want, err := tab.ConditionProbabilityEnum(c)
+		if err != nil {
+			t.Fatalf("case %d: enum: %v", i, err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("case %d: dtree %.17g vs enum %.17g for %s", i, got, want, c)
+		}
+	}
+}
+
+// TupleProbabilityEnum mirrors TupleProbability, including the arity check.
+func TestTupleProbabilityEnum(t *testing.T) {
+	tab := introCoursesTable()
+	target := value.NewTuple(value.Str("Bob"), value.Str("phys"))
+	got, err := tab.TupleProbabilityEnum(target)
+	if err != nil || math.Abs(got-0.3) > 1e-9 {
+		t.Fatalf("enum P(Bob,phys) = %g, %v", got, err)
+	}
+	if _, err := tab.TupleProbabilityEnum(value.NewTuple(value.Str("Bob"))); err == nil {
+		t.Fatal("arity mismatch must be detected")
+	}
+}
+
+// The parallel estimator is deterministic for a fixed (seed, n, workers),
+// lands near the exact probability, and propagates errors.
+func TestParallelMonteCarlo(t *testing.T) {
+	tab := introCoursesTable()
+	s, err := NewSampler(tab, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := value.NewTuple(value.Str("Bob"), value.Str("phys"))
+	lineage := tab.Lineage(target)
+
+	est1, se, err := s.EstimateConditionProbabilityParallel(lineage, 40000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parallel path must not consume the sequential stream, so a second
+	// run on the same sampler reproduces the estimate exactly.
+	est2, _, err := s.EstimateConditionProbabilityParallel(lineage, 40000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est1 != est2 {
+		t.Fatalf("parallel estimate not deterministic: %g vs %g", est1, est2)
+	}
+	exact, err := tab.ConditionProbability(lineage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est1-exact) > 5*se+1e-3 {
+		t.Fatalf("estimate %g too far from exact %g (stderr %g)", est1, exact, se)
+	}
+
+	// Tuple-level wrapper and workers > n edge case.
+	if _, _, err := s.EstimateTupleProbabilityParallel(target, 8, 64); err != nil {
+		t.Fatal(err)
+	}
+	// workers <= 1 falls back to the sequential estimator.
+	if _, _, err := s.EstimateConditionProbabilityParallel(lineage, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Errors surface: unknown variable, non-positive sample count.
+	if _, _, err := s.EstimateConditionProbabilityParallel(condition.IsTrueVar("nosuch"), 100, 4); err == nil {
+		t.Fatal("unknown variable must be reported")
+	}
+	if _, _, err := s.EstimateConditionProbabilityParallel(condition.True(), 0, 4); err == nil {
+		t.Fatal("non-positive sample count must be rejected")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"uncertaindb/internal/condition"
 	"uncertaindb/internal/ctable"
 	"uncertaindb/internal/prob"
+	"uncertaindb/internal/probcalc"
 	"uncertaindb/internal/ra"
 	"uncertaindb/internal/value"
 )
@@ -146,10 +147,20 @@ func (t *PCTable) MustMod() *PDatabase {
 }
 
 // ConditionProbability returns the probability that the condition c holds
-// under the independent variable distributions of the table. It enumerates
-// the valuations of the variables occurring in c only — this is the payoff
-// of lineage-based query answering over naïve world enumeration.
+// under the independent variable distributions of the table. It is computed
+// by the decomposition engine in internal/probcalc (independence splits,
+// exclusive-disjunction splits, Shannon expansion with memoization), which
+// enumerates valuations only for tiny residual subproblems — the scalable
+// successor of the brute force kept in ConditionProbabilityEnum.
 func (t *PCTable) ConditionProbability(c condition.Condition) (float64, error) {
+	return probcalc.Probability(c, t)
+}
+
+// ConditionProbabilityEnum is the brute-force reference implementation: it
+// enumerates every valuation of the variables occurring in c, which is
+// exponential in their number. It is kept as the baseline of the E12
+// crossover benchmarks and as the -engine=enum path of cmd/pctable.
+func (t *PCTable) ConditionProbabilityEnum(c condition.Condition) (float64, error) {
 	vars := condition.Vars(c)
 	for _, x := range vars {
 		if t.dists[x] == nil {
@@ -204,6 +215,16 @@ func (t *PCTable) TupleProbability(tuple value.Tuple) (float64, error) {
 	return t.ConditionProbability(lineage)
 }
 
+// TupleProbabilityEnum is TupleProbability computed by brute-force valuation
+// enumeration instead of the decomposition engine; see
+// ConditionProbabilityEnum.
+func (t *PCTable) TupleProbabilityEnum(tuple value.Tuple) (float64, error) {
+	if len(tuple) != t.table.Arity() {
+		return 0, fmt.Errorf("pctable: tuple arity %d, table arity %d", len(tuple), t.table.Arity())
+	}
+	return t.ConditionProbabilityEnum(t.Lineage(tuple))
+}
+
 // Lineage returns the boolean condition (over the table's variables) that
 // is true exactly when the given tuple belongs to the represented instance
 // — the "lineage"/why-provenance reading of c-table conditions discussed in
@@ -230,42 +251,108 @@ func (t *PCTable) Lineage(tuple value.Tuple) condition.Condition {
 	return condition.Simplify(condition.Or(disj...))
 }
 
-// AnswerTupleProbabilities evaluates q over the pc-table (Theorem 9) and
-// returns the marginal probability of every possible answer tuple, the
-// problem studied by Fuhr–Rölleke, Zimányi and ProbView. Tuples are found
-// by enumerating the answer table's possible worlds over the variable
-// supports; probabilities are then computed from lineage conditions.
-func (t *PCTable) AnswerTupleProbabilities(q ra.Query) ([]TupleProb, error) {
-	answer, err := t.EvalQuery(q)
-	if err != nil {
-		return nil, err
-	}
-	// Collect candidate tuples from the answer's possible worlds.
-	worlds, err := answer.table.Mod()
-	if err != nil {
-		return nil, err
-	}
+// PossibleTuples returns every tuple some row of the table can instantiate
+// to over the variable supports, deduplicated and sorted. Unlike world
+// enumeration (Mod), the cost is per-row exponential only in the variables
+// occurring in that row's *terms* (at most the arity), never in the total
+// variable count — it is the scalable way to discover candidate tuples for
+// marginal computation. Rows whose condition is syntactically false are
+// skipped; a returned tuple may still have marginal probability zero if its
+// lineage is unsatisfiable in a non-obvious way.
+func (t *PCTable) PossibleTuples() ([]value.Tuple, error) {
 	seen := make(map[string]value.Tuple)
-	for _, inst := range worlds.Instances() {
-		for _, tp := range inst.Tuples() {
-			seen[tp.Key()] = tp
+	for _, row := range t.table.Rows() {
+		if _, isFalse := row.Cond.(condition.FalseCond); isFalse {
+			continue
 		}
+		var rowVars []condition.Variable
+		inRow := make(map[condition.Variable]bool)
+		for _, term := range row.Terms {
+			if term.IsVar && !inRow[term.Var] {
+				inRow[term.Var] = true
+				rowVars = append(rowVars, term.Var)
+			}
+		}
+		for _, x := range rowVars {
+			if t.dists[x] == nil {
+				return nil, fmt.Errorf("pctable: variable %s has no distribution", x)
+			}
+		}
+		build := func(v condition.Valuation) {
+			tuple := make(value.Tuple, len(row.Terms))
+			for i, term := range row.Terms {
+				if term.IsVar {
+					tuple[i] = v[term.Var]
+				} else {
+					tuple[i] = term.Const
+				}
+			}
+			seen[tuple.Key()] = tuple
+		}
+		if len(rowVars) == 0 {
+			build(nil)
+			continue
+		}
+		condition.ForEachValuation(rowVars, t.table, func(v condition.Valuation) bool {
+			build(v)
+			return true
+		})
 	}
 	keys := make([]string, 0, len(seen))
 	for k := range seen {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	out := make([]TupleProb, 0, len(keys))
+	out := make([]value.Tuple, 0, len(keys))
 	for _, k := range keys {
-		tp := seen[k]
-		p, err := answer.TupleProbability(tp)
+		out = append(out, seen[k])
+	}
+	return out, nil
+}
+
+// TupleProbabilities returns the marginal probability of every possible
+// tuple of the table: candidates are discovered from the rows
+// (PossibleTuples) — not by enumerating possible worlds — and probabilities
+// are computed from lineage conditions by one shared decomposition
+// evaluator, whose memo cache is reused across tuples. Candidates whose
+// lineage is false or whose marginal is zero are dropped (candidate
+// discovery over-approximates: a tuple matching a row pattern may have
+// unsatisfiable lineage). The whole pipeline avoids anything exponential in
+// the total variable count.
+func (t *PCTable) TupleProbabilities() ([]TupleProb, error) {
+	candidates, err := t.PossibleTuples()
+	if err != nil {
+		return nil, err
+	}
+	ev := probcalc.New(t)
+	out := make([]TupleProb, 0, len(candidates))
+	for _, tp := range candidates {
+		lineage := t.Lineage(tp)
+		if _, isFalse := lineage.(condition.FalseCond); isFalse {
+			continue
+		}
+		p, err := ev.Probability(lineage)
 		if err != nil {
 			return nil, err
+		}
+		if p == 0 {
+			continue
 		}
 		out = append(out, TupleProb{Tuple: tp, P: p})
 	}
 	return out, nil
+}
+
+// AnswerTupleProbabilities evaluates q over the pc-table (Theorem 9) and
+// returns the marginal probability of every possible answer tuple, the
+// problem studied by Fuhr–Rölleke, Zimányi and ProbView; see
+// TupleProbabilities for how the answers are discovered and computed.
+func (t *PCTable) AnswerTupleProbabilities(q ra.Query) ([]TupleProb, error) {
+	answer, err := t.EvalQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return answer.TupleProbabilities()
 }
 
 // String renders the pc-table: the underlying c-table plus the variable

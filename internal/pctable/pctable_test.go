@@ -1,6 +1,7 @@
 package pctable
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -320,6 +321,83 @@ func TestUniformPCTable(t *testing.T) {
 	// x uniform over 3 courses → P(Alice takes math) = 1/3.
 	if got := db.TupleProbability(value.NewTuple(value.Str("Alice"), value.Str("math"))); math.Abs(got-1.0/3) > 1e-9 {
 		t.Fatalf("uniform marginal = %g", got)
+	}
+}
+
+// PossibleTuples discovers candidate tuples from rows without world
+// enumeration: it agrees with the world-derived tuple set on the intro
+// example and stays cheap on tables whose world count is astronomical.
+func TestPossibleTuples(t *testing.T) {
+	tab := introCoursesTable()
+	got, err := tab.PossibleTuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	worlds := tab.Table().MustMod()
+	want := make(map[string]bool)
+	for _, inst := range worlds.Instances() {
+		for _, tp := range inst.Tuples() {
+			want[tp.Key()] = true
+		}
+	}
+	// PossibleTuples over-approximates the world-derived set: every tuple
+	// from some world is found, and any extra candidate (a row pattern whose
+	// lineage is unsatisfiable, like Bob taking math) has marginal zero.
+	gotKeys := make(map[string]bool)
+	for _, tp := range got {
+		gotKeys[tp.Key()] = true
+	}
+	for k := range want {
+		if !gotKeys[k] {
+			t.Errorf("world-derived tuple %s missing from PossibleTuples", k)
+		}
+	}
+	for _, tp := range got {
+		if want[tp.Key()] {
+			continue
+		}
+		p, err := tab.TupleProbability(tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != 0 {
+			t.Errorf("extra candidate %v has nonzero marginal %g", tp, p)
+		}
+	}
+
+	// 40 boolean variables guard 4 constant rows: 2^40 worlds, but only 4
+	// possible tuples, found without enumerating anything.
+	big := NewWithArity(1)
+	for r := 0; r < 4; r++ {
+		var disj []condition.Condition
+		for i := 0; i < 10; i++ {
+			name := fmt.Sprintf("g%d_%d", r, i)
+			big.SetBoolDist(name, 0.5)
+			disj = append(disj, condition.IsTrueVar(name))
+		}
+		big.AddConstRow(value.Ints(int64(r)), condition.Or(disj...))
+	}
+	tuples, err := big.PossibleTuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 4 {
+		t.Fatalf("PossibleTuples = %v, want 4 tuples", tuples)
+	}
+	// And the marginals of those tuples are computable by the d-tree engine.
+	p, err := big.TupleProbability(value.Ints(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 - math.Pow(0.5, 10); math.Abs(p-want) > 1e-12 {
+		t.Fatalf("P = %g, want %g", p, want)
+	}
+
+	// Missing distributions on term variables are reported.
+	bad := NewWithArity(1)
+	bad.AddRow([]condition.Term{condition.Var("u")}, nil)
+	if _, err := bad.PossibleTuples(); err == nil {
+		t.Fatal("missing distribution must be reported")
 	}
 }
 

@@ -1,0 +1,517 @@
+package probcalc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/value"
+)
+
+// This file holds the generic decomposition-tree ("d-tree") core. The
+// evaluator is parameterised over the arithmetic the probabilities are
+// computed in, so the same decomposition logic serves both the fast float64
+// engine and the exact big.Rat engine (and the model counter in sat.go,
+// which runs the exact engine under uniform weights).
+//
+// A d-tree decomposes the probability computation for a condition c:
+//
+//   - independent split: juncts of a conjunction (disjunction) that share no
+//     variables are probabilistically independent, so P[∧] multiplies and
+//     P[∨] combines as 1 − Π(1 − pᵢ);
+//   - exclusive split: pairwise disjoint disjuncts (each pair forces some
+//     variable to two different constants) satisfy P[∨] = Σ pᵢ;
+//   - Shannon expansion: otherwise a pivot variable x is eliminated via
+//     P[c] = Σ_{v ∈ dom(x)} P[x=v]·P[c[x:=v]], with results memoized on a
+//     canonical key so shared subproblems are solved once;
+//   - enumeration: residual subproblems with at most Options.EnumThreshold
+//     valuations (or a single variable) are enumerated directly.
+
+// weighted is one value of a variable's finite distribution together with
+// its probability expressed in the engine's arithmetic.
+type weighted[T any] struct {
+	v value.Value
+	w T
+}
+
+// field is the arithmetic a d-tree is evaluated in. All operations must be
+// free of side effects on their operands (big.Rat instances are shared).
+type field[T any] struct {
+	zero func() T
+	one  func() T
+	add  func(a, b T) T
+	sub  func(a, b T) T
+	mul  func(a, b T) T
+}
+
+// engine is the generic d-tree evaluator. It is not safe for concurrent use;
+// wrap one engine per goroutine.
+type engine[T any] struct {
+	f     field[T]
+	dist  func(x condition.Variable) ([]weighted[T], error)
+	vals  map[condition.Variable][]weighted[T]
+	memo  map[string]T
+	opts  Options
+	stats Stats
+}
+
+func newEngine[T any](f field[T], dist func(condition.Variable) ([]weighted[T], error), opts Options) *engine[T] {
+	if opts.EnumThreshold <= 0 {
+		opts.EnumThreshold = DefaultEnumThreshold
+	}
+	return &engine[T]{
+		f:    f,
+		dist: dist,
+		vals: make(map[condition.Variable][]weighted[T]),
+		memo: make(map[string]T),
+		opts: opts,
+	}
+}
+
+// outcomes returns (and caches) the weighted values of x's distribution.
+func (e *engine[T]) outcomes(x condition.Variable) ([]weighted[T], error) {
+	if o, ok := e.vals[x]; ok {
+		return o, nil
+	}
+	o, err := e.dist(x)
+	if err != nil {
+		return nil, err
+	}
+	if len(o) == 0 {
+		return nil, fmt.Errorf("probcalc: empty distribution for variable %s", x)
+	}
+	e.vals[x] = o
+	return o, nil
+}
+
+// probability computes P[c]. The condition is simplified once up front; the
+// recursion keeps intermediate conditions simplified via Substitute.
+func (e *engine[T]) probability(c condition.Condition) (T, error) {
+	c = condition.Simplify(c)
+	for _, x := range condition.Vars(c) {
+		if _, err := e.outcomes(x); err != nil {
+			return e.f.zero(), err
+		}
+	}
+	return e.eval(c)
+}
+
+// bruteForce computes P[c] by full valuation enumeration, bypassing the
+// decomposition. It is the reference the equivalence tests compare against.
+func (e *engine[T]) bruteForce(c condition.Condition) (T, error) {
+	c = condition.Simplify(c)
+	vars := condition.Vars(c)
+	for _, x := range vars {
+		if _, err := e.outcomes(x); err != nil {
+			return e.f.zero(), err
+		}
+	}
+	if len(vars) == 0 {
+		return e.constant(c)
+	}
+	return e.enumerate(c, vars)
+}
+
+// constant evaluates a variable-free condition to zero or one.
+func (e *engine[T]) constant(c condition.Condition) (T, error) {
+	holds, err := c.Eval(nil)
+	if err != nil {
+		return e.f.zero(), err
+	}
+	if holds {
+		return e.f.one(), nil
+	}
+	return e.f.zero(), nil
+}
+
+func (e *engine[T]) eval(c condition.Condition) (T, error) {
+	switch c.(type) {
+	case condition.TrueCond:
+		return e.f.one(), nil
+	case condition.FalseCond:
+		return e.f.zero(), nil
+	}
+	vars := condition.Vars(c)
+	if len(vars) == 0 {
+		return e.constant(c)
+	}
+	key := canonKey(c)
+	if cached, ok := e.memo[key]; ok {
+		e.stats.MemoHits++
+		return cached, nil
+	}
+	small, err := e.residualAtMost(vars, e.opts.EnumThreshold)
+	if err != nil {
+		return e.f.zero(), err
+	}
+	var out T
+	switch {
+	case len(vars) == 1 || small:
+		out, err = e.enumerate(c, vars)
+	default:
+		switch cc := c.(type) {
+		case condition.NotCond:
+			var inner T
+			inner, err = e.eval(cc.Cond)
+			if err == nil {
+				out = e.f.sub(e.f.one(), inner)
+			}
+		case condition.AndCond:
+			out, err = e.evalJunction(cc.Conds, true, c, vars)
+		case condition.OrCond:
+			out, err = e.evalJunction(cc.Conds, false, c, vars)
+		default:
+			out, err = e.shannon(c, vars)
+		}
+	}
+	if err != nil {
+		return e.f.zero(), err
+	}
+	e.memo[key] = out
+	return out, nil
+}
+
+// evalJunction handles conjunctions (isAnd) and disjunctions: independent
+// component splits first, then (for disjunctions) exclusive splits, then
+// Shannon expansion of the whole junction.
+func (e *engine[T]) evalJunction(juncts []condition.Condition, isAnd bool, whole condition.Condition, vars []condition.Variable) (T, error) {
+	comps := components(juncts)
+	if len(comps) > 1 {
+		e.stats.ComponentSplits++
+		acc := e.f.one()
+		for _, comp := range comps {
+			var sub condition.Condition
+			if isAnd {
+				sub = condition.And(comp...)
+			} else {
+				sub = condition.Or(comp...)
+			}
+			p, err := e.eval(sub)
+			if err != nil {
+				return e.f.zero(), err
+			}
+			if isAnd {
+				acc = e.f.mul(acc, p)
+			} else {
+				acc = e.f.mul(acc, e.f.sub(e.f.one(), p))
+			}
+		}
+		if isAnd {
+			return acc, nil
+		}
+		return e.f.sub(e.f.one(), acc), nil
+	}
+	if !isAnd && pairwiseDisjoint(juncts) {
+		e.stats.ExclusiveSplits++
+		acc := e.f.zero()
+		for _, d := range juncts {
+			p, err := e.eval(d)
+			if err != nil {
+				return e.f.zero(), err
+			}
+			acc = e.f.add(acc, p)
+		}
+		return acc, nil
+	}
+	return e.shannon(whole, vars)
+}
+
+// shannon expands on the most frequently occurring variable:
+// P[c] = Σ_v P[x=v] · P[c[x:=v]].
+func (e *engine[T]) shannon(c condition.Condition, vars []condition.Variable) (T, error) {
+	pivot := pickPivot(c, vars)
+	outs, err := e.outcomes(pivot)
+	if err != nil {
+		return e.f.zero(), err
+	}
+	e.stats.ShannonExpansions++
+	acc := e.f.zero()
+	val := make(condition.Valuation, 1)
+	for _, o := range outs {
+		val[pivot] = o.v
+		branch, err := e.eval(c.Substitute(val))
+		if err != nil {
+			return e.f.zero(), err
+		}
+		acc = e.f.add(acc, e.f.mul(o.w, branch))
+	}
+	return acc, nil
+}
+
+// enumerate sums the weights of all satisfying valuations of vars.
+func (e *engine[T]) enumerate(c condition.Condition, vars []condition.Variable) (T, error) {
+	e.stats.Enumerations++
+	outs := make([][]weighted[T], len(vars))
+	for i, x := range vars {
+		o, err := e.outcomes(x)
+		if err != nil {
+			return e.f.zero(), err
+		}
+		outs[i] = o
+	}
+	acc := e.f.zero()
+	val := make(condition.Valuation, len(vars))
+	var rec func(i int, w T)
+	rec = func(i int, w T) {
+		if i == len(vars) {
+			if condition.MustEval(c, val) {
+				acc = e.f.add(acc, w)
+			}
+			return
+		}
+		for _, o := range outs[i] {
+			val[vars[i]] = o.v
+			rec(i+1, e.f.mul(w, o.w))
+		}
+	}
+	rec(0, e.f.one())
+	return acc, nil
+}
+
+// residualAtMost reports whether the number of valuations of vars is at most
+// limit, without overflowing.
+func (e *engine[T]) residualAtMost(vars []condition.Variable, limit int64) (bool, error) {
+	n := int64(1)
+	for _, x := range vars {
+		o, err := e.outcomes(x)
+		if err != nil {
+			return false, err
+		}
+		n *= int64(len(o))
+		if n > limit {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// canonKey renders a canonical memoization key: juncts of conjunctions and
+// disjunctions are sorted so that syntactic permutations of the same
+// subcondition share a cache entry. The encoding is injective — every
+// variable-content field (variable names, constant keys, junct encodings)
+// is length-prefixed, so distinct conditions cannot collide on one entry
+// even when string constants contain the structural characters.
+func canonKey(c condition.Condition) string {
+	var b strings.Builder
+	writeCanonKey(&b, c)
+	return b.String()
+}
+
+func writeCanonKey(b *strings.Builder, c condition.Condition) {
+	switch cc := c.(type) {
+	case condition.TrueCond:
+		b.WriteByte('T')
+	case condition.FalseCond:
+		b.WriteByte('F')
+	case condition.Cmp:
+		if cc.Neq {
+			b.WriteString("n(")
+		} else {
+			b.WriteString("e(")
+		}
+		writeTermKey(b, cc.Left)
+		b.WriteByte(',')
+		writeTermKey(b, cc.Right)
+		b.WriteByte(')')
+	case condition.NotCond:
+		b.WriteString("!(")
+		writeCanonKey(b, cc.Cond)
+		b.WriteByte(')')
+	case condition.AndCond:
+		writeJunctionKey(b, '&', cc.Conds)
+	case condition.OrCond:
+		writeJunctionKey(b, '|', cc.Conds)
+	default:
+		// Unknown condition types: length-prefix the String rendering so it
+		// cannot be confused with the structured encodings above.
+		s := c.String()
+		fmt.Fprintf(b, "?%d:%s", len(s), s)
+	}
+}
+
+func writeJunctionKey(b *strings.Builder, op byte, juncts []condition.Condition) {
+	parts := make([]string, len(juncts))
+	for i, j := range juncts {
+		parts[i] = canonKey(j)
+	}
+	sort.Strings(parts)
+	b.WriteByte(op)
+	b.WriteByte('(')
+	for _, p := range parts {
+		fmt.Fprintf(b, "%d:%s", len(p), p)
+	}
+	b.WriteByte(')')
+}
+
+func writeTermKey(b *strings.Builder, t condition.Term) {
+	if t.IsVar {
+		fmt.Fprintf(b, "v%d:%s", len(t.Var), string(t.Var))
+		return
+	}
+	k := t.Const.Key()
+	fmt.Fprintf(b, "c%d:%s", len(k), k)
+}
+
+// components partitions juncts into groups connected by shared variables
+// (connected components of the junct/variable incidence graph), preserving
+// the order of first appearance. Variable-free juncts form singleton groups.
+func components(juncts []condition.Condition) [][]condition.Condition {
+	parent := make([]int, len(juncts))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(i int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	owner := make(map[condition.Variable]int)
+	for i, j := range juncts {
+		for _, x := range condition.Vars(j) {
+			if k, ok := owner[x]; ok {
+				union(i, k)
+			} else {
+				owner[x] = i
+			}
+		}
+	}
+	order := make([]int, 0, len(juncts))
+	groups := make(map[int][]condition.Condition)
+	for i, j := range juncts {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], j)
+	}
+	out := make([][]condition.Condition, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// maxDisjointnessCheck bounds the quadratic pairwise disjointness test.
+const maxDisjointnessCheck = 128
+
+// pairwiseDisjoint reports whether every pair of disjuncts is syntactically
+// exclusive: some variable is forced to two different constants. The check
+// is sound but incomplete — a false answer just means no exclusive split.
+func pairwiseDisjoint(juncts []condition.Condition) bool {
+	if len(juncts) < 2 || len(juncts) > maxDisjointnessCheck {
+		return false
+	}
+	forced := make([]map[condition.Variable]value.Value, len(juncts))
+	for i, j := range juncts {
+		forced[i] = forcedAssignments(j)
+		if forced[i] == nil {
+			return false
+		}
+	}
+	for i := 0; i < len(juncts); i++ {
+		for j := i + 1; j < len(juncts); j++ {
+			if !excludes(forced[i], forced[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// forcedAssignments extracts the variable=constant equalities a condition
+// forces at its top level (an equality atom, or equality conjuncts of a
+// conjunction). nil means no forced assignment was found.
+func forcedAssignments(c condition.Condition) map[condition.Variable]value.Value {
+	switch cc := c.(type) {
+	case condition.Cmp:
+		if x, v, ok := varConstEq(cc); ok {
+			return map[condition.Variable]value.Value{x: v}
+		}
+	case condition.AndCond:
+		var m map[condition.Variable]value.Value
+		for _, j := range cc.Conds {
+			cmp, ok := j.(condition.Cmp)
+			if !ok {
+				continue
+			}
+			if x, v, ok := varConstEq(cmp); ok {
+				if m == nil {
+					m = make(map[condition.Variable]value.Value)
+				}
+				if _, dup := m[x]; !dup {
+					m[x] = v
+				}
+			}
+		}
+		return m
+	}
+	return nil
+}
+
+func varConstEq(c condition.Cmp) (condition.Variable, value.Value, bool) {
+	if c.Neq {
+		return "", value.Null, false
+	}
+	if c.Left.IsVar && !c.Right.IsVar {
+		return c.Left.Var, c.Right.Const, true
+	}
+	if c.Right.IsVar && !c.Left.IsVar {
+		return c.Right.Var, c.Left.Const, true
+	}
+	return "", value.Null, false
+}
+
+func excludes(a, b map[condition.Variable]value.Value) bool {
+	for x, v := range a {
+		if w, ok := b[x]; ok && v != w {
+			return true
+		}
+	}
+	return false
+}
+
+// pickPivot chooses the Shannon pivot: the variable occurring in the most
+// atoms, ties broken by name (vars is sorted, so the scan is deterministic).
+func pickPivot(c condition.Condition, vars []condition.Variable) condition.Variable {
+	counts := make(map[condition.Variable]int, len(vars))
+	countOccurrences(c, counts)
+	best := vars[0]
+	for _, x := range vars[1:] {
+		if counts[x] > counts[best] {
+			best = x
+		}
+	}
+	return best
+}
+
+func countOccurrences(c condition.Condition, counts map[condition.Variable]int) {
+	switch cc := c.(type) {
+	case condition.Cmp:
+		if cc.Left.IsVar {
+			counts[cc.Left.Var]++
+		}
+		if cc.Right.IsVar {
+			counts[cc.Right.Var]++
+		}
+	case condition.AndCond:
+		for _, j := range cc.Conds {
+			countOccurrences(j, counts)
+		}
+	case condition.OrCond:
+		for _, j := range cc.Conds {
+			countOccurrences(j, counts)
+		}
+	case condition.NotCond:
+		countOccurrences(cc.Cond, counts)
+	}
+}
