@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"testing"
 
+	"uncertaindb/internal/catalog"
 	"uncertaindb/internal/condition"
 	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/engine"
 	"uncertaindb/internal/incomplete"
 	"uncertaindb/internal/models"
 	"uncertaindb/internal/pctable"
@@ -331,6 +333,76 @@ func BenchmarkExactEngineCrossover(b *testing.B) {
 			})
 		}
 	}
+}
+
+// E13 — serving throughput: the uncertaind engine (catalog + compiled-plan
+// cache) on the courses workload. "cold" forces a plan compilation on every
+// request (two queries alternating through a size-1 cache); "warm" re-issues
+// one query against a primed cache, so each request is a cache hit returning
+// memoized marginals; "warm-parallel" adds concurrent clients on the shared
+// engine (run with -race to exercise the concurrency claims). The prepared
+// plan amortizes parsing, the closed algebra and lineage decomposition, so
+// warm must be orders of magnitude faster than cold.
+func BenchmarkServing(b *testing.B) {
+	const queryText = "project[1](select[$2 != 'course0'](Courses))"
+	newServingEngine := func(b *testing.B, cacheSize int) *engine.Engine {
+		eng := engine.New(catalog.New(), engine.Options{CacheSize: cacheSize})
+		if _, err := eng.PutTable("Courses", workload.Courses(12, 3, 17)); err != nil {
+			b.Fatal(err)
+		}
+		return eng
+	}
+	reportQPS := func(b *testing.B) {
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(b.N)/s, "qps")
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		eng := newServingEngine(b, 1)
+		queries := []string{queryText, "project[2](Courses)"}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Execute(engine.Request{Query: queries[i%2]}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportQPS(b)
+		if s := eng.Stats(); s.Hits != 0 {
+			b.Fatalf("cold run recorded %d cache hits", s.Hits)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		eng := newServingEngine(b, 0)
+		if _, err := eng.Execute(engine.Request{Query: queryText}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Execute(engine.Request{Query: queryText}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportQPS(b)
+		if s := eng.Stats(); s.Hits != uint64(b.N) {
+			b.Fatalf("warm run recorded %d cache hits, want %d", s.Hits, b.N)
+		}
+	})
+	b.Run("warm-parallel", func(b *testing.B) {
+		eng := newServingEngine(b, 0)
+		if _, err := eng.Execute(engine.Request{Query: queryText}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := eng.Execute(engine.Request{Query: queryText}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		reportQPS(b)
+	})
 }
 
 // Ablation — condition simplification in the c-table algebra on/off: the

@@ -3,10 +3,20 @@
 // query-answering comparison (E12), and size statistics for the
 // completeness/completion constructions (E4, E5, E9, E11). Output is
 // GitHub-flavoured markdown so it can be pasted into EXPERIMENTS.md.
+//
+// By default every section is printed; -only=e6,e12 selects a subset, which
+// lets CI smoke-run one cheap section instead of the full suite.
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"uncertaindb/internal/condition"
@@ -18,19 +28,93 @@ import (
 	"uncertaindb/internal/workload"
 )
 
+// sections maps a section selector to the function that prints it. The
+// constructions section covers E4, E5, E9 and E11 and answers to any of
+// those names.
+var sections = []struct {
+	key     string
+	aliases []string
+	print   func(io.Writer)
+}{
+	{key: "e6", print: succinctness},
+	{key: "e12", print: queryAnswering},
+	{key: "constructions", aliases: []string{"e4", "e5", "e9", "e11"}, print: constructions},
+}
+
 func main() {
-	succinctness()
-	queryAnswering()
-	constructions()
+	log.SetFlags(0)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	only := fs.String("only", "", "comma-separated sections to print (e6, e12, constructions/e4/e5/e9/e11); empty means all")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(out)
+			fs.Usage()
+			return nil
+		}
+		return fmt.Errorf("%w (run with -h for usage)", err)
+	}
+	selected, err := selectSections(*only)
+	if err != nil {
+		return err
+	}
+	for _, s := range sections {
+		if selected[s.key] {
+			s.print(out)
+		}
+	}
+	return nil
+}
+
+// selectSections resolves the -only value to the set of section keys.
+func selectSections(only string) (map[string]bool, error) {
+	selected := make(map[string]bool, len(sections))
+	if strings.TrimSpace(only) == "" {
+		for _, s := range sections {
+			selected[s.key] = true
+		}
+		return selected, nil
+	}
+	byName := make(map[string]string)
+	for _, s := range sections {
+		byName[s.key] = s.key
+		for _, a := range s.aliases {
+			byName[a] = s.key
+		}
+	}
+	for _, name := range strings.Split(only, ",") {
+		name = strings.ToLower(strings.TrimSpace(name))
+		if name == "" {
+			continue
+		}
+		key, ok := byName[name]
+		if !ok {
+			known := make([]string, 0, len(byName))
+			for n := range byName {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("benchreport: unknown section %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		selected[key] = true
+	}
+	return selected, nil
 }
 
 // succinctness prints the E6 table: 1-row finite c-table vs equivalent
 // boolean c-table (n^m rows).
-func succinctness() {
-	fmt.Println("## E6 — Example 5 succinctness (c-table vs boolean c-table)")
-	fmt.Println()
-	fmt.Println("| m (columns) | n (domain) | c-table rows | boolean c-table rows | worlds |")
-	fmt.Println("|---|---|---|---|---|")
+func succinctness(out io.Writer) {
+	fmt.Fprintln(out, "## E6 — Example 5 succinctness (c-table vs boolean c-table)")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "| m (columns) | n (domain) | c-table rows | boolean c-table rows | worlds |")
+	fmt.Fprintln(out, "|---|---|---|---|---|")
 	for _, cfg := range []struct{ m, n int }{{2, 2}, {2, 4}, {3, 3}, {4, 2}, {3, 4}} {
 		tab := ctable.New(cfg.m)
 		terms := make([]condition.Term, cfg.m)
@@ -45,19 +129,19 @@ func succinctness() {
 			panic(err)
 		}
 		worlds := tab.MustMod().Size()
-		fmt.Printf("| %d | %d | %d | %d | %d |\n", cfg.m, cfg.n, tab.NumRows(), expanded.NumRows(), worlds)
+		fmt.Fprintf(out, "| %d | %d | %d | %d | %d |\n", cfg.m, cfg.n, tab.NumRows(), expanded.NumRows(), worlds)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 }
 
 // queryAnswering prints the E12 comparison: lineage-based exact marginals
 // (d-tree decomposed and brute-force enumerated) vs naïve world enumeration
 // vs Monte-Carlo, on the scaled courses workload.
-func queryAnswering() {
-	fmt.Println("## E12 — probabilistic query answering (marginal of one answer tuple)")
-	fmt.Println()
-	fmt.Println("| students | variables | worlds | lineage d-tree | lineage enum | world enumeration | Monte-Carlo (n=1000) |")
-	fmt.Println("|---|---|---|---|---|---|---|")
+func queryAnswering(out io.Writer) {
+	fmt.Fprintln(out, "## E12 — probabilistic query answering (marginal of one answer tuple)")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "| students | variables | worlds | lineage d-tree | lineage enum | world enumeration | Monte-Carlo (n=1000) |")
+	fmt.Fprintln(out, "|---|---|---|---|---|---|---|")
 	query := workload.ProjectionQuery(0)
 	target := value.NewTuple(value.Str("student0"))
 	for _, students := range []int{6, 9, 12} {
@@ -101,18 +185,18 @@ func queryAnswering() {
 		}
 		mcTime := time.Since(start)
 
-		fmt.Printf("| %d | %d | %d | %s | %s | %s | %s |\n",
+		fmt.Fprintf(out, "| %d | %d | %d | %s | %s | %s | %s |\n",
 			students, len(tab.Vars()), dist.NumWorlds(), dtreeTime, lineageTime, worldTime, mcTime)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 }
 
 // constructions prints size statistics for the constructive theorems.
-func constructions() {
-	fmt.Println("## E4/E5/E9/E11 — construction sizes")
-	fmt.Println()
-	fmt.Println("| construction | input size | output size |")
-	fmt.Println("|---|---|---|")
+func constructions(out io.Writer) {
+	fmt.Fprintln(out, "## E4/E5/E9/E11 — construction sizes")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "| construction | input size | output size |")
+	fmt.Fprintln(out, "|---|---|---|")
 
 	// E4: Theorem 1 query size (number of operators ~ rows).
 	tab := workload.RandomCTable(workload.CTableSpec{Rows: 32, Arity: 3, NumVars: 6, DomainSize: 4, PVarCell: 0.5, PCondAtom: 0.6, Seed: 11})
@@ -120,7 +204,7 @@ func constructions() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("| Theorem 1: c-table → SPJU query over Z_%d | %d rows | %d chars, ops {%s} |\n",
+	fmt.Fprintf(out, "| Theorem 1: c-table → SPJU query over Z_%d | %d rows | %d chars, ops {%s} |\n",
 		k, tab.NumRows(), len(q.String()), ra.DescribeOperators(q))
 
 	// E5: Theorem 3 boolean c-table size.
@@ -129,7 +213,7 @@ func constructions() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("| Theorem 3: finite i-database → boolean c-table | %d worlds | %d rows, %d boolean vars |\n",
+	fmt.Fprintf(out, "| Theorem 3: finite i-database → boolean c-table | %d worlds | %d rows, %d boolean vars |\n",
 		db.Size(), bt.NumRows(), len(bt.Vars()))
 
 	// E9: or-set PJ completion table sizes.
@@ -138,7 +222,7 @@ func constructions() {
 		panic(err)
 	}
 	sWorlds := res.Tables["S"].Size() * res.Tables["T"].Size()
-	fmt.Printf("| Theorem 6(1): finite i-database → or-set tables + PJ | %d worlds | %d table-world pairs |\n",
+	fmt.Fprintf(out, "| Theorem 6(1): finite i-database → or-set tables + PJ | %d worlds | %d table-world pairs |\n",
 		db.Size(), sWorlds)
 
 	// E11: Theorem 8 boolean pc-table size.
@@ -151,7 +235,7 @@ func constructions() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("| Theorem 8: p-database → boolean pc-table | %d worlds | %d rows, %d boolean vars |\n",
+	fmt.Fprintf(out, "| Theorem 8: p-database → boolean pc-table | %d worlds | %d rows, %d boolean vars |\n",
 		pdb.NumWorlds(), pct.Table().NumRows(), len(pct.Vars()))
-	fmt.Println()
+	fmt.Fprintln(out)
 }

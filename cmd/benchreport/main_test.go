@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke test for the cheap E6 section — the one CI runs.
+func TestRunOnlyE6(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-only", "e6"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "## E6 — Example 5 succinctness") {
+		t.Errorf("output missing the E6 header:\n%s", out)
+	}
+	for _, absent := range []string{"## E12", "## E4/E5/E9/E11"} {
+		if strings.Contains(out, absent) {
+			t.Errorf("-only=e6 must not print %q:\n%s", absent, out)
+		}
+	}
+}
+
+// The construction aliases (e4, e5, e9, e11) all select the constructions
+// section, once.
+func TestRunConstructionAliases(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-only", "e4,e11"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "## E4/E5/E9/E11"); got != 1 {
+		t.Errorf("constructions section printed %d times, want 1:\n%s", got, out)
+	}
+}
+
+func TestSelectSections(t *testing.T) {
+	all, err := selectSections("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Errorf("empty -only selects %d sections, want all 3", len(all))
+	}
+	if _, err := selectSections("e6,bogus"); err == nil {
+		t.Error("unknown section must error")
+	}
+	some, err := selectSections(" E6 , e12 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !some["e6"] || !some["e12"] || some["constructions"] {
+		t.Errorf("selection = %v, want e6 and e12 only", some)
+	}
+}
+
+func TestRunHelpAndBadFlag(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-h"}, &buf); err != nil {
+		t.Fatalf("-h must not error, got %v", err)
+	}
+	if !strings.Contains(buf.String(), "Usage of benchreport") {
+		t.Errorf("-h output missing usage:\n%s", buf.String())
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("bad flag must error")
+	}
+}

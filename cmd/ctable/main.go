@@ -12,8 +12,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -24,77 +26,98 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	tablePath := flag.String("table", "", "path to the table description file")
-	queryText := flag.String("query", "", "relational algebra query (see internal/parser)")
-	showWorlds := flag.Bool("worlds", false, "enumerate the possible worlds of the answer")
-	showCertain := flag.Bool("certain", false, "print certain and possible answers")
-	maxWorlds := flag.Int("max-worlds", 50, "maximum number of worlds to print")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the testable body of the command: it parses flags from args and
+// writes all output to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ctable", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	tablePath := fs.String("table", "", "path to the table description file")
+	queryText := fs.String("query", "", "relational algebra query (see internal/parser)")
+	showWorlds := fs.Bool("worlds", false, "enumerate the possible worlds of the answer")
+	showCertain := fs.Bool("certain", false, "print certain and possible answers")
+	maxWorlds := fs.Int("max-worlds", 50, "maximum number of worlds to print")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(out)
+			fs.Usage()
+			return nil
+		}
+		return fmt.Errorf("%w (run with -h for usage)", err)
+	}
 
 	if *tablePath == "" {
-		log.Fatal("ctable: -table is required")
+		return fmt.Errorf("ctable: -table is required")
 	}
 	f, err := os.Open(*tablePath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer f.Close()
 	parsed, err := parser.ParseTable(f)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tab := parsed.CTable
-	fmt.Printf("Loaded table %s:\n%s", parsed.Name, tab)
+	fmt.Fprintf(out, "Loaded table %s:\n%s", parsed.Name, tab)
 
 	if *queryText == "" {
 		if *showWorlds {
-			printWorlds(tab, *maxWorlds)
+			return printWorlds(out, tab, *maxWorlds)
 		}
-		return
+		return nil
 	}
 
 	q, err := parser.ParseQuery(*queryText)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	answer, err := ctable.EvalQuery(q, tab)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nAnswer c-table q̄(%s):\n%s", parsed.Name, answer.Simplify())
+	fmt.Fprintf(out, "\nAnswer c-table q̄(%s):\n%s", parsed.Name, answer.Simplify())
 
 	if *showWorlds {
-		printWorlds(answer, *maxWorlds)
+		if err := printWorlds(out, answer, *maxWorlds); err != nil {
+			return err
+		}
 	}
 	if *showCertain {
 		worlds, err := tab.Mod()
 		if err != nil {
-			log.Fatalf("certain answers need finite domains for every variable: %v", err)
+			return fmt.Errorf("certain answers need finite domains for every variable: %w", err)
 		}
 		certain, err := incomplete.CertainAnswers(q, worlds)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		possible, err := incomplete.PossibleAnswers(q, worlds)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("\nCertain answers:  %s\n", certain)
-		fmt.Printf("Possible answers: %s\n", possible)
+		fmt.Fprintf(out, "\nCertain answers:  %s\n", certain)
+		fmt.Fprintf(out, "Possible answers: %s\n", possible)
 	}
+	return nil
 }
 
-func printWorlds(tab *ctable.CTable, max int) {
+func printWorlds(out io.Writer, tab *ctable.CTable, max int) error {
 	worlds, err := tab.Mod()
 	if err != nil {
-		log.Fatalf("enumerating worlds needs finite domains for every variable: %v", err)
+		return fmt.Errorf("enumerating worlds needs finite domains for every variable: %w", err)
 	}
-	fmt.Printf("\n%d possible worlds:\n", worlds.Size())
+	fmt.Fprintf(out, "\n%d possible worlds:\n", worlds.Size())
 	for i, inst := range worlds.Instances() {
 		if i >= max {
-			fmt.Printf("  ... (%d more)\n", worlds.Size()-max)
+			fmt.Fprintf(out, "  ... (%d more)\n", worlds.Size()-max)
 			break
 		}
-		fmt.Printf("  %s\n", inst)
+		fmt.Fprintf(out, "  %s\n", inst)
 	}
+	return nil
 }

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const exampleTable = `table S arity 2
+row 1, x
+row 2, 3 | x != 1
+dom x = {1, 2}
+`
+
+func writeTable(t *testing.T, contents string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "s.tbl")
+	if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCapture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf strings.Builder
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestRunLoadAndQuery(t *testing.T) {
+	path := writeTable(t, exampleTable)
+	out, err := runCapture(t, "-table", path, "-query", "project[1](S)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Loaded table S", "Answer c-table q̄(S)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWorlds(t *testing.T) {
+	path := writeTable(t, exampleTable)
+	out, err := runCapture(t, "-table", path, "-worlds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x ∈ {1, 2}: x = 1 gives {(1,1)}, x = 2 gives {(1,2), (2,3)}.
+	if !strings.Contains(out, "2 possible worlds:") {
+		t.Errorf("output missing world count:\n%s", out)
+	}
+	// The world listing is truncated at -max-worlds.
+	out, err = runCapture(t, "-table", path, "-worlds", "-max-worlds", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "... (1 more)") {
+		t.Errorf("output missing truncation marker:\n%s", out)
+	}
+}
+
+func TestRunCertain(t *testing.T) {
+	path := writeTable(t, exampleTable)
+	out, err := runCapture(t, "-table", path, "-query", "project[1](S)", "-certain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Certain answers:") || !strings.Contains(out, "Possible answers:") {
+		t.Fatalf("output missing certain/possible sections:\n%s", out)
+	}
+	// (1) occurs in every world; (2) only when x = 2.
+	certainLine := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Certain answers:") {
+			certainLine = line
+		}
+	}
+	if !strings.Contains(certainLine, "(1)") || strings.Contains(certainLine, "(2)") {
+		t.Errorf("certain answers should be exactly {(1)}: %s", certainLine)
+	}
+}
+
+func TestRunHelpPrintsUsage(t *testing.T) {
+	out, err := runCapture(t, "-h")
+	if err != nil {
+		t.Fatalf("-h must not be an error, got %v", err)
+	}
+	if !strings.Contains(out, "Usage of ctable") || !strings.Contains(out, "-worlds") {
+		t.Errorf("-h output missing usage text:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTable(t, exampleTable)
+	noDom := writeTable(t, "table T arity 1\nrow y\n")
+	cases := [][]string{
+		{}, // missing -table
+		{"-table", filepath.Join(t.TempDir(), "absent.tbl")},     // unreadable file
+		{"-table", path, "-query", "select[("},                   // bad query
+		{"-table", path, "-query", "project[9](S)"},              // arity violation
+		{"-table", noDom, "-worlds"},                             // infinite domain
+		{"-table", noDom, "-query", "project[1](T)", "-certain"}, // certain needs finite domains
+		{"-badflag"}, // flag parse error
+	}
+	for i, args := range cases {
+		if _, err := runCapture(t, args...); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

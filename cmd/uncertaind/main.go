@@ -1,0 +1,334 @@
+// Command uncertaind is a resident query service over probabilistic
+// c-tables: a catalog of named tables, an engine with a compiled-plan cache,
+// and an HTTP JSON API.
+//
+// Usage:
+//
+//	uncertaind -addr 127.0.0.1:8080 -load catalog.tbl [-cache 128] [-workers 4]
+//
+// Endpoints:
+//
+//	PUT    /tables/{name}   register or replace a table (body: table script)
+//	GET    /tables          list catalog tables
+//	GET    /tables/{name}   one table's metadata and rendering
+//	DELETE /tables/{name}   drop a table
+//	POST   /query           {"query": "...", "engine": "dtree|enum|mc", ...}
+//	GET    /stats           engine cache and latency counters
+//
+// The daemon amortizes parsing, the closed algebra (Theorems 4 and 9) and
+// lineage decomposition across requests: repeated queries hit the prepared
+// plan cache, which is invalidated per table on replacement. It shuts down
+// gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"uncertaindb/internal/catalog"
+	"uncertaindb/internal/engine"
+	"uncertaindb/internal/parser"
+	"uncertaindb/internal/value"
+)
+
+func main() {
+	log.SetFlags(0)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// multiFlag collects repeated -load flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+// run is the testable body of the daemon: it parses flags from args, serves
+// until ctx is cancelled, then shuts down gracefully. The actual listen
+// address is printed to out, so -addr :0 is usable in tests.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("uncertaind", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	cacheSize := fs.Int("cache", 128, "maximum number of cached prepared plans")
+	workers := fs.Int("workers", 0, "maximum concurrently executing queries (0 = GOMAXPROCS)")
+	var loads multiFlag
+	fs.Var(&loads, "load", "catalog script to load at startup (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(out)
+			fs.Usage()
+			return nil
+		}
+		return fmt.Errorf("%w (run with -h for usage)", err)
+	}
+
+	eng := engine.New(catalog.New(), engine.Options{CacheSize: *cacheSize, Workers: *workers})
+	for _, path := range loads {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		names, err := eng.LoadCatalogScript(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("uncertaind: loading %s: %w", path, err)
+		}
+		fmt.Fprintf(out, "loaded %s: tables %s\n", path, strings.Join(names, ", "))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: newHandler(eng)}
+	fmt.Fprintf(out, "uncertaind listening on http://%s\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "uncertaind: shut down")
+	return nil
+}
+
+// newHandler builds the HTTP API over the engine.
+func newHandler(eng *engine.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /tables/{name}", func(w http.ResponseWriter, r *http.Request) {
+		handlePutTable(eng, w, r)
+	})
+	mux.HandleFunc("GET /tables", func(w http.ResponseWriter, r *http.Request) {
+		handleListTables(eng, w)
+	})
+	mux.HandleFunc("GET /tables/{name}", func(w http.ResponseWriter, r *http.Request) {
+		handleGetTable(eng, w, r)
+	})
+	mux.HandleFunc("DELETE /tables/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if !eng.DropTable(name) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"dropped": name, "catalogVersion": eng.Catalog().Version()})
+	})
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		handleQuery(eng, w, r)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, statsResponse{
+			Engine:         eng.Stats(),
+			CatalogVersion: eng.Catalog().Version(),
+			Tables:         eng.Catalog().Snapshot().Names(),
+		})
+	})
+	return mux
+}
+
+// tableInfo is the JSON shape of one catalog table.
+type tableInfo struct {
+	Name          string `json:"name"`
+	Arity         int    `json:"arity"`
+	Rows          int    `json:"rows"`
+	Variables     int    `json:"variables"`
+	Probabilistic bool   `json:"probabilistic"`
+	Version       uint64 `json:"version"`
+}
+
+type statsResponse struct {
+	Engine         engine.Stats `json:"engine"`
+	CatalogVersion uint64       `json:"catalogVersion"`
+	Tables         []string     `json:"tables"`
+}
+
+func entryInfo(e *catalog.Entry) tableInfo {
+	return tableInfo{
+		Name:          e.Name,
+		Arity:         e.Table.Arity(),
+		Rows:          e.Table.Table().NumRows(),
+		Variables:     len(e.Table.Vars()),
+		Probabilistic: e.Probabilistic,
+		Version:       e.Version,
+	}
+}
+
+func handlePutTable(eng *engine.Engine, w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pt, err := parser.ParseTableString(string(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if pt.Name != name {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("table script declares %q but the URL names %q", pt.Name, name))
+		return
+	}
+	version, err := eng.PutParsed(pt)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "catalogVersion": version})
+}
+
+func handleListTables(eng *engine.Engine, w http.ResponseWriter) {
+	snap := eng.Catalog().Snapshot()
+	infos := make([]tableInfo, 0, snap.Len())
+	for _, name := range snap.Names() {
+		infos = append(infos, entryInfo(snap.Get(name)))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"catalogVersion": snap.Version(), "tables": infos})
+}
+
+func handleGetTable(eng *engine.Engine, w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e := eng.Catalog().Snapshot().Get(name)
+	if e == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		tableInfo
+		Text string `json:"text"`
+	}{entryInfo(e), e.Table.String()})
+}
+
+// queryRequest is the JSON body of POST /query.
+type queryRequest struct {
+	Query   string `json:"query"`
+	Engine  string `json:"engine"`
+	Samples int    `json:"samples"`
+	Seed    int64  `json:"seed"`
+	Workers int    `json:"workers"`
+}
+
+// tupleAnswer is one answer tuple: the tuple as a JSON array of values plus
+// its marginal probability.
+type tupleAnswer struct {
+	Tuple   []any   `json:"tuple"`
+	P       float64 `json:"p"`
+	StdErr  float64 `json:"stderr,omitempty"`
+	Certain bool    `json:"certain"`
+}
+
+type queryResponse struct {
+	Query          string        `json:"query"`
+	Engine         string        `json:"engine"`
+	CatalogVersion uint64        `json:"catalogVersion"`
+	Tables         []string      `json:"tables"`
+	CacheHit       bool          `json:"cacheHit"`
+	Answer         string        `json:"answer"`
+	Tuples         []tupleAnswer `json:"tuples"`
+	Certain        [][]any       `json:"certain"`
+	Possible       [][]any       `json:"possible"`
+	PrepareMicros  int64         `json:"prepareMicros"`
+	ExecMicros     int64         `json:"execMicros"`
+}
+
+func handleQuery(eng *engine.Engine, w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing \"query\""))
+		return
+	}
+	res, err := eng.Execute(engine.Request{
+		Query:   req.Query,
+		Engine:  req.Engine,
+		Samples: req.Samples,
+		Seed:    req.Seed,
+		Workers: req.Workers,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := queryResponse{
+		Query:          res.Query,
+		Engine:         string(res.Kind),
+		CatalogVersion: res.CatalogVersion,
+		Tables:         res.Tables,
+		CacheHit:       res.CacheHit,
+		Answer:         res.Answer,
+		Tuples:         make([]tupleAnswer, 0, len(res.Tuples)),
+		Certain:        [][]any{},
+		Possible:       [][]any{},
+		PrepareMicros:  res.PrepareDuration.Microseconds(),
+		ExecMicros:     res.ExecDuration.Microseconds(),
+	}
+	for _, ta := range res.Tuples {
+		jt := tupleJSON(ta.Tuple)
+		resp.Tuples = append(resp.Tuples, tupleAnswer{Tuple: jt, P: ta.P, StdErr: ta.StdErr, Certain: ta.Certain})
+		resp.Possible = append(resp.Possible, jt)
+		if ta.Certain {
+			resp.Certain = append(resp.Certain, jt)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// tupleJSON renders a tuple as a JSON array of native values.
+func tupleJSON(t value.Tuple) []any {
+	out := make([]any, len(t))
+	for i, v := range t {
+		switch v.Kind() {
+		case value.KindInt:
+			out[i] = v.AsInt()
+		case value.KindString:
+			out[i] = v.AsString()
+		case value.KindBool:
+			out[i] = v.AsBool()
+		default:
+			out[i] = nil
+		}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		log.Printf("uncertaind: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}

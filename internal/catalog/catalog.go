@@ -1,0 +1,198 @@
+// Package catalog is a concurrency-safe registry of named c-tables and
+// pc-tables — the resident state of the uncertaind query service.
+//
+// The catalog is versioned: every mutation bumps a global version and stamps
+// the affected entry with it. Readers never touch the live map; they take a
+// Snapshot, an immutable view with a consistent version, so an in-flight
+// query keeps seeing the catalog as it was when the query started while
+// tables are added or replaced concurrently. Per-entry versions let a plan
+// cache key compiled artifacts by exactly the tables a query reads, so
+// replacing one table invalidates only the plans that depend on it.
+package catalog
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"uncertaindb/internal/parser"
+	"uncertaindb/internal/pctable"
+)
+
+// Entry is one named table of the catalog. Entries are immutable after
+// registration: Put copies the table it is handed, and callers must not
+// mutate a table obtained from a snapshot.
+type Entry struct {
+	// Name is the relation name queries use to reference the table.
+	Name string
+	// Table is the pc-table. For a plain (incomplete, non-probabilistic)
+	// c-table it carries no distributions and Probabilistic is false.
+	Table *pctable.PCTable
+	// Probabilistic reports whether the table has variable distributions
+	// attached (every variable, validated at registration).
+	Probabilistic bool
+	// Version is the catalog version at which this entry was installed.
+	Version uint64
+}
+
+// Catalog is the mutable, concurrency-safe registry. The zero value is not
+// usable; call New.
+type Catalog struct {
+	mu      sync.RWMutex
+	version uint64
+	tables  map[string]*Entry
+}
+
+// New returns an empty catalog at version 0.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Entry)}
+}
+
+// Put registers (or replaces) the table under the given name and returns
+// the new catalog version. The table is copied, so later mutations by the
+// caller do not leak into the catalog. A table with distributions on some
+// but not all of its variables is rejected — it is neither a usable c-table
+// nor a valid pc-table.
+func (c *Catalog) Put(name string, t *pctable.PCTable) (uint64, error) {
+	probabilistic, err := validate(name, t)
+	if err != nil {
+		return 0, err
+	}
+	cp := t.Copy()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.version++
+	c.tables[name] = &Entry{Name: name, Table: cp, Probabilistic: probabilistic, Version: c.version}
+	return c.version, nil
+}
+
+// PutParsed registers a table parsed by internal/parser under its declared
+// name.
+func (c *Catalog) PutParsed(pt *parser.ParsedTable) (uint64, error) {
+	return c.Put(pt.Name, pt.PCTable)
+}
+
+// LoadScript parses a catalog script (one or more table descriptions, see
+// parser.ParseCatalog) and registers every table, returning the names in
+// declaration order. Loading is all-or-nothing: every table is validated
+// before any is registered, so on error the catalog is unchanged.
+func (c *Catalog) LoadScript(r io.Reader) ([]string, error) {
+	parsed, err := parser.ParseCatalog(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range parsed {
+		if _, err := validate(pt.Name, pt.PCTable); err != nil {
+			return nil, err
+		}
+	}
+	names := make([]string, 0, len(parsed))
+	for _, pt := range parsed {
+		if _, err := c.PutParsed(pt); err != nil {
+			return nil, err
+		}
+		names = append(names, pt.Name)
+	}
+	return names, nil
+}
+
+// validate checks a (name, table) pair for registration and reports whether
+// the table is probabilistic. It never mutates anything, so LoadScript can
+// pre-validate a whole script before registering its first table.
+func validate(name string, t *pctable.PCTable) (probabilistic bool, err error) {
+	if name == "" {
+		return false, fmt.Errorf("catalog: table name must be non-empty")
+	}
+	if t == nil {
+		return false, fmt.Errorf("catalog: table %s is nil", name)
+	}
+	probabilistic = t.Validate() == nil
+	if !probabilistic && hasAnyDist(t) {
+		return false, fmt.Errorf("catalog: table %s has distributions for some variables but not all: %v", name, t.Validate())
+	}
+	return probabilistic, nil
+}
+
+// Drop removes the table of that name, if present, and reports whether it
+// existed. Dropping bumps the version, so snapshots taken before keep the
+// table while later plans see it gone.
+func (c *Catalog) Drop(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return false
+	}
+	c.version++
+	delete(c.tables, name)
+	return true
+}
+
+// Version returns the current catalog version (0 for an empty, untouched
+// catalog).
+func (c *Catalog) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
+
+// Snapshot returns an immutable view of the catalog: a consistent
+// (version, entries) pair. Taking a snapshot is O(#tables) map copy; the
+// entries themselves are shared and immutable.
+func (c *Catalog) Snapshot() *Snapshot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	tables := make(map[string]*Entry, len(c.tables))
+	for name, e := range c.tables {
+		tables[name] = e
+	}
+	return &Snapshot{version: c.version, tables: tables}
+}
+
+func hasAnyDist(t *pctable.PCTable) bool {
+	for _, x := range t.Vars() {
+		if t.Dist(x) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot is an immutable view of the catalog at one version.
+type Snapshot struct {
+	version uint64
+	tables  map[string]*Entry
+}
+
+// Version returns the catalog version the snapshot was taken at.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Get returns the entry of that name, or nil if absent.
+func (s *Snapshot) Get(name string) *Entry { return s.tables[name] }
+
+// Len returns the number of tables in the snapshot.
+func (s *Snapshot) Len() int { return len(s.tables) }
+
+// Names returns the table names in sorted order.
+func (s *Snapshot) Names() []string {
+	names := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Env resolves the given relation names against the snapshot, returning a
+// pc-table environment for query evaluation. Unknown names are an error.
+func (s *Snapshot) Env(names []string) (pctable.Env, error) {
+	env := make(pctable.Env, len(names))
+	for _, name := range names {
+		e := s.tables[name]
+		if e == nil {
+			return nil, fmt.Errorf("catalog: unknown table %q (have %v)", name, s.Names())
+		}
+		env[name] = e.Table
+	}
+	return env, nil
+}

@@ -1,0 +1,101 @@
+package condition
+
+import (
+	"testing"
+
+	"uncertaindb/internal/value"
+)
+
+// condDecoder derives an arbitrary condition from fuzz bytes: each byte
+// drives one structural choice, with a depth bound so every input decodes
+// to a finite tree. Variables come from {x, y, z} and constants from
+// {1, 2, 3}, matching the uniform domain the checks enumerate.
+type condDecoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *condDecoder) next() byte {
+	if d.pos >= len(d.data) {
+		return 0
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *condDecoder) term() Term {
+	b := d.next()
+	if b%2 == 0 {
+		return Var(string(rune('x' + (b/2)%3)))
+	}
+	return ConstInt(int64(1 + (b/2)%3))
+}
+
+func (d *condDecoder) cmp() Condition {
+	l, r := d.term(), d.term()
+	if d.next()%2 == 0 {
+		return Eq(l, r)
+	}
+	return Neq(l, r)
+}
+
+func (d *condDecoder) cond(depth int) Condition {
+	b := d.next()
+	if depth >= 5 {
+		switch b % 4 {
+		case 0:
+			return True()
+		case 1:
+			return False()
+		default:
+			return d.cmp()
+		}
+	}
+	switch b % 8 {
+	case 0:
+		return True()
+	case 1:
+		return False()
+	case 2, 3:
+		return d.cmp()
+	case 4:
+		return Not(d.cond(depth + 1))
+	case 5:
+		return And(d.cond(depth+1), d.cond(depth+1))
+	case 6:
+		return Or(d.cond(depth+1), d.cond(depth+1))
+	default:
+		return And(d.cond(depth+1), Or(d.cond(depth+1), d.cond(depth+1)), Not(d.cond(depth+1)))
+	}
+}
+
+// FuzzSimplify checks Simplify's contract on arbitrary conditions (the same
+// harness style as the parser's FuzzParse): simplification must preserve the
+// condition's truth value under every valuation of {x, y, z} over {1, 2, 3}
+// — Simplify is sound, never just "mostly right" — and must be idempotent,
+// so the algebra can re-simplify intermediate results without drift.
+func FuzzSimplify(f *testing.F) {
+	for _, seed := range [][]byte{
+		{},
+		{0},
+		{2, 0, 1, 0},
+		{4, 4, 2, 0, 1, 1},
+		{5, 2, 0, 1, 0, 2, 0, 1, 1},
+		{6, 7, 3, 5, 1, 9, 42, 8, 255, 17, 3, 3, 0, 0, 1},
+		{7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7},
+	} {
+		f.Add(seed)
+	}
+	dom := UniformDomains{Domain: value.IntRange(1, 3)}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := (&condDecoder{data: data}).cond(0)
+		s := Simplify(c)
+		if !Equivalent(c, s, dom) {
+			t.Fatalf("Simplify changed the truth value:\n  input:      %s\n  simplified: %s", c, s)
+		}
+		if again := Simplify(s); again.String() != s.String() {
+			t.Fatalf("Simplify not idempotent:\n  once:  %s\n  twice: %s", s, again)
+		}
+	})
+}

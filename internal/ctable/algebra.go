@@ -243,6 +243,9 @@ func JoinC(t1, t2 *CTable, p ra.Predicate, opts Options) (*CTable, error) {
 	return SelectC(CrossC(t1, t2, opts), p, opts)
 }
 
+// Env maps input relation names to c-tables for multi-table evaluation.
+type Env map[string]*CTable
+
 // EvalQuery translates a relational algebra query q into the c-table
 // algebra q̄ and evaluates it on the input c-table (every input relation
 // name is bound to the same table, matching the paper's single-relation
@@ -262,60 +265,78 @@ func MustEvalQuery(q ra.Query, input *CTable) *CTable {
 
 // EvalQueryWithOptions is EvalQuery with explicit algebra options.
 func EvalQueryWithOptions(q ra.Query, input *CTable, opts Options) (*CTable, error) {
-	arities := ra.ArityEnv{}
+	env := Env{}
 	for name := range ra.InputNames(q) {
-		arities[name] = input.arity
+		env[name] = input
+	}
+	return EvalQueryEnvWithOptions(q, env, opts)
+}
+
+// EvalQueryEnv evaluates q over an environment of named c-tables: each
+// BaseRel is bound to the table of that name. Variables shared between
+// tables denote the same unknown (the usual c-table convention), so their
+// conditions combine soundly under ×̄, ∪̄, −̄ and ∩̄. Referencing a name
+// absent from env is an error.
+func EvalQueryEnv(q ra.Query, env Env) (*CTable, error) {
+	return EvalQueryEnvWithOptions(q, env, DefaultOptions)
+}
+
+// EvalQueryEnvWithOptions is EvalQueryEnv with explicit algebra options.
+func EvalQueryEnvWithOptions(q ra.Query, env Env, opts Options) (*CTable, error) {
+	arities := ra.ArityEnv{}
+	for name, t := range env {
+		arities[name] = t.arity
 	}
 	if _, err := ra.Arity(q, arities); err != nil {
 		return nil, err
 	}
-	return evalQuery(q, input, opts)
+	return evalQuery(q, env, opts)
 }
 
-func evalQuery(q ra.Query, input *CTable, opts Options) (*CTable, error) {
+func evalQuery(q ra.Query, env Env, opts Options) (*CTable, error) {
 	switch q := q.(type) {
 	case ra.BaseRel:
-		return input.Copy(), nil
+		return env[q.Name].Copy(), nil
 	case ra.ConstRel:
 		return constTable(q.Rel), nil
 	case ra.SelectQ:
-		in, err := evalQuery(q.Input, input, opts)
+		in, err := evalQuery(q.Input, env, opts)
 		if err != nil {
 			return nil, err
 		}
 		return SelectC(in, q.Pred, opts)
 	case ra.ProjectQ:
-		in, err := evalQuery(q.Input, input, opts)
+		in, err := evalQuery(q.Input, env, opts)
 		if err != nil {
 			return nil, err
 		}
 		return ProjectC(in, q.Cols, opts)
 	case ra.CrossQ:
-		l, r, err := evalBoth(q.Left, q.Right, input, opts)
+		l, r, err := evalBoth(q.Left, q.Right, env, opts)
 		if err != nil {
 			return nil, err
 		}
 		return CrossC(l, r, opts), nil
 	case ra.JoinQ:
-		l, r, err := evalBoth(q.Left, q.Right, input, opts)
+		l, r, err := evalBoth(q.Left, q.Right, env, opts)
 		if err != nil {
 			return nil, err
 		}
 		return JoinC(l, r, q.Pred, opts)
 	case ra.UnionQ:
-		l, r, err := evalBoth(q.Left, q.Right, input, opts)
+		l, r, err := evalBoth(q.Left, q.Right, env, opts)
 		if err != nil {
 			return nil, err
 		}
 		return UnionC(l, r, opts)
 	case ra.DiffQ:
-		l, r, err := evalBoth(q.Left, q.Right, input, opts)
+		l, r, err := evalBoth(q.Left, q.Right, env, opts)
 		if err != nil {
 			return nil, err
 		}
 		return DiffC(l, r, opts)
 	case ra.IntersectQ:
-		l, r, err := evalBoth(q.Left, q.Right, input, opts)
+		l, r, err := evalBoth(q.Left, q.Right, env, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -325,12 +346,12 @@ func evalQuery(q ra.Query, input *CTable, opts Options) (*CTable, error) {
 	}
 }
 
-func evalBoth(l, r ra.Query, input *CTable, opts Options) (*CTable, *CTable, error) {
-	lt, err := evalQuery(l, input, opts)
+func evalBoth(l, r ra.Query, env Env, opts Options) (*CTable, *CTable, error) {
+	lt, err := evalQuery(l, env, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	rt, err := evalQuery(r, input, opts)
+	rt, err := evalQuery(r, env, opts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,540 @@
+// Package engine executes relational algebra queries over a catalog of
+// pc-tables and caches the compiled artifacts.
+//
+// A query is *prepared* once: parsed, validated against a catalog snapshot,
+// run through the closed algebra (Theorems 4 and 9) to obtain the answer
+// pc-table, and its candidate answer tuples and lineage conditions are
+// extracted. The prepared plan is cached under a key derived from the query
+// text, the marginal engine, and the exact versions of the catalog tables
+// the query reads — so replacing one table invalidates exactly the plans
+// that depend on it, while plans over other tables keep hitting. The cache
+// is LRU-bounded and publishes hit/miss/eviction/latency counters.
+//
+// Execution computes tuple marginals with one of three engines — dtree
+// (d-tree decomposition, internal/probcalc), enum (brute-force valuation
+// enumeration) or mc (Monte-Carlo estimation) — under a bounded worker
+// pool. Exact marginals are computed once per plan and memoized; Monte-Carlo
+// re-samples per request (deterministically for a fixed seed).
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uncertaindb/internal/catalog"
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/parser"
+	"uncertaindb/internal/pctable"
+	"uncertaindb/internal/probcalc"
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/value"
+)
+
+// Kind selects how tuple marginals are computed.
+type Kind string
+
+const (
+	// KindDTree decomposes lineage conditions (internal/probcalc). Default.
+	KindDTree Kind = "dtree"
+	// KindEnum enumerates every valuation of the lineage variables.
+	KindEnum Kind = "enum"
+	// KindMC estimates marginals by Monte-Carlo sampling.
+	KindMC Kind = "mc"
+)
+
+// ParseKind parses an engine name; the empty string selects KindDTree.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "":
+		return KindDTree, nil
+	case string(KindDTree), string(KindEnum), string(KindMC):
+		return Kind(s), nil
+	default:
+		return "", fmt.Errorf("engine: unknown engine %q (want dtree, enum or mc)", s)
+	}
+}
+
+// CertainEps is the tolerance under which a float marginal counts as 1 and
+// the tuple is reported as a certain answer.
+const CertainEps = 1e-9
+
+// Options tunes an Engine.
+type Options struct {
+	// CacheSize bounds the number of cached prepared plans (LRU eviction).
+	// Zero or negative selects 128.
+	CacheSize int
+	// Workers bounds the number of concurrently executing queries. Zero or
+	// negative selects GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheSize <= 0 {
+		o.CacheSize = 128
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the engine's counters.
+type Stats struct {
+	// Cache counters.
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`     // LRU-bound evictions
+	Invalidations uint64 `json:"invalidations"` // plans dropped because a table they read was replaced
+	Entries       int    `json:"entries"`
+	CacheSize     int    `json:"cacheSize"`
+	// Execution counters.
+	Executions uint64 `json:"executions"`
+	Errors     uint64 `json:"errors"`
+	// Cumulative latencies (nanoseconds): preparation (parse + closed
+	// algebra + candidate discovery, cache misses only) and execution
+	// (marginal computation).
+	PrepareNanos uint64 `json:"prepareNanos"`
+	ExecNanos    uint64 `json:"execNanos"`
+	Workers      int    `json:"workers"`
+}
+
+// Request is one query execution.
+type Request struct {
+	// Query is the relational algebra query text (parser.ParseQuery syntax).
+	Query string
+	// Engine selects the marginal engine; empty means dtree.
+	Engine string
+	// Samples is the Monte-Carlo sample count (mc only; default 10000).
+	Samples int
+	// Seed is the Monte-Carlo random seed (mc only; default 1).
+	Seed int64
+	// Workers shards the Monte-Carlo draw (mc only; default 1, sequential).
+	Workers int
+}
+
+// TupleAnswer is one answer tuple with its marginal probability.
+type TupleAnswer struct {
+	Tuple value.Tuple
+	P     float64
+	// StdErr is the standard error of a Monte-Carlo estimate (0 for exact
+	// engines).
+	StdErr float64
+	// Certain reports whether the tuple is a certain answer: marginal 1
+	// within CertainEps for the exact engines; for Monte-Carlo, only a
+	// lineage that simplified to the constant true (an estimate of 1 is not
+	// proof).
+	Certain bool
+}
+
+// Result is the outcome of executing a Request.
+type Result struct {
+	Query          string
+	Kind           Kind
+	CatalogVersion uint64
+	// Tables are the catalog tables the query read, sorted.
+	Tables []string
+	// CacheHit reports whether the prepared plan came from the cache.
+	CacheHit bool
+	// Answer is the rendered answer pc-table (conditions are lineage).
+	Answer string
+	// Tuples are the possible answer tuples with marginals, sorted by tuple
+	// key; deterministic for a fixed catalog version and request.
+	Tuples []TupleAnswer
+	// PrepareDuration is the plan-compilation time (0 on a cache hit);
+	// ExecDuration is the marginal-computation time of this request.
+	PrepareDuration time.Duration
+	ExecDuration    time.Duration
+}
+
+// candidate is one possible answer tuple with its lineage condition.
+type candidate struct {
+	tuple   value.Tuple
+	lineage condition.Condition
+}
+
+// plan is a compiled query: the closed-algebra answer and the candidate
+// answers, plus memoized exact marginals. Immutable after construction
+// except for the once-guarded marginal fields.
+type plan struct {
+	key            string
+	queryText      string
+	kind           Kind
+	catalogVersion uint64
+	tables         []string // sorted referenced table names
+
+	answer     *pctable.PCTable
+	rendered   string
+	candidates []candidate
+
+	// Exact marginals (dtree/enum) are computed once on first execution and
+	// shared by every later hit.
+	once      sync.Once
+	marginals []TupleAnswer
+	execErr   error
+}
+
+// Engine is the concurrent query service core: a catalog plus a bounded
+// LRU cache of prepared plans and a bounded execution pool. Safe for
+// concurrent use.
+type Engine struct {
+	cat  *catalog.Catalog
+	opts Options
+	sem  chan struct{}
+
+	mu      sync.Mutex
+	lru     *list.List // of *plan; front = most recently used
+	byKey   map[string]*list.Element
+	byTable map[string]map[string]bool // table name -> cache keys reading it
+
+	hits, misses, evictions, invalidations   uint64
+	executions, errors, prepNanos, execNanos atomic.Uint64
+}
+
+// New builds an engine over the given catalog.
+func New(cat *catalog.Catalog, opts Options) *Engine {
+	opts = opts.withDefaults()
+	return &Engine{
+		cat:     cat,
+		opts:    opts,
+		sem:     make(chan struct{}, opts.Workers),
+		lru:     list.New(),
+		byKey:   make(map[string]*list.Element),
+		byTable: make(map[string]map[string]bool),
+	}
+}
+
+// Catalog returns the engine's catalog.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// PutTable registers (or replaces) a catalog table and invalidates every
+// cached plan that reads it.
+func (e *Engine) PutTable(name string, t *pctable.PCTable) (uint64, error) {
+	v, err := e.cat.Put(name, t)
+	if err != nil {
+		return 0, err
+	}
+	e.invalidateTable(name)
+	return v, nil
+}
+
+// PutParsed is PutTable for a table parsed by internal/parser.
+func (e *Engine) PutParsed(pt *parser.ParsedTable) (uint64, error) {
+	return e.PutTable(pt.Name, pt.PCTable)
+}
+
+// LoadCatalogScript loads a multi-table catalog script into the catalog,
+// invalidating plans that read any (re)defined table.
+func (e *Engine) LoadCatalogScript(r io.Reader) ([]string, error) {
+	names, err := e.cat.LoadScript(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		e.invalidateTable(name)
+	}
+	return names, nil
+}
+
+// DropTable removes a catalog table and invalidates dependent plans.
+func (e *Engine) DropTable(name string) bool {
+	ok := e.cat.Drop(name)
+	if ok {
+		e.invalidateTable(name)
+	}
+	return ok
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	s := Stats{
+		Hits:          e.hits,
+		Misses:        e.misses,
+		Evictions:     e.evictions,
+		Invalidations: e.invalidations,
+		Entries:       e.lru.Len(),
+		CacheSize:     e.opts.CacheSize,
+	}
+	e.mu.Unlock()
+	s.Executions = e.executions.Load()
+	s.Errors = e.errors.Load()
+	s.PrepareNanos = e.prepNanos.Load()
+	s.ExecNanos = e.execNanos.Load()
+	s.Workers = e.opts.Workers
+	return s
+}
+
+// Execute runs one request: prepare (or fetch) the plan, then compute the
+// marginals with the requested engine under the bounded worker pool.
+func (e *Engine) Execute(req Request) (*Result, error) {
+	res, err := e.execute(req)
+	if err != nil {
+		e.errors.Add(1)
+		return nil, err
+	}
+	return res, nil
+}
+
+func (e *Engine) execute(req Request) (*Result, error) {
+	kind, err := ParseKind(req.Engine)
+	if err != nil {
+		return nil, err
+	}
+
+	// Bounded execution pool: at most opts.Workers queries in flight at
+	// once. The slot covers both plan compilation (the expensive cold path)
+	// and marginal computation.
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+
+	p, hit, prepDur, err := e.prepare(req.Query, kind)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	var tuples []TupleAnswer
+	switch kind {
+	case KindDTree, KindEnum:
+		p.once.Do(func() { p.marginals, p.execErr = exactMarginals(p, kind) })
+		if p.execErr != nil {
+			return nil, p.execErr
+		}
+		tuples = p.marginals
+	case KindMC:
+		tuples, err = sampledMarginals(p, req)
+		if err != nil {
+			return nil, err
+		}
+	}
+	execDur := time.Since(start)
+	e.executions.Add(1)
+	e.execNanos.Add(uint64(execDur))
+
+	return &Result{
+		Query:           p.queryText,
+		Kind:            kind,
+		CatalogVersion:  p.catalogVersion,
+		Tables:          p.tables,
+		CacheHit:        hit,
+		Answer:          p.rendered,
+		Tuples:          tuples,
+		PrepareDuration: prepDur,
+		ExecDuration:    execDur,
+	}, nil
+}
+
+// prepare returns the cached plan for (query, kind) against the current
+// catalog, or compiles and caches a new one.
+func (e *Engine) prepare(queryText string, kind Kind) (*plan, bool, time.Duration, error) {
+	q, err := parser.ParseQuery(queryText)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	snap := e.cat.Snapshot()
+	names := make([]string, 0, 2)
+	for name := range ra.InputNames(q) {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	key := cacheKey(queryText, kind, names, snap)
+
+	e.mu.Lock()
+	if el, ok := e.byKey[key]; ok {
+		e.lru.MoveToFront(el)
+		e.hits++
+		e.mu.Unlock()
+		return el.Value.(*plan), true, 0, nil
+	}
+	e.misses++
+	e.mu.Unlock()
+
+	start := time.Now()
+	p, err := compile(q, queryText, kind, names, snap, key)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	prepDur := time.Since(start)
+	e.prepNanos.Add(uint64(prepDur))
+
+	e.mu.Lock()
+	// A concurrent miss may have compiled the same plan; keep the first so
+	// every waiter shares one memoized artifact.
+	if el, ok := e.byKey[key]; ok {
+		e.lru.MoveToFront(el)
+		e.mu.Unlock()
+		return el.Value.(*plan), false, prepDur, nil
+	}
+	el := e.lru.PushFront(p)
+	e.byKey[key] = el
+	for _, name := range names {
+		set := e.byTable[name]
+		if set == nil {
+			set = make(map[string]bool)
+			e.byTable[name] = set
+		}
+		set[key] = true
+	}
+	for e.lru.Len() > e.opts.CacheSize {
+		e.removeLocked(e.lru.Back(), &e.evictions)
+	}
+	e.mu.Unlock()
+	return p, false, prepDur, nil
+}
+
+// invalidateTable drops every cached plan that reads the named table.
+func (e *Engine) invalidateTable(name string) {
+	e.mu.Lock()
+	for key := range e.byTable[name] {
+		if el, ok := e.byKey[key]; ok {
+			e.removeLocked(el, &e.invalidations)
+		}
+	}
+	e.mu.Unlock()
+}
+
+// removeLocked removes one plan from the cache and reverse index,
+// incrementing the given counter. Caller holds e.mu.
+func (e *Engine) removeLocked(el *list.Element, counter *uint64) {
+	p := e.lru.Remove(el).(*plan)
+	delete(e.byKey, p.key)
+	for _, name := range p.tables {
+		if set := e.byTable[name]; set != nil {
+			delete(set, p.key)
+			if len(set) == 0 {
+				delete(e.byTable, name)
+			}
+		}
+	}
+	*counter++
+}
+
+// cacheKey identifies a compiled plan: engine, query text, and the exact
+// version of every referenced table in the snapshot. Replacing a table
+// changes its version, so stale plans can never be served.
+func cacheKey(queryText string, kind Kind, names []string, snap *catalog.Snapshot) string {
+	var b strings.Builder
+	b.WriteString(string(kind))
+	b.WriteByte(0)
+	b.WriteString(queryText)
+	for _, name := range names {
+		ver := uint64(0)
+		if ent := snap.Get(name); ent != nil {
+			ver = ent.Version
+		}
+		fmt.Fprintf(&b, "\x00%s@%d", name, ver)
+	}
+	return b.String()
+}
+
+// compile runs the cold path: resolve tables, closed algebra, candidate
+// discovery.
+func compile(q ra.Query, queryText string, kind Kind, names []string, snap *catalog.Snapshot, key string) (*plan, error) {
+	env, err := snap.Env(names)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		if !snap.Get(name).Probabilistic {
+			return nil, fmt.Errorf("engine: table %q has no variable distributions; marginals are undefined (load it with dist directives)", name)
+		}
+	}
+	answer, err := pctable.EvalQueryEnv(q, env)
+	if err != nil {
+		return nil, err
+	}
+	possible, err := answer.PossibleTuples()
+	if err != nil {
+		return nil, err
+	}
+	candidates := make([]candidate, 0, len(possible))
+	for _, tp := range possible {
+		lineage := answer.Lineage(tp)
+		if _, isFalse := lineage.(condition.FalseCond); !isFalse {
+			candidates = append(candidates, candidate{tuple: tp, lineage: lineage})
+		}
+	}
+	return &plan{
+		key:            key,
+		queryText:      queryText,
+		kind:           kind,
+		catalogVersion: snap.Version(),
+		tables:         names,
+		answer:         answer,
+		rendered:       answer.String(),
+		candidates:     candidates,
+	}, nil
+}
+
+// exactMarginals computes every candidate's marginal with an exact engine.
+// The dtree path shares one decomposition evaluator (and its memo cache)
+// across candidates.
+func exactMarginals(p *plan, kind Kind) ([]TupleAnswer, error) {
+	out := make([]TupleAnswer, 0, len(p.candidates))
+	var ev *probcalc.Evaluator
+	if kind == KindDTree {
+		ev = probcalc.New(p.answer)
+	}
+	for _, c := range p.candidates {
+		var (
+			prob float64
+			err  error
+		)
+		if kind == KindDTree {
+			prob, err = ev.Probability(c.lineage)
+		} else {
+			prob, err = p.answer.ConditionProbabilityEnum(c.lineage)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if prob == 0 {
+			// Row-pattern candidate with unsatisfiable lineage.
+			continue
+		}
+		out = append(out, TupleAnswer{Tuple: c.tuple, P: prob, Certain: prob >= 1-CertainEps})
+	}
+	return out, nil
+}
+
+// sampledMarginals estimates every candidate's marginal by Monte-Carlo. A
+// fresh sampler per request keeps concurrent executions independent and
+// deterministic for a fixed (seed, samples, workers).
+func sampledMarginals(p *plan, req Request) ([]TupleAnswer, error) {
+	samples := req.Samples
+	if samples <= 0 {
+		samples = 10000
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	sampler, err := pctable.NewSampler(p.answer, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TupleAnswer, 0, len(p.candidates))
+	for _, c := range p.candidates {
+		est, se, err := sampler.EstimateConditionProbabilityParallel(c.lineage, samples, workers)
+		if err != nil {
+			return nil, err
+		}
+		// Certainty is a logical property; a sampled estimate of 1 is not
+		// proof. Only a lineage that simplified to the constant true makes
+		// a Monte-Carlo answer certain.
+		_, isTrue := c.lineage.(condition.TrueCond)
+		out = append(out, TupleAnswer{Tuple: c.tuple, P: est, StdErr: se, Certain: isTrue})
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+const catalogScript = `# two tables, one probabilistic
+table Takes arity 2
+row 'Alice', x
+row 'Bob',   'math' | b = 1
+dist x = {'math':0.3, 'phys':0.7}
+dist b = {0:0.6, 1:0.4}
+
+table Labs arity 2
+row 'phys', 'L1'
+row 'math', 'L2' | l = 1
+dist l = {0:0.5, 1:0.5}
+`
+
+func TestParseCatalog(t *testing.T) {
+	tables, err := ParseCatalogString(catalogScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want 2", len(tables))
+	}
+	if tables[0].Name != "Takes" || tables[1].Name != "Labs" {
+		t.Errorf("names = %q, %q; want Takes, Labs", tables[0].Name, tables[1].Name)
+	}
+	if tables[0].CTable.NumRows() != 2 || tables[1].CTable.NumRows() != 2 {
+		t.Errorf("row counts = %d, %d; want 2, 2", tables[0].CTable.NumRows(), tables[1].CTable.NumRows())
+	}
+	if !tables[0].HasDistributions || !tables[1].HasDistributions {
+		t.Error("both tables should carry distributions")
+	}
+}
+
+func TestParseCatalogSingleTable(t *testing.T) {
+	tables, err := ParseCatalogString("table S arity 1\nrow 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].Name != "S" {
+		t.Fatalf("got %v, want the single table S", tables)
+	}
+}
+
+func TestParseCatalogErrors(t *testing.T) {
+	cases := []struct {
+		name, script, wantErr string
+	}{
+		{"empty", "# only comments\n", "no table declaration"},
+		{"preamble", "row 1\ntable S arity 1\n", "before the first table"},
+		{"duplicate", "table S arity 1\nrow 1\ntable S arity 1\nrow 2\n", "duplicate table name"},
+		{"bad block", "table S arity 1\nrow 1, 2\n", "table block starting at line 1"},
+	}
+	for _, tc := range cases {
+		_, err := ParseCatalogString(tc.script)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: got error %v, want it to contain %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

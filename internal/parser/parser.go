@@ -13,7 +13,9 @@
 //
 // Cell and condition terms are integers, single-quoted strings, the boolean
 // literals true/false, or variable names. A "dist" directive implies the
-// corresponding "dom".
+// corresponding "dom". A catalog script (ParseCatalog) is one or more such
+// table descriptions concatenated in a single stream, each starting with its
+// own "table" directive.
 //
 // Query syntax (expression string):
 //

@@ -103,6 +103,64 @@ func ParseTable(r io.Reader) (*ParsedTable, error) {
 // ParseTableString is ParseTable over a string.
 func ParseTableString(s string) (*ParsedTable, error) { return ParseTable(strings.NewReader(s)) }
 
+// ParseCatalog reads a catalog script: one or more table descriptions in the
+// ParseTable syntax concatenated in a single stream, each starting with its
+// own "table <name> arity <n>" directive. It returns the parsed tables in
+// declaration order. Duplicate table names are an error, as is any content
+// before the first table directive.
+func ParseCatalog(r io.Reader) ([]*ParsedTable, error) {
+	scanner := bufio.NewScanner(r)
+	type block struct {
+		firstLine int
+		lines     []string
+	}
+	var (
+		blocks  []block
+		lineNum int
+	)
+	for scanner.Scan() {
+		lineNum++
+		raw := scanner.Text()
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.EqualFold(strings.Fields(line)[0], "table") {
+			blocks = append(blocks, block{firstLine: lineNum})
+		}
+		if len(blocks) == 0 {
+			return nil, fmt.Errorf("parser: line %d: directive before the first table declaration", lineNum)
+		}
+		b := &blocks[len(blocks)-1]
+		b.lines = append(b.lines, raw)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("parser: no table declaration found")
+	}
+	out := make([]*ParsedTable, 0, len(blocks))
+	seen := make(map[string]bool)
+	for _, b := range blocks {
+		pt, err := ParseTableString(strings.Join(b.lines, "\n"))
+		if err != nil {
+			return nil, fmt.Errorf("parser: table block starting at line %d: %w", b.firstLine, err)
+		}
+		if seen[pt.Name] {
+			return nil, fmt.Errorf("parser: table block starting at line %d: duplicate table name %q", b.firstLine, pt.Name)
+		}
+		seen[pt.Name] = true
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ParseCatalogString is ParseCatalog over a string.
+func ParseCatalogString(s string) ([]*ParsedTable, error) {
+	return ParseCatalog(strings.NewReader(s))
+}
+
 // parseRow parses "t1, t2, ..., tn [| condition]".
 func parseRow(s string, arity int) ([]condition.Term, condition.Condition, error) {
 	cellPart := s

@@ -1,0 +1,71 @@
+package pctable
+
+import (
+	"fmt"
+	"sort"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/prob"
+	"uncertaindb/internal/ra"
+)
+
+// Env maps input relation names to pc-tables for multi-table evaluation.
+type Env map[string]*PCTable
+
+// EvalQueryEnv is the multi-table form of EvalQuery (Theorem 9 over a
+// database of named pc-tables): each BaseRel of q is bound to the table of
+// that name, the answer c-table is computed by the closed algebra, and the
+// answer pc-table inherits the union of the input tables' variable
+// distributions. A variable occurring in several tables denotes the same
+// random quantity, so its distributions must agree; conflicting
+// distributions are an error rather than a silent choice.
+func EvalQueryEnv(q ra.Query, env Env) (*PCTable, error) {
+	cenv := make(ctable.Env, len(env))
+	for name, t := range env {
+		cenv[name] = t.table
+	}
+	res, err := ctable.EvalQueryEnv(q, cenv)
+	if err != nil {
+		return nil, err
+	}
+	out := New(res)
+	// Deterministic merge order so the first-conflict error is stable.
+	names := make([]string, 0, len(env))
+	for name := range env {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	owner := make(map[condition.Variable]string)
+	for _, name := range names {
+		for x, d := range env[name].dists {
+			if prev, ok := out.dists[x]; ok {
+				if !sameDist(prev, d) {
+					return nil, fmt.Errorf("pctable: variable %s has conflicting distributions in tables %s and %s", x, owner[x], name)
+				}
+				continue
+			}
+			out.dists[x] = d
+			owner[x] = name
+		}
+	}
+	return out, nil
+}
+
+// sameDist reports whether two finite distributions are identical: the same
+// outcomes (by key) with the same probabilities. Pointer equality is the
+// common fast path — tables loaded from one catalog snapshot share Spaces.
+func sameDist(a, b *prob.Space) bool {
+	if a == b {
+		return true
+	}
+	if a.Size() != b.Size() {
+		return false
+	}
+	for _, o := range a.Outcomes() {
+		if b.P(o.Key) != o.P {
+			return false
+		}
+	}
+	return true
+}

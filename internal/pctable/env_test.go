@@ -1,0 +1,95 @@
+package pctable
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/value"
+)
+
+// boolGuard attaches a Bernoulli variable to the table and returns the
+// condition "x = true".
+func boolGuard(t *PCTable, x string, p float64) condition.Condition {
+	t.SetBoolDist(x, p)
+	return condition.IsTrueVar(x)
+}
+
+// Two tables joined by name: the marginal of a joined tuple is the product
+// of the independent row guards, and variables shared across tables are the
+// same random quantity.
+func TestEvalQueryEnvJoin(t *testing.T) {
+	takes := NewWithArity(2)
+	takes.AddConstRow(value.NewTuple(value.Str("Alice"), value.Str("phys")), nil)
+	takes.AddConstRow(value.NewTuple(value.Str("Bob"), value.Str("math")), boolGuard(takes, "b", 0.4))
+
+	labs := NewWithArity(2)
+	labs.AddConstRow(value.NewTuple(value.Str("phys"), value.Str("L1")), boolGuard(labs, "l", 0.5))
+	labs.AddConstRow(value.NewTuple(value.Str("math"), value.Str("L2")), nil)
+
+	q := ra.Project([]int{0, 3},
+		ra.Join(ra.Rel("Takes"), ra.Rel("Labs"), ra.Eq(ra.Col(1), ra.Col(2))))
+	answer, err := EvalQueryEnv(q, Env{"Takes": takes, "Labs": labs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := answer.TupleProbabilities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		value.NewTuple(value.Str("Alice"), value.Str("L1")).Key(): 0.5,
+		value.NewTuple(value.Str("Bob"), value.Str("L2")).Key():   0.4,
+	}
+	if len(probs) != len(want) {
+		t.Fatalf("got %d answer tuples, want %d: %v", len(probs), len(want), probs)
+	}
+	for _, tp := range probs {
+		if w, ok := want[tp.Tuple.Key()]; !ok || math.Abs(tp.P-w) > 1e-12 {
+			t.Errorf("P[%s] = %g, want %g", tp.Tuple, tp.P, w)
+		}
+	}
+}
+
+func TestEvalQueryEnvSharedVariable(t *testing.T) {
+	a := NewWithArity(1)
+	a.AddConstRow(value.Ints(1), boolGuard(a, "g", 0.3))
+	b := NewWithArity(1)
+	b.AddConstRow(value.Ints(1), boolGuard(b, "g", 0.3))
+
+	// A ∩ B: both rows are guarded by the same variable g, so the marginal
+	// of (1) is P[g] = 0.3, not 0.09.
+	answer, err := EvalQueryEnv(ra.Intersect(ra.Rel("A"), ra.Rel("B")), Env{"A": a, "B": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := answer.TupleProbability(value.Ints(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.3) > 1e-12 {
+		t.Errorf("P[(1)] = %g, want 0.3 (shared variable)", p)
+	}
+}
+
+func TestEvalQueryEnvConflictingDistributions(t *testing.T) {
+	a := NewWithArity(1)
+	a.AddConstRow(value.Ints(1), boolGuard(a, "g", 0.3))
+	b := NewWithArity(1)
+	b.AddConstRow(value.Ints(2), boolGuard(b, "g", 0.7))
+
+	_, err := EvalQueryEnv(ra.Union(ra.Rel("A"), ra.Rel("B")), Env{"A": a, "B": b})
+	if err == nil || !strings.Contains(err.Error(), "conflicting distributions") {
+		t.Fatalf("expected conflicting-distributions error, got %v", err)
+	}
+}
+
+func TestEvalQueryEnvUnknownRelation(t *testing.T) {
+	a := NewWithArity(1)
+	a.AddConstRow(value.Ints(1), nil)
+	if _, err := EvalQueryEnv(ra.Rel("Nope"), Env{"A": a}); err == nil {
+		t.Fatal("expected unknown-relation error")
+	}
+}
