@@ -477,3 +477,53 @@ func BenchmarkAblationConditionProbability(b *testing.B) {
 		})
 	}
 }
+
+// E14 — eager recursive evaluation vs the unified operator core, with and
+// without plan rewriting, on an E12-style selective self-join over the
+// courses workload. The eager path is the frozen pre-refactor evaluator
+// (ctable.EvalQueryEnvEager); "core" is the Volcano-style operator layer
+// with rewrites off (same plan, iterator execution); "core+rewrite" adds
+// predicate pushdown and projection splitting, which filters and merges
+// each side of the cross product before the s² concatenated rows are built.
+func BenchmarkOperatorCoreVsEager(b *testing.B) {
+	course := func(c int) value.Value { return value.Str(fmt.Sprintf("course%d", c)) }
+	for _, students := range []int{10, 20, 40} {
+		tab := workload.Courses(students, 3, 17).Table()
+		query := ra.Project([]int{0, 3},
+			ra.Select(ra.AndOf(
+				ra.Eq(ra.Col(1), ra.Const(course(0))),
+				ra.Eq(ra.Col(3), ra.Const(course(1)))),
+				ra.Cross(ra.Rel("V"), ra.Rel("V"))))
+		env := ctable.Env{"V": tab}
+		modes := []struct {
+			name string
+			run  func() (*ctable.CTable, error)
+		}{
+			{"eager", func() (*ctable.CTable, error) {
+				return ctable.EvalQueryEnvEager(query, env, ctable.Options{Simplify: true})
+			}},
+			{"core", func() (*ctable.CTable, error) {
+				return ctable.EvalQueryEnvWithOptions(query, env, ctable.Options{Simplify: true, Rewrite: false})
+			}},
+			{"core-rewrite", func() (*ctable.CTable, error) {
+				return ctable.EvalQueryEnvWithOptions(query, env, ctable.Options{Simplify: true, Rewrite: true})
+			}},
+		}
+		for _, m := range modes {
+			b.Run(fmt.Sprintf("%s/students=%d", m.name, students), func(b *testing.B) {
+				var condSize int
+				for i := 0; i < b.N; i++ {
+					res, err := m.run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					condSize = 0
+					for _, row := range res.Rows() {
+						condSize += condition.Size(row.Cond)
+					}
+				}
+				b.ReportMetric(float64(condSize), "cond-atoms")
+			})
+		}
+	}
+}

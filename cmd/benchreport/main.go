@@ -38,6 +38,7 @@ var sections = []struct {
 }{
 	{key: "e6", print: succinctness},
 	{key: "e12", print: queryAnswering},
+	{key: "e14", print: operatorCore},
 	{key: "constructions", aliases: []string{"e4", "e5", "e9", "e11"}, print: constructions},
 }
 
@@ -187,6 +188,45 @@ func queryAnswering(out io.Writer) {
 
 		fmt.Fprintf(out, "| %d | %d | %d | %s | %s | %s | %s |\n",
 			students, len(tab.Vars()), dist.NumWorlds(), dtreeTime, lineageTime, worldTime, mcTime)
+	}
+	fmt.Fprintln(out)
+}
+
+// operatorCore prints the E14 comparison: the frozen eager evaluator vs the
+// unified operator core, without and with plan rewriting, on a selective
+// self-join over the courses workload (the bench_test.go E14 query).
+func operatorCore(out io.Writer) {
+	fmt.Fprintln(out, "## E14 — eager evaluation vs unified operator core (selective self-join)")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "| students | eager | operator core | core + rewrites | rewrite speedup |")
+	fmt.Fprintln(out, "|---|---|---|---|---|")
+	course := func(c int) value.Value { return value.Str(fmt.Sprintf("course%d", c)) }
+	query := ra.Project([]int{0, 3},
+		ra.Select(ra.AndOf(
+			ra.Eq(ra.Col(1), ra.Const(course(0))),
+			ra.Eq(ra.Col(3), ra.Const(course(1)))),
+			ra.Cross(ra.Rel("V"), ra.Rel("V"))))
+	for _, students := range []int{10, 20, 40} {
+		tab := workload.Courses(students, 3, 17).Table()
+		env := ctable.Env{"V": tab}
+		measure := func(run func() (*ctable.CTable, error)) time.Duration {
+			start := time.Now()
+			if _, err := run(); err != nil {
+				panic(err)
+			}
+			return time.Since(start)
+		}
+		eager := measure(func() (*ctable.CTable, error) {
+			return ctable.EvalQueryEnvEager(query, env, ctable.Options{Simplify: true})
+		})
+		core := measure(func() (*ctable.CTable, error) {
+			return ctable.EvalQueryEnvWithOptions(query, env, ctable.Options{Simplify: true, Rewrite: false})
+		})
+		rewritten := measure(func() (*ctable.CTable, error) {
+			return ctable.EvalQueryEnvWithOptions(query, env, ctable.Options{Simplify: true, Rewrite: true})
+		})
+		fmt.Fprintf(out, "| %d | %s | %s | %s | %.1f× |\n",
+			students, eager, core, rewritten, float64(eager)/float64(rewritten))
 	}
 	fmt.Fprintln(out)
 }

@@ -40,8 +40,8 @@ func TestSelectSections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 3 {
-		t.Errorf("empty -only selects %d sections, want all 3", len(all))
+	if len(all) != len(sections) {
+		t.Errorf("empty -only selects %d sections, want all %d", len(all), len(sections))
 	}
 	if _, err := selectSections("e6,bogus"); err == nil {
 		t.Error("unknown section must error")

@@ -8,7 +8,8 @@
 // The table file uses the syntax documented in internal/parser. The answer
 // is printed as a c-table (closure under the algebra, Theorem 4); -worlds
 // additionally enumerates the possible worlds of the answer and -certain
-// prints certain and possible answers.
+// prints certain and possible answers. All evaluation goes through the
+// public pkg/uncertain facade.
 package main
 
 import (
@@ -19,9 +20,7 @@ import (
 	"log"
 	"os"
 
-	"uncertaindb/internal/ctable"
-	"uncertaindb/internal/incomplete"
-	"uncertaindb/internal/parser"
+	"uncertaindb/pkg/uncertain"
 )
 
 func main() {
@@ -53,34 +52,24 @@ func run(args []string, out io.Writer) error {
 	if *tablePath == "" {
 		return fmt.Errorf("ctable: -table is required")
 	}
-	f, err := os.Open(*tablePath)
+	tab, err := uncertain.ReadTableFile(*tablePath)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	parsed, err := parser.ParseTable(f)
-	if err != nil {
-		return err
-	}
-	tab := parsed.CTable
-	fmt.Fprintf(out, "Loaded table %s:\n%s", parsed.Name, tab)
+	fmt.Fprintf(out, "Loaded table %s:\n%s", tab.Name(), tab)
 
 	if *queryText == "" {
 		if *showWorlds {
-			return printWorlds(out, tab, *maxWorlds)
+			return printWorlds(out, tab.Identity(), *maxWorlds)
 		}
 		return nil
 	}
 
-	q, err := parser.ParseQuery(*queryText)
+	answer, err := tab.Query(*queryText)
 	if err != nil {
 		return err
 	}
-	answer, err := ctable.EvalQuery(q, tab)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "\nAnswer c-table q̄(%s):\n%s", parsed.Name, answer.Simplify())
+	fmt.Fprintf(out, "\nAnswer c-table q̄(%s):\n%s", tab.Name(), answer)
 
 	if *showWorlds {
 		if err := printWorlds(out, answer, *maxWorlds); err != nil {
@@ -88,17 +77,9 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if *showCertain {
-		worlds, err := tab.Mod()
+		certain, possible, err := answer.CertainPossible()
 		if err != nil {
 			return fmt.Errorf("certain answers need finite domains for every variable: %w", err)
-		}
-		certain, err := incomplete.CertainAnswers(q, worlds)
-		if err != nil {
-			return err
-		}
-		possible, err := incomplete.PossibleAnswers(q, worlds)
-		if err != nil {
-			return err
 		}
 		fmt.Fprintf(out, "\nCertain answers:  %s\n", certain)
 		fmt.Fprintf(out, "Possible answers: %s\n", possible)
@@ -106,15 +87,15 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func printWorlds(out io.Writer, tab *ctable.CTable, max int) error {
-	worlds, err := tab.Mod()
+func printWorlds(out io.Writer, answer *uncertain.Answer, max int) error {
+	worlds, err := answer.Worlds()
 	if err != nil {
 		return fmt.Errorf("enumerating worlds needs finite domains for every variable: %w", err)
 	}
-	fmt.Fprintf(out, "\n%d possible worlds:\n", worlds.Size())
-	for i, inst := range worlds.Instances() {
+	fmt.Fprintf(out, "\n%d possible worlds:\n", len(worlds))
+	for i, inst := range worlds {
 		if i >= max {
-			fmt.Fprintf(out, "  ... (%d more)\n", worlds.Size()-max)
+			fmt.Fprintf(out, "  ... (%d more)\n", len(worlds)-max)
 			break
 		}
 		fmt.Fprintf(out, "  %s\n", inst)

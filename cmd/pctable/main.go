@@ -10,7 +10,8 @@
 // The exact engines differ in how tuple marginals are computed: dtree (the
 // default) decomposes lineage conditions via internal/probcalc, enum
 // enumerates every valuation of the lineage variables, and mc skips exact
-// computation entirely in favour of Monte-Carlo estimation.
+// computation entirely in favour of Monte-Carlo estimation. All evaluation
+// goes through the public pkg/uncertain facade.
 package main
 
 import (
@@ -21,10 +22,7 @@ import (
 	"log"
 	"os"
 
-	"uncertaindb/internal/condition"
-	"uncertaindb/internal/parser"
-	"uncertaindb/internal/pctable"
-	"uncertaindb/internal/value"
+	"uncertaindb/pkg/uncertain"
 )
 
 func main() {
@@ -68,59 +66,26 @@ func run(args []string, out io.Writer) error {
 	if *tablePath == "" {
 		return fmt.Errorf("pctable: -table is required")
 	}
-	f, err := os.Open(*tablePath)
+	tab, err := uncertain.ReadTableFile(*tablePath)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	parsed, err := parser.ParseTable(f)
-	if err != nil {
-		return err
-	}
-	if !parsed.HasDistributions {
+	if !tab.Probabilistic() {
 		return fmt.Errorf("pctable: the table has no dist directives; use cmd/ctable for purely incomplete tables")
 	}
-	tab := parsed.PCTable
-	if err := tab.Validate(); err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "Loaded probabilistic c-table %s:\n%s", parsed.Name, tab)
+	fmt.Fprintf(out, "Loaded probabilistic c-table %s:\n%s", tab.Name(), tab)
 
-	answer := tab
+	answer := tab.Identity()
 	if *queryText != "" {
-		q, err := parser.ParseQuery(*queryText)
-		if err != nil {
-			return err
-		}
-		answer, err = tab.EvalQuery(q)
+		answer, err = tab.Query(*queryText)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "\nAnswer pc-table (conditions are lineage):\n%s", answer)
 	}
 
-	// Candidate tuples come from the answer table's rows over the variable
-	// supports — never from possible-world enumeration, which is exponential
-	// in the total variable count and would defeat the scalable engines.
-	// Only -dist pays for the full world distribution. Each candidate's
-	// lineage is computed once and shared by the enum and Monte-Carlo paths.
-	type candidate struct {
-		tuple   value.Tuple
-		lineage condition.Condition
-	}
-	possible, err := answer.PossibleTuples()
-	if err != nil {
-		return err
-	}
-	candidates := make([]candidate, 0, len(possible))
-	for _, tp := range possible {
-		lineage := answer.Lineage(tp)
-		if _, isFalse := lineage.(condition.FalseCond); !isFalse {
-			candidates = append(candidates, candidate{tuple: tp, lineage: lineage})
-		}
-	}
 	if *showDist {
-		dist, err := answer.Mod()
+		dist, err := answer.WorldDistribution()
 		if err != nil {
 			return err
 		}
@@ -128,43 +93,25 @@ func run(args []string, out io.Writer) error {
 	}
 
 	switch *engine {
-	case "dtree":
-		fmt.Fprintf(out, "\nAnswer-tuple marginal probabilities (exact, lineage-based, dtree engine):\n")
-		probs, err := answer.TupleProbabilities()
+	case "dtree", "enum":
+		fmt.Fprintf(out, "\nAnswer-tuple marginal probabilities (exact, lineage-based, %s engine):\n", *engine)
+		probs, err := answer.Marginals(*engine)
 		if err != nil {
 			return err
 		}
 		for _, tp := range probs {
 			fmt.Fprintf(out, "  P[%s] = %.6f\n", tp.Tuple, tp.P)
 		}
-	case "enum":
-		fmt.Fprintf(out, "\nAnswer-tuple marginal probabilities (exact, lineage-based, enum engine):\n")
-		for _, c := range candidates {
-			p, err := answer.ConditionProbabilityEnum(c.lineage)
-			if err != nil {
-				return err
-			}
-			if p == 0 {
-				// Row-pattern candidate with unsatisfiable lineage — not a
-				// possible answer.
-				continue
-			}
-			fmt.Fprintf(out, "  P[%s] = %.6f\n", c.tuple, p)
-		}
 	}
 
 	if *samples > 0 {
-		sampler, err := pctable.NewSampler(answer, *seed)
+		fmt.Fprintf(out, "\nMonte-Carlo estimates (n=%d, workers=%d):\n", *samples, *workers)
+		estimates, err := answer.Estimate(*samples, *seed, *workers)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "\nMonte-Carlo estimates (n=%d, workers=%d):\n", *samples, *workers)
-		for _, c := range candidates {
-			est, se, err := sampler.EstimateConditionProbabilityParallel(c.lineage, *samples, *workers)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(out, "  P[%s] ≈ %.6f ± %.6f\n", c.tuple, est, se)
+		for _, est := range estimates {
+			fmt.Fprintf(out, "  P[%s] ≈ %.6f ± %.6f\n", est.Tuple, est.P, est.StdErr)
 		}
 	}
 	return nil

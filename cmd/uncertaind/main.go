@@ -1,24 +1,37 @@
 // Command uncertaind is a resident query service over probabilistic
 // c-tables: a catalog of named tables, an engine with a compiled-plan cache,
-// and an HTTP JSON API.
+// and a versioned HTTP JSON API. It is a thin HTTP shell over the public
+// pkg/uncertain facade.
 //
 // Usage:
 //
 //	uncertaind -addr 127.0.0.1:8080 -load catalog.tbl [-cache 128] [-workers 4]
 //
-// Endpoints:
+// Endpoints (stable, versioned surface):
 //
-//	PUT    /tables/{name}   register or replace a table (body: table script)
-//	GET    /tables          list catalog tables
-//	GET    /tables/{name}   one table's metadata and rendering
-//	DELETE /tables/{name}   drop a table
-//	POST   /query           {"query": "...", "engine": "dtree|enum|mc", ...}
-//	GET    /stats           engine cache and latency counters
+//	PUT    /v1/tables/{name}   register or replace a table (body: table script)
+//	GET    /v1/tables          list catalog tables
+//	GET    /v1/tables/{name}   one table's metadata and rendering
+//	DELETE /v1/tables/{name}   drop a table
+//	POST   /v1/query           {"query": "...", "engine": "dtree|enum|mc", ...}
+//	POST   /v1/query/batch     {"queries": [{...}, ...]} — N queries, one
+//	                           catalog snapshot, per-item errors
+//	GET    /v1/stats           engine cache and latency counters
+//
+// The pre-versioning unversioned routes (/tables, /query, /stats) remain as
+// deprecated aliases of the same handlers; responses on them carry a
+// "Deprecation: true" header and a Link to the /v1 successor. New clients
+// should use /v1 only.
+//
+// Errors are classified: a query referencing an unknown table is 404, a
+// request that can never succeed (bad query text, unknown engine, table
+// without distributions) is 400, anything else is 500.
 //
 // The daemon amortizes parsing, the closed algebra (Theorems 4 and 9) and
 // lineage decomposition across requests: repeated queries hit the prepared
-// plan cache, which is invalidated per table on replacement. It shuts down
-// gracefully on SIGINT/SIGTERM.
+// plan cache, which is invalidated per table on replacement, and batches
+// additionally share one catalog snapshot. It shuts down gracefully on
+// SIGINT/SIGTERM.
 package main
 
 import (
@@ -37,10 +50,8 @@ import (
 	"syscall"
 	"time"
 
-	"uncertaindb/internal/catalog"
-	"uncertaindb/internal/engine"
-	"uncertaindb/internal/parser"
 	"uncertaindb/internal/value"
+	"uncertaindb/pkg/uncertain"
 )
 
 func main() {
@@ -67,6 +78,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 	cacheSize := fs.Int("cache", 128, "maximum number of cached prepared plans")
 	workers := fs.Int("workers", 0, "maximum concurrently executing queries (0 = GOMAXPROCS)")
+	noRewrites := fs.Bool("no-rewrites", false, "disable the logical-plan rewriter (debugging aid)")
 	var loads multiFlag
 	fs.Var(&loads, "load", "catalog script to load at startup (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -78,14 +90,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("%w (run with -h for usage)", err)
 	}
 
-	eng := engine.New(catalog.New(), engine.Options{CacheSize: *cacheSize, Workers: *workers})
+	db := uncertain.Open(uncertain.Config{CacheSize: *cacheSize, Workers: *workers, DisableRewrites: *noRewrites})
 	for _, path := range loads {
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		names, err := eng.LoadCatalogScript(f)
-		f.Close()
+		names, err := db.LoadCatalogFile(path)
 		if err != nil {
 			return fmt.Errorf("uncertaind: loading %s: %w", path, err)
 		}
@@ -96,7 +103,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: newHandler(eng)}
+	srv := &http.Server{Handler: newHandler(db)}
 	fmt.Fprintf(out, "uncertaind listening on http://%s\n", ln.Addr())
 
 	errCh := make(chan error, 1)
@@ -115,37 +122,73 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	return nil
 }
 
-// newHandler builds the HTTP API over the engine.
-func newHandler(eng *engine.Engine) http.Handler {
+// newHandler builds the HTTP API over the facade: the /v1 surface plus the
+// deprecated unversioned aliases.
+func newHandler(db *uncertain.DB) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("PUT /tables/{name}", func(w http.ResponseWriter, r *http.Request) {
-		handlePutTable(eng, w, r)
-	})
-	mux.HandleFunc("GET /tables", func(w http.ResponseWriter, r *http.Request) {
-		handleListTables(eng, w)
-	})
-	mux.HandleFunc("GET /tables/{name}", func(w http.ResponseWriter, r *http.Request) {
-		handleGetTable(eng, w, r)
-	})
-	mux.HandleFunc("DELETE /tables/{name}", func(w http.ResponseWriter, r *http.Request) {
-		name := r.PathValue("name")
-		if !eng.DropTable(name) {
-			writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"dropped": name, "catalogVersion": eng.Catalog().Version()})
-	})
-	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
-		handleQuery(eng, w, r)
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, statsResponse{
-			Engine:         eng.Stats(),
-			CatalogVersion: eng.Catalog().Version(),
-			Tables:         eng.Catalog().Snapshot().Names(),
-		})
+	register := func(prefix string, wrap func(http.HandlerFunc) http.HandlerFunc) {
+		mux.HandleFunc("PUT "+prefix+"/tables/{name}", wrap(func(w http.ResponseWriter, r *http.Request) {
+			handlePutTable(db, w, r)
+		}))
+		mux.HandleFunc("GET "+prefix+"/tables", wrap(func(w http.ResponseWriter, r *http.Request) {
+			handleListTables(db, w)
+		}))
+		mux.HandleFunc("GET "+prefix+"/tables/{name}", wrap(func(w http.ResponseWriter, r *http.Request) {
+			handleGetTable(db, w, r)
+		}))
+		mux.HandleFunc("DELETE "+prefix+"/tables/{name}", wrap(func(w http.ResponseWriter, r *http.Request) {
+			name := r.PathValue("name")
+			if !db.DropTable(name) {
+				writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"dropped": name, "catalogVersion": db.CatalogVersion()})
+		}))
+		mux.HandleFunc("POST "+prefix+"/query", wrap(func(w http.ResponseWriter, r *http.Request) {
+			handleQuery(db, w, r)
+		}))
+		mux.HandleFunc("GET "+prefix+"/stats", wrap(func(w http.ResponseWriter, r *http.Request) {
+			version, infos := db.Tables()
+			names := make([]string, 0, len(infos))
+			for _, info := range infos {
+				names = append(names, info.Name)
+			}
+			writeJSON(w, http.StatusOK, statsResponse{
+				Engine:         db.Stats(),
+				CatalogVersion: version,
+				Tables:         names,
+			})
+		}))
+	}
+	register("/v1", func(h http.HandlerFunc) http.HandlerFunc { return h })
+	register("", deprecated)
+	// The batch endpoint is /v1-only: it postdates the unversioned surface.
+	mux.HandleFunc("POST /v1/query/batch", func(w http.ResponseWriter, r *http.Request) {
+		handleQueryBatch(db, w, r)
 	})
 	return mux
+}
+
+// deprecated marks responses on the unversioned aliases: clients are pointed
+// at the /v1 successor route.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+		h(w, r)
+	}
+}
+
+// errStatus maps typed facade errors onto HTTP status codes.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, uncertain.ErrUnknownTable):
+		return http.StatusNotFound
+	case errors.Is(err, uncertain.ErrBadQuery):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 // tableInfo is the JSON shape of one catalog table.
@@ -159,40 +202,40 @@ type tableInfo struct {
 }
 
 type statsResponse struct {
-	Engine         engine.Stats `json:"engine"`
-	CatalogVersion uint64       `json:"catalogVersion"`
-	Tables         []string     `json:"tables"`
+	Engine         uncertain.Stats `json:"engine"`
+	CatalogVersion uint64          `json:"catalogVersion"`
+	Tables         []string        `json:"tables"`
 }
 
-func entryInfo(e *catalog.Entry) tableInfo {
+func infoJSON(info uncertain.TableInfo) tableInfo {
 	return tableInfo{
-		Name:          e.Name,
-		Arity:         e.Table.Arity(),
-		Rows:          e.Table.Table().NumRows(),
-		Variables:     len(e.Table.Vars()),
-		Probabilistic: e.Probabilistic,
-		Version:       e.Version,
+		Name:          info.Name,
+		Arity:         info.Arity,
+		Rows:          info.Rows,
+		Variables:     info.Variables,
+		Probabilistic: info.Probabilistic,
+		Version:       info.Version,
 	}
 }
 
-func handlePutTable(eng *engine.Engine, w http.ResponseWriter, r *http.Request) {
+func handlePutTable(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	pt, err := parser.ParseTableString(string(body))
+	tab, err := uncertain.ParseTable(string(body))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if pt.Name != name {
+	if tab.Name() != name {
 		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("table script declares %q but the URL names %q", pt.Name, name))
+			fmt.Errorf("table script declares %q but the URL names %q", tab.Name(), name))
 		return
 	}
-	version, err := eng.PutParsed(pt)
+	version, err := db.PutTable(tab)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -200,35 +243,39 @@ func handlePutTable(eng *engine.Engine, w http.ResponseWriter, r *http.Request) 
 	writeJSON(w, http.StatusOK, map[string]any{"name": name, "catalogVersion": version})
 }
 
-func handleListTables(eng *engine.Engine, w http.ResponseWriter) {
-	snap := eng.Catalog().Snapshot()
-	infos := make([]tableInfo, 0, snap.Len())
-	for _, name := range snap.Names() {
-		infos = append(infos, entryInfo(snap.Get(name)))
+func handleListTables(db *uncertain.DB, w http.ResponseWriter) {
+	version, infos := db.Tables()
+	out := make([]tableInfo, 0, len(infos))
+	for _, info := range infos {
+		out = append(out, infoJSON(info))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"catalogVersion": snap.Version(), "tables": infos})
+	writeJSON(w, http.StatusOK, map[string]any{"catalogVersion": version, "tables": out})
 }
 
-func handleGetTable(eng *engine.Engine, w http.ResponseWriter, r *http.Request) {
+func handleGetTable(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	e := eng.Catalog().Snapshot().Get(name)
-	if e == nil {
+	info, text, ok := db.Table(name)
+	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {
 		tableInfo
 		Text string `json:"text"`
-	}{entryInfo(e), e.Table.String()})
+	}{infoJSON(info), text})
 }
 
-// queryRequest is the JSON body of POST /query.
+// queryRequest is the JSON body of POST /query (and one element of a batch).
 type queryRequest struct {
 	Query   string `json:"query"`
 	Engine  string `json:"engine"`
 	Samples int    `json:"samples"`
 	Seed    int64  `json:"seed"`
 	Workers int    `json:"workers"`
+}
+
+func (q queryRequest) request() uncertain.Request {
+	return uncertain.Request{Query: q.Query, Engine: q.Engine, Samples: q.Samples, Seed: q.Seed, Workers: q.Workers}
 }
 
 // tupleAnswer is one answer tuple: the tuple as a JSON array of values plus
@@ -254,29 +301,7 @@ type queryResponse struct {
 	ExecMicros     int64         `json:"execMicros"`
 }
 
-func handleQuery(eng *engine.Engine, w http.ResponseWriter, r *http.Request) {
-	var req queryRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return
-	}
-	if strings.TrimSpace(req.Query) == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing \"query\""))
-		return
-	}
-	res, err := eng.Execute(engine.Request{
-		Query:   req.Query,
-		Engine:  req.Engine,
-		Samples: req.Samples,
-		Seed:    req.Seed,
-		Workers: req.Workers,
-	})
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
+func resultJSON(res *uncertain.Result) queryResponse {
 	resp := queryResponse{
 		Query:          res.Query,
 		Engine:         string(res.Kind),
@@ -298,11 +323,84 @@ func handleQuery(eng *engine.Engine, w http.ResponseWriter, r *http.Request) {
 			resp.Certain = append(resp.Certain, jt)
 		}
 	}
+	return resp
+}
+
+func handleQuery(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing \"query\""))
+		return
+	}
+	res, err := db.Query(req.request())
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resultJSON(res))
+}
+
+// batchRequest is the JSON body of POST /v1/query/batch.
+type batchRequest struct {
+	Queries []queryRequest `json:"queries"`
+}
+
+// batchItem is one element of a batch response: either a query response or
+// an error (never both).
+type batchItem struct {
+	Error string `json:"error,omitempty"`
+	*queryResponse
+}
+
+type batchResponse struct {
+	CatalogVersion uint64      `json:"catalogVersion"`
+	Results        []batchItem `json:"results"`
+}
+
+// maxBatchQueries bounds one batch request.
+const maxBatchQueries = 1024
+
+func handleQueryBatch(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing \"queries\""))
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d queries exceeds the limit of %d", len(req.Queries), maxBatchQueries))
+		return
+	}
+	reqs := make([]uncertain.Request, len(req.Queries))
+	for i, q := range req.Queries {
+		reqs[i] = q.request()
+	}
+	items, version := db.QueryBatch(reqs)
+	resp := batchResponse{CatalogVersion: version, Results: make([]batchItem, len(items))}
+	for i, item := range items {
+		if item.Err != nil {
+			resp.Results[i] = batchItem{Error: item.Err.Error()}
+			continue
+		}
+		qr := resultJSON(item.Result)
+		resp.Results[i] = batchItem{queryResponse: &qr}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // tupleJSON renders a tuple as a JSON array of native values.
-func tupleJSON(t value.Tuple) []any {
+func tupleJSON(t uncertain.Tuple) []any {
 	out := make([]any, len(t))
 	for i, v := range t {
 		switch v.Kind() {

@@ -16,9 +16,8 @@ import (
 	"testing"
 	"time"
 
-	"uncertaindb/internal/catalog"
-	"uncertaindb/internal/engine"
 	"uncertaindb/internal/parser"
+	"uncertaindb/pkg/uncertain"
 )
 
 const takesScript = `table Takes arity 2
@@ -29,12 +28,12 @@ dist x = {'math':0.3, 'phys':0.3, 'chem':0.4}
 dist t = {0:0.15, 1:0.85}
 `
 
-func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
+func newTestServer(t *testing.T) (*httptest.Server, *uncertain.DB) {
 	t.Helper()
-	eng := engine.New(catalog.New(), engine.Options{})
-	srv := httptest.NewServer(newHandler(eng))
+	db := uncertain.Open(uncertain.Config{})
+	srv := httptest.NewServer(newHandler(db))
 	t.Cleanup(srv.Close)
-	return srv, eng
+	return srv, db
 }
 
 func doJSON(t *testing.T, method, url string, body string) (int, []byte) {
@@ -169,9 +168,8 @@ func TestQueryErrors(t *testing.T) {
 	putTakes(t, srv)
 	cases := []string{
 		`not json`,
-		`{}`,                            // missing query
-		`{"query": "select[("}`,         // parse error
-		`{"query": "project[1](Nope)"}`, // unknown table
+		`{}`,                    // missing query
+		`{"query": "select[("}`, // parse error
 		`{"query": "project[1](Takes)", "engine": "bogus"}`,
 		`{"query": "project[1](Takes)", "unknown": 1}`, // unknown field
 	}
@@ -183,6 +181,11 @@ func TestQueryErrors(t *testing.T) {
 		if !strings.Contains(string(resp), `"error"`) {
 			t.Errorf("body %s: response %s has no error field", body, resp)
 		}
+	}
+	// A query over an unknown table is a 404, not a 400 (typed errors).
+	status, resp := doJSON(t, http.MethodPost, srv.URL+"/v1/query", `{"query": "project[1](Nope)"}`)
+	if status != http.StatusNotFound || !strings.Contains(string(resp), `"error"`) {
+		t.Errorf("unknown table: status %d (%s), want 404 with error field", status, resp)
 	}
 }
 

@@ -3,11 +3,14 @@ package uncertaindb
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"testing"
 
 	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ctable"
 	"uncertaindb/internal/pctable"
 	"uncertaindb/internal/probcalc"
+	"uncertaindb/internal/ra"
 	"uncertaindb/internal/value"
 	"uncertaindb/internal/workload"
 )
@@ -131,5 +134,168 @@ func TestDTreeScalesBeyondEnumeration(t *testing.T) {
 	want := 1 - math.Pow(1-0.25, float64(pairs))
 	if math.Abs(got-want) > 1e-12 {
 		t.Fatalf("P = %.17g, want %.17g", got, want)
+	}
+}
+
+// randomEqCTable builds a random finite-domain c-table over shared
+// variables, for the operator-core equivalence property below.
+func randomEqCTable(rng *rand.Rand, arity, rows int, vars []string) *ctable.CTable {
+	dom := value.IntRange(1, 3)
+	tab := ctable.New(arity)
+	for _, v := range vars {
+		tab.SetDomain(v, dom)
+	}
+	randTerm := func() condition.Term {
+		if rng.Intn(2) == 0 {
+			return condition.ConstInt(int64(rng.Intn(3) + 1))
+		}
+		return condition.Var(vars[rng.Intn(len(vars))])
+	}
+	randAtom := func() condition.Condition {
+		l, r := randTerm(), randTerm()
+		if rng.Intn(2) == 0 {
+			return condition.Eq(l, r)
+		}
+		return condition.Neq(l, r)
+	}
+	for i := 0; i < rows; i++ {
+		terms := make([]condition.Term, arity)
+		for j := range terms {
+			terms[j] = randTerm()
+		}
+		var cond condition.Condition
+		switch rng.Intn(3) {
+		case 0:
+			cond = condition.True()
+		case 1:
+			cond = randAtom()
+		default:
+			cond = condition.And(randAtom(), randAtom())
+		}
+		tab.AddRow(terms, cond)
+	}
+	return tab
+}
+
+// randomEqQuery builds a random query over the relations A and B.
+func randomEqQuery(rng *rand.Rand, arity, depth int) ra.Query {
+	type qa struct {
+		q ra.Query
+		a int
+	}
+	randPred := func(a int) ra.Predicate {
+		l := ra.Col(rng.Intn(a))
+		var r ra.Term
+		if rng.Intn(2) == 0 {
+			r = ra.Col(rng.Intn(a))
+		} else {
+			r = ra.ConstInt(int64(rng.Intn(3) + 1))
+		}
+		if rng.Intn(2) == 0 {
+			return ra.Eq(l, r)
+		}
+		return ra.Ne(l, r)
+	}
+	var rec func(d int) qa
+	rec = func(d int) qa {
+		if d <= 0 {
+			if rng.Intn(2) == 0 {
+				return qa{ra.Rel("A"), arity}
+			}
+			return qa{ra.Rel("B"), arity}
+		}
+		sub := rec(d - 1)
+		switch rng.Intn(7) {
+		case 0:
+			return qa{ra.Select(ra.AndOf(randPred(sub.a), randPred(sub.a)), sub.q), sub.a}
+		case 1:
+			cols := make([]int, rng.Intn(sub.a)+1)
+			for i := range cols {
+				cols[i] = rng.Intn(sub.a)
+			}
+			return qa{ra.Project(cols, sub.q), len(cols)}
+		case 2:
+			other := rec(d - 1)
+			return qa{ra.Cross(sub.q, other.q), sub.a + other.a}
+		case 3:
+			other := rec(d - 1)
+			return qa{ra.Join(sub.q, other.q, randPred(sub.a+other.a)), sub.a + other.a}
+		case 4:
+			return qa{ra.Union(sub.q, sub.q), sub.a}
+		case 5:
+			return qa{ra.Diff(sub.q, ra.Select(randPred(sub.a), sub.q)), sub.a}
+		default:
+			return qa{ra.Intersect(sub.q, sub.q), sub.a}
+		}
+	}
+	return rec(depth).q
+}
+
+// Property (acceptance criterion of the operator-core redesign): on
+// randomized multi-table environments and queries, the answers produced by
+// the unified operator core — with and without plan rewriting — have
+// bit-identical rational tuple marginals to the frozen eager evaluator's,
+// for every tuple possible under either answer. Marginals are computed by
+// the exact big.Rat engine, so "equal" means equal as rationals, not within
+// a float tolerance.
+func TestOperatorCoreBitIdenticalToEager(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		env := ctable.Env{
+			"A": randomEqCTable(rng, 2, 3, []string{"x", "y"}),
+			"B": randomEqCTable(rng, 2, 2, []string{"y", "z"}),
+		}
+		q := randomEqQuery(rng, 2, 3)
+		eagerCT, err := ctable.EvalQueryEnvEager(q, env, ctable.Options{Simplify: true})
+		if err != nil {
+			t.Fatalf("trial %d: eager: %v", trial, err)
+		}
+		eagerPC, err := pctable.UniformPCTable(eagerCT)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		eagerExact := probcalc.NewExact(eagerPC)
+
+		for _, rewrite := range []bool{false, true} {
+			coreCT, err := ctable.EvalQueryEnvWithOptions(q, env, ctable.Options{Simplify: true, Rewrite: rewrite})
+			if err != nil {
+				t.Fatalf("trial %d (rewrite=%v): core: %v", trial, rewrite, err)
+			}
+			corePC, err := pctable.UniformPCTable(coreCT)
+			if err != nil {
+				t.Fatalf("trial %d (rewrite=%v): %v", trial, rewrite, err)
+			}
+			coreExact := probcalc.NewExact(corePC)
+
+			// Every tuple possible under either answer must have the same
+			// exact rational marginal in both.
+			tuples := make(map[string]value.Tuple)
+			for _, pc := range []*pctable.PCTable{eagerPC, corePC} {
+				possible, err := pc.PossibleTuples()
+				if err != nil {
+					t.Fatalf("trial %d (rewrite=%v): %v", trial, rewrite, err)
+				}
+				for _, tp := range possible {
+					tuples[tp.Key()] = tp
+				}
+			}
+			if len(tuples) == 0 {
+				continue
+			}
+			for _, tp := range tuples {
+				want, err := eagerExact.ProbabilityRat(eagerPC.Lineage(tp))
+				if err != nil {
+					t.Fatalf("trial %d: eager marginal: %v", trial, err)
+				}
+				got, err := coreExact.ProbabilityRat(corePC.Lineage(tp))
+				if err != nil {
+					t.Fatalf("trial %d (rewrite=%v): core marginal: %v", trial, rewrite, err)
+				}
+				if got.Cmp(want) != 0 {
+					t.Errorf("trial %d (rewrite=%v), tuple %s: core %s vs eager %s — not bit-identical\nquery: %s",
+						trial, rewrite, tp, got, want, q)
+				}
+			}
+		}
 	}
 }

@@ -1,17 +1,21 @@
 package ctable
 
 import (
-	"fmt"
-
 	"uncertaindb/internal/condition"
+	"uncertaindb/internal/exec"
 	"uncertaindb/internal/ra"
-	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
 )
 
-// This file implements the c-table algebra ū of Theorem 4 (Imieliński &
-// Lipski): for every relational algebra operation u there is an operation ū
-// on c-tables such that ν(q̄(T)) = q(ν(T)) for every valuation ν (Lemma 1),
-// hence Mod(q̄(T)) = q(Mod(T)).
+// This file adapts the c-table algebra ū of Theorem 4 (Imieliński & Lipski)
+// onto the unified operator core in internal/exec: for every relational
+// algebra operation u there is an operation ū on c-tables such that
+// ν(q̄(T)) = q(ν(T)) for every valuation ν (Lemma 1), hence
+// Mod(q̄(T)) = q(Mod(T)). The operator implementations themselves live in
+// internal/exec — this package only binds c-tables as exec Models and wraps
+// the produced rows back into a CTable. The pre-core eager evaluator is kept
+// in eager.go as a frozen reference twin for equivalence tests and the E14
+// benchmark.
 
 // Options controls the behaviour of the c-table algebra.
 type Options struct {
@@ -19,232 +23,116 @@ type Options struct {
 	// operation. It never changes Mod, only the size of conditions; the
 	// ablation benchmark measures its effect.
 	Simplify bool
+	// Rewrite runs the logical-plan rewriter (predicate pushdown, projection
+	// pruning) before execution. Rewrites never change Mod or tuple
+	// marginals, only the syntactic shape of the answer table and the amount
+	// of intermediate work. Ignored by the single-operator functions
+	// (SelectC, ProjectC, ...), which apply exactly one operator.
+	Rewrite bool
 }
 
-// DefaultOptions simplifies conditions.
-var DefaultOptions = Options{Simplify: true}
+// DefaultOptions simplifies conditions and rewrites plans.
+var DefaultOptions = Options{Simplify: true, Rewrite: true}
 
-func (o Options) cond(c condition.Condition) condition.Condition {
-	if o.Simplify {
-		return condition.Simplify(c)
-	}
-	return c
+func (o Options) execOptions(rewrite bool) exec.Options {
+	return exec.Options{Simplify: o.Simplify, Rewrite: rewrite && o.Rewrite}
 }
 
-// termEquality returns the condition asserting that two symbolic terms are
-// equal: it folds constant/constant comparisons and emits symbolic
-// equalities otherwise.
-func termEquality(a, b condition.Term) condition.Condition {
-	return condition.Eq(a, b).Substitute(nil)
+// Row returns the i-th row as an exec.Row view; with Arity, NumRows and
+// EachDomain it makes *CTable an exec.Model, so the shared operator core can
+// scan c-tables directly.
+func (t *CTable) Row(i int) exec.Row {
+	r := t.rows[i]
+	return exec.Row{Terms: r.Terms, Cond: r.Cond}
 }
 
-// rowEquality returns the condition asserting componentwise equality of two
-// symbolic tuples of equal arity.
-func rowEquality(a, b []condition.Term) condition.Condition {
-	conds := make([]condition.Condition, 0, len(a))
-	for i := range a {
-		conds = append(conds, termEquality(a[i], b[i]))
-	}
-	return condition.And(conds...)
-}
-
-// predicateCondition translates a selection predicate evaluated on the
-// symbolic tuple "terms" into a condition (the c(t) of the paper's
-// definition of σ̄). Ordering comparisons are only supported when both
-// sides resolve to constants, because c-table conditions are built from
-// equalities and inequalities only.
-func predicateCondition(p ra.Predicate, terms []condition.Term) (condition.Condition, error) {
-	switch p := p.(type) {
-	case ra.TruePred:
-		return condition.True(), nil
-	case ra.FalsePred:
-		return condition.False(), nil
-	case ra.Cmp:
-		l, err := resolveRATerm(p.Left, terms)
-		if err != nil {
-			return nil, err
-		}
-		r, err := resolveRATerm(p.Right, terms)
-		if err != nil {
-			return nil, err
-		}
-		switch p.Op {
-		case ra.OpEq:
-			return condition.Eq(l, r).Substitute(nil), nil
-		case ra.OpNe:
-			return condition.Neq(l, r).Substitute(nil), nil
-		default:
-			if l.IsVar || r.IsVar {
-				return nil, fmt.Errorf("ctable: ordering comparison %s applied to a variable term", p.Op)
-			}
-			if p.Op.Holds(l.Const, r.Const) {
-				return condition.True(), nil
-			}
-			return condition.False(), nil
-		}
-	case ra.And:
-		conds := make([]condition.Condition, 0, len(p.Preds))
-		for _, sub := range p.Preds {
-			c, err := predicateCondition(sub, terms)
-			if err != nil {
-				return nil, err
-			}
-			conds = append(conds, c)
-		}
-		return condition.And(conds...), nil
-	case ra.Or:
-		conds := make([]condition.Condition, 0, len(p.Preds))
-		for _, sub := range p.Preds {
-			c, err := predicateCondition(sub, terms)
-			if err != nil {
-				return nil, err
-			}
-			conds = append(conds, c)
-		}
-		return condition.Or(conds...), nil
-	case ra.Not:
-		c, err := predicateCondition(p.Pred, terms)
-		if err != nil {
-			return nil, err
-		}
-		return condition.Not(c), nil
-	default:
-		return nil, fmt.Errorf("ctable: unsupported predicate %T", p)
+// EachDomain visits the declared finite variable domains (exec.Model).
+func (t *CTable) EachDomain(f func(condition.Variable, *value.Domain)) {
+	for x, d := range t.domains {
+		f(x, d)
 	}
 }
 
-func resolveRATerm(t ra.Term, terms []condition.Term) (condition.Term, error) {
-	if t.IsCol {
-		if t.Col < 0 || t.Col >= len(terms) {
-			return condition.Term{}, fmt.Errorf("ctable: predicate column %d out of range", t.Col+1)
-		}
-		return terms[t.Col], nil
+// FromExecResult wraps rows produced by the operator core into a CTable.
+func FromExecResult(res *exec.Result) *CTable {
+	out := New(res.Arity)
+	for x, d := range res.Domains {
+		out.domains[x] = d
 	}
-	return condition.Const(t.Const), nil
+	out.rows = make([]Row, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		out.rows = append(out.rows, NewRow(r.Terms, r.Cond))
+	}
+	return out
+}
+
+// runOp evaluates a query through the operator core without plan rewriting —
+// the single-operator entry points below apply exactly the operator they
+// name.
+func runOp(q ra.Query, env exec.Env, opts Options) (*CTable, error) {
+	res, err := exec.Run(q, env, opts.execOptions(false))
+	if err != nil {
+		return nil, err
+	}
+	return FromExecResult(res), nil
 }
 
 // SelectC is σ̄_p(T): every row keeps its tuple and its condition is
 // strengthened with the symbolic evaluation of p on the row's terms.
 func SelectC(t *CTable, p ra.Predicate, opts Options) (*CTable, error) {
-	out := New(t.arity)
-	copyDomains(out, t)
-	for _, r := range t.rows {
-		c, err := predicateCondition(p, r.Terms)
-		if err != nil {
-			return nil, err
-		}
-		out.rows = append(out.rows, NewRow(r.Terms, opts.cond(condition.And(r.Cond, c))))
-	}
-	return out, nil
+	return runOp(ra.Select(p, ra.Rel("T")), exec.Env{"T": t}, opts)
 }
 
 // ProjectC is π̄_cols(T): rows are projected onto cols and rows with
 // syntactically identical projected tuples are merged by disjoining their
 // conditions (the ∨ in the paper's definition of π̄).
 func ProjectC(t *CTable, cols []int, opts Options) (*CTable, error) {
-	for _, c := range cols {
-		if c < 0 || c >= t.arity {
-			return nil, fmt.Errorf("ctable: projection column %d out of range for arity %d", c+1, t.arity)
-		}
-	}
-	out := New(len(cols))
-	copyDomains(out, t)
-	index := make(map[string]int)
-	for _, r := range t.rows {
-		terms := make([]condition.Term, len(cols))
-		for i, c := range cols {
-			terms[i] = r.Terms[c]
-		}
-		key := termsKey(terms)
-		if i, ok := index[key]; ok {
-			out.rows[i].Cond = opts.cond(condition.Or(out.rows[i].Cond, r.Cond))
-			continue
-		}
-		index[key] = len(out.rows)
-		out.rows = append(out.rows, NewRow(terms, opts.cond(r.Cond)))
-	}
-	return out, nil
+	return runOp(ra.Project(cols, ra.Rel("T")), exec.Env{"T": t}, opts)
 }
 
 // CrossC is T1 ×̄ T2: tuples are concatenated and conditions conjoined.
 func CrossC(t1, t2 *CTable, opts Options) *CTable {
-	out := New(t1.arity + t2.arity)
-	copyDomains(out, t1)
-	copyDomains(out, t2)
-	for _, r1 := range t1.rows {
-		for _, r2 := range t2.rows {
-			terms := make([]condition.Term, 0, t1.arity+t2.arity)
-			terms = append(terms, r1.Terms...)
-			terms = append(terms, r2.Terms...)
-			out.rows = append(out.rows, NewRow(terms, opts.cond(condition.And(r1.Cond, r2.Cond))))
-		}
+	out, err := runOp(ra.Cross(ra.Rel("T1"), ra.Rel("T2")), exec.Env{"T1": t1, "T2": t2}, opts)
+	if err != nil {
+		panic(err) // a cross product of well-formed tables cannot fail
 	}
 	return out
 }
 
 // UnionC is T1 ∪̄ T2: the union of the rows.
 func UnionC(t1, t2 *CTable, opts Options) (*CTable, error) {
-	if t1.arity != t2.arity {
-		return nil, fmt.Errorf("ctable: union of arities %d and %d", t1.arity, t2.arity)
-	}
-	out := New(t1.arity)
-	copyDomains(out, t1)
-	copyDomains(out, t2)
-	for _, r := range t1.rows {
-		out.rows = append(out.rows, NewRow(r.Terms, opts.cond(r.Cond)))
-	}
-	for _, r := range t2.rows {
-		out.rows = append(out.rows, NewRow(r.Terms, opts.cond(r.Cond)))
-	}
-	return out, nil
+	return runOp(ra.Union(ra.Rel("T1"), ra.Rel("T2")), exec.Env{"T1": t1, "T2": t2}, opts)
 }
 
 // DiffC is T1 −̄ T2: a row (t1 : φ1) survives exactly when no row of T2 is
 // simultaneously present and equal to it, so its condition becomes
 // φ1 ∧ ⋀_{(t2:φ2) ∈ T2} ¬(φ2 ∧ t1=t2).
 func DiffC(t1, t2 *CTable, opts Options) (*CTable, error) {
-	if t1.arity != t2.arity {
-		return nil, fmt.Errorf("ctable: difference of arities %d and %d", t1.arity, t2.arity)
-	}
-	out := New(t1.arity)
-	copyDomains(out, t1)
-	copyDomains(out, t2)
-	for _, r1 := range t1.rows {
-		conds := []condition.Condition{r1.Cond}
-		for _, r2 := range t2.rows {
-			conds = append(conds, condition.Not(condition.And(r2.Cond, rowEquality(r1.Terms, r2.Terms))))
-		}
-		out.rows = append(out.rows, NewRow(r1.Terms, opts.cond(condition.And(conds...))))
-	}
-	return out, nil
+	return runOp(ra.Diff(ra.Rel("T1"), ra.Rel("T2")), exec.Env{"T1": t1, "T2": t2}, opts)
 }
 
 // IntersectC is T1 ∩̄ T2: a row (t1 : φ1) survives exactly when some row of
 // T2 is present and equal to it.
 func IntersectC(t1, t2 *CTable, opts Options) (*CTable, error) {
-	if t1.arity != t2.arity {
-		return nil, fmt.Errorf("ctable: intersection of arities %d and %d", t1.arity, t2.arity)
-	}
-	out := New(t1.arity)
-	copyDomains(out, t1)
-	copyDomains(out, t2)
-	for _, r1 := range t1.rows {
-		disj := make([]condition.Condition, 0, len(t2.rows))
-		for _, r2 := range t2.rows {
-			disj = append(disj, condition.And(r2.Cond, rowEquality(r1.Terms, r2.Terms)))
-		}
-		out.rows = append(out.rows, NewRow(r1.Terms, opts.cond(condition.And(r1.Cond, condition.Or(disj...)))))
-	}
-	return out, nil
+	return runOp(ra.Intersect(ra.Rel("T1"), ra.Rel("T2")), exec.Env{"T1": t1, "T2": t2}, opts)
 }
 
 // JoinC is the θ-join T1 ⋈̄_p T2 = σ̄_p(T1 ×̄ T2).
 func JoinC(t1, t2 *CTable, p ra.Predicate, opts Options) (*CTable, error) {
-	return SelectC(CrossC(t1, t2, opts), p, opts)
+	return runOp(ra.Join(ra.Rel("T1"), ra.Rel("T2"), p), exec.Env{"T1": t1, "T2": t2}, opts)
 }
 
 // Env maps input relation names to c-tables for multi-table evaluation.
 type Env map[string]*CTable
+
+// ExecEnv binds the environment's tables as models for the operator core.
+func (env Env) ExecEnv() exec.Env {
+	out := make(exec.Env, len(env))
+	for name, t := range env {
+		out[name] = t
+	}
+	return out
+}
 
 // EvalQuery translates a relational algebra query q into the c-table
 // algebra q̄ and evaluates it on the input c-table (every input relation
@@ -281,100 +169,13 @@ func EvalQueryEnv(q ra.Query, env Env) (*CTable, error) {
 	return EvalQueryEnvWithOptions(q, env, DefaultOptions)
 }
 
-// EvalQueryEnvWithOptions is EvalQueryEnv with explicit algebra options.
+// EvalQueryEnvWithOptions is EvalQueryEnv with explicit algebra options. The
+// query is validated, optionally rewritten, and executed by the shared
+// operator core in internal/exec.
 func EvalQueryEnvWithOptions(q ra.Query, env Env, opts Options) (*CTable, error) {
-	arities := ra.ArityEnv{}
-	for name, t := range env {
-		arities[name] = t.arity
-	}
-	if _, err := ra.Arity(q, arities); err != nil {
+	res, err := exec.Run(q, env.ExecEnv(), opts.execOptions(true))
+	if err != nil {
 		return nil, err
 	}
-	return evalQuery(q, env, opts)
-}
-
-func evalQuery(q ra.Query, env Env, opts Options) (*CTable, error) {
-	switch q := q.(type) {
-	case ra.BaseRel:
-		return env[q.Name].Copy(), nil
-	case ra.ConstRel:
-		return constTable(q.Rel), nil
-	case ra.SelectQ:
-		in, err := evalQuery(q.Input, env, opts)
-		if err != nil {
-			return nil, err
-		}
-		return SelectC(in, q.Pred, opts)
-	case ra.ProjectQ:
-		in, err := evalQuery(q.Input, env, opts)
-		if err != nil {
-			return nil, err
-		}
-		return ProjectC(in, q.Cols, opts)
-	case ra.CrossQ:
-		l, r, err := evalBoth(q.Left, q.Right, env, opts)
-		if err != nil {
-			return nil, err
-		}
-		return CrossC(l, r, opts), nil
-	case ra.JoinQ:
-		l, r, err := evalBoth(q.Left, q.Right, env, opts)
-		if err != nil {
-			return nil, err
-		}
-		return JoinC(l, r, q.Pred, opts)
-	case ra.UnionQ:
-		l, r, err := evalBoth(q.Left, q.Right, env, opts)
-		if err != nil {
-			return nil, err
-		}
-		return UnionC(l, r, opts)
-	case ra.DiffQ:
-		l, r, err := evalBoth(q.Left, q.Right, env, opts)
-		if err != nil {
-			return nil, err
-		}
-		return DiffC(l, r, opts)
-	case ra.IntersectQ:
-		l, r, err := evalBoth(q.Left, q.Right, env, opts)
-		if err != nil {
-			return nil, err
-		}
-		return IntersectC(l, r, opts)
-	default:
-		return nil, fmt.Errorf("ctable: unsupported query node %T", q)
-	}
-}
-
-func evalBoth(l, r ra.Query, env Env, opts Options) (*CTable, *CTable, error) {
-	lt, err := evalQuery(l, env, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	rt, err := evalQuery(r, env, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	return lt, rt, nil
-}
-
-func constTable(r *relation.Relation) *CTable {
-	if r.Arity() == 0 {
-		panic("ctable: constant relation of arity 0 not supported")
-	}
-	return FromRelation(r)
-}
-
-func copyDomains(dst, src *CTable) {
-	for x, d := range src.domains {
-		dst.domains[x] = d
-	}
-}
-
-func termsKey(terms []condition.Term) string {
-	key := ""
-	for _, t := range terms {
-		key += t.String() + "\x00"
-	}
-	return key
+	return FromExecResult(res), nil
 }

@@ -19,6 +19,7 @@ package engine
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -30,11 +31,26 @@ import (
 
 	"uncertaindb/internal/catalog"
 	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ctable"
 	"uncertaindb/internal/parser"
 	"uncertaindb/internal/pctable"
 	"uncertaindb/internal/probcalc"
 	"uncertaindb/internal/ra"
 	"uncertaindb/internal/value"
+)
+
+// Typed execution errors. Callers classify failures with errors.Is — the
+// HTTP layer maps ErrUnknownTable to 404 and ErrBadQuery to 400 — instead of
+// matching opaque error strings.
+var (
+	// ErrUnknownTable reports a query referencing a table absent from the
+	// catalog snapshot it executed against.
+	ErrUnknownTable = errors.New("engine: unknown table")
+	// ErrBadQuery reports a request that can never succeed against any
+	// catalog: unparsable query text, an ill-formed algebra expression, an
+	// unknown marginal engine, or a table without the distributions
+	// marginals need.
+	ErrBadQuery = errors.New("engine: bad query")
 )
 
 // Kind selects how tuple marginals are computed.
@@ -57,7 +73,7 @@ func ParseKind(s string) (Kind, error) {
 	case string(KindDTree), string(KindEnum), string(KindMC):
 		return Kind(s), nil
 	default:
-		return "", fmt.Errorf("engine: unknown engine %q (want dtree, enum or mc)", s)
+		return "", fmt.Errorf("%w: unknown engine %q (want dtree, enum or mc)", ErrBadQuery, s)
 	}
 }
 
@@ -73,6 +89,10 @@ type Options struct {
 	// Workers bounds the number of concurrently executing queries. Zero or
 	// negative selects GOMAXPROCS.
 	Workers int
+	// DisableRewrites turns off the logical-plan rewriter (predicate
+	// pushdown, projection pruning) in the operator core. Rewrites never
+	// change answers, only compilation cost, so they are on by default.
+	DisableRewrites bool
 }
 
 func (o Options) withDefaults() Options {
@@ -274,7 +294,7 @@ func (e *Engine) Stats() Stats {
 // Execute runs one request: prepare (or fetch) the plan, then compute the
 // marginals with the requested engine under the bounded worker pool.
 func (e *Engine) Execute(req Request) (*Result, error) {
-	res, err := e.execute(req)
+	res, err := e.executeOn(e.cat.Snapshot(), req)
 	if err != nil {
 		e.errors.Add(1)
 		return nil, err
@@ -282,7 +302,38 @@ func (e *Engine) Execute(req Request) (*Result, error) {
 	return res, nil
 }
 
-func (e *Engine) execute(req Request) (*Result, error) {
+// BatchItem is one outcome of ExecuteBatch: a result or a per-query error.
+type BatchItem struct {
+	Result *Result
+	Err    error
+}
+
+// ExecuteBatch runs every request against a single catalog snapshot, so the
+// whole batch sees one consistent version (returned alongside the items,
+// even when every query fails) and snapshotting is paid once instead of per
+// request. Items execute concurrently under the engine's bounded worker
+// pool; results come back in request order. Failures are reported per item:
+// one bad query does not abort its neighbours.
+func (e *Engine) ExecuteBatch(reqs []Request) ([]BatchItem, uint64) {
+	snap := e.cat.Snapshot()
+	out := make([]BatchItem, len(reqs))
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			res, err := e.executeOn(snap, req)
+			if err != nil {
+				e.errors.Add(1)
+			}
+			out[i] = BatchItem{Result: res, Err: err}
+		}(i, req)
+	}
+	wg.Wait()
+	return out, snap.Version()
+}
+
+func (e *Engine) executeOn(snap *catalog.Snapshot, req Request) (*Result, error) {
 	kind, err := ParseKind(req.Engine)
 	if err != nil {
 		return nil, err
@@ -294,7 +345,7 @@ func (e *Engine) execute(req Request) (*Result, error) {
 	e.sem <- struct{}{}
 	defer func() { <-e.sem }()
 
-	p, hit, prepDur, err := e.prepare(req.Query, kind)
+	p, hit, prepDur, err := e.prepare(snap, req.Query, kind)
 	if err != nil {
 		return nil, err
 	}
@@ -331,19 +382,23 @@ func (e *Engine) execute(req Request) (*Result, error) {
 	}, nil
 }
 
-// prepare returns the cached plan for (query, kind) against the current
-// catalog, or compiles and caches a new one.
-func (e *Engine) prepare(queryText string, kind Kind) (*plan, bool, time.Duration, error) {
+// prepare returns the cached plan for (query, kind) against the given
+// catalog snapshot, or compiles and caches a new one.
+func (e *Engine) prepare(snap *catalog.Snapshot, queryText string, kind Kind) (*plan, bool, time.Duration, error) {
 	q, err := parser.ParseQuery(queryText)
 	if err != nil {
-		return nil, false, 0, err
+		return nil, false, 0, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
-	snap := e.cat.Snapshot()
 	names := make([]string, 0, 2)
 	for name := range ra.InputNames(q) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	for _, name := range names {
+		if snap.Get(name) == nil {
+			return nil, false, 0, fmt.Errorf("%w: %q (have %v)", ErrUnknownTable, name, snap.Names())
+		}
+	}
 	key := cacheKey(queryText, kind, names, snap)
 
 	e.mu.Lock()
@@ -357,7 +412,7 @@ func (e *Engine) prepare(queryText string, kind Kind) (*plan, bool, time.Duratio
 	e.mu.Unlock()
 
 	start := time.Now()
-	p, err := compile(q, queryText, kind, names, snap, key)
+	p, err := compile(q, queryText, kind, names, snap, key, e.algebraOptions())
 	if err != nil {
 		return nil, false, 0, err
 	}
@@ -434,21 +489,26 @@ func cacheKey(queryText string, kind Kind, names []string, snap *catalog.Snapsho
 	return b.String()
 }
 
-// compile runs the cold path: resolve tables, closed algebra, candidate
-// discovery.
-func compile(q ra.Query, queryText string, kind Kind, names []string, snap *catalog.Snapshot, key string) (*plan, error) {
+// algebraOptions returns the operator-core options the engine compiles with.
+func (e *Engine) algebraOptions() ctable.Options {
+	return ctable.Options{Simplify: true, Rewrite: !e.opts.DisableRewrites}
+}
+
+// compile runs the cold path: resolve tables, closed algebra on the shared
+// operator core, candidate discovery.
+func compile(q ra.Query, queryText string, kind Kind, names []string, snap *catalog.Snapshot, key string, opts ctable.Options) (*plan, error) {
 	env, err := snap.Env(names)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrUnknownTable, err)
 	}
 	for _, name := range names {
 		if !snap.Get(name).Probabilistic {
-			return nil, fmt.Errorf("engine: table %q has no variable distributions; marginals are undefined (load it with dist directives)", name)
+			return nil, fmt.Errorf("%w: table %q has no variable distributions; marginals are undefined (load it with dist directives)", ErrBadQuery, name)
 		}
 	}
-	answer, err := pctable.EvalQueryEnv(q, env)
+	answer, err := pctable.EvalQueryEnvWithOptions(q, env, opts)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	possible, err := answer.PossibleTuples()
 	if err != nil {

@@ -1,0 +1,605 @@
+// Package exec is the unified query-execution core: one Volcano-style
+// iterator/operator implementation of the closed c-table algebra (Theorem 4)
+// that every table model evaluates through.
+//
+// The algebra used to be implemented twice — eagerly in internal/ctable and,
+// via delegation, in internal/pctable. This package replaces both bodies
+// with a single operator layer that is generic over the Model interface:
+// anything that can present its rows as symbolic (terms, condition) pairs
+// can be queried. c-tables and pc-tables are Models; plain relations enter
+// as constant relations. The adapters in internal/ctable and
+// internal/pctable only bind names to Models and re-wrap the produced rows.
+//
+// A logical plan is simply an ra.Query — the algebra is small enough that a
+// second plan IR would duplicate it. Build compiles a (possibly rewritten,
+// see Rewrite) query into an operator tree; each operator implements the
+// open/next/close iterator protocol, so non-blocking operators (selection,
+// cross product, union) stream rows while the pipeline breakers (projection
+// with its disjunctive merge, difference, intersection) materialize only the
+// inputs they must.
+package exec
+
+import (
+	"fmt"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/relation"
+	"uncertaindb/internal/value"
+)
+
+// Row is one symbolic row flowing between operators: a tuple of terms
+// (constants or variables) guarded by a condition. It is the common currency
+// of every table model.
+type Row struct {
+	Terms []condition.Term
+	Cond  condition.Condition
+}
+
+// Model is the interface a table representation implements to be queried by
+// the operator core. Implementations must be immutable for the duration of a
+// query: operators never mutate the rows they are handed, but they do retain
+// and share the term slices.
+type Model interface {
+	// Arity is the number of columns.
+	Arity() int
+	// NumRows is the number of rows.
+	NumRows() int
+	// Row returns the i-th row as a read-only view.
+	Row(i int) Row
+	// EachDomain visits the declared finite variable domains of the model
+	// (used to propagate Definition 6 domains to the answer).
+	EachDomain(f func(condition.Variable, *value.Domain))
+}
+
+// Env binds input relation names to models.
+type Env map[string]Model
+
+// Options tunes the operator core.
+type Options struct {
+	// Simplify applies syntactic condition simplification after every
+	// operator. It never changes Mod, only the size of conditions.
+	Simplify bool
+	// Rewrite runs the logical-plan rewriter (predicate pushdown, projection
+	// fusion and pruning) before building the operator tree. Rewrites never
+	// change the represented set of instances, only the syntax of the answer
+	// table and the amount of intermediate work.
+	Rewrite bool
+}
+
+// DefaultOptions simplifies conditions and rewrites plans.
+var DefaultOptions = Options{Simplify: true, Rewrite: true}
+
+func (o Options) cond(c condition.Condition) condition.Condition {
+	if o.Simplify {
+		return condition.Simplify(c)
+	}
+	return c
+}
+
+// Result is a materialized query answer: rows plus the propagated variable
+// domains of every base table the plan read (in left-to-right plan order,
+// later tables overriding earlier ones, matching the eager evaluator).
+type Result struct {
+	Arity   int
+	Rows    []Row
+	Domains map[condition.Variable]*value.Domain
+}
+
+// Run validates q against env, optionally rewrites it, builds the operator
+// tree and drains it into a Result.
+func Run(q ra.Query, env Env, opts Options) (*Result, error) {
+	arities := make(ra.ArityEnv, len(env))
+	for name, m := range env {
+		arities[name] = m.Arity()
+	}
+	arity, err := ra.Arity(q, arities)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Rewrite {
+		q = Rewrite(q, arities)
+	}
+	it, err := Build(q, env, opts)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := Drain(it)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Arity: arity, Rows: rows, Domains: make(map[condition.Variable]*value.Domain)}
+	collectDomains(q, env, res.Domains)
+	return res, nil
+}
+
+// collectDomains merges the domains of every base table referenced by q, in
+// left-to-right tree order (the order the eager evaluator accumulated them).
+func collectDomains(q ra.Query, env Env, into map[condition.Variable]*value.Domain) {
+	switch q := q.(type) {
+	case ra.BaseRel:
+		if m := env[q.Name]; m != nil {
+			m.EachDomain(func(x condition.Variable, d *value.Domain) { into[x] = d })
+		}
+	case ra.ConstRel:
+	case ra.SelectQ:
+		collectDomains(q.Input, env, into)
+	case ra.ProjectQ:
+		collectDomains(q.Input, env, into)
+	case ra.CrossQ:
+		collectDomains(q.Left, env, into)
+		collectDomains(q.Right, env, into)
+	case ra.JoinQ:
+		collectDomains(q.Left, env, into)
+		collectDomains(q.Right, env, into)
+	case ra.UnionQ:
+		collectDomains(q.Left, env, into)
+		collectDomains(q.Right, env, into)
+	case ra.DiffQ:
+		collectDomains(q.Left, env, into)
+		collectDomains(q.Right, env, into)
+	case ra.IntersectQ:
+		collectDomains(q.Left, env, into)
+		collectDomains(q.Right, env, into)
+	}
+}
+
+// Iterator is the Volcano open/next/close protocol. Next returns the next
+// row and true, or a zero Row and false at end of stream.
+type Iterator interface {
+	Open() error
+	Next() (Row, bool, error)
+	Close()
+}
+
+// Drain opens it, consumes every row and closes it.
+func Drain(it Iterator) ([]Row, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var rows []Row
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return rows, nil
+		}
+		rows = append(rows, r)
+	}
+}
+
+// Build compiles q into an operator tree over env. It assumes q has been
+// validated (ra.Arity); Run does both.
+func Build(q ra.Query, env Env, opts Options) (Iterator, error) {
+	switch q := q.(type) {
+	case ra.BaseRel:
+		m, ok := env[q.Name]
+		if !ok {
+			return nil, fmt.Errorf("exec: unknown relation %q", q.Name)
+		}
+		return &scanOp{m: m}, nil
+	case ra.ConstRel:
+		return &constOp{rel: q.Rel}, nil
+	case ra.SelectQ:
+		in, err := Build(q.Input, env, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &selectOp{in: in, pred: q.Pred, opts: opts}, nil
+	case ra.ProjectQ:
+		in, err := Build(q.Input, env, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &projectOp{in: in, cols: q.Cols, opts: opts}, nil
+	case ra.CrossQ:
+		l, r, err := buildBoth(q.Left, q.Right, env, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &crossOp{left: l, right: r, opts: opts}, nil
+	case ra.JoinQ:
+		// θ-join is the derived operator σ̄_p(T1 ×̄ T2); composing the two
+		// operators reproduces the eager algebra exactly.
+		l, r, err := buildBoth(q.Left, q.Right, env, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &selectOp{in: &crossOp{left: l, right: r, opts: opts}, pred: q.Pred, opts: opts}, nil
+	case ra.UnionQ:
+		l, r, err := buildBoth(q.Left, q.Right, env, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &unionOp{left: l, right: r, opts: opts}, nil
+	case ra.DiffQ:
+		l, r, err := buildBoth(q.Left, q.Right, env, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &diffOp{left: l, right: r, opts: opts}, nil
+	case ra.IntersectQ:
+		l, r, err := buildBoth(q.Left, q.Right, env, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &intersectOp{left: l, right: r, opts: opts}, nil
+	default:
+		return nil, fmt.Errorf("exec: unsupported query node %T", q)
+	}
+}
+
+func buildBoth(l, r ra.Query, env Env, opts Options) (Iterator, Iterator, error) {
+	li, err := Build(l, env, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ri, err := Build(r, env, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return li, ri, nil
+}
+
+// scanOp yields the rows of a base model.
+type scanOp struct {
+	m Model
+	i int
+}
+
+func (s *scanOp) Open() error { s.i = 0; return nil }
+func (s *scanOp) Next() (Row, bool, error) {
+	if s.i >= s.m.NumRows() {
+		return Row{}, false, nil
+	}
+	r := s.m.Row(s.i)
+	s.i++
+	return r, true, nil
+}
+func (s *scanOp) Close() {}
+
+// constOp yields the tuples of a constant relation as rows with true
+// conditions (the embedding of complete relations).
+type constOp struct {
+	rel *relation.Relation
+	i   int
+}
+
+func (c *constOp) Open() error {
+	if c.rel.Arity() == 0 {
+		return fmt.Errorf("exec: constant relation of arity 0 not supported")
+	}
+	c.i = 0
+	return nil
+}
+
+func (c *constOp) Next() (Row, bool, error) {
+	tuples := c.rel.Tuples()
+	if c.i >= len(tuples) {
+		return Row{}, false, nil
+	}
+	tp := tuples[c.i]
+	c.i++
+	terms := make([]condition.Term, len(tp))
+	for j, v := range tp {
+		terms[j] = condition.Const(v)
+	}
+	return Row{Terms: terms, Cond: condition.True()}, true, nil
+}
+func (c *constOp) Close() {}
+
+// selectOp is σ̄_p: every row keeps its terms and its condition is
+// strengthened with the symbolic evaluation of p on the row's terms.
+type selectOp struct {
+	in   Iterator
+	pred ra.Predicate
+	opts Options
+}
+
+func (s *selectOp) Open() error { return s.in.Open() }
+func (s *selectOp) Next() (Row, bool, error) {
+	r, ok, err := s.in.Next()
+	if err != nil || !ok {
+		return Row{}, false, err
+	}
+	c, err := PredicateCondition(s.pred, r.Terms)
+	if err != nil {
+		return Row{}, false, err
+	}
+	return Row{Terms: r.Terms, Cond: s.opts.cond(condition.And(r.Cond, c))}, true, nil
+}
+func (s *selectOp) Close() { s.in.Close() }
+
+// projectOp is π̄_cols: a pipeline breaker that merges rows with
+// syntactically identical projected tuples by disjoining their conditions.
+type projectOp struct {
+	in   Iterator
+	cols []int
+	opts Options
+
+	out []Row
+	i   int
+}
+
+func (p *projectOp) Open() error {
+	if err := p.in.Open(); err != nil {
+		return err
+	}
+	defer p.in.Close()
+	p.out, p.i = nil, 0
+	index := make(map[string]int)
+	for {
+		r, ok, err := p.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		terms := make([]condition.Term, len(p.cols))
+		for j, c := range p.cols {
+			terms[j] = r.Terms[c]
+		}
+		key := termsKey(terms)
+		if j, ok := index[key]; ok {
+			p.out[j].Cond = p.opts.cond(condition.Or(p.out[j].Cond, r.Cond))
+			continue
+		}
+		index[key] = len(p.out)
+		p.out = append(p.out, Row{Terms: terms, Cond: p.opts.cond(r.Cond)})
+	}
+}
+
+func (p *projectOp) Next() (Row, bool, error) {
+	if p.i >= len(p.out) {
+		return Row{}, false, nil
+	}
+	r := p.out[p.i]
+	p.i++
+	return r, true, nil
+}
+func (p *projectOp) Close() { p.out = nil }
+
+// crossOp is ×̄: terms are concatenated and conditions conjoined. The right
+// side is materialized once; the left side streams.
+type crossOp struct {
+	left, right Iterator
+	opts        Options
+
+	rightRows []Row
+	cur       Row
+	haveCur   bool
+	j         int
+}
+
+func (c *crossOp) Open() error {
+	rows, err := Drain(c.right)
+	if err != nil {
+		return err
+	}
+	c.rightRows = rows
+	c.haveCur, c.j = false, 0
+	return c.left.Open()
+}
+
+func (c *crossOp) Next() (Row, bool, error) {
+	for {
+		if !c.haveCur {
+			r, ok, err := c.left.Next()
+			if err != nil || !ok {
+				return Row{}, false, err
+			}
+			c.cur, c.haveCur, c.j = r, true, 0
+		}
+		if c.j >= len(c.rightRows) {
+			c.haveCur = false
+			continue
+		}
+		r2 := c.rightRows[c.j]
+		c.j++
+		terms := make([]condition.Term, 0, len(c.cur.Terms)+len(r2.Terms))
+		terms = append(terms, c.cur.Terms...)
+		terms = append(terms, r2.Terms...)
+		return Row{Terms: terms, Cond: c.opts.cond(condition.And(c.cur.Cond, r2.Cond))}, true, nil
+	}
+}
+func (c *crossOp) Close() { c.left.Close(); c.rightRows = nil }
+
+// unionOp is ∪̄: the rows of the left side followed by the rows of the right
+// side (conditions re-simplified, matching the eager algebra).
+type unionOp struct {
+	left, right Iterator
+	opts        Options
+	onRight     bool
+}
+
+func (u *unionOp) Open() error {
+	u.onRight = false
+	if err := u.left.Open(); err != nil {
+		return err
+	}
+	return u.right.Open()
+}
+
+func (u *unionOp) Next() (Row, bool, error) {
+	if !u.onRight {
+		r, ok, err := u.left.Next()
+		if err != nil {
+			return Row{}, false, err
+		}
+		if ok {
+			return Row{Terms: r.Terms, Cond: u.opts.cond(r.Cond)}, true, nil
+		}
+		u.onRight = true
+	}
+	r, ok, err := u.right.Next()
+	if err != nil || !ok {
+		return Row{}, false, err
+	}
+	return Row{Terms: r.Terms, Cond: u.opts.cond(r.Cond)}, true, nil
+}
+func (u *unionOp) Close() { u.left.Close(); u.right.Close() }
+
+// diffOp is −̄: a left row (t1 : φ1) survives exactly when no right row is
+// simultaneously present and equal to it, so its condition becomes
+// φ1 ∧ ⋀_{(t2:φ2)} ¬(φ2 ∧ t1=t2). The right side is materialized.
+type diffOp struct {
+	left, right Iterator
+	opts        Options
+	rightRows   []Row
+}
+
+func (d *diffOp) Open() error {
+	rows, err := Drain(d.right)
+	if err != nil {
+		return err
+	}
+	d.rightRows = rows
+	return d.left.Open()
+}
+
+func (d *diffOp) Next() (Row, bool, error) {
+	r1, ok, err := d.left.Next()
+	if err != nil || !ok {
+		return Row{}, false, err
+	}
+	conds := []condition.Condition{r1.Cond}
+	for _, r2 := range d.rightRows {
+		conds = append(conds, condition.Not(condition.And(r2.Cond, RowEquality(r1.Terms, r2.Terms))))
+	}
+	return Row{Terms: r1.Terms, Cond: d.opts.cond(condition.And(conds...))}, true, nil
+}
+func (d *diffOp) Close() { d.left.Close(); d.rightRows = nil }
+
+// intersectOp is ∩̄: a left row (t1 : φ1) survives exactly when some right
+// row is present and equal to it. The right side is materialized.
+type intersectOp struct {
+	left, right Iterator
+	opts        Options
+	rightRows   []Row
+}
+
+func (n *intersectOp) Open() error {
+	rows, err := Drain(n.right)
+	if err != nil {
+		return err
+	}
+	n.rightRows = rows
+	return n.left.Open()
+}
+
+func (n *intersectOp) Next() (Row, bool, error) {
+	r1, ok, err := n.left.Next()
+	if err != nil || !ok {
+		return Row{}, false, err
+	}
+	disj := make([]condition.Condition, 0, len(n.rightRows))
+	for _, r2 := range n.rightRows {
+		disj = append(disj, condition.And(r2.Cond, RowEquality(r1.Terms, r2.Terms)))
+	}
+	return Row{Terms: r1.Terms, Cond: n.opts.cond(condition.And(r1.Cond, condition.Or(disj...)))}, true, nil
+}
+func (n *intersectOp) Close() { n.left.Close(); n.rightRows = nil }
+
+// TermEquality returns the condition asserting that two symbolic terms are
+// equal: it folds constant/constant comparisons and emits symbolic
+// equalities otherwise.
+func TermEquality(a, b condition.Term) condition.Condition {
+	return condition.Eq(a, b).Substitute(nil)
+}
+
+// RowEquality returns the condition asserting componentwise equality of two
+// symbolic tuples of equal arity.
+func RowEquality(a, b []condition.Term) condition.Condition {
+	conds := make([]condition.Condition, 0, len(a))
+	for i := range a {
+		conds = append(conds, TermEquality(a[i], b[i]))
+	}
+	return condition.And(conds...)
+}
+
+// PredicateCondition translates a selection predicate evaluated on the
+// symbolic tuple "terms" into a condition (the c(t) of the paper's
+// definition of σ̄). Ordering comparisons are only supported when both sides
+// resolve to constants, because c-table conditions are built from equalities
+// and inequalities only.
+func PredicateCondition(p ra.Predicate, terms []condition.Term) (condition.Condition, error) {
+	switch p := p.(type) {
+	case ra.TruePred:
+		return condition.True(), nil
+	case ra.FalsePred:
+		return condition.False(), nil
+	case ra.Cmp:
+		l, err := resolveRATerm(p.Left, terms)
+		if err != nil {
+			return nil, err
+		}
+		r, err := resolveRATerm(p.Right, terms)
+		if err != nil {
+			return nil, err
+		}
+		switch p.Op {
+		case ra.OpEq:
+			return condition.Eq(l, r).Substitute(nil), nil
+		case ra.OpNe:
+			return condition.Neq(l, r).Substitute(nil), nil
+		default:
+			if l.IsVar || r.IsVar {
+				return nil, fmt.Errorf("exec: ordering comparison %s applied to a variable term", p.Op)
+			}
+			if p.Op.Holds(l.Const, r.Const) {
+				return condition.True(), nil
+			}
+			return condition.False(), nil
+		}
+	case ra.And:
+		conds := make([]condition.Condition, 0, len(p.Preds))
+		for _, sub := range p.Preds {
+			c, err := PredicateCondition(sub, terms)
+			if err != nil {
+				return nil, err
+			}
+			conds = append(conds, c)
+		}
+		return condition.And(conds...), nil
+	case ra.Or:
+		conds := make([]condition.Condition, 0, len(p.Preds))
+		for _, sub := range p.Preds {
+			c, err := PredicateCondition(sub, terms)
+			if err != nil {
+				return nil, err
+			}
+			conds = append(conds, c)
+		}
+		return condition.Or(conds...), nil
+	case ra.Not:
+		c, err := PredicateCondition(p.Pred, terms)
+		if err != nil {
+			return nil, err
+		}
+		return condition.Not(c), nil
+	default:
+		return nil, fmt.Errorf("exec: unsupported predicate %T", p)
+	}
+}
+
+func resolveRATerm(t ra.Term, terms []condition.Term) (condition.Term, error) {
+	if t.IsCol {
+		if t.Col < 0 || t.Col >= len(terms) {
+			return condition.Term{}, fmt.Errorf("exec: predicate column %d out of range", t.Col+1)
+		}
+		return terms[t.Col], nil
+	}
+	return condition.Const(t.Const), nil
+}
+
+func termsKey(terms []condition.Term) string {
+	key := ""
+	for _, t := range terms {
+		key += t.String() + "\x00"
+	}
+	return key
+}

@@ -1,0 +1,308 @@
+package exec
+
+import (
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/relation"
+)
+
+// Rewrite runs the logical-plan rewriter: a small set of classical algebraic
+// equivalences that shrink intermediate results without changing the
+// represented set of instances (each rule is a textbook set identity, which
+// lifts to c-tables through Lemma 1: ν(q̄(T)) = q(ν(T)) for every valuation,
+// so equivalent classical queries yield answer tables with identical Mod and
+// identical tuple marginals). The rules:
+//
+//   - θ-joins are normalized to σ over ×, exposing the predicate to pushdown;
+//   - σ_true is dropped and σ_false collapses to an empty constant relation;
+//   - stacked selections merge into one conjunctive selection;
+//   - selections push through projections (columns remapped), through both
+//     branches of a union, and into the left branch of − and ∩;
+//   - conjuncts of a selection over a cross product push into whichever side
+//     they reference (predicate pushdown proper — this is what turns
+//     σ(A × B) from |A|·|B| condition allocations into a filtered build);
+//   - stacked projections fuse, identity projections vanish, and a
+//     projection over a cross product that keeps columns from both sides
+//     splits into per-side projections (projection pruning: duplicate
+//     merging happens before the product is formed).
+//
+// arities must validate q (callers run ra.Arity first; Run does).
+func Rewrite(q ra.Query, arities ra.ArityEnv) ra.Query {
+	const maxPasses = 10
+	for pass := 0; pass < maxPasses; pass++ {
+		next, changed := rewriteNode(q, arities)
+		q = next
+		if !changed {
+			break
+		}
+	}
+	return q
+}
+
+// rewriteNode rewrites children first, then applies the root rules once.
+func rewriteNode(q ra.Query, ar ra.ArityEnv) (ra.Query, bool) {
+	switch q := q.(type) {
+	case ra.BaseRel, ra.ConstRel:
+		return q, false
+	case ra.SelectQ:
+		in, ch := rewriteNode(q.Input, ar)
+		out, ch2 := rewriteSelect(ra.SelectQ{Pred: q.Pred, Input: in}, ar)
+		return out, ch || ch2
+	case ra.ProjectQ:
+		in, ch := rewriteNode(q.Input, ar)
+		out, ch2 := rewriteProject(ra.ProjectQ{Cols: q.Cols, Input: in}, ar)
+		return out, ch || ch2
+	case ra.CrossQ:
+		l, ch1 := rewriteNode(q.Left, ar)
+		r, ch2 := rewriteNode(q.Right, ar)
+		return ra.CrossQ{Left: l, Right: r}, ch1 || ch2
+	case ra.JoinQ:
+		// Normalize to σ_p(L × R); σ_true is dropped by rewriteSelect.
+		l, _ := rewriteNode(q.Left, ar)
+		r, _ := rewriteNode(q.Right, ar)
+		out, _ := rewriteSelect(ra.SelectQ{Pred: q.Pred, Input: ra.CrossQ{Left: l, Right: r}}, ar)
+		return out, true
+	case ra.UnionQ:
+		l, ch1 := rewriteNode(q.Left, ar)
+		r, ch2 := rewriteNode(q.Right, ar)
+		return ra.UnionQ{Left: l, Right: r}, ch1 || ch2
+	case ra.DiffQ:
+		l, ch1 := rewriteNode(q.Left, ar)
+		r, ch2 := rewriteNode(q.Right, ar)
+		return ra.DiffQ{Left: l, Right: r}, ch1 || ch2
+	case ra.IntersectQ:
+		l, ch1 := rewriteNode(q.Left, ar)
+		r, ch2 := rewriteNode(q.Right, ar)
+		return ra.IntersectQ{Left: l, Right: r}, ch1 || ch2
+	default:
+		return q, false
+	}
+}
+
+// rewriteSelect applies the selection rules at the root of q.
+func rewriteSelect(q ra.SelectQ, ar ra.ArityEnv) (ra.Query, bool) {
+	switch q.Pred.(type) {
+	case ra.TruePred:
+		return q.Input, true
+	case ra.FalsePred:
+		return emptyConst(q.Input, ar), true
+	}
+	switch in := q.Input.(type) {
+	case ra.SelectQ:
+		// σ_p(σ_q(X)) = σ_{q ∧ p}(X), preserving application order.
+		return ra.SelectQ{Pred: ra.AndOf(in.Pred, q.Pred), Input: in.Input}, true
+	case ra.ProjectQ:
+		// σ_p(π_cols(X)) = π_cols(σ_p'(X)), p' over the pre-projection
+		// columns. Merging by projected terms is unaffected: selection never
+		// changes terms, only conditions.
+		remapped := remapPred(q.Pred, func(i int) int { return in.Cols[i] })
+		return ra.ProjectQ{Cols: in.Cols, Input: ra.SelectQ{Pred: remapped, Input: in.Input}}, true
+	case ra.UnionQ:
+		return ra.UnionQ{
+			Left:  ra.SelectQ{Pred: q.Pred, Input: in.Left},
+			Right: ra.SelectQ{Pred: q.Pred, Input: in.Right},
+		}, true
+	case ra.DiffQ:
+		return ra.DiffQ{Left: ra.SelectQ{Pred: q.Pred, Input: in.Left}, Right: in.Right}, true
+	case ra.IntersectQ:
+		return ra.IntersectQ{Left: ra.SelectQ{Pred: q.Pred, Input: in.Left}, Right: in.Right}, true
+	case ra.CrossQ:
+		la := arityOf(in.Left, ar)
+		if la < 0 {
+			// Unresolvable left arity (unvalidated input): bail out rather
+			// than misclassify conjuncts against a bogus split point.
+			return q, false
+		}
+		var leftPreds, rightPreds, keep []ra.Predicate
+		for _, p := range conjuncts(q.Pred) {
+			lo, hi := colRange(p)
+			switch {
+			case hi < la: // references only left columns (or none)
+				leftPreds = append(leftPreds, p)
+			case lo >= la: // references only right columns
+				rightPreds = append(rightPreds, remapPred(p, func(i int) int { return i - la }))
+			default:
+				keep = append(keep, p)
+			}
+		}
+		if len(leftPreds) == 0 && len(rightPreds) == 0 {
+			return q, false
+		}
+		l, r := in.Left, in.Right
+		if len(leftPreds) > 0 {
+			l = ra.SelectQ{Pred: ra.AndOf(leftPreds...), Input: l}
+		}
+		if len(rightPreds) > 0 {
+			r = ra.SelectQ{Pred: ra.AndOf(rightPreds...), Input: r}
+		}
+		var out ra.Query = ra.CrossQ{Left: l, Right: r}
+		if len(keep) > 0 {
+			out = ra.SelectQ{Pred: ra.AndOf(keep...), Input: out}
+		}
+		return out, true
+	}
+	return q, false
+}
+
+// rewriteProject applies the projection rules at the root of q.
+func rewriteProject(q ra.ProjectQ, ar ra.ArityEnv) (ra.Query, bool) {
+	if isIdentityCols(q.Cols, arityOf(q.Input, ar)) {
+		return q.Input, true
+	}
+	switch in := q.Input.(type) {
+	case ra.ProjectQ:
+		// π_c1(π_c2(X)) = π_{c2∘c1}(X).
+		cols := make([]int, len(q.Cols))
+		for i, c := range q.Cols {
+			cols[i] = in.Cols[c]
+		}
+		return ra.ProjectQ{Cols: cols, Input: in.Input}, true
+	case ra.CrossQ:
+		// π_cols(A × B) = π_colsL(A) × π_colsR(B) when cols is partitioned
+		// into left-side columns followed by right-side columns, with at
+		// least one column from each side (both sides stay represented, so
+		// the classical identity holds — distinct pairs are exactly the
+		// pairs of distinct sides).
+		la := arityOf(in.Left, ar)
+		split := -1
+		for i, c := range q.Cols {
+			if c >= la {
+				split = i
+				break
+			}
+		}
+		if split <= 0 {
+			return q, false
+		}
+		for _, c := range q.Cols[split:] {
+			if c < la {
+				return q, false
+			}
+		}
+		colsL := append([]int(nil), q.Cols[:split]...)
+		colsR := make([]int, 0, len(q.Cols)-split)
+		for _, c := range q.Cols[split:] {
+			colsR = append(colsR, c-la)
+		}
+		return ra.CrossQ{
+			Left:  ra.ProjectQ{Cols: colsL, Input: in.Left},
+			Right: ra.ProjectQ{Cols: colsR, Input: in.Right},
+		}, true
+	}
+	return q, false
+}
+
+// conjuncts flattens nested conjunctions into a list of predicates.
+func conjuncts(p ra.Predicate) []ra.Predicate {
+	if a, ok := p.(ra.And); ok {
+		var out []ra.Predicate
+		for _, sub := range a.Preds {
+			out = append(out, conjuncts(sub)...)
+		}
+		return out
+	}
+	return []ra.Predicate{p}
+}
+
+// colRange returns the smallest and largest column indexes referenced by p;
+// a predicate with no column references reports (-1, -1), which pushes left.
+func colRange(p ra.Predicate) (lo, hi int) {
+	lo, hi = -1, -1
+	add := func(c int) {
+		if lo == -1 || c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	var walk func(ra.Predicate)
+	walk = func(p ra.Predicate) {
+		switch p := p.(type) {
+		case ra.Cmp:
+			if p.Left.IsCol {
+				add(p.Left.Col)
+			}
+			if p.Right.IsCol {
+				add(p.Right.Col)
+			}
+		case ra.And:
+			for _, sub := range p.Preds {
+				walk(sub)
+			}
+		case ra.Or:
+			for _, sub := range p.Preds {
+				walk(sub)
+			}
+		case ra.Not:
+			walk(p.Pred)
+		}
+	}
+	walk(p)
+	return lo, hi
+}
+
+// remapPred rebuilds p with every column reference i replaced by f(i).
+func remapPred(p ra.Predicate, f func(int) int) ra.Predicate {
+	switch p := p.(type) {
+	case ra.Cmp:
+		l, r := p.Left, p.Right
+		if l.IsCol {
+			l = ra.Col(f(l.Col))
+		}
+		if r.IsCol {
+			r = ra.Col(f(r.Col))
+		}
+		return ra.Cmp{Left: l, Op: p.Op, Right: r}
+	case ra.And:
+		out := make([]ra.Predicate, len(p.Preds))
+		for i, sub := range p.Preds {
+			out[i] = remapPred(sub, f)
+		}
+		return ra.And{Preds: out}
+	case ra.Or:
+		out := make([]ra.Predicate, len(p.Preds))
+		for i, sub := range p.Preds {
+			out[i] = remapPred(sub, f)
+		}
+		return ra.Or{Preds: out}
+	case ra.Not:
+		return ra.Not{Pred: remapPred(p.Pred, f)}
+	default:
+		return p
+	}
+}
+
+// arityOf computes the output arity of a validated subquery.
+func arityOf(q ra.Query, ar ra.ArityEnv) int {
+	a, err := ra.Arity(q, ar)
+	if err != nil {
+		// Callers validate the whole query before rewriting; a failure here
+		// would be a rewriter bug, and returning -1 makes every guarded rule
+		// bail out instead of corrupting the plan.
+		return -1
+	}
+	return a
+}
+
+// isIdentityCols reports whether cols is exactly 0..arity-1.
+func isIdentityCols(cols []int, arity int) bool {
+	if arity < 0 || len(cols) != arity {
+		return false
+	}
+	for i, c := range cols {
+		if c != i {
+			return false
+		}
+	}
+	return true
+}
+
+// emptyConst returns the empty constant relation with q's arity.
+func emptyConst(q ra.Query, ar ra.ArityEnv) ra.Query {
+	a := arityOf(q, ar)
+	if a <= 0 {
+		// Unvalidated input; keep the original selection.
+		return ra.SelectQ{Pred: ra.False(), Input: q}
+	}
+	return ra.ConstRel{Rel: relation.New(a)}
+}

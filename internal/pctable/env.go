@@ -6,6 +6,7 @@ import (
 
 	"uncertaindb/internal/condition"
 	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/exec"
 	"uncertaindb/internal/prob"
 	"uncertaindb/internal/ra"
 )
@@ -13,24 +14,47 @@ import (
 // Env maps input relation names to pc-tables for multi-table evaluation.
 type Env map[string]*PCTable
 
+// ExecEnv binds the environment's tables as models for the shared operator
+// core: pc-tables are exec.Models in their own right (their rows are the
+// underlying c-table's rows), so evaluation does not detour through a
+// ctable.Env.
+func (env Env) ExecEnv() exec.Env {
+	out := make(exec.Env, len(env))
+	for name, t := range env {
+		out[name] = t
+	}
+	return out
+}
+
 // EvalQueryEnv is the multi-table form of EvalQuery (Theorem 9 over a
 // database of named pc-tables): each BaseRel of q is bound to the table of
-// that name, the answer c-table is computed by the closed algebra, and the
-// answer pc-table inherits the union of the input tables' variable
-// distributions. A variable occurring in several tables denotes the same
-// random quantity, so its distributions must agree; conflicting
-// distributions are an error rather than a silent choice.
+// that name, the answer c-table is computed by the closed algebra on the
+// shared operator core, and the answer pc-table inherits the union of the
+// input tables' variable distributions. A variable occurring in several
+// tables denotes the same random quantity, so its distributions must agree;
+// conflicting distributions are an error rather than a silent choice.
 func EvalQueryEnv(q ra.Query, env Env) (*PCTable, error) {
-	cenv := make(ctable.Env, len(env))
-	for name, t := range env {
-		cenv[name] = t.table
-	}
-	res, err := ctable.EvalQueryEnv(q, cenv)
+	return EvalQueryEnvWithOptions(q, env, ctable.DefaultOptions)
+}
+
+// EvalQueryEnvWithOptions is EvalQueryEnv with explicit algebra options
+// (condition simplification, plan rewriting).
+func EvalQueryEnvWithOptions(q ra.Query, env Env, opts ctable.Options) (*PCTable, error) {
+	res, err := exec.Run(q, env.ExecEnv(), exec.Options{Simplify: opts.Simplify, Rewrite: opts.Rewrite})
 	if err != nil {
 		return nil, err
 	}
-	out := New(res)
-	// Deterministic merge order so the first-conflict error is stable.
+	out := New(ctable.FromExecResult(res))
+	if err := mergeDists(out, env); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// mergeDists copies the union of the environment's variable distributions
+// into out, in deterministic table order so the first-conflict error is
+// stable.
+func mergeDists(out *PCTable, env Env) error {
 	names := make([]string, 0, len(env))
 	for name := range env {
 		names = append(names, name)
@@ -41,7 +65,7 @@ func EvalQueryEnv(q ra.Query, env Env) (*PCTable, error) {
 		for x, d := range env[name].dists {
 			if prev, ok := out.dists[x]; ok {
 				if !sameDist(prev, d) {
-					return nil, fmt.Errorf("pctable: variable %s has conflicting distributions in tables %s and %s", x, owner[x], name)
+					return fmt.Errorf("pctable: variable %s has conflicting distributions in tables %s and %s", x, owner[x], name)
 				}
 				continue
 			}
@@ -49,7 +73,7 @@ func EvalQueryEnv(q ra.Query, env Env) (*PCTable, error) {
 			owner[x] = name
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // sameDist reports whether two finite distributions are identical: the same

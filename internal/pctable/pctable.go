@@ -7,6 +7,7 @@ import (
 
 	"uncertaindb/internal/condition"
 	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/exec"
 	"uncertaindb/internal/prob"
 	"uncertaindb/internal/probcalc"
 	"uncertaindb/internal/ra"
@@ -36,6 +37,17 @@ func (t *PCTable) Table() *ctable.CTable { return t.table }
 
 // Arity returns the arity of the table.
 func (t *PCTable) Arity() int { return t.table.Arity() }
+
+// NumRows returns the number of rows of the underlying c-table.
+func (t *PCTable) NumRows() int { return t.table.NumRows() }
+
+// Row returns the i-th row of the underlying c-table as an exec.Row view;
+// with Arity, NumRows and EachDomain it makes *PCTable an exec.Model, so the
+// shared operator core scans pc-tables directly.
+func (t *PCTable) Row(i int) exec.Row { return t.table.Row(i) }
+
+// EachDomain visits the declared finite variable domains (exec.Model).
+func (t *PCTable) EachDomain(f func(condition.Variable, *value.Domain)) { t.table.EachDomain(f) }
 
 // AddRow adds a row to the underlying c-table.
 func (t *PCTable) AddRow(terms []condition.Term, cond condition.Condition) *PCTable {

@@ -1,0 +1,212 @@
+// Package uncertain is the public facade of the uncertain-database library:
+// one importable surface over the representation systems of the paper
+// (c-tables and probabilistic c-tables), the closed relational algebra
+// (Theorems 4 and 9) executed on the shared operator core, and the serving
+// engine with its catalog and compiled-plan cache.
+//
+// There are two levels:
+//
+//   - DB is the serving level: a catalog of named tables plus an engine
+//     with a compiled-plan cache. Open it, register table scripts, and run
+//     Query/QueryBatch — this is what cmd/uncertaind serves over HTTP.
+//   - Table is the single-table level: parse one table description, run a
+//     query through the closed algebra, and inspect the answer (possible
+//     worlds, certain answers, exact or sampled tuple marginals) — this is
+//     what cmd/ctable and cmd/pctable drive.
+//
+// The table and query syntax is documented in internal/parser; the returned
+// result types are shared with internal/engine via type aliases, so the
+// facade adds no translation layer on the hot path.
+package uncertain
+
+import (
+	"io"
+	"os"
+
+	"uncertaindb/internal/catalog"
+	"uncertaindb/internal/engine"
+	"uncertaindb/internal/parser"
+	"uncertaindb/internal/value"
+)
+
+// Typed errors, re-exported for callers that classify failures.
+var (
+	// ErrUnknownTable reports a query referencing a table the catalog does
+	// not contain (HTTP layers map it to 404).
+	ErrUnknownTable = engine.ErrUnknownTable
+	// ErrBadQuery reports a request that can never succeed: unparsable
+	// query text, an ill-formed algebra expression, an unknown marginal
+	// engine, or a table without the distributions marginals need (HTTP
+	// layers map it to 400).
+	ErrBadQuery = engine.ErrBadQuery
+)
+
+// Result is a query outcome: the answer rendering, the possible answer
+// tuples with marginal probabilities, cache and timing metadata.
+type Result = engine.Result
+
+// TupleAnswer is one answer tuple with its marginal probability.
+type TupleAnswer = engine.TupleAnswer
+
+// BatchItem is one outcome of QueryBatch: a result or a per-query error.
+type BatchItem = engine.BatchItem
+
+// Stats is a snapshot of the engine's cache and latency counters.
+type Stats = engine.Stats
+
+// Tuple is a tuple of values; its String renders "(v1, ..., vn)".
+type Tuple = value.Tuple
+
+// Config tunes an opened DB. The zero value is a sensible default.
+type Config struct {
+	// CacheSize bounds the number of cached prepared plans (LRU eviction).
+	// Zero or negative selects 128.
+	CacheSize int
+	// Workers bounds the number of concurrently executing queries. Zero or
+	// negative selects GOMAXPROCS.
+	Workers int
+	// DisableRewrites turns off the logical-plan rewriter (predicate
+	// pushdown, projection pruning). Rewrites never change answers, only
+	// compilation cost, so they are on by default.
+	DisableRewrites bool
+}
+
+// Request is one query execution.
+type Request struct {
+	// Query is the relational algebra query text.
+	Query string
+	// Engine selects the marginal engine: "dtree" (default), "enum", "mc".
+	Engine string
+	// Samples is the Monte-Carlo sample count (mc only; default 10000).
+	Samples int
+	// Seed is the Monte-Carlo random seed (mc only; default 1).
+	Seed int64
+	// Workers shards the Monte-Carlo draw (mc only; default 1).
+	Workers int
+}
+
+func (r Request) internal() engine.Request {
+	return engine.Request{Query: r.Query, Engine: r.Engine, Samples: r.Samples, Seed: r.Seed, Workers: r.Workers}
+}
+
+// TableInfo is the metadata of one catalog table.
+type TableInfo struct {
+	Name          string
+	Arity         int
+	Rows          int
+	Variables     int
+	Probabilistic bool
+	Version       uint64
+}
+
+func entryInfo(e *catalog.Entry) TableInfo {
+	return TableInfo{
+		Name:          e.Name,
+		Arity:         e.Table.Arity(),
+		Rows:          e.Table.NumRows(),
+		Variables:     len(e.Table.Vars()),
+		Probabilistic: e.Probabilistic,
+		Version:       e.Version,
+	}
+}
+
+// DB is an open uncertain database: a versioned catalog of named c-/pc-
+// tables and a query engine with a compiled-plan cache. Safe for concurrent
+// use.
+type DB struct {
+	eng *engine.Engine
+}
+
+// Open creates an empty database with the given configuration.
+func Open(cfg Config) *DB {
+	return &DB{eng: engine.New(catalog.New(), engine.Options{
+		CacheSize:       cfg.CacheSize,
+		Workers:         cfg.Workers,
+		DisableRewrites: cfg.DisableRewrites,
+	})}
+}
+
+// LoadCatalog parses a catalog script (one or more table descriptions) and
+// registers every table, returning the names in declaration order. Loading
+// is all-or-nothing.
+func (db *DB) LoadCatalog(r io.Reader) ([]string, error) {
+	return db.eng.LoadCatalogScript(r)
+}
+
+// LoadCatalogFile is LoadCatalog over a file path.
+func (db *DB) LoadCatalogFile(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return db.LoadCatalog(f)
+}
+
+// PutTableScript parses a single table description and registers (or
+// replaces) it under its declared name, returning the name and the new
+// catalog version. Cached plans reading the table are invalidated.
+func (db *DB) PutTableScript(script string) (name string, version uint64, err error) {
+	pt, err := parser.ParseTableString(script)
+	if err != nil {
+		return "", 0, err
+	}
+	version, err = db.eng.PutParsed(pt)
+	if err != nil {
+		return "", 0, err
+	}
+	return pt.Name, version, nil
+}
+
+// PutTable registers (or replaces) a parsed table under its declared name,
+// returning the new catalog version. Cached plans reading it are
+// invalidated.
+func (db *DB) PutTable(t *Table) (uint64, error) {
+	return db.eng.PutTable(t.name, t.pc)
+}
+
+// DropTable removes the named table, reporting whether it existed.
+func (db *DB) DropTable(name string) bool { return db.eng.DropTable(name) }
+
+// CatalogVersion returns the current catalog version.
+func (db *DB) CatalogVersion() uint64 { return db.eng.Catalog().Version() }
+
+// Tables returns a consistent snapshot of the catalog: its version and the
+// metadata of every table, sorted by name.
+func (db *DB) Tables() (version uint64, infos []TableInfo) {
+	snap := db.eng.Catalog().Snapshot()
+	infos = make([]TableInfo, 0, snap.Len())
+	for _, name := range snap.Names() {
+		infos = append(infos, entryInfo(snap.Get(name)))
+	}
+	return snap.Version(), infos
+}
+
+// Table returns one table's metadata and rendering, and whether it exists.
+func (db *DB) Table(name string) (info TableInfo, text string, ok bool) {
+	e := db.eng.Catalog().Snapshot().Get(name)
+	if e == nil {
+		return TableInfo{}, "", false
+	}
+	return entryInfo(e), e.Table.String(), true
+}
+
+// Query prepares (or fetches from the plan cache) and executes one query.
+func (db *DB) Query(req Request) (*Result, error) {
+	return db.eng.Execute(req.internal())
+}
+
+// QueryBatch executes every request against a single catalog snapshot —
+// the whole batch sees one consistent version, returned alongside the items
+// — with the items running concurrently under the engine's bounded worker
+// pool. Results come back in request order; failures are reported per item.
+func (db *DB) QueryBatch(reqs []Request) ([]BatchItem, uint64) {
+	internal := make([]engine.Request, len(reqs))
+	for i, r := range reqs {
+		internal[i] = r.internal()
+	}
+	return db.eng.ExecuteBatch(internal)
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (db *DB) Stats() Stats { return db.eng.Stats() }
