@@ -17,6 +17,7 @@ import (
 	"uncertaindb/internal/condition"
 	"uncertaindb/internal/ctable"
 	"uncertaindb/internal/engine"
+	"uncertaindb/internal/exec"
 	"uncertaindb/internal/incomplete"
 	"uncertaindb/internal/models"
 	"uncertaindb/internal/pctable"
@@ -403,6 +404,58 @@ func BenchmarkServing(b *testing.B) {
 		})
 		reportQPS(b)
 	})
+}
+
+// E15 — the physical-plan crossover, the tentpole measurement of the
+// logical→physical planning split: a maximally selective equi-join
+// R ⋈_{$1=$3} S (every key matches exactly one row per side, plus a small
+// band of variable-keyed rows that exercises the symbolic residual bucket)
+// executed by (a) the frozen eager evaluator, (b) the operator core with
+// the hash path off — a selection over a nested-loop cross product building
+// |R|·|S| condition pairs — and (c) the symbolic hash join, which probes
+// the build side by ground key values and only pairs each probe row with
+// its bucket plus the residual. The acceptance criterion is ≥5× for hash
+// over nested-loop at ≥1k rows per side; the equivalence grid
+// (TestOperatorCoreBitIdenticalToEager) holds all three bit-identical on
+// marginals.
+func BenchmarkSymbolicHashJoin(b *testing.B) {
+	for _, rows := range []int{256, 1024} {
+		env, query := workload.EquiJoin(rows, 8)
+		modes := []struct {
+			name string
+			run  func() (*ctable.CTable, error)
+		}{
+			{"eager", func() (*ctable.CTable, error) {
+				return ctable.EvalQueryEnvEager(query, env, ctable.Options{Simplify: true})
+			}},
+			{"nested-loop", func() (*ctable.CTable, error) {
+				return ctable.EvalQueryEnvWithOptions(query, env, ctable.Options{Simplify: true, Rewrite: true, NoHash: true})
+			}},
+			{"hash", func() (*ctable.CTable, error) {
+				return ctable.EvalQueryEnvWithOptions(query, env, ctable.Options{Simplify: true, Rewrite: true})
+			}},
+		}
+		for _, m := range modes {
+			b.Run(fmt.Sprintf("%s/rows=%d", m.name, rows), func(b *testing.B) {
+				var outRows int
+				for i := 0; i < b.N; i++ {
+					res, err := m.run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					outRows = res.NumRows()
+				}
+				b.ReportMetric(float64(outRows), "out-rows")
+			})
+		}
+		// Probe/residual behaviour of the hash run, reported once per size.
+		var stats exec.OpStats
+		if _, err := ctable.EvalQueryEnvWithOptions(query, env,
+			ctable.Options{Simplify: true, Rewrite: true, Stats: &stats}); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("rows=%d hash-join counters: %+v", rows, stats)
+	}
 }
 
 // Ablation — condition simplification in the c-table algebra on/off: the

@@ -21,6 +21,7 @@ import (
 
 	"uncertaindb/internal/condition"
 	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/exec"
 	"uncertaindb/internal/models"
 	"uncertaindb/internal/pctable"
 	"uncertaindb/internal/ra"
@@ -39,6 +40,7 @@ var sections = []struct {
 	{key: "e6", print: succinctness},
 	{key: "e12", print: queryAnswering},
 	{key: "e14", print: operatorCore},
+	{key: "e15", print: hashJoin},
 	{key: "constructions", aliases: []string{"e4", "e5", "e9", "e11"}, print: constructions},
 }
 
@@ -53,7 +55,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
-	only := fs.String("only", "", "comma-separated sections to print (e6, e12, constructions/e4/e5/e9/e11); empty means all")
+	only := fs.String("only", "", "comma-separated sections to print (e6, e12, e14, e15, constructions/e4/e5/e9/e11); empty means all")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fs.SetOutput(out)
@@ -227,6 +229,41 @@ func operatorCore(out io.Writer) {
 		})
 		fmt.Fprintf(out, "| %d | %s | %s | %s | %.1f× |\n",
 			students, eager, core, rewritten, float64(eager)/float64(rewritten))
+	}
+	fmt.Fprintln(out)
+}
+
+// hashJoin prints the E15 comparison: a maximally selective equi-join
+// (every key matches one row per side, plus a band of variable-keyed rows)
+// through the frozen eager evaluator, the operator core with the hash path
+// off (nested-loop), and the symbolic hash join, with the hash run's
+// probe/residual counters.
+func hashJoin(out io.Writer) {
+	fmt.Fprintln(out, "## E15 — symbolic hash join vs nested loop vs eager (selective equi-join)")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "| rows/side | eager | nested loop | hash join | hash vs nested loop | probes | residual pairs |")
+	fmt.Fprintln(out, "|---|---|---|---|---|---|---|")
+	for _, rows := range []int{256, 1024} {
+		env, query := workload.EquiJoin(rows, 8)
+		measure := func(run func() (*ctable.CTable, error)) time.Duration {
+			start := time.Now()
+			if _, err := run(); err != nil {
+				panic(err)
+			}
+			return time.Since(start)
+		}
+		eager := measure(func() (*ctable.CTable, error) {
+			return ctable.EvalQueryEnvEager(query, env, ctable.Options{Simplify: true})
+		})
+		loop := measure(func() (*ctable.CTable, error) {
+			return ctable.EvalQueryEnvWithOptions(query, env, ctable.Options{Simplify: true, Rewrite: true, NoHash: true})
+		})
+		var stats exec.OpStats
+		hash := measure(func() (*ctable.CTable, error) {
+			return ctable.EvalQueryEnvWithOptions(query, env, ctable.Options{Simplify: true, Rewrite: true, Stats: &stats})
+		})
+		fmt.Fprintf(out, "| %d | %s | %s | %s | %.1f× | %d | %d |\n",
+			rows, eager, loop, hash, float64(loop)/float64(hash), stats.HashProbes, stats.ResidualHits)
 	}
 	fmt.Fprintln(out)
 }

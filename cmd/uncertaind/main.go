@@ -294,6 +294,7 @@ type queryResponse struct {
 	Tables         []string      `json:"tables"`
 	CacheHit       bool          `json:"cacheHit"`
 	Answer         string        `json:"answer"`
+	Plan           string        `json:"plan"`
 	Tuples         []tupleAnswer `json:"tuples"`
 	Certain        [][]any       `json:"certain"`
 	Possible       [][]any       `json:"possible"`
@@ -309,6 +310,7 @@ func resultJSON(res *uncertain.Result) queryResponse {
 		Tables:         res.Tables,
 		CacheHit:       res.CacheHit,
 		Answer:         res.Answer,
+		Plan:           res.Plan,
 		Tuples:         make([]tupleAnswer, 0, len(res.Tuples)),
 		Certain:        [][]any{},
 		Possible:       [][]any{},

@@ -262,3 +262,77 @@ func BenchmarkHTTPBatchVsSingle(b *testing.B) {
 		}
 	})
 }
+
+const labsScript = `table Labs arity 2
+row 'phys', 'L1'
+row 'math', 'L2' | l = 1
+dist l = {0:0.5, 1:0.5}
+`
+
+// /v1/query returns the cached physical plan, and /v1/stats exposes the
+// aggregated per-operator counters (rows in/out, hash probes,
+// residual-bucket hits, join strategy counts).
+func TestV1PlanAndOperatorCounters(t *testing.T) {
+	srv, _ := newTestServer(t)
+	putTakes(t, srv)
+	if status, body := doJSON(t, http.MethodPut, srv.URL+"/v1/tables/Labs", labsScript); status != http.StatusOK {
+		t.Fatalf("PUT Labs: %d %s", status, body)
+	}
+
+	qr := postPath(t, srv, "/v1/query", `{"query": "project[1,4](Takes join[$2 = $3] Labs)"}`)
+	if !strings.Contains(qr.Plan, "hash-join[$2=$1]") || !strings.Contains(qr.Plan, "scan(Takes)") {
+		t.Errorf("query response plan missing hash join:\n%s", qr.Plan)
+	}
+
+	status, body := doJSON(t, http.MethodGet, srv.URL+"/v1/stats", "")
+	if status != http.StatusOK {
+		t.Fatalf("GET /v1/stats: %d %s", status, body)
+	}
+	var stats struct {
+		Engine struct {
+			Ops struct {
+				RowsIn          uint64 `json:"rowsIn"`
+				RowsOut         uint64 `json:"rowsOut"`
+				HashJoins       uint64 `json:"hashJoins"`
+				NestedLoopJoins uint64 `json:"nestedLoopJoins"`
+				HashProbes      uint64 `json:"hashProbes"`
+				ResidualHits    uint64 `json:"residualHits"`
+			} `json:"ops"`
+		} `json:"engine"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("bad stats %s: %v", body, err)
+	}
+	ops := stats.Engine.Ops
+	if ops.HashJoins != 1 {
+		t.Errorf("hashJoins = %d, want 1 (stats: %s)", ops.HashJoins, body)
+	}
+	// Theo's ground 'math' key probes the hash table; Alice's and Bob's
+	// variable keys scan the two build rows each.
+	if ops.HashProbes != 1 || ops.ResidualHits != 4 {
+		t.Errorf("hashProbes = %d residualHits = %d, want 1 and 4", ops.HashProbes, ops.ResidualHits)
+	}
+	if ops.RowsIn == 0 || ops.RowsOut == 0 {
+		t.Errorf("row counters empty: %s", body)
+	}
+
+	// A cache hit reuses the compiled plan and leaves the counters alone.
+	qr2 := postPath(t, srv, "/v1/query", `{"query": "project[1,4](Takes join[$2 = $3] Labs)"}`)
+	if !qr2.CacheHit || qr2.Plan != qr.Plan {
+		t.Errorf("cache hit must reuse the physical plan (hit=%v)", qr2.CacheHit)
+	}
+	_, body2 := doJSON(t, http.MethodGet, srv.URL+"/v1/stats", "")
+	var stats2 struct {
+		Engine struct {
+			Ops struct {
+				HashJoins uint64 `json:"hashJoins"`
+			} `json:"ops"`
+		} `json:"engine"`
+	}
+	if err := json.Unmarshal(body2, &stats2); err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Engine.Ops.HashJoins != 1 {
+		t.Errorf("cache hit recompiled the plan: hashJoins = %d", stats2.Engine.Ops.HashJoins)
+	}
+}

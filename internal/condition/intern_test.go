@@ -1,0 +1,222 @@
+package condition
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"uncertaindb/internal/value"
+)
+
+func TestInternConstantsAndAtoms(t *testing.T) {
+	in := NewInterner()
+	if in.ID(True()) != TrueID || in.ID(False()) != FalseID {
+		t.Fatalf("constants: true=%d false=%d", in.ID(True()), in.ID(False()))
+	}
+	eq := Eq(Var("x"), ConstInt(1))
+	if in.ID(eq) != in.ID(Eq(Var("x"), ConstInt(1))) {
+		t.Errorf("identical atoms intern to different IDs")
+	}
+	if in.ID(eq) == in.ID(Neq(Var("x"), ConstInt(1))) {
+		t.Errorf("= and ≠ atoms share an ID")
+	}
+	if in.ID(eq) == in.ID(Eq(ConstInt(1), Var("x"))) {
+		t.Errorf("operand order must distinguish atoms (canonKey behaviour)")
+	}
+	// Int(1) and Str("1") are different constants.
+	if in.ID(Eq(Var("x"), Const(value.Int(1)))) == in.ID(Eq(Var("x"), Const(value.Str("1")))) {
+		t.Errorf("constants of different kinds share an ID")
+	}
+}
+
+func TestInternJunctionPermutation(t *testing.T) {
+	in := NewInterner()
+	a := Eq(Var("x"), ConstInt(1))
+	b := Neq(Var("y"), ConstInt(2))
+	c := Eq(Var("z"), Var("x"))
+	if in.ID(And(a, b, c)) != in.ID(And(c, a, b)) {
+		t.Errorf("permuted conjunctions must share an ID")
+	}
+	if in.ID(Or(a, b)) != in.ID(Or(b, a)) {
+		t.Errorf("permuted disjunctions must share an ID")
+	}
+	if in.ID(And(a, b)) == in.ID(Or(a, b)) {
+		t.Errorf("∧ and ∨ of the same juncts share an ID")
+	}
+	if in.ID(And(a, b)) == in.ID(And(a, b, b)) {
+		t.Errorf("junct multiplicity must distinguish junctions")
+	}
+	if in.ID(Not(a)) == in.ID(a) || in.ID(Not(Not(a))) == in.ID(Not(a)) {
+		t.Errorf("negation layers must distinguish nodes")
+	}
+	if !in.Equal(And(a, Or(b, c)), And(Or(c, b), a)) {
+		t.Errorf("Equal must hold up to nested permutation")
+	}
+	if in.Hash(And(a, b)) != in.Hash(And(b, a)) {
+		t.Errorf("hashes of equal nodes differ")
+	}
+}
+
+// The string-key encodings this replaces had to defend against structural
+// characters inside string constants; interning identifies terms by value,
+// so the classic collision shapes cannot occur.
+func TestInternInjectiveOnTrickyStrings(t *testing.T) {
+	in := NewInterner()
+	tricky := Or(
+		Eq(Var("x"), Const(value.Str("1'|y='2"))),
+		EqVarConst("z", value.Str("3")))
+	plain := Or(
+		EqVarConst("x", value.Str("1")),
+		EqVarConst("y", value.Str("2")),
+		EqVarConst("z", value.Str("3")))
+	if in.ID(tricky) == in.ID(plain) {
+		t.Fatalf("interner collision on structural characters")
+	}
+}
+
+// Randomized structural-equality property: two random conditions intern to
+// the same ID exactly when a canonical rendering agrees.
+func TestInternMatchesCanonicalRendering(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	randCond := randCondGen(rng)
+	in := NewInterner()
+	type pair struct {
+		c Condition
+		k string
+	}
+	var seen []pair
+	for i := 0; i < 400; i++ {
+		c := randCond(3)
+		k := canonicalRendering(c)
+		id := in.ID(c)
+		for _, p := range seen {
+			same := k == p.k
+			if got := id == in.ID(p.c); got != same {
+				t.Fatalf("ID equality %v but canonical-rendering equality %v\n%s\n%s", got, same, c, p.c)
+			}
+		}
+		seen = append(seen, pair{c, k})
+		if len(seen) > 40 {
+			seen = seen[1:]
+		}
+	}
+}
+
+// canonicalRendering is a slow reference canonical form: juncts rendered,
+// sorted and length-prefixed (the old canonKey approach).
+func canonicalRendering(c Condition) string {
+	switch c := c.(type) {
+	case TrueCond:
+		return "T"
+	case FalseCond:
+		return "F"
+	case Cmp:
+		op := "e"
+		if c.Neq {
+			op = "n"
+		}
+		return fmt.Sprintf("%s(%d:%s,%d:%s)", op, len(termRendering(c.Left)), termRendering(c.Left),
+			len(termRendering(c.Right)), termRendering(c.Right))
+	case NotCond:
+		return "!(" + canonicalRendering(c.Cond) + ")"
+	case AndCond:
+		return junctionRendering('&', c.Conds)
+	case OrCond:
+		return junctionRendering('|', c.Conds)
+	default:
+		return "?" + c.String()
+	}
+}
+
+func termRendering(t Term) string {
+	if t.IsVar {
+		return "v" + string(t.Var)
+	}
+	return "c" + t.Const.Key()
+}
+
+func junctionRendering(op byte, juncts []Condition) string {
+	parts := make([]string, len(juncts))
+	for i, j := range juncts {
+		parts[i] = canonicalRendering(j)
+	}
+	// Insertion sort keeps this file free of extra imports.
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	out := string(op) + "("
+	for _, p := range parts {
+		out += fmt.Sprintf("%d:%s", len(p), p)
+	}
+	return out + ")"
+}
+
+func randCondGen(rng *rand.Rand) func(depth int) Condition {
+	vars := []string{"x", "y", "z"}
+	randTerm := func() Term {
+		if rng.Intn(2) == 0 {
+			return ConstInt(int64(rng.Intn(3)))
+		}
+		return Var(vars[rng.Intn(len(vars))])
+	}
+	var rec func(depth int) Condition
+	rec = func(depth int) Condition {
+		if depth <= 0 {
+			switch rng.Intn(4) {
+			case 0:
+				return True()
+			case 1:
+				return False()
+			case 2:
+				return Eq(randTerm(), randTerm())
+			default:
+				return Neq(randTerm(), randTerm())
+			}
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return Not(rec(depth - 1))
+		case 1:
+			return And(rec(depth-1), rec(depth-1))
+		default:
+			return Or(rec(depth-1), rec(depth-1))
+		}
+	}
+	return rec
+}
+
+func TestTermsKeyGrouping(t *testing.T) {
+	in := NewInterner()
+	a := []Term{Var("x"), ConstInt(1)}
+	b := []Term{Var("x"), ConstInt(1)}
+	c := []Term{ConstInt(1), Var("x")}
+	if in.TermsKey(a) != in.TermsKey(b) {
+		t.Errorf("identical term tuples must share a key")
+	}
+	if in.TermsKey(a) == in.TermsKey(c) {
+		t.Errorf("reordered term tuples must not share a key")
+	}
+	if in.TermsKey([]Term{Const(value.Int(1))}) == in.TermsKey([]Term{Const(value.Str("1"))}) {
+		t.Errorf("Int(1) and Str(\"1\") tuples must not share a key")
+	}
+	if in.TermsKey(nil) != in.TermsKey([]Term{}) {
+		t.Errorf("empty tuples must share a key")
+	}
+}
+
+// Interning a warm condition allocates nothing: the memo hot path of the
+// d-tree engine pays map lookups only, never string building.
+func TestInternWarmZeroAlloc(t *testing.T) {
+	in := NewInterner()
+	c := Or(
+		And(EqVarConst("x", value.Int(1)), Neq(Var("y"), ConstInt(2))),
+		Not(And(Eq(Var("z"), Var("x")), EqVarConst("y", value.Int(3)))),
+	)
+	in.ID(c) // warm
+	allocs := testing.AllocsPerRun(100, func() { in.ID(c) })
+	if allocs != 0 {
+		t.Errorf("warm ID() allocates %v objects per run, want 0", allocs)
+	}
+}

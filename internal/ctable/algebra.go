@@ -29,13 +29,26 @@ type Options struct {
 	// of intermediate work. Ignored by the single-operator functions
 	// (SelectC, ProjectC, ...), which apply exactly one operator.
 	Rewrite bool
+	// NoHash disables the physical hash operators (symbolic hash join,
+	// hash-partitioned difference/intersection), restoring the nested-loop
+	// path that reproduces the eager evaluator byte for byte. The hash path
+	// preserves Mod and every tuple marginal but never emits rows whose
+	// condition is the constant false.
+	NoHash bool
+	// Stats, when non-nil, accumulates per-operator row/probe counters of
+	// the physical plan (exec.OpStats). Use one OpStats per evaluation.
+	Stats *exec.OpStats
 }
 
-// DefaultOptions simplifies conditions and rewrites plans.
+// DefaultOptions simplifies conditions, rewrites plans and uses the
+// physical hash operators.
 var DefaultOptions = Options{Simplify: true, Rewrite: true}
 
+// ExecOptions translates the algebra options for the shared operator core.
+func (o Options) ExecOptions() exec.Options { return o.execOptions(true) }
+
 func (o Options) execOptions(rewrite bool) exec.Options {
-	return exec.Options{Simplify: o.Simplify, Rewrite: rewrite && o.Rewrite}
+	return exec.Options{Simplify: o.Simplify, Rewrite: rewrite && o.Rewrite, NoHash: o.NoHash, Stats: o.Stats}
 }
 
 // Row returns the i-th row as an exec.Row view; with Arity, NumRows and

@@ -230,10 +230,21 @@ func copyDomains(dst, src *CTable) {
 	}
 }
 
+// eagerTermsKey identifies a projected tuple for π̄'s duplicate merge. The
+// encoding tags and length-prefixes each term: the original rendering-based
+// key collided a variable with a constant of the same spelling (Var("5")
+// vs Int(5)), merging rows with *different* symbolic tuples — a Mod bug.
+// The operator core's interned grouping keys are collision-free by
+// construction, and the frozen twin must agree byte for byte.
 func eagerTermsKey(terms []condition.Term) string {
 	key := ""
 	for _, t := range terms {
-		key += t.String() + "\x00"
+		if t.IsVar {
+			key += fmt.Sprintf("v%d:%s", len(t.Var), t.Var)
+		} else {
+			k := t.Const.Key()
+			key += fmt.Sprintf("c%d:%s", len(k), k)
+		}
 	}
 	return key
 }

@@ -32,6 +32,7 @@ import (
 	"uncertaindb/internal/catalog"
 	"uncertaindb/internal/condition"
 	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/exec"
 	"uncertaindb/internal/parser"
 	"uncertaindb/internal/pctable"
 	"uncertaindb/internal/probcalc"
@@ -123,6 +124,12 @@ type Stats struct {
 	PrepareNanos uint64 `json:"prepareNanos"`
 	ExecNanos    uint64 `json:"execNanos"`
 	Workers      int    `json:"workers"`
+	// Ops aggregates the physical-operator counters — rows in/out of the
+	// counting operators, hash-bucket probes, residual-bucket hits, and how
+	// many joins compiled to the symbolic hash join vs the nested-loop
+	// fallback — over every plan compilation since startup (cache hits
+	// reuse the compiled answer and add nothing).
+	Ops exec.OpStats `json:"ops"`
 }
 
 // Request is one query execution.
@@ -164,6 +171,9 @@ type Result struct {
 	CacheHit bool
 	// Answer is the rendered answer pc-table (conditions are lineage).
 	Answer string
+	// Plan is the rendered physical operator tree the query compiled to
+	// (hash joins with their keys, scans, breakers); cached with the plan.
+	Plan string
 	// Tuples are the possible answer tuples with marginals, sorted by tuple
 	// key; deterministic for a fixed catalog version and request.
 	Tuples []TupleAnswer
@@ -191,6 +201,8 @@ type plan struct {
 
 	answer     *pctable.PCTable
 	rendered   string
+	physical   string // rendered physical operator tree (exec.Explain)
+	ops        exec.OpStats
 	candidates []candidate
 
 	// Exact marginals (dtree/enum) are computed once on first execution and
@@ -215,6 +227,9 @@ type Engine struct {
 
 	hits, misses, evictions, invalidations   uint64
 	executions, errors, prepNanos, execNanos atomic.Uint64
+
+	opMu     sync.Mutex
+	opTotals exec.OpStats // physical-operator counters over all compilations
 }
 
 // New builds an engine over the given catalog.
@@ -288,6 +303,9 @@ func (e *Engine) Stats() Stats {
 	s.PrepareNanos = e.prepNanos.Load()
 	s.ExecNanos = e.execNanos.Load()
 	s.Workers = e.opts.Workers
+	e.opMu.Lock()
+	s.Ops = e.opTotals
+	e.opMu.Unlock()
 	return s
 }
 
@@ -376,6 +394,7 @@ func (e *Engine) executeOn(snap *catalog.Snapshot, req Request) (*Result, error)
 		Tables:          p.tables,
 		CacheHit:        hit,
 		Answer:          p.rendered,
+		Plan:            p.physical,
 		Tuples:          tuples,
 		PrepareDuration: prepDur,
 		ExecDuration:    execDur,
@@ -418,6 +437,9 @@ func (e *Engine) prepare(snap *catalog.Snapshot, queryText string, kind Kind) (*
 	}
 	prepDur := time.Since(start)
 	e.prepNanos.Add(uint64(prepDur))
+	e.opMu.Lock()
+	e.opTotals.Add(p.ops)
+	e.opMu.Unlock()
 
 	e.mu.Lock()
 	// A concurrent miss may have compiled the same plan; keep the first so
@@ -495,7 +517,10 @@ func (e *Engine) algebraOptions() ctable.Options {
 }
 
 // compile runs the cold path: resolve tables, closed algebra on the shared
-// operator core, candidate discovery.
+// operator core, candidate discovery. The physical plan is part of the
+// compiled artifact: its rendering (exec.Explain) and its operator counters
+// are cached on the plan, so hits surface the same plan text without
+// re-planning.
 func compile(q ra.Query, queryText string, kind Kind, names []string, snap *catalog.Snapshot, key string, opts ctable.Options) (*plan, error) {
 	env, err := snap.Env(names)
 	if err != nil {
@@ -506,7 +531,13 @@ func compile(q ra.Query, queryText string, kind Kind, names []string, snap *cata
 			return nil, fmt.Errorf("%w: table %q has no variable distributions; marginals are undefined (load it with dist directives)", ErrBadQuery, name)
 		}
 	}
+	var ops exec.OpStats
+	opts.Stats = &ops
 	answer, err := pctable.EvalQueryEnvWithOptions(q, env, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	physical, err := exec.Explain(q, env.ExecEnv(), opts.ExecOptions())
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
@@ -529,6 +560,8 @@ func compile(q ra.Query, queryText string, kind Kind, names []string, snap *cata
 		tables:         names,
 		answer:         answer,
 		rendered:       answer.String(),
+		physical:       physical,
+		ops:            ops,
 		candidates:     candidates,
 	}, nil
 }

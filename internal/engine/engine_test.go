@@ -354,3 +354,60 @@ func TestConcurrentPrepareExecute(t *testing.T) {
 		t.Errorf("executions = %d, want 160", s.Executions)
 	}
 }
+
+// Compiling a join caches its physical plan (rendered operator tree) and
+// accumulates the per-operator counters; cache hits reuse the plan text and
+// add nothing to the counters.
+func TestPhysicalPlanCachedAndCounted(t *testing.T) {
+	e := newEngine(t, Options{}, takesScript, labsScript)
+	res, err := e.Execute(Request{Query: "project[1,4](Takes join[$2 = $3] Labs)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan, "hash-join[$2=$1]") {
+		t.Errorf("plan missing hash join:\n%s", res.Plan)
+	}
+	s := e.Stats()
+	if s.Ops.HashJoins != 1 || s.Ops.NestedLoopJoins != 0 {
+		t.Errorf("join strategy counters: %+v", s.Ops)
+	}
+	// Build side (Labs) is fully ground: the one ground probe row (Theo)
+	// hashes, the two variable-keyed rows (Alice, Bob) scan the build side.
+	if s.Ops.HashProbes != 1 {
+		t.Errorf("hash probes = %d, want 1", s.Ops.HashProbes)
+	}
+	if s.Ops.ResidualHits != 4 {
+		t.Errorf("residual hits = %d, want 4 (two variable probes x two build rows)", s.Ops.ResidualHits)
+	}
+	if s.Ops.RowsIn == 0 || s.Ops.RowsOut == 0 {
+		t.Errorf("row counters empty: %+v", s.Ops)
+	}
+
+	res2, err := e.Execute(Request{Query: "project[1,4](Takes join[$2 = $3] Labs)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.CacheHit || res2.Plan != res.Plan {
+		t.Errorf("cache hit must reuse the compiled physical plan")
+	}
+	if s2 := e.Stats(); s2.Ops != s.Ops {
+		t.Errorf("cache hit changed operator counters: %+v vs %+v", s2.Ops, s.Ops)
+	}
+}
+
+// With rewrites disabled the same query still compiles to a hash join (the
+// key extraction reads JoinQ directly), so DisableRewrites keeps hash
+// execution.
+func TestHashJoinWithoutRewrites(t *testing.T) {
+	e := newEngine(t, Options{DisableRewrites: true}, takesScript, labsScript)
+	res, err := e.Execute(Request{Query: "project[1,4](Takes join[$2 = $3] Labs)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan, "hash-join") {
+		t.Errorf("plan missing hash join with rewrites off:\n%s", res.Plan)
+	}
+	if s := e.Stats(); s.Ops.HashJoins != 1 {
+		t.Errorf("ops: %+v", s.Ops)
+	}
+}

@@ -11,12 +11,16 @@
 // internal/pctable only bind names to Models and re-wrap the produced rows.
 //
 // A logical plan is simply an ra.Query — the algebra is small enough that a
-// second plan IR would duplicate it. Build compiles a (possibly rewritten,
-// see Rewrite) query into an operator tree; each operator implements the
-// open/next/close iterator protocol, so non-blocking operators (selection,
-// cross product, union) stream rows while the pipeline breakers (projection
-// with its disjunctive merge, difference, intersection) materialize only the
-// inputs they must.
+// second plan IR would duplicate it. The physical plan is the operator tree:
+// Build compiles a (possibly rewritten, see Rewrite) query into physical
+// operators, choosing a symbolic hash join for selections over cross
+// products with extractable equi-join keys (physical.go) and hash-partitioned
+// pipeline breakers for deduplication, difference and intersection; each
+// operator implements the open/next/close iterator protocol, so non-blocking
+// operators (selection, cross product, union) stream rows while the pipeline
+// breakers materialize only the inputs they must. Options.NoHash restores
+// the textbook nested-loop/pairwise-scan operators, which reproduce the
+// frozen eager evaluator byte for byte.
 package exec
 
 import (
@@ -65,6 +69,18 @@ type Options struct {
 	// change the represented set of instances, only the syntax of the answer
 	// table and the amount of intermediate work.
 	Rewrite bool
+	// NoHash disables the physical hash operators (symbolic hash join,
+	// hash-partitioned difference and intersection): joins fall back to a
+	// selection over a nested-loop cross product and the set operators to
+	// pairwise scans. The hash path preserves Mod and every tuple marginal
+	// but not the syntactic answer table — it never emits rows whose
+	// condition is the constant false — so the byte-identical eager-twin
+	// tests pin NoHash on.
+	NoHash bool
+	// Stats, when non-nil, accumulates per-operator row/probe counters
+	// during execution. Counters are incremented without synchronization;
+	// use one OpStats per Run.
+	Stats *OpStats
 }
 
 // DefaultOptions simplifies conditions and rewrites plans.
@@ -89,10 +105,7 @@ type Result struct {
 // Run validates q against env, optionally rewrites it, builds the operator
 // tree and drains it into a Result.
 func Run(q ra.Query, env Env, opts Options) (*Result, error) {
-	arities := make(ra.ArityEnv, len(env))
-	for name, m := range env {
-		arities[name] = m.Arity()
-	}
+	arities := modelArities(env)
 	arity, err := ra.Arity(q, arities)
 	if err != nil {
 		return nil, err
@@ -100,7 +113,7 @@ func Run(q ra.Query, env Env, opts Options) (*Result, error) {
 	if opts.Rewrite {
 		q = Rewrite(q, arities)
 	}
-	it, err := Build(q, env, opts)
+	it, err := build(q, env, arities, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -174,55 +187,72 @@ func Drain(it Iterator) ([]Row, error) {
 // Build compiles q into an operator tree over env. It assumes q has been
 // validated (ra.Arity); Run does both.
 func Build(q ra.Query, env Env, opts Options) (Iterator, error) {
+	return build(q, env, modelArities(env), opts)
+}
+
+// modelArities collects the input arities the planner validates subqueries
+// against (computed once per Build/Run/Explain).
+func modelArities(env Env) ra.ArityEnv {
+	arities := make(ra.ArityEnv, len(env))
+	for name, m := range env {
+		arities[name] = m.Arity()
+	}
+	return arities
+}
+
+func build(q ra.Query, env Env, ar ra.ArityEnv, opts Options) (Iterator, error) {
 	switch q := q.(type) {
 	case ra.BaseRel:
 		m, ok := env[q.Name]
 		if !ok {
 			return nil, fmt.Errorf("exec: unknown relation %q", q.Name)
 		}
-		return &scanOp{m: m}, nil
+		return &scanOp{m: m, name: q.Name}, nil
 	case ra.ConstRel:
 		return &constOp{rel: q.Rel}, nil
 	case ra.SelectQ:
-		in, err := Build(q.Input, env, opts)
+		// A selection directly over a cross product is the physical join
+		// shape (the rewriter normalizes every θ-join to it): give the
+		// planner a chance to extract equi-join keys and hash it.
+		if cq, ok := q.Input.(ra.CrossQ); ok {
+			return buildJoin(cq.Left, cq.Right, q.Pred, env, ar, opts)
+		}
+		in, err := build(q.Input, env, ar, opts)
 		if err != nil {
 			return nil, err
 		}
 		return &selectOp{in: in, pred: q.Pred, opts: opts}, nil
 	case ra.ProjectQ:
-		in, err := Build(q.Input, env, opts)
+		in, err := build(q.Input, env, ar, opts)
 		if err != nil {
 			return nil, err
 		}
 		return &projectOp{in: in, cols: q.Cols, opts: opts}, nil
 	case ra.CrossQ:
-		l, r, err := buildBoth(q.Left, q.Right, env, opts)
+		l, r, err := buildBoth(q.Left, q.Right, env, ar, opts)
 		if err != nil {
 			return nil, err
 		}
 		return &crossOp{left: l, right: r, opts: opts}, nil
 	case ra.JoinQ:
-		// θ-join is the derived operator σ̄_p(T1 ×̄ T2); composing the two
-		// operators reproduces the eager algebra exactly.
-		l, r, err := buildBoth(q.Left, q.Right, env, opts)
-		if err != nil {
-			return nil, err
-		}
-		return &selectOp{in: &crossOp{left: l, right: r, opts: opts}, pred: q.Pred, opts: opts}, nil
+		// θ-join is the derived operator σ̄_p(T1 ×̄ T2); the planner hashes
+		// it when the predicate yields equi-join keys, and the nested-loop
+		// fallback composes the two operators exactly as the eager algebra.
+		return buildJoin(q.Left, q.Right, q.Pred, env, ar, opts)
 	case ra.UnionQ:
-		l, r, err := buildBoth(q.Left, q.Right, env, opts)
+		l, r, err := buildBoth(q.Left, q.Right, env, ar, opts)
 		if err != nil {
 			return nil, err
 		}
 		return &unionOp{left: l, right: r, opts: opts}, nil
 	case ra.DiffQ:
-		l, r, err := buildBoth(q.Left, q.Right, env, opts)
+		l, r, err := buildBoth(q.Left, q.Right, env, ar, opts)
 		if err != nil {
 			return nil, err
 		}
 		return &diffOp{left: l, right: r, opts: opts}, nil
 	case ra.IntersectQ:
-		l, r, err := buildBoth(q.Left, q.Right, env, opts)
+		l, r, err := buildBoth(q.Left, q.Right, env, ar, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -232,12 +262,12 @@ func Build(q ra.Query, env Env, opts Options) (Iterator, error) {
 	}
 }
 
-func buildBoth(l, r ra.Query, env Env, opts Options) (Iterator, Iterator, error) {
-	li, err := Build(l, env, opts)
+func buildBoth(l, r ra.Query, env Env, ar ra.ArityEnv, opts Options) (Iterator, Iterator, error) {
+	li, err := build(l, env, ar, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	ri, err := Build(r, env, opts)
+	ri, err := build(r, env, ar, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -246,8 +276,9 @@ func buildBoth(l, r ra.Query, env Env, opts Options) (Iterator, Iterator, error)
 
 // scanOp yields the rows of a base model.
 type scanOp struct {
-	m Model
-	i int
+	m    Model
+	name string
+	i    int
 }
 
 func (s *scanOp) Open() error { s.i = 0; return nil }
@@ -315,6 +346,8 @@ func (s *selectOp) Close() { s.in.Close() }
 
 // projectOp is π̄_cols: a pipeline breaker that merges rows with
 // syntactically identical projected tuples by disjoining their conditions.
+// The merge groups are keyed by interned term IDs (condition.Interner), so
+// grouping a row costs map lookups on its terms instead of rendering them.
 type projectOp struct {
 	in   Iterator
 	cols []int
@@ -330,6 +363,7 @@ func (p *projectOp) Open() error {
 	}
 	defer p.in.Close()
 	p.out, p.i = nil, 0
+	interner := condition.NewInterner()
 	index := make(map[string]int)
 	for {
 		r, ok, err := p.in.Next()
@@ -339,16 +373,18 @@ func (p *projectOp) Open() error {
 		if !ok {
 			return nil
 		}
+		p.opts.Stats.in(1)
 		terms := make([]condition.Term, len(p.cols))
 		for j, c := range p.cols {
 			terms[j] = r.Terms[c]
 		}
-		key := termsKey(terms)
+		key := interner.TermsKey(terms)
 		if j, ok := index[key]; ok {
 			p.out[j].Cond = p.opts.cond(condition.Or(p.out[j].Cond, r.Cond))
 			continue
 		}
 		index[key] = len(p.out)
+		p.opts.Stats.out(1)
 		p.out = append(p.out, Row{Terms: terms, Cond: p.opts.cond(r.Cond)})
 	}
 }
@@ -381,6 +417,7 @@ func (c *crossOp) Open() error {
 		return err
 	}
 	c.rightRows = rows
+	c.opts.Stats.in(uint64(len(rows)))
 	c.haveCur, c.j = false, 0
 	return c.left.Open()
 }
@@ -392,6 +429,7 @@ func (c *crossOp) Next() (Row, bool, error) {
 			if err != nil || !ok {
 				return Row{}, false, err
 			}
+			c.opts.Stats.in(1)
 			c.cur, c.haveCur, c.j = r, true, 0
 		}
 		if c.j >= len(c.rightRows) {
@@ -403,6 +441,7 @@ func (c *crossOp) Next() (Row, bool, error) {
 		terms := make([]condition.Term, 0, len(c.cur.Terms)+len(r2.Terms))
 		terms = append(terms, c.cur.Terms...)
 		terms = append(terms, r2.Terms...)
+		c.opts.Stats.out(1)
 		return Row{Terms: terms, Cond: c.opts.cond(condition.And(c.cur.Cond, r2.Cond))}, true, nil
 	}
 }
@@ -445,11 +484,19 @@ func (u *unionOp) Close() { u.left.Close(); u.right.Close() }
 
 // diffOp is −̄: a left row (t1 : φ1) survives exactly when no right row is
 // simultaneously present and equal to it, so its condition becomes
-// φ1 ∧ ⋀_{(t2:φ2)} ¬(φ2 ∧ t1=t2). The right side is materialized.
+// φ1 ∧ ⋀_{(t2:φ2)} ¬(φ2 ∧ t1=t2). The right side is materialized and — on
+// the hash path — partitioned by ground tuple, so a ground left row only
+// pairs with the right rows that can possibly equal it: every skipped pair
+// has a constant-false equality, whose conjunct ¬(φ2 ∧ false) is the
+// constant true and vanishes under simplification.
 type diffOp struct {
 	left, right Iterator
 	opts        Options
 	rightRows   []Row
+	buckets     map[string][]int
+	residual    []int
+	candBuf     []int
+	keyBuf      []byte
 }
 
 func (d *diffOp) Open() error {
@@ -458,6 +505,11 @@ func (d *diffOp) Open() error {
 		return err
 	}
 	d.rightRows = rows
+	d.opts.Stats.in(uint64(len(rows)))
+	d.buckets, d.residual = nil, nil
+	if !d.opts.NoHash {
+		d.buckets, d.residual = groundPartition(rows)
+	}
 	return d.left.Open()
 }
 
@@ -466,20 +518,59 @@ func (d *diffOp) Next() (Row, bool, error) {
 	if err != nil || !ok {
 		return Row{}, false, err
 	}
+	d.opts.Stats.in(1)
 	conds := []condition.Condition{r1.Cond}
-	for _, r2 := range d.rightRows {
-		conds = append(conds, condition.Not(condition.And(r2.Cond, RowEquality(r1.Terms, r2.Terms))))
+	if idxs, hashed := d.candidateIdxs(r1); hashed {
+		for _, i := range idxs {
+			r2 := d.rightRows[i]
+			conds = append(conds, condition.Not(condition.And(r2.Cond, RowEquality(r1.Terms, r2.Terms))))
+		}
+	} else {
+		for _, r2 := range d.rightRows {
+			conds = append(conds, condition.Not(condition.And(r2.Cond, RowEquality(r1.Terms, r2.Terms))))
+		}
 	}
+	d.opts.Stats.out(1)
 	return Row{Terms: r1.Terms, Cond: d.opts.cond(condition.And(conds...))}, true, nil
 }
-func (d *diffOp) Close() { d.left.Close(); d.rightRows = nil }
+
+// candidateIdxs returns the right rows a left row can possibly equal, in
+// ascending order; hashed is false when the pairwise scan must run (hash
+// path off, or the left row has variable cells).
+func (d *diffOp) candidateIdxs(r1 Row) ([]int, bool) {
+	if d.buckets == nil {
+		return nil, false
+	}
+	key, ok := groundRowKey(d.keyBuf[:0], r1.Terms)
+	d.keyBuf = key
+	if !ok {
+		d.opts.Stats.residual(uint64(len(d.rightRows)))
+		return nil, false
+	}
+	d.opts.Stats.probe()
+	d.opts.Stats.residual(uint64(len(d.residual)))
+	d.candBuf = mergeAscending(d.candBuf, d.buckets[string(key)], d.residual)
+	return d.candBuf, true
+}
+
+func (d *diffOp) Close() {
+	d.left.Close()
+	d.rightRows, d.buckets, d.residual, d.candBuf, d.keyBuf = nil, nil, nil, nil, nil
+}
 
 // intersectOp is ∩̄: a left row (t1 : φ1) survives exactly when some right
-// row is present and equal to it. The right side is materialized.
+// row is present and equal to it. The right side is materialized and — on
+// the hash path — partitioned by ground tuple like diffOp's: skipped pairs
+// contribute the false disjunct (φ2 ∧ false), which vanishes from the
+// disjunction under simplification.
 type intersectOp struct {
 	left, right Iterator
 	opts        Options
 	rightRows   []Row
+	buckets     map[string][]int
+	residual    []int
+	candBuf     []int
+	keyBuf      []byte
 }
 
 func (n *intersectOp) Open() error {
@@ -488,6 +579,11 @@ func (n *intersectOp) Open() error {
 		return err
 	}
 	n.rightRows = rows
+	n.opts.Stats.in(uint64(len(rows)))
+	n.buckets, n.residual = nil, nil
+	if !n.opts.NoHash {
+		n.buckets, n.residual = groundPartition(rows)
+	}
 	return n.left.Open()
 }
 
@@ -496,13 +592,45 @@ func (n *intersectOp) Next() (Row, bool, error) {
 	if err != nil || !ok {
 		return Row{}, false, err
 	}
-	disj := make([]condition.Condition, 0, len(n.rightRows))
-	for _, r2 := range n.rightRows {
-		disj = append(disj, condition.And(r2.Cond, RowEquality(r1.Terms, r2.Terms)))
+	n.opts.Stats.in(1)
+	var disj []condition.Condition
+	if idxs, hashed := n.candidateIdxs(r1); hashed {
+		disj = make([]condition.Condition, 0, len(idxs))
+		for _, i := range idxs {
+			r2 := n.rightRows[i]
+			disj = append(disj, condition.And(r2.Cond, RowEquality(r1.Terms, r2.Terms)))
+		}
+	} else {
+		disj = make([]condition.Condition, 0, len(n.rightRows))
+		for _, r2 := range n.rightRows {
+			disj = append(disj, condition.And(r2.Cond, RowEquality(r1.Terms, r2.Terms)))
+		}
 	}
+	n.opts.Stats.out(1)
 	return Row{Terms: r1.Terms, Cond: n.opts.cond(condition.And(r1.Cond, condition.Or(disj...)))}, true, nil
 }
-func (n *intersectOp) Close() { n.left.Close(); n.rightRows = nil }
+
+// candidateIdxs mirrors diffOp.candidateIdxs for the intersection.
+func (n *intersectOp) candidateIdxs(r1 Row) ([]int, bool) {
+	if n.buckets == nil {
+		return nil, false
+	}
+	key, ok := groundRowKey(n.keyBuf[:0], r1.Terms)
+	n.keyBuf = key
+	if !ok {
+		n.opts.Stats.residual(uint64(len(n.rightRows)))
+		return nil, false
+	}
+	n.opts.Stats.probe()
+	n.opts.Stats.residual(uint64(len(n.residual)))
+	n.candBuf = mergeAscending(n.candBuf, n.buckets[string(key)], n.residual)
+	return n.candBuf, true
+}
+
+func (n *intersectOp) Close() {
+	n.left.Close()
+	n.rightRows, n.buckets, n.residual, n.candBuf, n.keyBuf = nil, nil, nil, nil, nil
+}
 
 // TermEquality returns the condition asserting that two symbolic terms are
 // equal: it folds constant/constant comparisons and emits symbolic
@@ -594,12 +722,4 @@ func resolveRATerm(t ra.Term, terms []condition.Term) (condition.Term, error) {
 		return terms[t.Col], nil
 	}
 	return condition.Const(t.Const), nil
-}
-
-func termsKey(terms []condition.Term) string {
-	key := ""
-	for _, t := range terms {
-		key += t.String() + "\x00"
-	}
-	return key
 }

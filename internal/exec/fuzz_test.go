@@ -1,0 +1,137 @@
+package exec_test
+
+import (
+	"testing"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/exec"
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/value"
+)
+
+// decodePredicate derives a selection predicate over cols columns from a
+// fuzz byte stream: a tiny stack-free recursive decoder emitting only the
+// atoms the symbolic algebra supports on variable terms (=, ≠, boolean
+// combinators, constants).
+func decodePredicate(data []byte, cols int) ra.Predicate {
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	term := func() ra.Term {
+		b := next()
+		if b%2 == 0 {
+			return ra.Col(int(b/2) % cols)
+		}
+		return ra.ConstInt(int64(b % 3))
+	}
+	var rec func(depth int) ra.Predicate
+	rec = func(depth int) ra.Predicate {
+		op := next()
+		if depth <= 0 {
+			op %= 4 // atoms only at the leaves
+		}
+		switch op % 7 {
+		case 0:
+			return ra.Eq(term(), term())
+		case 1:
+			return ra.Ne(term(), term())
+		case 2:
+			return ra.True()
+		case 3:
+			return ra.False()
+		case 4:
+			return ra.AndOf(rec(depth-1), rec(depth-1))
+		case 5:
+			return ra.OrOf(rec(depth-1), rec(depth-1))
+		default:
+			return ra.NotOf(rec(depth - 1))
+		}
+	}
+	return rec(4)
+}
+
+// flattenConjuncts mirrors the rewriter's conjunct flattening, so the fuzz
+// target can assert the split is partition-exact.
+func flattenConjuncts(p ra.Predicate) []ra.Predicate {
+	if a, ok := p.(ra.And); ok {
+		var out []ra.Predicate
+		for _, sub := range a.Preds {
+			out = append(out, flattenConjuncts(sub)...)
+		}
+		return out
+	}
+	return []ra.Predicate{p}
+}
+
+// FuzzRewriteJoinKeys: for arbitrary join predicates, SplitJoinPredicate
+// never drops or duplicates a conjunct — every top-level conjunct lands in
+// exactly one output, and the recombined predicate
+// ⋀ keys ∧ ⋀ residual is equivalent to the original under condition.Eval
+// on every valuation of the referenced columns (columns are modelled as
+// condition variables, so the check runs through the same
+// PredicateCondition translation the operators use).
+func FuzzRewriteJoinKeys(f *testing.F) {
+	f.Add([]byte{0, 0, 2}, uint8(2), uint8(2))
+	f.Add([]byte{4, 0, 0, 4, 0, 2, 6, 1, 1, 3}, uint8(1), uint8(3))
+	f.Add([]byte{5, 0, 0, 2, 1, 3, 4, 2, 2}, uint8(3), uint8(1))
+	f.Add([]byte{6, 4, 0, 1, 2, 3, 4, 5, 6, 7, 8}, uint8(2), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, laRaw, raRaw uint8) {
+		la := int(laRaw)%3 + 1
+		raCols := int(raRaw)%3 + 1
+		cols := la + raCols
+		pred := decodePredicate(data, cols)
+
+		keys, residual := exec.SplitJoinPredicate(pred, la)
+		for _, k := range keys {
+			if k.Left < 0 || k.Left >= la || k.Right < 0 || k.Right >= raCols {
+				t.Fatalf("key %+v out of range for arities %d+%d (pred %s)", k, la, raCols, pred)
+			}
+		}
+		if got, want := len(keys)+len(residual), len(flattenConjuncts(pred)); got != want {
+			t.Fatalf("split dropped or duplicated conjuncts: %d keys + %d residual != %d conjuncts of %s",
+				len(keys), len(residual), want, pred)
+		}
+
+		// Recombine and compare symbolically: evaluate both predicates on a
+		// tuple of variable terms and check the resulting conditions agree
+		// on every valuation over a small domain.
+		recombined := make([]ra.Predicate, 0, len(keys)+len(residual))
+		for _, k := range keys {
+			recombined = append(recombined, ra.Eq(ra.Col(k.Left), ra.Col(la+k.Right)))
+		}
+		recombined = append(recombined, residual...)
+		terms := make([]condition.Term, cols)
+		vars := make([]condition.Variable, cols)
+		for i := range terms {
+			v := condition.Variable(string(rune('a' + i)))
+			vars[i] = v
+			terms[i] = condition.VarT(v)
+		}
+		orig, err := exec.PredicateCondition(pred, terms)
+		if err != nil {
+			t.Fatalf("original predicate %s: %v", pred, err)
+		}
+		split, err := exec.PredicateCondition(ra.AndOf(recombined...), terms)
+		if err != nil {
+			t.Fatalf("recombined predicate: %v", err)
+		}
+		dom := value.IntRange(0, 2)
+		agree := true
+		condition.ForEachValuation(vars, condition.UniformDomains{Domain: dom}, func(v condition.Valuation) bool {
+			if condition.MustEval(orig, v) != condition.MustEval(split, v) {
+				agree = false
+				return false
+			}
+			return true
+		})
+		if !agree {
+			t.Fatalf("split changed the predicate %s (la=%d): keys %v residual %v", pred, la, keys, residual)
+		}
+	})
+}

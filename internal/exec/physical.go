@@ -1,0 +1,398 @@
+package exec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/value"
+)
+
+// This file is the physical side of the planning split: Build (exec.go)
+// compiles the rewritten logical plan into physical operators, and the
+// operators here are the ones that choose a hash-based execution strategy
+// instead of the textbook nested-loop/pairwise-scan definitions:
+//
+//   - hashJoinOp executes σ_p(L ×̄ R) — the shape of every θ-join after
+//     rewriting — by partitioning the build (right) side on the ground
+//     values of the equi-join key columns extracted by SplitJoinPredicate.
+//     Rows whose key cells are variable terms cannot be placed in a value
+//     bucket; they fall into a residual bucket that every probe also scans
+//     nested-loop, so symbolic matches (x = 5, x = y) are still produced
+//     and Mod is preserved exactly. Probe rows with variable key cells scan
+//     the whole build side for the same reason.
+//   - diffOp and intersectOp (exec.go) partition their materialized right
+//     side by ground tuple so a ground left row only pairs with rows that
+//     can possibly equal it; skipped pairs are exactly those whose equality
+//     condition is constant-false, which contribute a trivially-true
+//     conjunct (difference) or a false disjunct (intersection).
+//
+// The pairs a hash operator skips all carry conditions with a
+// constant-false conjunct, so the represented set of instances and every
+// tuple marginal are identical to the nested-loop path; only the syntactic
+// answer table differs (it no longer contains rows whose condition is the
+// constant false). Options.NoHash restores the nested-loop path, which
+// remains byte-identical to the frozen eager twin.
+
+// OpStats counts the work the physical operators did while executing plans.
+// Counters are written without synchronization: share one OpStats across
+// concurrent runs only if aggregated afterwards (the engine allocates one
+// per compilation).
+type OpStats struct {
+	// RowsIn is the number of rows the counting operators (joins, cross
+	// products, pipeline breakers) consumed from their inputs.
+	RowsIn uint64 `json:"rowsIn"`
+	// RowsOut is the number of rows those operators emitted.
+	RowsOut uint64 `json:"rowsOut"`
+	// HashJoins / NestedLoopJoins count how many σ(×)/join operators were
+	// compiled to the symbolic hash join vs the nested-loop fallback.
+	HashJoins       uint64 `json:"hashJoins"`
+	NestedLoopJoins uint64 `json:"nestedLoopJoins"`
+	// HashProbes counts bucket lookups by ground probe rows (joins and
+	// hash-partitioned difference/intersection).
+	HashProbes uint64 `json:"hashProbes"`
+	// ResidualHits counts candidate pairs drawn from the residual path:
+	// build rows with variable key cells that every probe must scan, plus
+	// whole-side scans forced by probe rows with variable key cells.
+	ResidualHits uint64 `json:"residualHits"`
+}
+
+// Add accumulates o into s.
+func (s *OpStats) Add(o OpStats) {
+	s.RowsIn += o.RowsIn
+	s.RowsOut += o.RowsOut
+	s.HashJoins += o.HashJoins
+	s.NestedLoopJoins += o.NestedLoopJoins
+	s.HashProbes += o.HashProbes
+	s.ResidualHits += o.ResidualHits
+}
+
+// The nil-receiver increment helpers let operators count unconditionally.
+
+func (s *OpStats) in(n uint64) {
+	if s != nil {
+		s.RowsIn += n
+	}
+}
+
+func (s *OpStats) out(n uint64) {
+	if s != nil {
+		s.RowsOut += n
+	}
+}
+
+func (s *OpStats) probe() {
+	if s != nil {
+		s.HashProbes++
+	}
+}
+
+func (s *OpStats) residual(n uint64) {
+	if s != nil {
+		s.ResidualHits += n
+	}
+}
+
+// buildJoin compiles σ_pred(left × right) — produced by Build for JoinQ
+// nodes and for selections directly over a cross product — into a symbolic
+// hash join when the predicate contains cross-side equi-join conjuncts and
+// the hash path is enabled, and into the selection-over-nested-loop-cross
+// composition otherwise.
+func buildJoin(left, right ra.Query, pred ra.Predicate, env Env, ar ra.ArityEnv, opts Options) (Iterator, error) {
+	l, r, err := buildBoth(left, right, env, ar, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.NoHash {
+		if la, err := ra.Arity(left, ar); err == nil {
+			if keys, _ := SplitJoinPredicate(pred, la); len(keys) > 0 {
+				if opts.Stats != nil {
+					opts.Stats.HashJoins++
+				}
+				return &hashJoinOp{left: l, right: r, keys: keys, pred: pred, opts: opts}, nil
+			}
+		}
+	}
+	if opts.Stats != nil {
+		opts.Stats.NestedLoopJoins++
+	}
+	return &selectOp{in: &crossOp{left: l, right: r, opts: opts}, pred: pred, opts: opts}, nil
+}
+
+// hashJoinOp is the symbolic hash join for σ_pred(L ×̄ R) with at least one
+// extracted equi-join key. The right side is materialized and partitioned
+// by the ground values of its key columns; rows with variable key cells go
+// to the residual bucket. Each left row probes the bucket matching its own
+// ground key values and always scans the residual bucket; left rows with
+// variable key cells scan the whole right side. Every emitted pair carries
+// exactly the condition the nested-loop path would have built for it —
+// opts.cond(φ1 ∧ φ2) strengthened with the symbolic predicate — and pairs
+// are emitted in nested-loop order (right rows by ascending index per left
+// row), so with simplification on the output is the nested-loop output
+// minus its constant-false rows.
+type hashJoinOp struct {
+	left, right Iterator
+	keys        []JoinKey
+	pred        ra.Predicate
+	opts        Options
+
+	rightRows []Row
+	buckets   map[string][]int
+	residual  []int
+	all       []int
+
+	cur     Row
+	haveCur bool
+	cand    []int
+	candBuf []int
+	keyBuf  []byte
+	pos     int
+}
+
+func (h *hashJoinOp) Open() error {
+	rows, err := Drain(h.right)
+	if err != nil {
+		return err
+	}
+	h.rightRows = rows
+	h.opts.Stats.in(uint64(len(rows)))
+	h.buckets = make(map[string][]int)
+	h.residual, h.all, h.cand, h.haveCur = nil, nil, nil, false
+	var keyBuf []byte
+	for i, r := range rows {
+		key, ok := groundJoinKey(keyBuf[:0], r.Terms, h.keys, false)
+		if !ok {
+			h.residual = append(h.residual, i)
+			continue
+		}
+		h.buckets[string(key)] = append(h.buckets[string(key)], i)
+		keyBuf = key
+	}
+	return h.left.Open()
+}
+
+func (h *hashJoinOp) Next() (Row, bool, error) {
+	for {
+		if !h.haveCur {
+			r, ok, err := h.left.Next()
+			if err != nil || !ok {
+				return Row{}, false, err
+			}
+			h.opts.Stats.in(1)
+			h.cur, h.haveCur, h.pos = r, true, 0
+			h.cand = h.candidates(r)
+		}
+		if h.pos >= len(h.cand) {
+			h.haveCur = false
+			continue
+		}
+		r2 := h.rightRows[h.cand[h.pos]]
+		h.pos++
+		terms := make([]condition.Term, 0, len(h.cur.Terms)+len(r2.Terms))
+		terms = append(terms, h.cur.Terms...)
+		terms = append(terms, r2.Terms...)
+		cross := h.opts.cond(condition.And(h.cur.Cond, r2.Cond))
+		pc, err := PredicateCondition(h.pred, terms)
+		if err != nil {
+			return Row{}, false, err
+		}
+		h.opts.Stats.out(1)
+		return Row{Terms: terms, Cond: h.opts.cond(condition.And(cross, pc))}, true, nil
+	}
+}
+
+func (h *hashJoinOp) Close() {
+	h.left.Close()
+	h.rightRows, h.buckets, h.residual, h.all, h.cand, h.candBuf, h.keyBuf = nil, nil, nil, nil, nil, nil, nil
+}
+
+// candidates returns the right-row indexes the probe row r can possibly
+// join with, in ascending (nested-loop) order.
+func (h *hashJoinOp) candidates(r Row) []int {
+	key, ok := groundJoinKey(h.keyBuf[:0], r.Terms, h.keys, true)
+	h.keyBuf = key
+	if !ok {
+		// A variable key cell on the probe side can match any build value:
+		// fall back to scanning the whole build side for this row.
+		h.opts.Stats.residual(uint64(len(h.rightRows)))
+		return h.allIndexes()
+	}
+	h.opts.Stats.probe()
+	h.opts.Stats.residual(uint64(len(h.residual)))
+	bucket := h.buckets[string(key)]
+	if len(h.residual) == 0 {
+		return bucket
+	}
+	if len(bucket) == 0 {
+		return h.residual
+	}
+	// Merge the two ascending index lists to preserve nested-loop order.
+	h.candBuf = mergeAscending(h.candBuf, bucket, h.residual)
+	return h.candBuf
+}
+
+func (h *hashJoinOp) allIndexes() []int {
+	if h.all == nil {
+		h.all = make([]int, len(h.rightRows))
+		for i := range h.all {
+			h.all[i] = i
+		}
+	}
+	return h.all
+}
+
+// groundJoinKey appends the packed ground key of the row's join columns to
+// dst. ok is false when any key cell is a variable term. probe selects the
+// left (probe) side of each key pair, otherwise the right (build) side.
+func groundJoinKey(dst []byte, terms []condition.Term, keys []JoinKey, probe bool) ([]byte, bool) {
+	for _, k := range keys {
+		col := k.Right
+		if probe {
+			col = k.Left
+		}
+		t := terms[col]
+		if t.IsVar {
+			return dst, false
+		}
+		dst = appendValueKey(dst, t.Const)
+	}
+	return dst, true
+}
+
+// groundRowKey appends the packed key of a fully ground row; ok is false
+// when any cell is a variable term.
+func groundRowKey(dst []byte, terms []condition.Term) ([]byte, bool) {
+	for _, t := range terms {
+		if t.IsVar {
+			return dst, false
+		}
+		dst = appendValueKey(dst, t.Const)
+	}
+	return dst, true
+}
+
+// appendValueKey appends a length-prefixed value key so concatenated keys
+// cannot collide across column boundaries.
+func appendValueKey(dst []byte, v value.Value) []byte {
+	k := v.Key()
+	dst = strconv.AppendInt(dst, int64(len(k)), 10)
+	dst = append(dst, ':')
+	return append(dst, k...)
+}
+
+// groundPartition splits materialized rows into buckets keyed by their
+// packed ground tuple plus the residual indexes of rows with variable
+// cells. It is the build phase shared by the hash difference and
+// intersection.
+func groundPartition(rows []Row) (buckets map[string][]int, residual []int) {
+	buckets = make(map[string][]int)
+	var keyBuf []byte
+	for i, r := range rows {
+		key, ok := groundRowKey(keyBuf[:0], r.Terms)
+		if !ok {
+			residual = append(residual, i)
+			continue
+		}
+		buckets[string(key)] = append(buckets[string(key)], i)
+		keyBuf = key
+	}
+	return buckets, residual
+}
+
+// mergeAscending merges two ascending index lists into buf.
+func mergeAscending(buf, a, b []int) []int {
+	buf = buf[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			buf = append(buf, a[i])
+			i++
+		} else {
+			buf = append(buf, b[j])
+			j++
+		}
+	}
+	buf = append(buf, a[i:]...)
+	return append(buf, b[j:]...)
+}
+
+// Explain renders the physical operator tree Build produces for q — one
+// line per operator, children indented — after applying the same validation
+// and rewriting Run would. It is what the engine caches alongside a
+// compiled plan and what /v1/query returns in the "plan" field.
+func Explain(q ra.Query, env Env, opts Options) (string, error) {
+	arities := make(ra.ArityEnv, len(env))
+	for name, m := range env {
+		arities[name] = m.Arity()
+	}
+	if _, err := ra.Arity(q, arities); err != nil {
+		return "", err
+	}
+	if opts.Rewrite {
+		q = Rewrite(q, arities)
+	}
+	// Explain must not count plan compilations twice.
+	opts.Stats = nil
+	it, err := build(q, env, arities, opts)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	explainOp(&b, it, 0)
+	return strings.TrimRight(b.String(), "\n"), nil
+}
+
+func explainOp(b *strings.Builder, it Iterator, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch op := it.(type) {
+	case *scanOp:
+		fmt.Fprintf(b, "%sscan(%s)\n", indent, op.name)
+	case *constOp:
+		fmt.Fprintf(b, "%sconst(%d tuples)\n", indent, len(op.rel.Tuples()))
+	case *selectOp:
+		fmt.Fprintf(b, "%sselect[%s]\n", indent, op.pred)
+		explainOp(b, op.in, depth+1)
+	case *projectOp:
+		cols := make([]string, len(op.cols))
+		for i, c := range op.cols {
+			cols[i] = strconv.Itoa(c + 1)
+		}
+		fmt.Fprintf(b, "%sproject[%s]\n", indent, strings.Join(cols, ","))
+		explainOp(b, op.in, depth+1)
+	case *crossOp:
+		fmt.Fprintf(b, "%snested-loop-cross\n", indent)
+		explainOp(b, op.left, depth+1)
+		explainOp(b, op.right, depth+1)
+	case *hashJoinOp:
+		keys := make([]string, len(op.keys))
+		for i, k := range op.keys {
+			keys[i] = fmt.Sprintf("$%d=$%d", k.Left+1, k.Right+1)
+		}
+		fmt.Fprintf(b, "%shash-join[%s] pred=%s build=right\n", indent, strings.Join(keys, ","), op.pred)
+		explainOp(b, op.left, depth+1)
+		explainOp(b, op.right, depth+1)
+	case *unionOp:
+		fmt.Fprintf(b, "%sunion\n", indent)
+		explainOp(b, op.left, depth+1)
+		explainOp(b, op.right, depth+1)
+	case *diffOp:
+		fmt.Fprintf(b, "%sdiff(%s)\n", indent, hashedOrScan(op.opts))
+		explainOp(b, op.left, depth+1)
+		explainOp(b, op.right, depth+1)
+	case *intersectOp:
+		fmt.Fprintf(b, "%sintersect(%s)\n", indent, hashedOrScan(op.opts))
+		explainOp(b, op.left, depth+1)
+		explainOp(b, op.right, depth+1)
+	default:
+		fmt.Fprintf(b, "%s%T\n", indent, it)
+	}
+}
+
+func hashedOrScan(opts Options) string {
+	if opts.NoHash {
+		return "pairwise"
+	}
+	return "hash-partitioned"
+}

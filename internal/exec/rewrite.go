@@ -191,6 +191,45 @@ func rewriteProject(q ra.ProjectQ, ar ra.ArityEnv) (ra.Query, bool) {
 	return q, false
 }
 
+// JoinKey is one equi-join key pair extracted from a join predicate over
+// the concatenated columns of L × R: column Left of the left input equals
+// column Right of the right input (both 0-based and local to their side).
+type JoinKey struct {
+	Left, Right int
+}
+
+// SplitJoinPredicate splits a join predicate p — evaluated over the
+// concatenated columns of a cross product whose left side has arity la —
+// into cross-side equi-join key pairs and the residual conjuncts. A
+// top-level conjunct becomes a key exactly when it is a plain column=column
+// equality with one side on each input; every other conjunct (one-sided
+// predicates, constants, disjunctions, inequalities, ...) lands in residual
+// unchanged. The split is partition-exact: every top-level conjunct of p
+// goes to exactly one of the two outputs, so
+//
+//	⋀ keys ∧ ⋀ residual  ⇔  p
+//
+// under every valuation (FuzzRewriteJoinKeys asserts this). The planner
+// uses the keys only to partition the build side of a symbolic hash join;
+// the full predicate is still applied symbolically to every emitted pair,
+// so the split never has to be re-assembled.
+func SplitJoinPredicate(p ra.Predicate, la int) (keys []JoinKey, residual []ra.Predicate) {
+	for _, c := range conjuncts(p) {
+		if cmp, ok := c.(ra.Cmp); ok && cmp.Op == ra.OpEq && cmp.Left.IsCol && cmp.Right.IsCol {
+			l, r := cmp.Left.Col, cmp.Right.Col
+			if l > r {
+				l, r = r, l
+			}
+			if l < la && r >= la {
+				keys = append(keys, JoinKey{Left: l, Right: r - la})
+				continue
+			}
+		}
+		residual = append(residual, c)
+	}
+	return keys, residual
+}
+
 // conjuncts flattens nested conjunctions into a list of predicates.
 func conjuncts(p ra.Predicate) []ra.Predicate {
 	if a, ok := p.(ra.And); ok {

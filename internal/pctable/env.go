@@ -40,7 +40,7 @@ func EvalQueryEnv(q ra.Query, env Env) (*PCTable, error) {
 // EvalQueryEnvWithOptions is EvalQueryEnv with explicit algebra options
 // (condition simplification, plan rewriting).
 func EvalQueryEnvWithOptions(q ra.Query, env Env, opts ctable.Options) (*PCTable, error) {
-	res, err := exec.Run(q, env.ExecEnv(), exec.Options{Simplify: opts.Simplify, Rewrite: opts.Rewrite})
+	res, err := exec.Run(q, env.ExecEnv(), opts.ExecOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -2,8 +2,6 @@ package probcalc
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 
 	"uncertaindb/internal/condition"
 	"uncertaindb/internal/value"
@@ -23,8 +21,8 @@ import (
 //   - exclusive split: pairwise disjoint disjuncts (each pair forces some
 //     variable to two different constants) satisfy P[∨] = Σ pᵢ;
 //   - Shannon expansion: otherwise a pivot variable x is eliminated via
-//     P[c] = Σ_{v ∈ dom(x)} P[x=v]·P[c[x:=v]], with results memoized on a
-//     canonical key so shared subproblems are solved once;
+//     P[c] = Σ_{v ∈ dom(x)} P[x=v]·P[c[x:=v]], with results memoized under
+//     the condition's hash-consed ID so shared subproblems are solved once;
 //   - enumeration: residual subproblems with at most Options.EnumThreshold
 //     valuations (or a single variable) are enumerated directly.
 
@@ -47,13 +45,20 @@ type field[T any] struct {
 
 // engine is the generic d-tree evaluator. It is not safe for concurrent use;
 // wrap one engine per goroutine.
+//
+// The memo is keyed by hash-consed condition IDs from the engine's private
+// interner: looking up a subproblem is two map walks over small integer
+// structures instead of rendering a canonical string key, so the warm path
+// does no string building (and, once a condition's nodes are interned, no
+// allocation at all for the key).
 type engine[T any] struct {
-	f     field[T]
-	dist  func(x condition.Variable) ([]weighted[T], error)
-	vals  map[condition.Variable][]weighted[T]
-	memo  map[string]T
-	opts  Options
-	stats Stats
+	f        field[T]
+	dist     func(x condition.Variable) ([]weighted[T], error)
+	vals     map[condition.Variable][]weighted[T]
+	interner *condition.Interner
+	memo     map[condition.ID]T
+	opts     Options
+	stats    Stats
 }
 
 func newEngine[T any](f field[T], dist func(condition.Variable) ([]weighted[T], error), opts Options) *engine[T] {
@@ -61,11 +66,12 @@ func newEngine[T any](f field[T], dist func(condition.Variable) ([]weighted[T], 
 		opts.EnumThreshold = DefaultEnumThreshold
 	}
 	return &engine[T]{
-		f:    f,
-		dist: dist,
-		vals: make(map[condition.Variable][]weighted[T]),
-		memo: make(map[string]T),
-		opts: opts,
+		f:        f,
+		dist:     dist,
+		vals:     make(map[condition.Variable][]weighted[T]),
+		interner: condition.NewInterner(),
+		memo:     make(map[condition.ID]T),
+		opts:     opts,
 	}
 }
 
@@ -136,7 +142,7 @@ func (e *engine[T]) eval(c condition.Condition) (T, error) {
 	if len(vars) == 0 {
 		return e.constant(c)
 	}
-	key := canonKey(c)
+	key := e.interner.ID(c)
 	if cached, ok := e.memo[key]; ok {
 		e.stats.MemoHits++
 		return cached, nil
@@ -284,73 +290,6 @@ func (e *engine[T]) residualAtMost(vars []condition.Variable, limit int64) (bool
 		}
 	}
 	return true, nil
-}
-
-// canonKey renders a canonical memoization key: juncts of conjunctions and
-// disjunctions are sorted so that syntactic permutations of the same
-// subcondition share a cache entry. The encoding is injective — every
-// variable-content field (variable names, constant keys, junct encodings)
-// is length-prefixed, so distinct conditions cannot collide on one entry
-// even when string constants contain the structural characters.
-func canonKey(c condition.Condition) string {
-	var b strings.Builder
-	writeCanonKey(&b, c)
-	return b.String()
-}
-
-func writeCanonKey(b *strings.Builder, c condition.Condition) {
-	switch cc := c.(type) {
-	case condition.TrueCond:
-		b.WriteByte('T')
-	case condition.FalseCond:
-		b.WriteByte('F')
-	case condition.Cmp:
-		if cc.Neq {
-			b.WriteString("n(")
-		} else {
-			b.WriteString("e(")
-		}
-		writeTermKey(b, cc.Left)
-		b.WriteByte(',')
-		writeTermKey(b, cc.Right)
-		b.WriteByte(')')
-	case condition.NotCond:
-		b.WriteString("!(")
-		writeCanonKey(b, cc.Cond)
-		b.WriteByte(')')
-	case condition.AndCond:
-		writeJunctionKey(b, '&', cc.Conds)
-	case condition.OrCond:
-		writeJunctionKey(b, '|', cc.Conds)
-	default:
-		// Unknown condition types: length-prefix the String rendering so it
-		// cannot be confused with the structured encodings above.
-		s := c.String()
-		fmt.Fprintf(b, "?%d:%s", len(s), s)
-	}
-}
-
-func writeJunctionKey(b *strings.Builder, op byte, juncts []condition.Condition) {
-	parts := make([]string, len(juncts))
-	for i, j := range juncts {
-		parts[i] = canonKey(j)
-	}
-	sort.Strings(parts)
-	b.WriteByte(op)
-	b.WriteByte('(')
-	for _, p := range parts {
-		fmt.Fprintf(b, "%d:%s", len(p), p)
-	}
-	b.WriteByte(')')
-}
-
-func writeTermKey(b *strings.Builder, t condition.Term) {
-	if t.IsVar {
-		fmt.Fprintf(b, "v%d:%s", len(t.Var), string(t.Var))
-		return
-	}
-	k := t.Const.Key()
-	fmt.Fprintf(b, "c%d:%s", len(k), k)
 }
 
 // components partitions juncts into groups connected by shared variables

@@ -4,8 +4,10 @@
 //
 // The evaluator builds a decomposition tree ("d-tree") over the condition:
 // connected-component independence splits, exclusive-disjunction splits, and
-// Shannon expansion on a pivot variable with memoization of canonicalized
-// subconditions; brute-force enumeration is used only for residual
+// Shannon expansion on a pivot variable with memoization keyed by
+// hash-consed condition IDs (condition.Interner), so permutations of the
+// same subcondition share one cache entry without any string rendering on
+// the hot path; brute-force enumeration is used only for residual
 // subproblems with at most Options.EnumThreshold valuations. This replaces
 // the exponential valuation enumeration that internal/pctable used for every
 // marginal, and is the engine behind PCTable.ConditionProbability.

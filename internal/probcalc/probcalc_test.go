@@ -304,11 +304,12 @@ func TestCountSatisfyingBigScales(t *testing.T) {
 }
 
 // Regression: memoization keys must be injective even when string constants
-// contain the encoding's structural characters. With String()-based keys,
-// the two disjunctions below collided on one cache entry, so a shared
-// evaluator silently returned the first condition's probability for the
-// second.
-func TestCanonKeyInjective(t *testing.T) {
+// contain structural characters. With String()-based keys, the two
+// disjunctions below collided on one cache entry, so a shared evaluator
+// silently returned the first condition's probability for the second. The
+// memo is now keyed by hash-consed IDs, which identify terms by value and
+// cannot collide on renderings at all.
+func TestMemoKeyInjective(t *testing.T) {
 	tricky := condition.Or(
 		condition.Eq(condition.Var("x"), condition.Const(value.Str("1'|y='2"))),
 		condition.EqVarConst("z", value.Str("3")))
@@ -316,8 +317,9 @@ func TestCanonKeyInjective(t *testing.T) {
 		condition.EqVarConst("x", value.Str("1")),
 		condition.EqVarConst("y", value.Str("2")),
 		condition.EqVarConst("z", value.Str("3")))
-	if canonKey(tricky) == canonKey(plain) {
-		t.Fatalf("canonKey collision: %q", canonKey(tricky))
+	in := condition.NewInterner()
+	if in.ID(tricky) == in.ID(plain) {
+		t.Fatalf("memo key collision between %s and %s", tricky, plain)
 	}
 
 	dists := MapDists{

@@ -209,3 +209,38 @@ func ProjectionQuery(cols ...int) ra.Query { return ra.Project(cols, ra.Rel("V")
 func SelfJoinQuery(arity, l, r int) ra.Query {
 	return ra.Join(ra.Rel("V"), ra.Rel("V"), ra.Eq(ra.Col(l), ra.Col(arity+r)))
 }
+
+// EquiJoin builds the E15 workload: two 2-column c-tables R and S with rows
+// ground rows each — row i of either table has the unique integer key i in
+// column 1 and a distinct payload in column 2, so the equi-join
+// R ⋈_{$1=$3} S is maximally selective (every key matches exactly one row
+// per side) — plus varRows rows per table whose key cell is a variable over
+// a small shared domain (the symbolic residual every hash probe must also
+// consider). The returned query is the plain equi-join, so the measured
+// work is the join itself.
+func EquiJoin(rows, varRows int) (ctable.Env, ra.Query) {
+	dom := value.IntRange(0, 2)
+	build := func(payloadBase int64, varPrefix string) *ctable.CTable {
+		t := ctable.New(2)
+		for i := 0; i < rows; i++ {
+			t.AddRow([]condition.Term{
+				condition.ConstInt(int64(i)),
+				condition.ConstInt(payloadBase + int64(i)),
+			}, nil)
+		}
+		for i := 0; i < varRows; i++ {
+			x := fmt.Sprintf("%s%d", varPrefix, i)
+			t.SetDomain(x, dom)
+			t.AddRow([]condition.Term{
+				condition.Var(x),
+				condition.ConstInt(payloadBase - int64(i) - 1),
+			}, nil)
+		}
+		return t
+	}
+	env := ctable.Env{
+		"R": build(1_000_000, "r"),
+		"S": build(2_000_000, "s"),
+	}
+	return env, ra.Join(ra.Rel("R"), ra.Rel("S"), ra.Eq(ra.Col(0), ra.Col(2)))
+}
