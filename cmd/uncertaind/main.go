@@ -7,6 +7,13 @@
 //
 //	uncertaind -addr 127.0.0.1:8080 -load catalog.tbl [-cache 128] [-workers 4]
 //
+// -workers (default GOMAXPROCS) sizes both bounds: how many queries execute
+// concurrently, and the shared pool all executions draw their extra
+// batch-engine morsel goroutines from (so load cannot multiply the
+// per-query width). /v1/stats reports the engine.ops counters, which
+// include the batch-driver work units (batches, morsels) next to the
+// row/probe counters.
+//
 // Endpoints (stable, versioned surface):
 //
 //	PUT    /v1/tables/{name}   register or replace a table (body: table script)
@@ -77,8 +84,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs.SetOutput(io.Discard)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 	cacheSize := fs.Int("cache", 128, "maximum number of cached prepared plans")
-	workers := fs.Int("workers", 0, "maximum concurrently executing queries (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "maximum concurrently executing queries and per-query morsel parallelism (0 = GOMAXPROCS)")
 	noRewrites := fs.Bool("no-rewrites", false, "disable the logical-plan rewriter (debugging aid)")
+	noBatch := fs.Bool("no-batch", false, "disable the vectorized batch engine, restoring tuple-at-a-time iterators (debugging aid)")
 	var loads multiFlag
 	fs.Var(&loads, "load", "catalog script to load at startup (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -90,7 +98,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("%w (run with -h for usage)", err)
 	}
 
-	db := uncertain.Open(uncertain.Config{CacheSize: *cacheSize, Workers: *workers, DisableRewrites: *noRewrites})
+	db := uncertain.Open(uncertain.Config{
+		CacheSize:       *cacheSize,
+		Workers:         *workers,
+		DisableRewrites: *noRewrites,
+		DisableBatch:    *noBatch,
+	})
 	for _, path := range loads {
 		names, err := db.LoadCatalogFile(path)
 		if err != nil {

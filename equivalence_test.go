@@ -232,15 +232,16 @@ func randomEqQuery(rng *rand.Rand, arity, depth int) ra.Query {
 	return rec(depth).q
 }
 
-// Property (acceptance criterion of the physical-plan redesign): on
-// randomized multi-table environments and queries, the answers produced by
-// the unified operator core across the full 2×2 grid of plan options —
-// rewrites off/on × hash path off/on — have bit-identical rational tuple
-// marginals to the frozen eager evaluator's, for every tuple possible under
-// any answer, and identical certain-answer (marginal exactly 1) and
-// possible-answer (marginal > 0) sets. Marginals are computed by the exact
-// big.Rat engine, so "equal" means equal as rationals, not within a float
-// tolerance. The CI race job runs this under -race.
+// Property (acceptance criterion of the physical-plan and batch-execution
+// redesigns): on randomized multi-table environments and queries, the
+// answers produced by the unified operator core across the full 2×2×2 grid
+// of plan options — rewrites off/on × hash path off/on × batch engine
+// off/on — have bit-identical rational tuple marginals to the frozen eager
+// evaluator's, for every tuple possible under any answer, and identical
+// certain-answer (marginal exactly 1) and possible-answer (marginal > 0)
+// sets. Marginals are computed by the exact big.Rat engine, so "equal"
+// means equal as rationals, not within a float tolerance. The CI race job
+// runs this under -race (the batch cells execute morsel-parallel).
 func TestOperatorCoreBitIdenticalToEager(t *testing.T) {
 	one := big.NewRat(1, 1)
 	rng := rand.New(rand.NewSource(41))
@@ -262,51 +263,53 @@ func TestOperatorCoreBitIdenticalToEager(t *testing.T) {
 
 		for _, rewrite := range []bool{false, true} {
 			for _, hash := range []bool{false, true} {
-				grid := fmt.Sprintf("rewrite=%v hash=%v", rewrite, hash)
-				coreCT, err := ctable.EvalQueryEnvWithOptions(q, env,
-					ctable.Options{Simplify: true, Rewrite: rewrite, NoHash: !hash})
-				if err != nil {
-					t.Fatalf("trial %d (%s): core: %v", trial, grid, err)
-				}
-				corePC, err := pctable.UniformPCTable(coreCT)
-				if err != nil {
-					t.Fatalf("trial %d (%s): %v", trial, grid, err)
-				}
-				coreExact := probcalc.NewExact(corePC)
-
-				// Every tuple possible under either answer must have the same
-				// exact rational marginal in both, hence the same certain and
-				// possible answer sets.
-				tuples := make(map[string]value.Tuple)
-				for _, pc := range []*pctable.PCTable{eagerPC, corePC} {
-					possible, err := pc.PossibleTuples()
+				for _, batch := range []bool{false, true} {
+					grid := fmt.Sprintf("rewrite=%v hash=%v batch=%v", rewrite, hash, batch)
+					coreCT, err := ctable.EvalQueryEnvWithOptions(q, env,
+						ctable.Options{Simplify: true, Rewrite: rewrite, NoHash: !hash, NoBatch: !batch})
+					if err != nil {
+						t.Fatalf("trial %d (%s): core: %v", trial, grid, err)
+					}
+					corePC, err := pctable.UniformPCTable(coreCT)
 					if err != nil {
 						t.Fatalf("trial %d (%s): %v", trial, grid, err)
 					}
-					for _, tp := range possible {
-						tuples[tp.Key()] = tp
+					coreExact := probcalc.NewExact(corePC)
+
+					// Every tuple possible under either answer must have the same
+					// exact rational marginal in both, hence the same certain and
+					// possible answer sets.
+					tuples := make(map[string]value.Tuple)
+					for _, pc := range []*pctable.PCTable{eagerPC, corePC} {
+						possible, err := pc.PossibleTuples()
+						if err != nil {
+							t.Fatalf("trial %d (%s): %v", trial, grid, err)
+						}
+						for _, tp := range possible {
+							tuples[tp.Key()] = tp
+						}
 					}
-				}
-				for _, tp := range tuples {
-					want, err := eagerExact.ProbabilityRat(eagerPC.Lineage(tp))
-					if err != nil {
-						t.Fatalf("trial %d: eager marginal: %v", trial, err)
-					}
-					got, err := coreExact.ProbabilityRat(corePC.Lineage(tp))
-					if err != nil {
-						t.Fatalf("trial %d (%s): core marginal: %v", trial, grid, err)
-					}
-					if got.Cmp(want) != 0 {
-						t.Errorf("trial %d (%s), tuple %s: core %s vs eager %s — not bit-identical\nquery: %s",
-							trial, grid, tp, got, want, q)
-					}
-					if (got.Sign() > 0) != (want.Sign() > 0) {
-						t.Errorf("trial %d (%s), tuple %s: possible-answer sets differ (core %s, eager %s)",
-							trial, grid, tp, got, want)
-					}
-					if (got.Cmp(one) == 0) != (want.Cmp(one) == 0) {
-						t.Errorf("trial %d (%s), tuple %s: certain-answer sets differ (core %s, eager %s)",
-							trial, grid, tp, got, want)
+					for _, tp := range tuples {
+						want, err := eagerExact.ProbabilityRat(eagerPC.Lineage(tp))
+						if err != nil {
+							t.Fatalf("trial %d: eager marginal: %v", trial, err)
+						}
+						got, err := coreExact.ProbabilityRat(corePC.Lineage(tp))
+						if err != nil {
+							t.Fatalf("trial %d (%s): core marginal: %v", trial, grid, err)
+						}
+						if got.Cmp(want) != 0 {
+							t.Errorf("trial %d (%s), tuple %s: core %s vs eager %s — not bit-identical\nquery: %s",
+								trial, grid, tp, got, want, q)
+						}
+						if (got.Sign() > 0) != (want.Sign() > 0) {
+							t.Errorf("trial %d (%s), tuple %s: possible-answer sets differ (core %s, eager %s)",
+								trial, grid, tp, got, want)
+						}
+						if (got.Cmp(one) == 0) != (want.Cmp(one) == 0) {
+							t.Errorf("trial %d (%s), tuple %s: certain-answer sets differ (core %s, eager %s)",
+								trial, grid, tp, got, want)
+						}
 					}
 				}
 			}

@@ -1,0 +1,60 @@
+package condition
+
+// This file dictionary-encodes terms: a TermInterner assigns every distinct
+// term (variables by name, constants by value and kind) a stable small
+// integer TermID, so a relation over terms can materialize as columnar
+// []TermID vectors and term equality becomes a single integer compare. It is
+// the sibling of Interner (which hash-conses whole conditions): the batch
+// execution engine in internal/exec interns every term of its base tables
+// once per run and then executes selections, projections and hash joins over
+// the encoded columns, resolving IDs back to terms only when a symbolic
+// condition must be built.
+//
+// TermIDs are only meaningful relative to the TermInterner that produced
+// them. A TermInterner is not safe for concurrent interning, but once
+// interning is done (the encode phase of a batch run) Resolve, IsVar and Len
+// are read-only and safe to call from many goroutines.
+
+// TermID identifies an interned term within one TermInterner. IDs are dense,
+// starting at 0, in first-intern order.
+type TermID uint32
+
+// TermInterner dictionary-encodes terms.
+type TermInterner struct {
+	ids   map[Term]TermID
+	terms []Term
+}
+
+// NewTermInterner returns an empty term dictionary.
+func NewTermInterner() *TermInterner {
+	return NewTermInternerSize(0)
+}
+
+// NewTermInternerSize returns an empty term dictionary pre-sized for about n
+// distinct terms, so bulk encoding does not rehash while growing.
+func NewTermInternerSize(n int) *TermInterner {
+	return &TermInterner{ids: make(map[Term]TermID, n)}
+}
+
+// Intern returns the stable ID of t, assigning the next dense ID on first
+// sight. Two terms receive the same ID exactly when they are structurally
+// equal (same variable, or same constant value and kind).
+func (ti *TermInterner) Intern(t Term) TermID {
+	if id, ok := ti.ids[t]; ok {
+		return id
+	}
+	id := TermID(len(ti.terms))
+	ti.ids[t] = id
+	ti.terms = append(ti.terms, t)
+	return id
+}
+
+// Resolve returns the term with the given ID. It panics if id was not
+// produced by this interner.
+func (ti *TermInterner) Resolve(id TermID) Term { return ti.terms[id] }
+
+// IsVar reports whether the interned term is a variable.
+func (ti *TermInterner) IsVar(id TermID) bool { return ti.terms[id].IsVar }
+
+// Len returns the number of distinct terms interned so far.
+func (ti *TermInterner) Len() int { return len(ti.terms) }

@@ -35,6 +35,20 @@ type Options struct {
 	// preserves Mod and every tuple marginal but never emits rows whose
 	// condition is the constant false.
 	NoHash bool
+	// NoBatch disables the vectorized batch engine, restoring the
+	// tuple-at-a-time iterator operators. The batch path is byte-identical
+	// to the iterator path; it only executes over interned term-ID columns,
+	// morsel-parallel.
+	NoBatch bool
+	// Workers bounds the morsel-driven parallelism of the batch engine
+	// (goroutines per evaluation). Zero or negative selects GOMAXPROCS; 1
+	// forces sequential execution. The answer is byte-identical for every
+	// worker count.
+	Workers int
+	// Pool, when non-nil, bounds the batch engine's extra goroutines across
+	// every evaluation sharing it (exec.Options.Pool); the serving engine
+	// passes one pool to all query executions.
+	Pool *exec.WorkerPool
 	// Stats, when non-nil, accumulates per-operator row/probe counters of
 	// the physical plan (exec.OpStats). Use one OpStats per evaluation.
 	Stats *exec.OpStats
@@ -48,16 +62,21 @@ var DefaultOptions = Options{Simplify: true, Rewrite: true}
 func (o Options) ExecOptions() exec.Options { return o.execOptions(true) }
 
 func (o Options) execOptions(rewrite bool) exec.Options {
-	return exec.Options{Simplify: o.Simplify, Rewrite: rewrite && o.Rewrite, NoHash: o.NoHash, Stats: o.Stats}
+	return exec.Options{
+		Simplify: o.Simplify,
+		Rewrite:  rewrite && o.Rewrite,
+		NoHash:   o.NoHash,
+		NoBatch:  o.NoBatch,
+		Workers:  o.Workers,
+		Pool:     o.Pool,
+		Stats:    o.Stats,
+	}
 }
 
-// Row returns the i-th row as an exec.Row view; with Arity, NumRows and
-// EachDomain it makes *CTable an exec.Model, so the shared operator core can
-// scan c-tables directly.
-func (t *CTable) Row(i int) exec.Row {
-	r := t.rows[i]
-	return exec.Row{Terms: r.Terms, Cond: r.Cond}
-}
+// Row returns the i-th row (ctable.Row is an alias of exec.Row); with
+// Arity, NumRows and EachDomain it makes *CTable an exec.Model, so the
+// shared operator core can scan c-tables directly.
+func (t *CTable) Row(i int) exec.Row { return t.rows[i] }
 
 // EachDomain visits the declared finite variable domains (exec.Model).
 func (t *CTable) EachDomain(f func(condition.Variable, *value.Domain)) {
@@ -67,10 +86,18 @@ func (t *CTable) EachDomain(f func(condition.Variable, *value.Domain)) {
 }
 
 // FromExecResult wraps rows produced by the operator core into a CTable.
+// Rows the run owns (the batch engine decodes into a private slab, with
+// conditions already normalized) are adopted wholesale — ctable.Row aliases
+// exec.Row, so this is free; iterator-path rows are cloned, since scans
+// share term slices with the base models.
 func FromExecResult(res *exec.Result) *CTable {
 	out := New(res.Arity)
 	for x, d := range res.Domains {
 		out.domains[x] = d
+	}
+	if res.OwnedRows {
+		out.rows = res.Rows
+		return out
 	}
 	out.rows = make([]Row, 0, len(res.Rows))
 	for _, r := range res.Rows {

@@ -19,17 +19,17 @@ import (
 	"strings"
 
 	"uncertaindb/internal/condition"
+	"uncertaindb/internal/exec"
 	"uncertaindb/internal/incomplete"
 	"uncertaindb/internal/relation"
 	"uncertaindb/internal/value"
 )
 
 // Row is one row of a c-table: a symbolic tuple (terms are constants or
-// variables) guarded by a condition.
-type Row struct {
-	Terms []condition.Term
-	Cond  condition.Condition
-}
+// variables) guarded by a condition. It is an alias of the operator core's
+// row type, so answers materialized by the engine are adopted without
+// conversion (and a *CTable is an exec.Model without adapter glue).
+type Row = exec.Row
 
 // NewRow builds a row; a nil condition means "true" (a v-table row).
 func NewRow(terms []condition.Term, cond condition.Condition) Row {
@@ -39,17 +39,8 @@ func NewRow(terms []condition.Term, cond condition.Condition) Row {
 	return Row{Terms: append([]condition.Term(nil), terms...), Cond: cond}
 }
 
-// String renders the row as "(t1, ..., tn) : cond".
-func (r Row) String() string {
-	parts := make([]string, len(r.Terms))
-	for i, t := range r.Terms {
-		parts[i] = t.String()
-	}
-	return "(" + strings.Join(parts, ", ") + ") : " + r.Cond.String()
-}
-
-// vars accumulates the variables of the row (terms and condition).
-func (r Row) vars(set map[condition.Variable]bool) {
+// rowVars accumulates the variables of the row (terms and condition).
+func rowVars(r Row, set map[condition.Variable]bool) {
 	for _, t := range r.Terms {
 		if t.IsVar {
 			set[t.Var] = true
@@ -121,7 +112,7 @@ func (t *CTable) NumRows() int { return len(t.rows) }
 func (t *CTable) Vars() []condition.Variable {
 	set := make(map[condition.Variable]bool)
 	for _, r := range t.rows {
-		r.vars(set)
+		rowVars(r, set)
 	}
 	out := make([]condition.Variable, 0, len(set))
 	for v := range set {

@@ -87,13 +87,21 @@ type Options struct {
 	// CacheSize bounds the number of cached prepared plans (LRU eviction).
 	// Zero or negative selects 128.
 	CacheSize int
-	// Workers bounds the number of concurrently executing queries. Zero or
-	// negative selects GOMAXPROCS.
+	// Workers bounds the number of concurrently executing queries and the
+	// morsel-driven parallelism inside each plan compilation (the batch
+	// engine splits base-table scans into morsels and runs operator
+	// pipelines on a pool of this size). Zero or negative selects
+	// GOMAXPROCS.
 	Workers int
 	// DisableRewrites turns off the logical-plan rewriter (predicate
 	// pushdown, projection pruning) in the operator core. Rewrites never
 	// change answers, only compilation cost, so they are on by default.
 	DisableRewrites bool
+	// DisableBatch turns off the vectorized batch engine, restoring the
+	// tuple-at-a-time iterator operators. The batch path is byte-identical
+	// to the iterator path (same answers, same plans modulo the "batch-"
+	// operator prefix), only faster; this is a debugging aid.
+	DisableBatch bool
 }
 
 func (o Options) withDefaults() Options {
@@ -216,9 +224,10 @@ type plan struct {
 // LRU cache of prepared plans and a bounded execution pool. Safe for
 // concurrent use.
 type Engine struct {
-	cat  *catalog.Catalog
-	opts Options
-	sem  chan struct{}
+	cat      *catalog.Catalog
+	opts     Options
+	sem      chan struct{}
+	execPool *exec.WorkerPool // shared morsel-worker budget across executions
 
 	mu      sync.Mutex
 	lru     *list.List // of *plan; front = most recently used
@@ -236,12 +245,13 @@ type Engine struct {
 func New(cat *catalog.Catalog, opts Options) *Engine {
 	opts = opts.withDefaults()
 	return &Engine{
-		cat:     cat,
-		opts:    opts,
-		sem:     make(chan struct{}, opts.Workers),
-		lru:     list.New(),
-		byKey:   make(map[string]*list.Element),
-		byTable: make(map[string]map[string]bool),
+		cat:      cat,
+		opts:     opts,
+		sem:      make(chan struct{}, opts.Workers),
+		execPool: exec.NewWorkerPool(opts.Workers),
+		lru:      list.New(),
+		byKey:    make(map[string]*list.Element),
+		byTable:  make(map[string]map[string]bool),
 	}
 }
 
@@ -511,9 +521,19 @@ func cacheKey(queryText string, kind Kind, names []string, snap *catalog.Snapsho
 	return b.String()
 }
 
-// algebraOptions returns the operator-core options the engine compiles with.
+// algebraOptions returns the operator-core options the engine compiles with:
+// the engine's worker bound doubles as the morsel-parallelism bound of the
+// batch engine, and every execution draws its extra morsel goroutines from
+// one shared pool of that size — concurrent queries cannot multiply the
+// per-query width into Workers² busy goroutines.
 func (e *Engine) algebraOptions() ctable.Options {
-	return ctable.Options{Simplify: true, Rewrite: !e.opts.DisableRewrites}
+	return ctable.Options{
+		Simplify: true,
+		Rewrite:  !e.opts.DisableRewrites,
+		NoBatch:  e.opts.DisableBatch,
+		Workers:  e.opts.Workers,
+		Pool:     e.execPool,
+	}
 }
 
 // compile runs the cold path: resolve tables, closed algebra on the shared

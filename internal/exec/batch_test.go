@@ -1,0 +1,217 @@
+package exec_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/exec"
+	"uncertaindb/internal/ra"
+	"uncertaindb/internal/value"
+	"uncertaindb/internal/workload"
+)
+
+// The frozen-twin property of the batch engine: on randomized multi-table
+// environments and queries, the vectorized batch path produces exactly the
+// iterator path's answer — same rows, same condition syntax, same order —
+// across the full option grid (simplify × rewrite × hash) and for both a
+// sequential and a parallel worker count. Byte-identity is what makes
+// batch-path determinism structural rather than probabilistic.
+func TestBatchMatchesTupleByteIdentical(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		rng := rand.New(rand.NewSource(131))
+		for trial := 0; trial < 30; trial++ {
+			env := ctable.Env{
+				"A": randomCTable(rng, 2, 3, []string{"x", "y"}),
+				"B": randomCTable(rng, 2, 2, []string{"y", "z"}),
+			}
+			q := randomQuery(rng, 2, 3)
+			for _, simplify := range []bool{true, false} {
+				for _, rewrite := range []bool{false, true} {
+					for _, hash := range []bool{true, false} {
+						opts := ctable.Options{Simplify: simplify, Rewrite: rewrite, NoHash: !hash, Workers: workers}
+						batch, err := ctable.EvalQueryEnvWithOptions(q, env, opts)
+						if err != nil {
+							t.Fatalf("trial %d: batch: %v", trial, err)
+						}
+						opts.NoBatch = true
+						tuple, err := ctable.EvalQueryEnvWithOptions(q, env, opts)
+						if err != nil {
+							t.Fatalf("trial %d: tuple: %v", trial, err)
+						}
+						if batch.String() != tuple.String() {
+							t.Fatalf("trial %d (simplify=%v rewrite=%v hash=%v workers=%d): batch and tuple answers differ for %s\nbatch:\n%s\ntuple:\n%s",
+								trial, simplify, rewrite, hash, workers, q, batch, tuple)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Inputs larger than one morsel exercise the parallel driver proper: the
+// E15/E16 equi-join workload at 1500 rows per side splits into two morsels,
+// and a projection on top adds a cross-morsel merge. Every worker count must
+// produce the byte-identical answer, which must also equal the tuple path's.
+func TestBatchMultiMorselDeterministic(t *testing.T) {
+	env, join := workload.EquiJoin(1500, 8)
+	q := ra.Project([]int{0, 3}, join)
+	var want string
+	for _, workers := range []int{1, 2, 8} {
+		res, err := ctable.EvalQueryEnvWithOptions(q, env,
+			ctable.Options{Simplify: true, Rewrite: true, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := res.String()
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d produced a different answer than workers=1", workers)
+		}
+	}
+	tuple, err := ctable.EvalQueryEnvWithOptions(q, env,
+		ctable.Options{Simplify: true, Rewrite: true, NoBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuple.String() != want {
+		t.Fatal("batch answer differs from the tuple-at-a-time answer")
+	}
+}
+
+// A shared worker pool bounds the extra goroutines across evaluations
+// without changing any answer: with a drained 1-slot pool the run degrades
+// to its own goroutine and still produces the byte-identical result.
+func TestBatchSharedPoolDeterministic(t *testing.T) {
+	env, join := workload.EquiJoin(1100, 4)
+	q := ra.Project([]int{0, 3}, join)
+	want, err := ctable.EvalQueryEnvWithOptions(q, env,
+		ctable.Options{Simplify: true, Rewrite: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, slots := range []int{1, 2} {
+		pool := exec.NewWorkerPool(slots)
+		got, err := ctable.EvalQueryEnvWithOptions(q, env,
+			ctable.Options{Simplify: true, Rewrite: true, Workers: 8, Pool: pool})
+		if err != nil {
+			t.Fatalf("pool=%d: %v", slots, err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("pool=%d: pooled run produced a different answer", slots)
+		}
+	}
+}
+
+// The batch operators count exactly what the iterator operators count (rows
+// in/out, probes, residual hits, join strategy), and additionally report the
+// work units of the vectorized driver (batches, morsels). Totals must not
+// depend on the worker count.
+func TestBatchCountersMatchTuple(t *testing.T) {
+	env := joinTables()
+	var tuple exec.OpStats
+	if _, err := ctable.EvalQueryEnvWithOptions(equiJoinQuery, env,
+		ctable.Options{Simplify: true, NoBatch: true, Stats: &tuple}); err != nil {
+		t.Fatal(err)
+	}
+	if tuple.Batches != 0 || tuple.Morsels != 0 {
+		t.Errorf("tuple path counted batch work: %+v", tuple)
+	}
+	for _, workers := range []int{1, 4} {
+		var batch exec.OpStats
+		if _, err := ctable.EvalQueryEnvWithOptions(equiJoinQuery, env,
+			ctable.Options{Simplify: true, Workers: workers, Stats: &batch}); err != nil {
+			t.Fatal(err)
+		}
+		shared := batch
+		shared.Batches, shared.Morsels = 0, 0
+		if shared != tuple {
+			t.Errorf("workers=%d: batch counters %+v differ from tuple counters %+v", workers, shared, tuple)
+		}
+		if batch.Batches == 0 || batch.Morsels == 0 {
+			t.Errorf("workers=%d: batch/morsel counters empty: %+v", workers, batch)
+		}
+	}
+}
+
+// Errors surface identically on both engines: an ordering comparison applied
+// to a variable term fails with the same message.
+func TestBatchErrorParity(t *testing.T) {
+	tab := ctable.New(1)
+	tab.SetDomain("x", value.IntRange(1, 3))
+	tab.AddRow([]condition.Term{condition.Var("x")}, nil)
+	q := ra.Select(ra.Cmp{Left: ra.Col(0), Op: ra.OpLt, Right: ra.ConstInt(2)}, ra.Rel("T"))
+	env := ctable.Env{"T": tab}
+	_, batchErr := ctable.EvalQueryEnvWithOptions(q, env, ctable.Options{Simplify: true})
+	_, tupleErr := ctable.EvalQueryEnvWithOptions(q, env, ctable.Options{Simplify: true, NoBatch: true})
+	if batchErr == nil || tupleErr == nil {
+		t.Fatalf("expected errors, got batch=%v tuple=%v", batchErr, tupleErr)
+	}
+	if batchErr.Error() != tupleErr.Error() {
+		t.Errorf("error mismatch:\nbatch: %v\ntuple: %v", batchErr, tupleErr)
+	}
+	if !strings.Contains(batchErr.Error(), "ordering comparison") {
+		t.Errorf("unexpected error: %v", batchErr)
+	}
+}
+
+// Explain marks the operators of the default (batch) engine and drops the
+// prefix for the frozen tuple twin.
+func TestExplainBatchPrefix(t *testing.T) {
+	env := joinTables().ExecEnv()
+	plan, err := exec.Explain(equiJoinQuery, env, exec.Options{Simplify: true, Rewrite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "batch-hash-join[$1=$1]") || !strings.Contains(plan, "batch-scan(R)") {
+		t.Errorf("batch plan missing batch operators:\n%s", plan)
+	}
+	plan, err = exec.Explain(equiJoinQuery, env, exec.Options{Simplify: true, Rewrite: true, NoBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "batch-") {
+		t.Errorf("NoBatch plan still marked batch:\n%s", plan)
+	}
+}
+
+// Sanity for the benchmark workload shapes: the batch hash join on the
+// equi-join workload emits the same row multiset as the eager evaluator's
+// non-false rows at every measured size.
+func TestBatchEquiJoinAgainstEager(t *testing.T) {
+	for _, rows := range []int{64, 300} {
+		env, q := workload.EquiJoin(rows, 4)
+		batch, err := ctable.EvalQueryEnvWithOptions(q, env, ctable.Options{Simplify: true, Rewrite: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eager, err := ctable.EvalQueryEnvEager(q, env, ctable.Options{Simplify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kept := make(map[string]int)
+		for _, r := range eager.Rows() {
+			if _, isFalse := r.Cond.(condition.FalseCond); !isFalse {
+				kept[r.String()]++
+			}
+		}
+		for _, r := range batch.Rows() {
+			key := r.String()
+			if kept[key] == 0 {
+				t.Fatalf("rows=%d: batch emitted %s absent from eager's non-false rows", rows, key)
+			}
+			kept[key]--
+		}
+		for key, n := range kept {
+			if n != 0 {
+				t.Fatalf("rows=%d: batch dropped %d copies of %s", rows, n, key)
+			}
+		}
+	}
+}

@@ -21,10 +21,19 @@
 // breakers materialize only the inputs they must. Options.NoHash restores
 // the textbook nested-loop/pairwise-scan operators, which reproduce the
 // frozen eager evaluator byte for byte.
+//
+// Run executes the plan on one of two engines. The default is the
+// vectorized batch engine (batch.go): base tables are dictionary-encoded
+// into columnar interned-term-ID vectors and the operators execute
+// batch-at-a-time over fixed-size morsels on a bounded worker pool
+// (Options.Workers). Options.NoBatch restores the tuple-at-a-time iterator
+// engine as a frozen twin; the two are byte-identical — same rows, same
+// condition syntax, same order, same counters — for every worker count.
 package exec
 
 import (
 	"fmt"
+	"strings"
 
 	"uncertaindb/internal/condition"
 	"uncertaindb/internal/ra"
@@ -34,10 +43,20 @@ import (
 
 // Row is one symbolic row flowing between operators: a tuple of terms
 // (constants or variables) guarded by a condition. It is the common currency
-// of every table model.
+// of every table model — internal/ctable aliases its own Row to this type,
+// so answers materialized by the engine are adopted without conversion.
 type Row struct {
 	Terms []condition.Term
 	Cond  condition.Condition
+}
+
+// String renders the row as "(t1, ..., tn) : cond".
+func (r Row) String() string {
+	parts := make([]string, len(r.Terms))
+	for i, t := range r.Terms {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ") : " + r.Cond.String()
 }
 
 // Model is the interface a table representation implements to be queried by
@@ -77,6 +96,25 @@ type Options struct {
 	// condition is the constant false — so the byte-identical eager-twin
 	// tests pin NoHash on.
 	NoHash bool
+	// NoBatch disables the vectorized batch engine (batch.go) and restores
+	// the tuple-at-a-time iterator operators as a frozen twin. The batch
+	// path is byte-identical to the iterator path — same rows, same
+	// condition syntax, same order, same counters — it only executes over
+	// interned term-ID columns, morsel-parallel.
+	NoBatch bool
+	// Workers bounds the morsel-driven parallelism of the batch engine:
+	// the number of goroutines that execute pipeline morsels concurrently.
+	// Zero or negative selects GOMAXPROCS; 1 forces sequential execution.
+	// Inputs smaller than one morsel (BatchSize rows) never spawn
+	// goroutines. The answer is byte-identical for every worker count.
+	Workers int
+	// Pool, when non-nil, is a shared budget for the extra goroutines
+	// parallel morsel execution spawns: runs sharing one pool (the serving
+	// engine passes one to every query execution) stay bounded by the pool
+	// size in total, not per run. Acquisition is non-blocking — a run that
+	// finds the pool drained proceeds on its own goroutine — so answers
+	// stay byte-identical and sharing cannot deadlock.
+	Pool *WorkerPool
 	// Stats, when non-nil, accumulates per-operator row/probe counters
 	// during execution. Counters are incremented without synchronization;
 	// use one OpStats per Run.
@@ -100,6 +138,12 @@ type Result struct {
 	Arity   int
 	Rows    []Row
 	Domains map[condition.Variable]*value.Domain
+	// OwnedRows reports that every row's term slice was freshly allocated by
+	// this run (the batch engine decodes into a private slab), so adapters
+	// may adopt the rows without a defensive copy. The iterator engine
+	// leaves it false: its scans hand out term slices shared with the base
+	// models.
+	OwnedRows bool
 }
 
 // Run validates q against env, optionally rewrites it, builds the operator
@@ -113,15 +157,23 @@ func Run(q ra.Query, env Env, opts Options) (*Result, error) {
 	if opts.Rewrite {
 		q = Rewrite(q, arities)
 	}
-	it, err := build(q, env, arities, opts)
-	if err != nil {
-		return nil, err
+	var rows []Row
+	if opts.NoBatch {
+		it, err := build(q, env, arities, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows, err = Drain(it)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		rows, err = runBatch(q, env, arities, opts)
+		if err != nil {
+			return nil, err
+		}
 	}
-	rows, err := Drain(it)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Arity: arity, Rows: rows, Domains: make(map[condition.Variable]*value.Domain)}
+	res := &Result{Arity: arity, Rows: rows, Domains: make(map[condition.Variable]*value.Domain), OwnedRows: !opts.NoBatch}
 	collectDomains(q, env, res.Domains)
 	return res, nil
 }

@@ -57,6 +57,14 @@ type OpStats struct {
 	// build rows with variable key cells that every probe must scan, plus
 	// whole-side scans forced by probe rows with variable key cells.
 	ResidualHits uint64 `json:"residualHits"`
+	// Batches counts batch-stage applications executed by the vectorized
+	// engine (one per streaming stage per morsel); zero on the
+	// tuple-at-a-time path.
+	Batches uint64 `json:"batches"`
+	// Morsels counts the morsel tasks the parallel driver ran (fixed-size
+	// scan splits pushed through fused operator pipelines); zero on the
+	// tuple-at-a-time path.
+	Morsels uint64 `json:"morsels"`
 }
 
 // Add accumulates o into s.
@@ -67,6 +75,16 @@ func (s *OpStats) Add(o OpStats) {
 	s.NestedLoopJoins += o.NestedLoopJoins
 	s.HashProbes += o.HashProbes
 	s.ResidualHits += o.ResidualHits
+	s.Batches += o.Batches
+	s.Morsels += o.Morsels
+}
+
+// merge is the nil-receiver Add used when batch tasks fold their local
+// counters into the run's (possibly absent) stats.
+func (s *OpStats) merge(o OpStats) {
+	if s != nil {
+		s.Add(o)
+	}
 }
 
 // The nil-receiver increment helpers let operators count unconditionally.
@@ -301,8 +319,9 @@ func groundPartition(rows []Row) (buckets map[string][]int, residual []int) {
 	return buckets, residual
 }
 
-// mergeAscending merges two ascending index lists into buf.
-func mergeAscending(buf, a, b []int) []int {
+// mergeAscending merges two ascending index lists into buf (the iterator
+// operators index with int, the batch engine with int32).
+func mergeAscending[T int | int32](buf, a, b []T) []T {
 	buf = buf[:0]
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -320,8 +339,11 @@ func mergeAscending(buf, a, b []int) []int {
 
 // Explain renders the physical operator tree Build produces for q — one
 // line per operator, children indented — after applying the same validation
-// and rewriting Run would. It is what the engine caches alongside a
-// compiled plan and what /v1/query returns in the "plan" field.
+// and rewriting Run would. When the batch engine is active (the default)
+// every operator is prefixed "batch-", since the same tree executes
+// vectorized over morsels of interned-ID columns. It is what the engine
+// caches alongside a compiled plan and what /v1/query returns in the "plan"
+// field.
 func Explain(q ra.Query, env Env, opts Options) (string, error) {
 	arities := make(ra.ArityEnv, len(env))
 	for name, m := range env {
@@ -339,52 +361,56 @@ func Explain(q ra.Query, env Env, opts Options) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	prefix := "batch-"
+	if opts.NoBatch {
+		prefix = ""
+	}
 	var b strings.Builder
-	explainOp(&b, it, 0)
+	explainOp(&b, it, 0, prefix)
 	return strings.TrimRight(b.String(), "\n"), nil
 }
 
-func explainOp(b *strings.Builder, it Iterator, depth int) {
+func explainOp(b *strings.Builder, it Iterator, depth int, prefix string) {
 	indent := strings.Repeat("  ", depth)
 	switch op := it.(type) {
 	case *scanOp:
-		fmt.Fprintf(b, "%sscan(%s)\n", indent, op.name)
+		fmt.Fprintf(b, "%s%sscan(%s)\n", indent, prefix, op.name)
 	case *constOp:
-		fmt.Fprintf(b, "%sconst(%d tuples)\n", indent, len(op.rel.Tuples()))
+		fmt.Fprintf(b, "%s%sconst(%d tuples)\n", indent, prefix, len(op.rel.Tuples()))
 	case *selectOp:
-		fmt.Fprintf(b, "%sselect[%s]\n", indent, op.pred)
-		explainOp(b, op.in, depth+1)
+		fmt.Fprintf(b, "%s%sselect[%s]\n", indent, prefix, op.pred)
+		explainOp(b, op.in, depth+1, prefix)
 	case *projectOp:
 		cols := make([]string, len(op.cols))
 		for i, c := range op.cols {
 			cols[i] = strconv.Itoa(c + 1)
 		}
-		fmt.Fprintf(b, "%sproject[%s]\n", indent, strings.Join(cols, ","))
-		explainOp(b, op.in, depth+1)
+		fmt.Fprintf(b, "%s%sproject[%s]\n", indent, prefix, strings.Join(cols, ","))
+		explainOp(b, op.in, depth+1, prefix)
 	case *crossOp:
-		fmt.Fprintf(b, "%snested-loop-cross\n", indent)
-		explainOp(b, op.left, depth+1)
-		explainOp(b, op.right, depth+1)
+		fmt.Fprintf(b, "%s%snested-loop-cross\n", indent, prefix)
+		explainOp(b, op.left, depth+1, prefix)
+		explainOp(b, op.right, depth+1, prefix)
 	case *hashJoinOp:
 		keys := make([]string, len(op.keys))
 		for i, k := range op.keys {
 			keys[i] = fmt.Sprintf("$%d=$%d", k.Left+1, k.Right+1)
 		}
-		fmt.Fprintf(b, "%shash-join[%s] pred=%s build=right\n", indent, strings.Join(keys, ","), op.pred)
-		explainOp(b, op.left, depth+1)
-		explainOp(b, op.right, depth+1)
+		fmt.Fprintf(b, "%s%shash-join[%s] pred=%s build=right\n", indent, prefix, strings.Join(keys, ","), op.pred)
+		explainOp(b, op.left, depth+1, prefix)
+		explainOp(b, op.right, depth+1, prefix)
 	case *unionOp:
-		fmt.Fprintf(b, "%sunion\n", indent)
-		explainOp(b, op.left, depth+1)
-		explainOp(b, op.right, depth+1)
+		fmt.Fprintf(b, "%s%sunion\n", indent, prefix)
+		explainOp(b, op.left, depth+1, prefix)
+		explainOp(b, op.right, depth+1, prefix)
 	case *diffOp:
-		fmt.Fprintf(b, "%sdiff(%s)\n", indent, hashedOrScan(op.opts))
-		explainOp(b, op.left, depth+1)
-		explainOp(b, op.right, depth+1)
+		fmt.Fprintf(b, "%s%sdiff(%s)\n", indent, prefix, hashedOrScan(op.opts))
+		explainOp(b, op.left, depth+1, prefix)
+		explainOp(b, op.right, depth+1, prefix)
 	case *intersectOp:
-		fmt.Fprintf(b, "%sintersect(%s)\n", indent, hashedOrScan(op.opts))
-		explainOp(b, op.left, depth+1)
-		explainOp(b, op.right, depth+1)
+		fmt.Fprintf(b, "%s%sintersect(%s)\n", indent, prefix, hashedOrScan(op.opts))
+		explainOp(b, op.left, depth+1, prefix)
+		explainOp(b, op.right, depth+1, prefix)
 	default:
 		fmt.Fprintf(b, "%s%T\n", indent, it)
 	}

@@ -17,18 +17,19 @@ type Domain struct {
 }
 
 // NewDomain builds a domain from the given values, discarding duplicates.
+// Duplicates are removed by sorting and compacting equal neighbours, and the
+// position index is built in a single pass over the final order — no
+// intermediate placeholder entries ever exist.
 func NewDomain(vs ...Value) *Domain {
-	d := &Domain{index: make(map[Value]int, len(vs))}
-	for _, v := range vs {
-		if _, ok := d.index[v]; ok {
+	values := append(make([]Value, 0, len(vs)), vs...)
+	sort.Slice(values, func(i, j int) bool { return values[i].Compare(values[j]) < 0 })
+	d := &Domain{index: make(map[Value]int, len(values))}
+	for _, v := range values {
+		if n := len(d.values); n > 0 && d.values[n-1] == v {
 			continue
 		}
-		d.index[v] = 0 // placeholder; fixed after sorting
+		d.index[v] = len(d.values)
 		d.values = append(d.values, v)
-	}
-	sort.Slice(d.values, func(i, j int) bool { return d.values[i].Compare(d.values[j]) < 0 })
-	for i, v := range d.values {
-		d.index[v] = i
 	}
 	return d
 }

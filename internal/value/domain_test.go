@@ -1,0 +1,56 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Regression for the NewDomain index construction: the old implementation
+// seeded the index with placeholder positions before sorting and patched
+// them afterwards; the index must be built in one pass over the final sorted
+// order, so that on duplicate-heavy input every value's IndexOf agrees with
+// its position in Values() and At round-trips.
+func TestNewDomainDuplicateHeavyIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		// Heavy duplication: 60 draws from only 7 distinct values, mixing
+		// kinds so sort order crosses kind boundaries.
+		pool := []Value{Int(3), Int(1), Int(2), Str("b"), Str("a"), Bool(true), Null}
+		vs := make([]Value, 60)
+		for i := range vs {
+			vs[i] = pool[rng.Intn(len(pool))]
+		}
+		d := NewDomain(vs...)
+		if d.Size() > len(pool) {
+			t.Fatalf("trial %d: %d values survived from a pool of %d", trial, d.Size(), len(pool))
+		}
+		for i, v := range d.Values() {
+			if got := d.IndexOf(v); got != i {
+				t.Fatalf("trial %d: IndexOf(%s) = %d, position in Values() = %d", trial, v, got, i)
+			}
+			if got := d.At(i); got != v {
+				t.Fatalf("trial %d: At(%d) = %s, want %s", trial, i, got, v)
+			}
+			if i > 0 && d.Values()[i-1].Compare(v) >= 0 {
+				t.Fatalf("trial %d: values not strictly sorted at %d", trial, i)
+			}
+			if !d.Contains(v) {
+				t.Fatalf("trial %d: Contains(%s) = false", trial, v)
+			}
+		}
+		for _, v := range vs {
+			if !d.Contains(v) {
+				t.Fatalf("trial %d: input value %s missing from domain", trial, v)
+			}
+		}
+	}
+	// The fully-duplicated edge case: one distinct value.
+	d := NewDomain(Int(7), Int(7), Int(7))
+	if d.Size() != 1 || d.IndexOf(Int(7)) != 0 || d.IndexOf(Int(8)) != -1 {
+		t.Fatalf("all-duplicates domain malformed: %s", d)
+	}
+	// And the empty domain.
+	if e := NewDomain(); e.Size() != 0 || e.IndexOf(Int(1)) != -1 {
+		t.Fatal("empty domain malformed")
+	}
+}

@@ -62,13 +62,19 @@ type Config struct {
 	// CacheSize bounds the number of cached prepared plans (LRU eviction).
 	// Zero or negative selects 128.
 	CacheSize int
-	// Workers bounds the number of concurrently executing queries. Zero or
-	// negative selects GOMAXPROCS.
+	// Workers bounds the number of concurrently executing queries and the
+	// morsel-driven parallelism inside each plan compilation (the batch
+	// engine splits base-table scans into morsels executed on a pool of
+	// this size). Zero or negative selects GOMAXPROCS.
 	Workers int
 	// DisableRewrites turns off the logical-plan rewriter (predicate
 	// pushdown, projection pruning). Rewrites never change answers, only
 	// compilation cost, so they are on by default.
 	DisableRewrites bool
+	// DisableBatch turns off the vectorized batch engine, restoring the
+	// tuple-at-a-time iterator operators (byte-identical answers, only
+	// slower); a debugging aid.
+	DisableBatch bool
 }
 
 // Request is one query execution.
@@ -123,6 +129,7 @@ func Open(cfg Config) *DB {
 		CacheSize:       cfg.CacheSize,
 		Workers:         cfg.Workers,
 		DisableRewrites: cfg.DisableRewrites,
+		DisableBatch:    cfg.DisableBatch,
 	})}
 }
 
