@@ -28,6 +28,7 @@ import (
 	"uncertaindb/internal/ra"
 	"uncertaindb/internal/value"
 	"uncertaindb/internal/workload"
+	"uncertaindb/pkg/uncertain"
 )
 
 // sections maps a section selector to the function that prints it. The
@@ -43,6 +44,7 @@ var sections = []struct {
 	{key: "e14", print: operatorCore},
 	{key: "e15", print: hashJoin},
 	{key: "e16", print: batchExecution},
+	{key: "e17", print: walOverhead},
 	{key: "constructions", aliases: []string{"e4", "e5", "e9", "e11"}, print: constructions},
 }
 
@@ -57,7 +59,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
-	only := fs.String("only", "", "comma-separated sections to print (e6, e12, e14, e15, e16, constructions/e4/e5/e9/e11); empty means all")
+	only := fs.String("only", "", "comma-separated sections to print (e6, e12, e14, e15, e16, e17, constructions/e4/e5/e9/e11); empty means all")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fs.SetOutput(out)
@@ -311,6 +313,68 @@ func batchExecution(out io.Writer) {
 		fmt.Fprintf(out, "| %d | %s | %s | %s | %s | %s | %.1f× | %d | %d |\n",
 			rows, tuple, batch[1], batch[2], batch[4], batch[8],
 			float64(tuple)/float64(batch[1]), stats.Morsels, stats.Batches)
+	}
+	fmt.Fprintln(out)
+}
+
+// walOverhead prints the E17 comparison: what the durable catalog adds to
+// one acknowledged PutTable — in-memory vs WAL append vs WAL append with
+// per-mutation fsync — plus the time to recover the catalog from the
+// resulting data directory. Each put registers the same moderately sized
+// pc-table script, so the delta between rows is pure durability cost.
+func walOverhead(out io.Writer) {
+	fmt.Fprintln(out, "## E17 — WAL append overhead on the PutTable path")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "| catalog | per put | vs in-memory | recovery (reopen) |")
+	fmt.Fprintln(out, "|---|---|---|---|")
+	const (
+		puts   = 200
+		script = "table Takes arity 2\n" +
+			"row 'Alice', x\n" +
+			"row 'Bob',   x | x = 'phys' || x = 'chem'\n" +
+			"row 'Theo',  'math' | t = 1\n" +
+			"dist x = {'math':0.3, 'phys':0.3, 'chem':0.4}\n" +
+			"dist t = {0:0.15, 1:0.85}\n"
+	)
+	measure := func(cfg uncertain.Config) (perPut, recovery time.Duration) {
+		db, err := uncertain.Open(cfg)
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		for i := 0; i < puts; i++ {
+			if _, _, err := db.PutTableScript(script); err != nil {
+				panic(err)
+			}
+		}
+		perPut = time.Since(start) / puts
+		if err := db.Close(); err != nil {
+			panic(err)
+		}
+		if cfg.DataDir != "" {
+			start = time.Now()
+			db2, err := uncertain.Open(cfg)
+			if err != nil {
+				panic(err)
+			}
+			recovery = time.Since(start)
+			db2.Close()
+		}
+		return perPut, recovery
+	}
+	base, _ := measure(uncertain.Config{})
+	fmt.Fprintf(out, "| in-memory | %s | 1.0× | — |\n", base)
+	for _, row := range []struct {
+		label string
+		fsync bool
+	}{{"WAL", false}, {"WAL + fsync", true}} {
+		dir, err := os.MkdirTemp("", "uncertaindb-e17-")
+		if err != nil {
+			panic(err)
+		}
+		per, rec := measure(uncertain.Config{DataDir: dir, Fsync: row.fsync})
+		os.RemoveAll(dir)
+		fmt.Fprintf(out, "| %s | %s | %.1f× | %s |\n", row.label, per, float64(per)/float64(base), rec)
 	}
 	fmt.Fprintln(out)
 }

@@ -24,6 +24,17 @@
 //	POST   /v1/query/batch     {"queries": [{...}, ...]} — N queries, one
 //	                           catalog snapshot, per-item errors
 //	GET    /v1/stats           engine cache and latency counters
+//	GET    /v1/changes         catalog change feed: ?from=V records after
+//	                           version V (&limit=, &wait_ms= long-poll);
+//	                           410 Gone once V is compacted away
+//
+// With -data-dir the catalog is durable: mutations are appended to a
+// write-ahead log before they are acknowledged, compacted snapshots are
+// written every -snapshot-every mutations, startup recovers the catalog
+// (latest valid snapshot + valid log tail, torn final record discarded)
+// byte-identically at the exact versions, and graceful shutdown fsyncs and
+// closes the log — a SIGTERM'd server loses zero acknowledged mutations.
+// -fsync additionally syncs after every mutation (machine-crash safety).
 //
 // The pre-versioning unversioned routes (/tables, /query, /stats) remain as
 // deprecated aliases of the same handlers; responses on them carry a
@@ -53,6 +64,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -87,6 +99,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "maximum concurrently executing queries and per-query morsel parallelism (0 = GOMAXPROCS)")
 	noRewrites := fs.Bool("no-rewrites", false, "disable the logical-plan rewriter (debugging aid)")
 	noBatch := fs.Bool("no-batch", false, "disable the vectorized batch engine, restoring tuple-at-a-time iterators (debugging aid)")
+	dataDir := fs.String("data-dir", "", "directory for the durable catalog (WAL + snapshots); empty = in-memory, lost on restart")
+	snapshotEvery := fs.Int("snapshot-every", 64, "mutations between compacted catalog snapshots (-data-dir only; <0 disables compaction)")
+	fsync := fs.Bool("fsync", false, "fsync the WAL after every mutation (-data-dir only; graceful shutdown always syncs)")
 	var loads multiFlag
 	fs.Var(&loads, "load", "catalog script to load at startup (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -98,12 +113,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("%w (run with -h for usage)", err)
 	}
 
-	db := uncertain.Open(uncertain.Config{
+	db, err := uncertain.Open(uncertain.Config{
 		CacheSize:       *cacheSize,
 		Workers:         *workers,
 		DisableRewrites: *noRewrites,
 		DisableBatch:    *noBatch,
+		DataDir:         *dataDir,
+		SnapshotEvery:   *snapshotEvery,
+		Fsync:           *fsync,
 	})
+	if err != nil {
+		return fmt.Errorf("uncertaind: opening %s: %w", *dataDir, err)
+	}
+	defer db.Close()
+	if *dataDir != "" {
+		version, infos := db.Tables()
+		fmt.Fprintf(out, "recovered %s: catalog version %d, %d tables\n", *dataDir, version, len(infos))
+	}
 	for _, path := range loads {
 		names, err := db.LoadCatalogFile(path)
 		if err != nil {
@@ -131,6 +157,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return err
 	}
+	// Flush after the listener has drained: every mutation acknowledged over
+	// HTTP is fsynced and the WAL is cleanly closed before the process says
+	// goodbye, so a SIGTERM'd server recovers with zero lost mutations.
+	if err := db.Close(); err != nil {
+		return fmt.Errorf("uncertaind: closing data dir: %w", err)
+	}
 	fmt.Fprintln(out, "uncertaind: shut down")
 	return nil
 }
@@ -151,7 +183,12 @@ func newHandler(db *uncertain.DB) http.Handler {
 		}))
 		mux.HandleFunc("DELETE "+prefix+"/tables/{name}", wrap(func(w http.ResponseWriter, r *http.Request) {
 			name := r.PathValue("name")
-			if !db.DropTable(name) {
+			ok, err := db.DropTable(name)
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+			if !ok {
 				writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
 				return
 			}
@@ -175,11 +212,101 @@ func newHandler(db *uncertain.DB) http.Handler {
 	}
 	register("/v1", func(h http.HandlerFunc) http.HandlerFunc { return h })
 	register("", deprecated)
-	// The batch endpoint is /v1-only: it postdates the unversioned surface.
+	// The batch and change-feed endpoints are /v1-only: they postdate the
+	// unversioned surface.
 	mux.HandleFunc("POST /v1/query/batch", func(w http.ResponseWriter, r *http.Request) {
 		handleQueryBatch(db, w, r)
 	})
+	mux.HandleFunc("GET /v1/changes", func(w http.ResponseWriter, r *http.Request) {
+		handleChanges(db, w, r)
+	})
 	return mux
+}
+
+// changeJSON is the JSON shape of one change-feed record. Table is the
+// base64 canonical encoding of the put table (wal.DecodeTable decodes it);
+// Text is a human-readable rendering.
+type changeJSON struct {
+	Version       uint64 `json:"version"`
+	Kind          string `json:"kind"`
+	Name          string `json:"name"`
+	Probabilistic bool   `json:"probabilistic,omitempty"`
+	Table         []byte `json:"table,omitempty"` // encoding/json renders []byte as base64
+	Text          string `json:"text,omitempty"`
+}
+
+type changesResponse struct {
+	From           uint64       `json:"from"`
+	CatalogVersion uint64       `json:"catalogVersion"`
+	Changes        []changeJSON `json:"changes"`
+}
+
+// Change-feed request bounds: one response page and the longest admissible
+// long-poll.
+const (
+	maxChangesLimit = 1024
+	maxChangesWait  = 30 * time.Second
+)
+
+// handleChanges serves GET /v1/changes?from=V[&limit=N][&wait_ms=M]: the
+// catalog mutations with version > V, oldest first. A from that has been
+// compacted away is 410 Gone — the consumer re-syncs by listing the tables
+// and resumes from the returned catalog version.
+func handleChanges(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err := parseUintParam(q.Get("from"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad \"from\": %w", err))
+		return
+	}
+	limit, err := parseUintParam(q.Get("limit"), maxChangesLimit)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad \"limit\": %w", err))
+		return
+	}
+	if limit == 0 || limit > maxChangesLimit {
+		limit = maxChangesLimit
+	}
+	waitMS, err := parseUintParam(q.Get("wait_ms"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad \"wait_ms\": %w", err))
+		return
+	}
+	wait := time.Duration(waitMS) * time.Millisecond
+	if wait > maxChangesWait {
+		wait = maxChangesWait
+	}
+	changes, version, err := db.Changes(r.Context(), from, int(limit), wait)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, uncertain.ErrCompacted) {
+			status = http.StatusGone
+		} else if strings.Contains(err.Error(), "but the catalog is at") {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	resp := changesResponse{From: from, CatalogVersion: version, Changes: make([]changeJSON, 0, len(changes))}
+	for _, ch := range changes {
+		resp.Changes = append(resp.Changes, changeJSON{
+			Version:       ch.Version,
+			Kind:          ch.Kind,
+			Name:          ch.Name,
+			Probabilistic: ch.Probabilistic,
+			Table:         ch.Table,
+			Text:          ch.Text,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseUintParam parses an optional unsigned query parameter.
+func parseUintParam(s string, def uint64) (uint64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseUint(s, 10, 64)
 }
 
 // deprecated marks responses on the unversioned aliases: clients are pointed

@@ -30,7 +30,7 @@ dist t = {0:0.15, 1:0.85}
 
 func newTestServer(t *testing.T) (*httptest.Server, *uncertain.DB) {
 	t.Helper()
-	db := uncertain.Open(uncertain.Config{})
+	db := uncertain.MustOpen(uncertain.Config{})
 	srv := httptest.NewServer(newHandler(db))
 	t.Cleanup(srv.Close)
 	return srv, db

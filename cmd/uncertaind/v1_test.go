@@ -207,7 +207,7 @@ func TestBatchMatchesSingle(t *testing.T) {
 // amortizes HTTP framing, JSON decoding, snapshotting and per-request
 // dispatch; EXPERIMENTS.md records the measured per-query latency gap.
 func BenchmarkHTTPBatchVsSingle(b *testing.B) {
-	db := uncertain.Open(uncertain.Config{})
+	db := uncertain.MustOpen(uncertain.Config{})
 	if _, _, err := db.PutTableScript(takesScript); err != nil {
 		b.Fatal(err)
 	}

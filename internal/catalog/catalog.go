@@ -8,6 +8,14 @@
 // tables are added or replaced concurrently. Per-entry versions let a plan
 // cache key compiled artifacts by exactly the tables a query reads, so
 // replacing one table invalidates only the plans that depend on it.
+//
+// The catalog is also the mutation source of the durability layer
+// (internal/wal): a Sink attached with SetSink receives every mutation as a
+// wal.Record while the catalog lock is held, so the log order is exactly the
+// version order, and a failed append rolls the mutation back — a mutation is
+// acknowledged only once it is durable. NewFromState rebuilds a catalog from
+// a recovered wal.State with every version preserved, and Watch exposes the
+// mutation stream as a consumable change feed for replicas.
 package catalog
 
 import (
@@ -18,7 +26,28 @@ import (
 
 	"uncertaindb/internal/parser"
 	"uncertaindb/internal/pctable"
+	"uncertaindb/internal/wal"
 )
+
+// ErrCompacted reports a Watch request for versions older than the oldest
+// retained change record; the consumer must re-sync from a snapshot of the
+// catalog and watch again from the current version.
+var ErrCompacted = wal.ErrCompacted
+
+// Sink consumes catalog mutation records — the durability hook. Append is
+// called with the catalog lock held, after the mutation has been applied;
+// state returns the catalog state including the record (used by the sink to
+// write compacted snapshots). An Append error rolls the mutation back.
+type Sink interface {
+	Append(rec *wal.Record, state func() *wal.State) error
+}
+
+// TailReader is an optional Sink capability: serving historical mutation
+// records for change-feed backfill beyond the catalog's in-memory window.
+// *wal.Store implements it.
+type TailReader interface {
+	TailRecords(from uint64) ([]*wal.Record, error)
+}
 
 // Entry is one named table of the catalog. Entries are immutable after
 // registration: Put copies the table it is handed, and callers must not
@@ -36,24 +65,111 @@ type Entry struct {
 	Version uint64
 }
 
+// changelogCap bounds the in-memory change window kept for Watch backfill.
+// Older records are served by the sink's TailReader when available, and are
+// ErrCompacted otherwise.
+const changelogCap = 1024
+
 // Catalog is the mutable, concurrency-safe registry. The zero value is not
-// usable; call New.
+// usable; call New or NewFromState.
 type Catalog struct {
 	mu      sync.RWMutex
 	version uint64
 	tables  map[string]*Entry
+
+	sink Sink // optional durability hook; appends under mu
+
+	// Change feed: a bounded in-memory window of recent mutation records
+	// (oldest first, contiguous versions) plus the live watcher set.
+	changelog   []*wal.Record
+	watchers    map[uint64]chan *wal.Record
+	nextWatcher uint64
 }
 
 // New returns an empty catalog at version 0.
 func New() *Catalog {
-	return &Catalog{tables: make(map[string]*Entry)}
+	return &Catalog{tables: make(map[string]*Entry), watchers: make(map[uint64]chan *wal.Record)}
+}
+
+// NewFromState rebuilds a catalog from a recovered durable state, preserving
+// the catalog version and every per-entry version (so plan-cache keys and
+// client-visible table versions are stable across restarts). tail seeds the
+// change window with the records replayed during recovery, letting watchers
+// backfill across the restart.
+func NewFromState(st *wal.State, tail []*wal.Record) *Catalog {
+	c := New()
+	c.version = st.Version
+	for _, ts := range st.Tables {
+		c.tables[ts.Name] = &Entry{Name: ts.Name, Table: ts.Table, Probabilistic: ts.Probabilistic, Version: ts.Version}
+	}
+	if n := len(tail); n > changelogCap {
+		tail = tail[n-changelogCap:]
+	}
+	c.changelog = append(c.changelog, tail...)
+	return c
+}
+
+// SetSink attaches the durability hook. Attach before serving mutations;
+// mutations fail (and roll back) when the sink's append fails.
+func (c *Catalog) SetSink(s Sink) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sink = s
+}
+
+// State exports the catalog as a wal.State: the canonical, deterministic
+// form used for snapshots and byte-identical comparisons. Tables are sorted
+// by name and shared (entries are immutable).
+func (c *Catalog) State() *wal.State {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.stateLocked()
+}
+
+func (c *Catalog) stateLocked() *wal.State {
+	st := &wal.State{Version: c.version, Tables: make([]wal.TableState, 0, len(c.tables))}
+	for _, e := range c.tables {
+		st.Tables = append(st.Tables, wal.TableState{Name: e.Name, Version: e.Version, Probabilistic: e.Probabilistic, Table: e.Table})
+	}
+	sort.Slice(st.Tables, func(i, j int) bool { return st.Tables[i].Name < st.Tables[j].Name })
+	return st
+}
+
+// commitLocked finalizes a mutation under c.mu: it hands the record to the
+// sink (rolling back via undo on failure), appends it to the change window
+// and fans it out to watchers. The caller has already applied the mutation
+// to the live map and bumped the version.
+func (c *Catalog) commitLocked(rec *wal.Record, undo func()) error {
+	if c.sink != nil {
+		if err := c.sink.Append(rec, c.stateLocked); err != nil {
+			undo()
+			return fmt.Errorf("catalog: mutation not durable: %w", err)
+		}
+	}
+	c.changelog = append(c.changelog, rec)
+	if len(c.changelog) > changelogCap {
+		c.changelog = append(c.changelog[:0], c.changelog[len(c.changelog)-changelogCap:]...)
+	}
+	for id, ch := range c.watchers {
+		select {
+		case ch <- rec:
+		default:
+			// Lagging consumer: close its channel so it observes the lag and
+			// re-watches from the last version it processed.
+			close(ch)
+			delete(c.watchers, id)
+		}
+	}
+	return nil
 }
 
 // Put registers (or replaces) the table under the given name and returns
 // the new catalog version. The table is copied, so later mutations by the
 // caller do not leak into the catalog. A table with distributions on some
 // but not all of its variables is rejected — it is neither a usable c-table
-// nor a valid pc-table.
+// nor a valid pc-table. With a sink attached, the mutation is durable before
+// it is acknowledged: a failed append rolls the catalog back and returns the
+// error.
 func (c *Catalog) Put(name string, t *pctable.PCTable) (uint64, error) {
 	probabilistic, err := validate(name, t)
 	if err != nil {
@@ -62,8 +178,20 @@ func (c *Catalog) Put(name string, t *pctable.PCTable) (uint64, error) {
 	cp := t.Copy()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	prev, existed := c.tables[name]
 	c.version++
 	c.tables[name] = &Entry{Name: name, Table: cp, Probabilistic: probabilistic, Version: c.version}
+	rec := &wal.Record{Kind: wal.KindPut, Version: c.version, Name: name, Probabilistic: probabilistic, Table: cp}
+	if err := c.commitLocked(rec, func() {
+		c.version--
+		if existed {
+			c.tables[name] = prev
+		} else {
+			delete(c.tables, name)
+		}
+	}); err != nil {
+		return 0, err
+	}
 	return c.version, nil
 }
 
@@ -116,16 +244,112 @@ func validate(name string, t *pctable.PCTable) (probabilistic bool, err error) {
 
 // Drop removes the table of that name, if present, and reports whether it
 // existed. Dropping bumps the version, so snapshots taken before keep the
-// table while later plans see it gone.
-func (c *Catalog) Drop(name string) bool {
+// table while later plans see it gone. With a sink attached, the drop is
+// durable before it is acknowledged; a failed append rolls it back.
+func (c *Catalog) Drop(name string) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.tables[name]; !ok {
-		return false
+	prev, ok := c.tables[name]
+	if !ok {
+		return false, nil
 	}
 	c.version++
 	delete(c.tables, name)
-	return true
+	rec := &wal.Record{Kind: wal.KindDelete, Version: c.version, Name: name}
+	if err := c.commitLocked(rec, func() {
+		c.version--
+		c.tables[name] = prev
+	}); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Watch opens a change feed delivering every mutation record with version
+// greater than from, in version order: first the retained backlog (from the
+// in-memory window, extended by the sink's TailReader when the window is too
+// short), then live mutations as they commit. It returns ErrCompacted when
+// records after from are no longer retained — the consumer must re-sync from
+// a catalog snapshot and watch from its version.
+//
+// The returned channel closes when the consumer lags behind the live feed
+// (its buffer overflows); re-Watch from the last version processed. Close
+// the watcher to release it.
+func (c *Catalog) Watch(from uint64) (*Watcher, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if from > c.version {
+		return nil, fmt.Errorf("catalog: watch from version %d, but the catalog is at %d", from, c.version)
+	}
+	var backlog []*wal.Record
+	oldestRetained := c.version // may serve from >= oldestRetained with an empty window
+	if len(c.changelog) > 0 {
+		oldestRetained = c.changelog[0].Version - 1
+	}
+	switch {
+	case from >= oldestRetained:
+		for _, rec := range c.changelog {
+			if rec.Version > from {
+				backlog = append(backlog, rec)
+			}
+		}
+	default:
+		tr, ok := c.sink.(TailReader)
+		if !ok {
+			return nil, fmt.Errorf("%w (from %d, retained from %d)", ErrCompacted, from, oldestRetained)
+		}
+		recs, err := tr.TailRecords(from)
+		if err != nil {
+			return nil, err
+		}
+		// The store tail and the in-memory window overlap on recent records;
+		// merge by version (both are contiguous and consistent).
+		seen := uint64(from)
+		for _, rec := range recs {
+			if rec.Version == seen+1 {
+				backlog = append(backlog, rec)
+				seen = rec.Version
+			}
+		}
+		for _, rec := range c.changelog {
+			if rec.Version == seen+1 {
+				backlog = append(backlog, rec)
+				seen = rec.Version
+			}
+		}
+		if seen != c.version {
+			return nil, fmt.Errorf("%w (records (%d, %d] not retained)", ErrCompacted, seen, c.version)
+		}
+	}
+	ch := make(chan *wal.Record, len(backlog)+64)
+	for _, rec := range backlog {
+		ch <- rec
+	}
+	id := c.nextWatcher
+	c.nextWatcher++
+	c.watchers[id] = ch
+	return &Watcher{c: c, id: id, ch: ch}, nil
+}
+
+// Watcher is one change-feed subscription; see Catalog.Watch.
+type Watcher struct {
+	c  *Catalog
+	id uint64
+	ch chan *wal.Record
+}
+
+// C returns the record channel. It closes when the watcher is Closed or
+// when the consumer lags and is dropped.
+func (w *Watcher) C() <-chan *wal.Record { return w.ch }
+
+// Close unsubscribes the watcher and closes its channel (idempotent).
+func (w *Watcher) Close() {
+	w.c.mu.Lock()
+	defer w.c.mu.Unlock()
+	if ch, ok := w.c.watchers[w.id]; ok {
+		delete(w.c.watchers, w.id)
+		close(ch)
+	}
 }
 
 // Version returns the current catalog version (0 for an empty, untouched

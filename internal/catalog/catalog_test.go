@@ -101,10 +101,10 @@ func TestDrop(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := c.Snapshot()
-	if !c.Drop("A") {
-		t.Fatal("Drop(A) = false, want true")
+	if ok, err := c.Drop("A"); err != nil || !ok {
+		t.Fatalf("Drop(A) = %v, %v, want true, nil", ok, err)
 	}
-	if c.Drop("A") {
+	if ok, _ := c.Drop("A"); ok {
 		t.Error("second Drop(A) = true, want false")
 	}
 	if before.Get("A") == nil {

@@ -1,0 +1,307 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"uncertaindb/internal/wal"
+)
+
+// collect drains up to n records from the watcher, waiting briefly for live
+// deliveries.
+func collect(t *testing.T, w *Watcher, n int) []*wal.Record {
+	t.Helper()
+	var out []*wal.Record
+	for len(out) < n {
+		select {
+		case rec, ok := <-w.C():
+			if !ok {
+				t.Fatalf("watcher channel closed after %d of %d records", len(out), n)
+			}
+			out = append(out, rec)
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timed out after %d of %d records", len(out), n)
+		}
+	}
+	return out
+}
+
+func TestWatchBacklogAndLive(t *testing.T) {
+	c := New()
+	if _, err := c.Put("A", boolTable(0.3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("B", boolTable(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Watch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	backlog := collect(t, w, 2)
+	if backlog[0].Version != 1 || backlog[0].Name != "A" || backlog[0].Kind != wal.KindPut {
+		t.Fatalf("backlog[0] = %+v, want put A at v1", backlog[0])
+	}
+	if backlog[1].Version != 2 || backlog[1].Name != "B" {
+		t.Fatalf("backlog[1] = %+v, want put B at v2", backlog[1])
+	}
+
+	// Live deliveries continue the chain: a put and a drop arrive in version
+	// order with the right kinds.
+	if _, err := c.Put("A", boolTable(0.9)); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.Drop("B"); err != nil || !ok {
+		t.Fatalf("Drop(B) = %v, %v", ok, err)
+	}
+	live := collect(t, w, 2)
+	if live[0].Version != 3 || live[0].Kind != wal.KindPut || live[0].Name != "A" {
+		t.Fatalf("live[0] = %+v, want put A at v3", live[0])
+	}
+	if live[1].Version != 4 || live[1].Kind != wal.KindDelete || live[1].Name != "B" {
+		t.Fatalf("live[1] = %+v, want delete B at v4", live[1])
+	}
+
+	// A fresh watch from a mid-stream version sees only the suffix.
+	w2, err := c.Watch(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := collect(t, w2, 1); got[0].Version != 4 {
+		t.Fatalf("watch from 3 delivered v%d first, want 4", got[0].Version)
+	}
+}
+
+func TestWatchFromFutureRejected(t *testing.T) {
+	c := New()
+	if _, err := c.Watch(1); err == nil {
+		t.Fatal("watch beyond the catalog version must be rejected")
+	}
+}
+
+// A consumer that stops reading must be dropped (channel closed), not allowed
+// to block every future mutation.
+func TestWatchLaggingConsumerDropped(t *testing.T) {
+	c := New()
+	w, err := c.Watch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// The live buffer holds 64 records; overflow it without reading.
+	for i := 0; i < 70; i++ {
+		if _, err := c.Put(fmt.Sprintf("T%d", i), boolTable(0.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delivered := 0
+	for {
+		rec, ok := <-w.C()
+		if !ok {
+			break
+		}
+		if rec.Version != uint64(delivered+1) {
+			t.Fatalf("delivery %d has version %d: a lagging consumer must see a clean prefix, then a close", delivered, rec.Version)
+		}
+		delivered++
+	}
+	if delivered >= 70 {
+		t.Fatalf("all %d records delivered; the overflowing watcher was never dropped", delivered)
+	}
+	// Re-watching from the last processed version resumes the stream.
+	w2, err := c.Watch(uint64(delivered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	rest := collect(t, w2, 70-delivered)
+	if last := rest[len(rest)-1]; last.Version != 70 {
+		t.Fatalf("resumed stream ends at v%d, want 70", last.Version)
+	}
+}
+
+// Without a TailReader, history older than the in-memory window is gone:
+// Watch must say so with ErrCompacted rather than silently skipping records.
+func TestWatchBeyondWindowCompacted(t *testing.T) {
+	c := New()
+	for i := 0; i < changelogCap+10; i++ {
+		if _, err := c.Put("A", boolTable(0.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Watch(0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("watch from 0 after window overflow: err = %v, want ErrCompacted", err)
+	}
+	// The oldest retained version is still watchable.
+	oldest := c.Version() - changelogCap
+	w, err := c.Watch(oldest)
+	if err != nil {
+		t.Fatalf("watch from the window start: %v", err)
+	}
+	defer w.Close()
+	if got := collect(t, w, 1); got[0].Version != oldest+1 {
+		t.Fatalf("first delivery v%d, want %d", got[0].Version, oldest+1)
+	}
+}
+
+// recordingSink captures appended records; optionally it fails, and
+// optionally it serves them back as a TailReader.
+type recordingSink struct {
+	recs    []*wal.Record
+	failing bool
+	tail    bool
+}
+
+func (s *recordingSink) Append(rec *wal.Record, state func() *wal.State) error {
+	if s.failing {
+		return errors.New("disk on fire")
+	}
+	s.recs = append(s.recs, rec)
+	return nil
+}
+
+func (s *recordingSink) TailRecords(from uint64) ([]*wal.Record, error) {
+	if !s.tail {
+		return nil, errors.New("no tail here")
+	}
+	var out []*wal.Record
+	for _, rec := range s.recs {
+		if rec.Version > from {
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// A mutation whose sink append fails must be fully rolled back: version,
+// table map, change window and watchers all stay as if it never happened —
+// nothing is acknowledged that is not durable.
+func TestSinkFailureRollsBack(t *testing.T) {
+	c := New()
+	sink := &recordingSink{}
+	c.SetSink(sink)
+	if _, err := c.Put("A", boolTable(0.3)); err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Watch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	sink.failing = true
+	if _, err := c.Put("A", boolTable(0.9)); err == nil {
+		t.Fatal("put with a failing sink must error")
+	}
+	if _, err := c.Put("B", boolTable(0.5)); err == nil {
+		t.Fatal("fresh put with a failing sink must error")
+	}
+	if ok, err := c.Drop("A"); err == nil || ok {
+		t.Fatalf("drop with a failing sink = %v, %v; must error", ok, err)
+	}
+	if c.Version() != 1 {
+		t.Fatalf("version after rolled-back mutations = %d, want 1", c.Version())
+	}
+	snap := c.Snapshot()
+	if e := snap.Get("A"); e == nil || e.Version != 1 {
+		t.Fatalf("entry A = %+v, want the original at version 1", e)
+	}
+	if snap.Get("B") != nil {
+		t.Fatal("rolled-back put left table B behind")
+	}
+	select {
+	case rec := <-w.C():
+		t.Fatalf("watcher saw a rolled-back mutation: %+v", rec)
+	default:
+	}
+
+	// Once the sink recovers, the version chain continues without a gap.
+	sink.failing = false
+	v, err := c.Put("B", boolTable(0.5))
+	if err != nil || v != 2 {
+		t.Fatalf("put after recovery = v%d, %v; want v2, nil", v, err)
+	}
+	if got := collect(t, w, 1); got[0].Version != 2 {
+		t.Fatalf("watcher resumed at v%d, want 2", got[0].Version)
+	}
+}
+
+// A catalog recovered from a snapshot (empty change window) backfills old
+// versions from the sink's TailReader — and reports ErrCompacted when the
+// sink cannot serve them either.
+func TestWatchBackfillsFromTailReader(t *testing.T) {
+	// Build a history through a recording sink, then "restart": rebuild the
+	// catalog from the exported state with no tail.
+	c1 := New()
+	sink := &recordingSink{tail: true}
+	c1.SetSink(sink)
+	for i := 0; i < 3; i++ {
+		if _, err := c1.Put(fmt.Sprintf("T%d", i), boolTable(0.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c2 := NewFromState(c1.State(), nil)
+	c2.SetSink(sink)
+
+	w, err := c2.Watch(0)
+	if err != nil {
+		t.Fatalf("watch with TailReader backfill: %v", err)
+	}
+	defer w.Close()
+	got := collect(t, w, 3)
+	for i, rec := range got {
+		if rec.Version != uint64(i+1) {
+			t.Fatalf("backfill[%d] = v%d, want %d", i, rec.Version, i+1)
+		}
+	}
+
+	// Same restart, but the sink cannot serve history: ErrCompacted.
+	sink.tail = false
+	c3 := NewFromState(c1.State(), nil)
+	c3.SetSink(sink)
+	if _, err := c3.Watch(0); err == nil {
+		t.Fatal("watch without retained history must fail")
+	}
+	c4 := NewFromState(c1.State(), nil)
+	if _, err := c4.Watch(0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("watch with no sink at all: err = %v, want ErrCompacted", err)
+	}
+	// Watching from the recovered version itself needs no history.
+	w4, err := c4.Watch(c1.Version())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w4.Close()
+}
+
+// NewFromState with a replayed tail seeds the window so watchers can span
+// the restart without a TailReader.
+func TestNewFromStateSeedsChangelog(t *testing.T) {
+	c1 := New()
+	sink := &recordingSink{}
+	c1.SetSink(sink)
+	for i := 0; i < 3; i++ {
+		if _, err := c1.Put(fmt.Sprintf("T%d", i), boolTable(0.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c2 := NewFromState(c1.State(), sink.recs)
+	if c2.Version() != 3 {
+		t.Fatalf("recovered version = %d, want 3", c2.Version())
+	}
+	if e := c2.Snapshot().Get("T0"); e == nil || e.Version != 1 {
+		t.Fatalf("entry T0 = %+v, want version 1 preserved", e)
+	}
+	w, err := c2.Watch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if got := collect(t, w, 3); got[2].Version != 3 {
+		t.Fatalf("seeded backlog ends at v%d, want 3", got[2].Version)
+	}
+}

@@ -287,13 +287,15 @@ func (e *Engine) LoadCatalogScript(r io.Reader) ([]string, error) {
 	return names, nil
 }
 
-// DropTable removes a catalog table and invalidates dependent plans.
-func (e *Engine) DropTable(name string) bool {
-	ok := e.cat.Drop(name)
+// DropTable removes a catalog table and invalidates dependent plans. The
+// error is non-nil only when the catalog's durability sink refused the
+// mutation (the drop did not happen and nothing was invalidated).
+func (e *Engine) DropTable(name string) (bool, error) {
+	ok, err := e.cat.Drop(name)
 	if ok {
 		e.invalidateTable(name)
 	}
-	return ok
+	return ok, err
 }
 
 // Stats returns a snapshot of the engine's counters.

@@ -1,0 +1,107 @@
+package wal
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// goldenHistoryLen is the length of the golden workload. Changing it (or the
+// workload, or the encoding) is a format change: regenerate with
+// `go test ./internal/wal -run TestGolden -update` and review the diff.
+const goldenHistoryLen = 8
+
+func goldenPath(name string) string { return filepath.Join("testdata", "golden", name) }
+
+func readGolden(t *testing.T, name string, generated []byte) []byte {
+	t.Helper()
+	path := goldenPath(name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, generated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	return data
+}
+
+// Golden replay, part 1: the workload's log encoding is byte-for-byte what
+// it was when the golden file was checked in. Any drift in record framing,
+// table encoding, or the workload itself fails here before it can corrupt a
+// real data directory.
+func TestGoldenLogBytes(t *testing.T) {
+	recs, _ := testHistory(t, goldenHistoryLen)
+	generated := EncodeLog(recs)
+	golden := readGolden(t, "workload.wal", generated)
+	if !bytes.Equal(generated, golden) {
+		t.Fatalf("log encoding drifted from the golden file (%d vs %d bytes); "+
+			"if intentional, regenerate with -update and review", len(generated), len(golden))
+	}
+}
+
+// Golden replay, part 2: the canonical snapshot at every version of the
+// workload matches its checked-in bytes, and decode → re-encode reproduces
+// them exactly (snapshot → recover → re-snapshot is the identity).
+func TestGoldenSnapshotsEveryVersion(t *testing.T) {
+	_, exports := testHistory(t, goldenHistoryLen)
+	for v := 0; v <= goldenHistoryLen; v++ {
+		name := fmt.Sprintf("snap-%02d.golden", v)
+		golden := readGolden(t, name, exports[v])
+		if !bytes.Equal(exports[v], golden) {
+			t.Fatalf("version %d: snapshot encoding drifted from %s", v, name)
+		}
+		st, err := DecodeState(golden)
+		if err != nil {
+			t.Fatalf("version %d: golden snapshot does not decode: %v", v, err)
+		}
+		if got := EncodeState(st); !bytes.Equal(got, golden) {
+			t.Fatalf("version %d: snapshot → recover → re-snapshot is not byte-identical", v)
+		}
+	}
+}
+
+// Golden replay, part 3: recovering from a snapshot at version k plus the
+// log tail is byte-identical to replaying the full log, for every k. The two
+// recovery paths (with and without compaction) can never disagree.
+func TestGoldenSnapshotPlusTailEqualsFullReplay(t *testing.T) {
+	recs, exports := testHistory(t, goldenHistoryLen)
+	logData := EncodeLog(recs)
+	full := exports[goldenHistoryLen]
+	root := t.TempDir()
+	for k := 0; k <= goldenHistoryLen; k++ {
+		dir := filepath.Join(root, fmt.Sprintf("snapat%02d", k))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "wal.log"), logData, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if k > 0 {
+			if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", k)), exports[k], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		store, st, tail, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("snapshot at %d: %v", k, err)
+		}
+		store.Close()
+		if got := EncodeState(st); !bytes.Equal(got, full) {
+			t.Fatalf("snapshot at %d + tail differs from the full replay", k)
+		}
+		if len(tail) != goldenHistoryLen-k {
+			t.Fatalf("snapshot at %d: %d tail records, want %d", k, len(tail), goldenHistoryLen-k)
+		}
+	}
+}

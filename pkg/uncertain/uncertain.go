@@ -20,13 +20,16 @@
 package uncertain
 
 import (
+	"context"
 	"io"
 	"os"
+	"time"
 
 	"uncertaindb/internal/catalog"
 	"uncertaindb/internal/engine"
 	"uncertaindb/internal/parser"
 	"uncertaindb/internal/value"
+	"uncertaindb/internal/wal"
 )
 
 // Typed errors, re-exported for callers that classify failures.
@@ -39,6 +42,11 @@ var (
 	// engine, or a table without the distributions marginals need (HTTP
 	// layers map it to 400).
 	ErrBadQuery = engine.ErrBadQuery
+	// ErrCompacted reports a change-feed request for versions older than the
+	// oldest retained record; the consumer must re-sync (list the tables)
+	// and resume from the current catalog version (HTTP layers map it to
+	// 410 Gone).
+	ErrCompacted = catalog.ErrCompacted
 )
 
 // Result is a query outcome: the answer rendering, the possible answer
@@ -75,6 +83,21 @@ type Config struct {
 	// tuple-at-a-time iterator operators (byte-identical answers, only
 	// slower); a debugging aid.
 	DisableBatch bool
+	// DataDir, when non-empty, makes the catalog durable: every mutation is
+	// appended to a write-ahead log in this directory before it is
+	// acknowledged, compacted snapshots are written every SnapshotEvery
+	// mutations, and Open recovers the catalog (latest valid snapshot plus
+	// the valid log tail, torn final record discarded) with every table and
+	// catalog version preserved byte-identically. Empty means in-memory
+	// only: a restart loses the catalog.
+	DataDir string
+	// SnapshotEvery is the number of mutations between compacted snapshots
+	// (DataDir only). Zero selects 64; negative disables compaction.
+	SnapshotEvery int
+	// Fsync forces an fsync of the log after every mutation (DataDir only).
+	// Off, a machine crash (not just a process crash) can lose mutations
+	// still in the OS page cache; Close always syncs.
+	Fsync bool
 }
 
 // Request is one query execution.
@@ -120,17 +143,119 @@ func entryInfo(e *catalog.Entry) TableInfo {
 // tables and a query engine with a compiled-plan cache. Safe for concurrent
 // use.
 type DB struct {
-	eng *engine.Engine
+	eng   *engine.Engine
+	store *wal.Store // nil when in-memory
 }
 
-// Open creates an empty database with the given configuration.
-func Open(cfg Config) *DB {
-	return &DB{eng: engine.New(catalog.New(), engine.Options{
+// Open creates a database with the given configuration. With an empty
+// DataDir the database is in-memory and Open cannot fail; with a DataDir it
+// recovers the durable catalog from disk (see Config.DataDir) and attaches
+// the write-ahead log, so every later mutation is durable before it is
+// acknowledged. Close a durable DB to flush and release the log.
+func Open(cfg Config) (*DB, error) {
+	engOpts := engine.Options{
 		CacheSize:       cfg.CacheSize,
 		Workers:         cfg.Workers,
 		DisableRewrites: cfg.DisableRewrites,
 		DisableBatch:    cfg.DisableBatch,
-	})}
+	}
+	if cfg.DataDir == "" {
+		return &DB{eng: engine.New(catalog.New(), engOpts)}, nil
+	}
+	store, state, tail, err := wal.Open(cfg.DataDir, wal.Options{SnapshotEvery: cfg.SnapshotEvery, Fsync: cfg.Fsync})
+	if err != nil {
+		return nil, err
+	}
+	cat := catalog.NewFromState(state, tail)
+	cat.SetSink(store)
+	return &DB{eng: engine.New(cat, engOpts), store: store}, nil
+}
+
+// MustOpen is Open for configurations that cannot fail (no DataDir); it
+// panics on error.
+func MustOpen(cfg Config) *DB {
+	db, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Close flushes the write-ahead log to stable storage and closes it; every
+// mutation acknowledged before Close survives a restart. Closing an
+// in-memory DB is a no-op. Queries remain servable after Close, but further
+// mutations fail.
+func (db *DB) Close() error {
+	if db.store == nil {
+		return nil
+	}
+	return db.store.Close()
+}
+
+// Change is one catalog mutation, as exposed by the change feed. For a put,
+// Table carries the canonical encoding of the table (wal.DecodeTable
+// decodes it; replicas apply it byte-faithfully) and Text a human-readable
+// rendering.
+type Change struct {
+	Version       uint64
+	Kind          string // "put" or "delete"
+	Name          string
+	Probabilistic bool
+	Table         []byte
+	Text          string
+}
+
+func changeOf(rec *wal.Record) Change {
+	ch := Change{Version: rec.Version, Kind: rec.Kind.String(), Name: rec.Name, Probabilistic: rec.Probabilistic}
+	if rec.Table != nil {
+		ch.Table = wal.EncodeTable(rec.Table)
+		ch.Text = rec.Table.String()
+	}
+	return ch
+}
+
+// Changes returns the catalog mutations with version greater than from, in
+// version order, up to limit (0 means no limit), together with the current
+// catalog version. When no records are immediately available and wait is
+// positive, it blocks up to wait (or ctx) for the next mutation. It returns
+// ErrCompacted when records after from are no longer retained — re-sync by
+// listing the tables and resume from the returned catalog version.
+func (db *DB) Changes(ctx context.Context, from uint64, limit int, wait time.Duration) ([]Change, uint64, error) {
+	w, err := db.eng.Catalog().Watch(from)
+	if err != nil {
+		return nil, db.eng.Catalog().Version(), err
+	}
+	defer w.Close()
+	var out []Change
+	full := func() bool { return limit > 0 && len(out) >= limit }
+	drain := func() {
+		for !full() {
+			select {
+			case rec, ok := <-w.C():
+				if !ok {
+					return
+				}
+				out = append(out, changeOf(rec))
+			default:
+				return
+			}
+		}
+	}
+	drain()
+	if len(out) == 0 && wait > 0 {
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case rec, ok := <-w.C():
+			if ok {
+				out = append(out, changeOf(rec))
+				drain()
+			}
+		case <-timer.C:
+		case <-ctx.Done():
+		}
+	}
+	return out, db.eng.Catalog().Version(), nil
 }
 
 // LoadCatalog parses a catalog script (one or more table descriptions) and
@@ -172,8 +297,10 @@ func (db *DB) PutTable(t *Table) (uint64, error) {
 	return db.eng.PutTable(t.name, t.pc)
 }
 
-// DropTable removes the named table, reporting whether it existed.
-func (db *DB) DropTable(name string) bool { return db.eng.DropTable(name) }
+// DropTable removes the named table, reporting whether it existed. The
+// error is non-nil only when the write-ahead log refused the mutation (the
+// drop did not happen).
+func (db *DB) DropTable(name string) (bool, error) { return db.eng.DropTable(name) }
 
 // CatalogVersion returns the current catalog version.
 func (db *DB) CatalogVersion() uint64 { return db.eng.Catalog().Version() }

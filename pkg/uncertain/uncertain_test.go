@@ -24,7 +24,7 @@ dom x = {1, 2}
 `
 
 func TestDBQueryLifecycle(t *testing.T) {
-	db := uncertain.Open(uncertain.Config{})
+	db := uncertain.MustOpen(uncertain.Config{})
 	name, v1, err := db.PutTableScript(takesScript)
 	if err != nil {
 		t.Fatal(err)
@@ -54,8 +54,8 @@ func TestDBQueryLifecycle(t *testing.T) {
 		}
 	}
 
-	if !db.DropTable("Takes") {
-		t.Fatal("DropTable should report existence")
+	if ok, err := db.DropTable("Takes"); err != nil || !ok {
+		t.Fatalf("DropTable = %v, %v, want true, nil", ok, err)
 	}
 	if _, err := db.Query(uncertain.Request{Query: "project[1](Takes)"}); !errors.Is(err, uncertain.ErrUnknownTable) {
 		t.Fatalf("after drop: err = %v, want ErrUnknownTable", err)
@@ -66,7 +66,7 @@ func TestDBQueryLifecycle(t *testing.T) {
 }
 
 func TestDBQueryBatch(t *testing.T) {
-	db := uncertain.Open(uncertain.Config{})
+	db := uncertain.MustOpen(uncertain.Config{})
 	if _, _, err := db.PutTableScript(takesScript); err != nil {
 		t.Fatal(err)
 	}
