@@ -25,8 +25,20 @@
 //	                           catalog snapshot, per-item errors
 //	GET    /v1/stats           engine cache and latency counters
 //	GET    /v1/changes         catalog change feed: ?from=V records after
-//	                           version V (&limit=, &wait_ms= long-poll);
-//	                           410 Gone once V is compacted away
+//	                           version V (&limit=, &wait_ms= long-poll, capped
+//	                           below the shutdown drain; the response reports
+//	                           the effective wait); 410 Gone once V is
+//	                           compacted away
+//	GET    /metrics            Prometheus text exposition: query latency
+//	                           histograms (cold/warm), plan-cache, operator,
+//	                           probcalc-memo, catalog and WAL counters
+//	GET    /v1/debug/slow      slow-query ring buffer: executions at or above
+//	                           -slow-query-ms with their full span trees
+//
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ (off by
+// default; profiling endpoints are opt-in). -slow-query-ms tunes the
+// slow-query capture threshold (default 100; negative disables capture) and
+// -no-obs turns the observability core off entirely.
 //
 // With -data-dir the catalog is durable: mutations are appended to a
 // write-ahead log before they are acknowledged, compacted snapshots are
@@ -62,6 +74,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux; served only with -pprof
 	"os"
 	"os/signal"
 	"strconv"
@@ -102,6 +115,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	dataDir := fs.String("data-dir", "", "directory for the durable catalog (WAL + snapshots); empty = in-memory, lost on restart")
 	snapshotEvery := fs.Int("snapshot-every", 64, "mutations between compacted catalog snapshots (-data-dir only; <0 disables compaction)")
 	fsync := fs.Bool("fsync", false, "fsync the WAL after every mutation (-data-dir only; graceful shutdown always syncs)")
+	slowQueryMS := fs.Int("slow-query-ms", 100, "slow-query capture threshold in milliseconds (queries at or above it record their span tree at /v1/debug/slow; <0 disables capture)")
+	noObs := fs.Bool("no-obs", false, "disable the observability core (spans, /metrics, slow-query log)")
+	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
 	var loads multiFlag
 	fs.Var(&loads, "load", "catalog script to load at startup (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -114,13 +130,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	db, err := uncertain.Open(uncertain.Config{
-		CacheSize:       *cacheSize,
-		Workers:         *workers,
-		DisableRewrites: *noRewrites,
-		DisableBatch:    *noBatch,
-		DataDir:         *dataDir,
-		SnapshotEvery:   *snapshotEvery,
-		Fsync:           *fsync,
+		CacheSize:            *cacheSize,
+		Workers:              *workers,
+		DisableRewrites:      *noRewrites,
+		DisableBatch:         *noBatch,
+		DataDir:              *dataDir,
+		SnapshotEvery:        *snapshotEvery,
+		Fsync:                *fsync,
+		DisableObservability: *noObs,
+		SlowQueryMillis:      *slowQueryMS,
 	})
 	if err != nil {
 		return fmt.Errorf("uncertaind: opening %s: %w", *dataDir, err)
@@ -142,7 +160,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: newHandler(db)}
+	handler := newHandler(db)
+	if *pprofOn {
+		// net/http/pprof registered itself on the default mux at import;
+		// expose it only when asked.
+		outer := http.NewServeMux()
+		outer.Handle("/debug/pprof/", http.DefaultServeMux)
+		outer.Handle("/", handler)
+		handler = outer
+		fmt.Fprintln(out, "pprof enabled at /debug/pprof/")
+	}
+	srv := &http.Server{Handler: handler}
 	fmt.Fprintf(out, "uncertaind listening on http://%s\n", ln.Addr())
 
 	errCh := make(chan error, 1)
@@ -220,7 +248,54 @@ func newHandler(db *uncertain.DB) http.Handler {
 	mux.HandleFunc("GET /v1/changes", func(w http.ResponseWriter, r *http.Request) {
 		handleChanges(db, w, r)
 	})
+	// Observability surface: Prometheus metrics (conventionally unversioned)
+	// and the slow-query ring buffer.
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		handleMetrics(db, w)
+	})
+	mux.HandleFunc("GET /v1/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		handleSlowQueries(db, w)
+	})
 	return mux
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition format.
+func handleMetrics(db *uncertain.DB, w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	ok, err := db.WriteMetrics(w)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("observability is disabled (-no-obs)"))
+		return
+	}
+	if err != nil {
+		log.Printf("uncertaind: writing metrics: %v", err)
+	}
+}
+
+// slowResponse is the JSON shape of GET /v1/debug/slow.
+type slowResponse struct {
+	// ThresholdMillis is the capture threshold; 0 means capture is disabled.
+	ThresholdMillis int64 `json:"thresholdMillis"`
+	// Total counts every capture since startup, including ones evicted from
+	// the ring.
+	Total uint64 `json:"total"`
+	// Queries are the retained captures, most recent first, each with its
+	// full span tree.
+	Queries []uncertain.SlowQuery `json:"queries"`
+}
+
+// handleSlowQueries serves GET /v1/debug/slow: the retained slow-query
+// captures with their span trees.
+func handleSlowQueries(db *uncertain.DB, w http.ResponseWriter) {
+	queries, total := db.SlowQueries()
+	if queries == nil {
+		queries = []uncertain.SlowQuery{}
+	}
+	writeJSON(w, http.StatusOK, slowResponse{
+		ThresholdMillis: db.SlowQueryThreshold().Milliseconds(),
+		Total:           total,
+		Queries:         queries,
+	})
 }
 
 // changeJSON is the JSON shape of one change-feed record. Table is the
@@ -236,16 +311,23 @@ type changeJSON struct {
 }
 
 type changesResponse struct {
-	From           uint64       `json:"from"`
-	CatalogVersion uint64       `json:"catalogVersion"`
-	Changes        []changeJSON `json:"changes"`
+	From           uint64 `json:"from"`
+	CatalogVersion uint64 `json:"catalogVersion"`
+	// WaitMs is the effective long-poll wait applied to this request after
+	// capping — clients asking for more learn the real bound instead of
+	// silently getting less.
+	WaitMs  int64        `json:"waitMs"`
+	Changes []changeJSON `json:"changes"`
 }
 
 // Change-feed request bounds: one response page and the longest admissible
-// long-poll.
+// long-poll. The wait cap must stay below the server's shutdown drain
+// timeout (5s in run): a long-poll pinned at 30s used to hold its handler
+// goroutine past the drain, so graceful shutdown timed out whenever an idle
+// feed consumer was connected.
 const (
 	maxChangesLimit = 1024
-	maxChangesWait  = 30 * time.Second
+	maxChangesWait  = 4 * time.Second
 )
 
 // handleChanges serves GET /v1/changes?from=V[&limit=N][&wait_ms=M]: the
@@ -287,7 +369,7 @@ func handleChanges(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	resp := changesResponse{From: from, CatalogVersion: version, Changes: make([]changeJSON, 0, len(changes))}
+	resp := changesResponse{From: from, CatalogVersion: version, WaitMs: wait.Milliseconds(), Changes: make([]changeJSON, 0, len(changes))}
 	for _, ch := range changes {
 		resp.Changes = append(resp.Changes, changeJSON{
 			Version:       ch.Version,
@@ -412,10 +494,14 @@ type queryRequest struct {
 	Samples int    `json:"samples"`
 	Seed    int64  `json:"seed"`
 	Workers int    `json:"workers"`
+	// Analyze attaches an EXPLAIN ANALYZE plan tree (per-operator wall time,
+	// rows in/out, probe/residual counts) and the execution's span tree to
+	// the response.
+	Analyze bool `json:"analyze"`
 }
 
 func (q queryRequest) request() uncertain.Request {
-	return uncertain.Request{Query: q.Query, Engine: q.Engine, Samples: q.Samples, Seed: q.Seed, Workers: q.Workers}
+	return uncertain.Request{Query: q.Query, Engine: q.Engine, Samples: q.Samples, Seed: q.Seed, Workers: q.Workers, Analyze: q.Analyze}
 }
 
 // tupleAnswer is one answer tuple: the tuple as a JSON array of values plus
@@ -440,6 +526,11 @@ type queryResponse struct {
 	Possible       [][]any       `json:"possible"`
 	PrepareMicros  int64         `json:"prepareMicros"`
 	ExecMicros     int64         `json:"execMicros"`
+	// Analyzed is the EXPLAIN ANALYZE plan tree ("analyze": true only).
+	Analyzed *uncertain.PlanNode `json:"analyzed,omitempty"`
+	// Trace is the execution's span tree ("analyze": true with
+	// observability enabled only).
+	Trace *uncertain.Span `json:"trace,omitempty"`
 }
 
 func resultJSON(res *uncertain.Result) queryResponse {
@@ -456,6 +547,8 @@ func resultJSON(res *uncertain.Result) queryResponse {
 		Possible:       [][]any{},
 		PrepareMicros:  res.PrepareDuration.Microseconds(),
 		ExecMicros:     res.ExecDuration.Microseconds(),
+		Analyzed:       res.Analyzed,
+		Trace:          res.Trace,
 	}
 	for _, ta := range res.Tuples {
 		jt := tupleJSON(ta.Tuple)

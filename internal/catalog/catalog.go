@@ -23,6 +23,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"uncertaindb/internal/parser"
 	"uncertaindb/internal/pctable"
@@ -84,7 +85,14 @@ type Catalog struct {
 	changelog   []*wal.Record
 	watchers    map[uint64]chan *wal.Record
 	nextWatcher uint64
+
+	// snapshots counts Snapshot calls (one per query/batch execution) for
+	// the observability layer; atomic so readers never take mu.
+	snapshots atomic.Uint64
 }
+
+// Snapshots returns the number of snapshots taken since construction.
+func (c *Catalog) Snapshots() uint64 { return c.snapshots.Load() }
 
 // New returns an empty catalog at version 0.
 func New() *Catalog {
@@ -364,6 +372,7 @@ func (c *Catalog) Version() uint64 {
 // (version, entries) pair. Taking a snapshot is O(#tables) map copy; the
 // entries themselves are shared and immutable.
 func (c *Catalog) Snapshot() *Snapshot {
+	c.snapshots.Add(1)
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	tables := make(map[string]*Entry, len(c.tables))

@@ -3,6 +3,7 @@ package ctable
 import (
 	"uncertaindb/internal/condition"
 	"uncertaindb/internal/exec"
+	"uncertaindb/internal/obs"
 	"uncertaindb/internal/ra"
 	"uncertaindb/internal/value"
 )
@@ -52,6 +53,10 @@ type Options struct {
 	// Stats, when non-nil, accumulates per-operator row/probe counters of
 	// the physical plan (exec.OpStats). Use one OpStats per evaluation.
 	Stats *exec.OpStats
+	// Trace, when valid, receives one child span per executed batch
+	// pipeline (exec.Options.Trace); the serving engine hangs these under
+	// its compile span.
+	Trace obs.SpanRef
 }
 
 // DefaultOptions simplifies conditions, rewrites plans and uses the
@@ -70,6 +75,7 @@ func (o Options) execOptions(rewrite bool) exec.Options {
 		Workers:  o.Workers,
 		Pool:     o.Pool,
 		Stats:    o.Stats,
+		Trace:    o.Trace,
 	}
 }
 

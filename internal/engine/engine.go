@@ -33,6 +33,7 @@ import (
 	"uncertaindb/internal/condition"
 	"uncertaindb/internal/ctable"
 	"uncertaindb/internal/exec"
+	"uncertaindb/internal/obs"
 	"uncertaindb/internal/parser"
 	"uncertaindb/internal/pctable"
 	"uncertaindb/internal/probcalc"
@@ -102,6 +103,13 @@ type Options struct {
 	// to the iterator path (same answers, same plans modulo the "batch-"
 	// operator prefix), only faster; this is a debugging aid.
 	DisableBatch bool
+	// Obs, when non-nil, turns on observability: every Execute records a
+	// span tree (snapshot, parse, compile with per-pipeline children,
+	// marginals), query latencies land in cold/warm histograms, the
+	// engine's counters are exported through Obs.Reg, and executions at or
+	// above Obs.SlowThreshold are captured in the slow-query ring. Nil (the
+	// default) makes every instrumentation point a no-op.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -152,6 +160,12 @@ type Request struct {
 	Seed int64
 	// Workers shards the Monte-Carlo draw (mc only; default 1, sequential).
 	Workers int
+	// Analyze re-executes the compiled algebra with per-operator
+	// instrumentation and attaches the timed plan tree (and the execution's
+	// span tree) to the Result — EXPLAIN ANALYZE. The instrumented run is
+	// separate from the cached artifact, so analyzing never perturbs the
+	// answer or the cache.
+	Analyze bool
 }
 
 // TupleAnswer is one answer tuple with its marginal probability.
@@ -189,6 +203,12 @@ type Result struct {
 	// ExecDuration is the marginal-computation time of this request.
 	PrepareDuration time.Duration
 	ExecDuration    time.Duration
+	// Analyzed is the per-operator timed plan tree (Request.Analyze only).
+	Analyzed *exec.PlanNode
+	// Trace is the exported span tree of this execution (Request.Analyze
+	// with Options.Obs configured only; slow executions are additionally
+	// captured in the observer's slow-query ring).
+	Trace *obs.SpanExport
 }
 
 // candidate is one possible answer tuple with its lineage condition.
@@ -217,6 +237,7 @@ type plan struct {
 	// shared by every later hit.
 	once      sync.Once
 	marginals []TupleAnswer
+	probStats probcalc.Stats // d-tree decomposition shape (dtree only)
 	execErr   error
 }
 
@@ -239,12 +260,17 @@ type Engine struct {
 
 	opMu     sync.Mutex
 	opTotals exec.OpStats // physical-operator counters over all compilations
+
+	// Observability (all nil-safe no-ops when Options.Obs is unset).
+	obs                      *obs.Observer
+	memoHits, memoMisses     atomic.Uint64 // probcalc memo totals over all plans
+	coldSeconds, warmSeconds *obs.Histogram
 }
 
 // New builds an engine over the given catalog.
 func New(cat *catalog.Catalog, opts Options) *Engine {
 	opts = opts.withDefaults()
-	return &Engine{
+	e := &Engine{
 		cat:      cat,
 		opts:     opts,
 		sem:      make(chan struct{}, opts.Workers),
@@ -252,7 +278,12 @@ func New(cat *catalog.Catalog, opts Options) *Engine {
 		lru:      list.New(),
 		byKey:    make(map[string]*list.Element),
 		byTable:  make(map[string]map[string]bool),
+		obs:      opts.Obs,
 	}
+	if opts.Obs != nil {
+		e.instrument(opts.Obs)
+	}
+	return e
 }
 
 // Catalog returns the engine's catalog.
@@ -321,10 +352,71 @@ func (e *Engine) Stats() Stats {
 	return s
 }
 
+// phases is the per-execution observability state: the boundary clock
+// readings of the warm path's fixed phases plus a lazily materialized trace.
+// A cache-hit execution has a statically known span shape — snapshot, parse,
+// marginals under the root — so nothing is recorded while it runs: the warm
+// path's entire observability cost is two extra clock readings and one
+// histogram observation, and the span tree is reconstructed from the saved
+// readings only if the query turns out slow or analyzed. The cold path
+// materializes the trace at compile start, where the operator core needs a
+// live span to hang rewrite/batch/pipeline children under.
+type phases struct {
+	obs     *obs.Observer
+	t0, t1  int64 // obs.Nanotime readings: root start; snapshot end = parse start
+	hasSnap bool  // whether a snapshot phase was timed (false for batch items)
+	tr      *obs.Trace
+	root    obs.SpanRef
+}
+
+// materialize builds the trace (idempotent) and backfills the snapshot and
+// parse spans from the saved boundary readings, ending parse at parseEnd.
+// Returns the root span — a no-op ref with observability off.
+func (ph *phases) materialize(parseEnd int64) obs.SpanRef {
+	if ph.tr != nil || ph.obs == nil {
+		return ph.root
+	}
+	ph.tr = ph.obs.StartTraceAt("query", ph.t0)
+	ph.root = ph.tr.Root()
+	if ph.hasSnap {
+		sp := ph.root.ChildAt("snapshot", ph.t0)
+		sp.EndAt(ph.t1)
+	}
+	sp := ph.root.ChildAt("parse", ph.t1)
+	sp.EndAt(parseEnd)
+	return ph.root
+}
+
+// dtreeAttrs attaches the d-tree decomposition shape to a marginals span.
+func dtreeAttrs(sp obs.SpanRef, st probcalc.Stats) {
+	sp.SetInt("dtreeNodes", int64(st.ComponentSplits+st.ExclusiveSplits+st.ShannonExpansions+st.Enumerations))
+	sp.SetInt("memoHits", int64(st.MemoHits))
+	sp.SetInt("memoMisses", int64(st.MemoMisses))
+	sp.SetInt("memoEntries", int64(st.MemoEntries))
+}
+
 // Execute runs one request: prepare (or fetch) the plan, then compute the
 // marginals with the requested engine under the bounded worker pool.
+//
+// With Options.Obs set, the execution is described by a span tree rooted at
+// "query": a "snapshot" child for catalog snapshot acquisition, "parse"
+// (query text to validated algebra, including cache lookup and pool
+// admission), on a cache miss "compile" (with rewrite/build/pipeline children
+// from the operator core), "marginals" (d-tree decomposition shape as
+// attributes), and for analyze requests "analyze". Warm (cache-hit)
+// executions never record spans while running — see phases — so the warm
+// path pays only two extra clock readings and a histogram observation.
 func (e *Engine) Execute(req Request) (*Result, error) {
-	res, err := e.executeOn(e.cat.Snapshot(), req)
+	ph := phases{obs: e.obs}
+	if e.obs != nil {
+		ph.t0 = obs.Nanotime()
+	}
+	snap := e.cat.Snapshot()
+	if e.obs != nil {
+		ph.t1 = obs.Nanotime()
+		ph.hasSnap = true
+	}
+	res, err := e.executeOn(snap, req, &ph)
 	if err != nil {
 		e.errors.Add(1)
 		return nil, err
@@ -352,7 +444,14 @@ func (e *Engine) ExecuteBatch(reqs []Request) ([]BatchItem, uint64) {
 		wg.Add(1)
 		go func(i int, req Request) {
 			defer wg.Done()
-			res, err := e.executeOn(snap, req)
+			// Batch items share one snapshot, so their traces have no
+			// "snapshot" child; parse starts at the root.
+			ph := phases{obs: e.obs}
+			if e.obs != nil {
+				ph.t0 = obs.Nanotime()
+				ph.t1 = ph.t0
+			}
+			res, err := e.executeOn(snap, req, &ph)
 			if err != nil {
 				e.errors.Add(1)
 			}
@@ -363,7 +462,8 @@ func (e *Engine) ExecuteBatch(reqs []Request) ([]BatchItem, uint64) {
 	return out, snap.Version()
 }
 
-func (e *Engine) executeOn(snap *catalog.Snapshot, req Request) (*Result, error) {
+func (e *Engine) executeOn(snap *catalog.Snapshot, req Request, ph *phases) (*Result, error) {
+	defer func() { e.obs.FinishTrace(ph.tr) }()
 	kind, err := ParseKind(req.Engine)
 	if err != nil {
 		return nil, err
@@ -375,16 +475,30 @@ func (e *Engine) executeOn(snap *catalog.Snapshot, req Request) (*Result, error)
 	e.sem <- struct{}{}
 	defer func() { <-e.sem }()
 
-	p, hit, prepDur, err := e.prepare(snap, req.Query, kind)
+	p, hit, prepDur, err := e.prepare(snap, req.Query, kind, ph)
 	if err != nil {
 		return nil, err
 	}
 
-	start := time.Now()
+	start := obs.Nanotime()
+	var margSpan obs.SpanRef
+	if ph.tr != nil {
+		// Cold path: the trace was materialized at compile start, so the
+		// marginals phase records live and its d-tree attributes can attach.
+		margSpan = ph.root.ChildAt("marginals", start)
+	}
 	var tuples []TupleAnswer
+	computed := false
 	switch kind {
 	case KindDTree, KindEnum:
-		p.once.Do(func() { p.marginals, p.execErr = exactMarginals(p, kind) })
+		p.once.Do(func() {
+			p.marginals, p.probStats, p.execErr = exactMarginals(p, kind)
+			computed = true
+			if p.execErr == nil {
+				e.memoHits.Add(uint64(p.probStats.MemoHits))
+				e.memoMisses.Add(uint64(p.probStats.MemoMisses))
+			}
+		})
 		if p.execErr != nil {
 			return nil, p.execErr
 		}
@@ -395,11 +509,18 @@ func (e *Engine) executeOn(snap *catalog.Snapshot, req Request) (*Result, error)
 			return nil, err
 		}
 	}
-	execDur := time.Since(start)
+	end := obs.Nanotime()
+	execDur := time.Duration(end - start)
+	margSpan.EndDur(execDur)
+	if computed && kind == KindDTree {
+		// Decomposition shape of the fresh d-tree run; warm hits reuse the
+		// memoized marginals and attach nothing.
+		dtreeAttrs(margSpan, p.probStats)
+	}
 	e.executions.Add(1)
 	e.execNanos.Add(uint64(execDur))
 
-	return &Result{
+	res := &Result{
 		Query:           p.queryText,
 		Kind:            kind,
 		CatalogVersion:  p.catalogVersion,
@@ -410,12 +531,95 @@ func (e *Engine) executeOn(snap *catalog.Snapshot, req Request) (*Result, error)
 		Tuples:          tuples,
 		PrepareDuration: prepDur,
 		ExecDuration:    execDur,
-	}, nil
+	}
+
+	if ph.obs == nil {
+		if req.Analyze {
+			res.Analyzed, err = e.analyzePlan(snap, p)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
+	}
+
+	total := time.Duration(end - ph.t0)
+	if hit {
+		e.warmSeconds.Observe(total)
+	} else {
+		e.coldSeconds.Observe(total)
+	}
+	slow := e.obs.SlowThreshold > 0 && total >= e.obs.SlowThreshold
+	if (req.Analyze || slow) && ph.tr == nil {
+		// A warm execution that turned out slow or analyzed: reconstruct its
+		// span tree from the boundary readings saved on the fast path.
+		root := ph.materialize(start)
+		ms := root.ChildAt("marginals", start)
+		ms.EndDur(execDur)
+		if computed && kind == KindDTree {
+			dtreeAttrs(ms, p.probStats)
+		}
+	}
+	if req.Analyze {
+		aspan := ph.root.Child("analyze")
+		res.Analyzed, err = e.analyzePlan(snap, p)
+		if err != nil {
+			return nil, err
+		}
+		aspan.End()
+		end = obs.Nanotime()
+	}
+	if ph.tr != nil {
+		ph.root.EndAt(end)
+		var exported *obs.SpanExport
+		if req.Analyze {
+			exported = ph.tr.Export()
+			res.Trace = exported
+		}
+		if slow {
+			if exported == nil {
+				exported = ph.tr.Export()
+			}
+			e.obs.Slow.Add(obs.SlowQuery{
+				Time:          time.Now(),
+				Query:         p.queryText,
+				Engine:        string(kind),
+				CacheHit:      hit,
+				DurationNanos: int64(total),
+				Trace:         exported,
+			})
+		}
+	}
+	return res, nil
+}
+
+// analyzePlan re-executes the compiled query's algebra with per-operator
+// instrumentation (exec.Analyze) against the same snapshot the plan was
+// keyed on. The run is independent of the cached artifact: it re-parses the
+// cached query text and discards its answer, keeping only the timed tree.
+func (e *Engine) analyzePlan(snap *catalog.Snapshot, p *plan) (*exec.PlanNode, error) {
+	q, err := parser.ParseQuery(p.queryText)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	env, err := snap.Env(p.tables)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownTable, err)
+	}
+	an, err := exec.Analyze(q, env.ExecEnv(), e.algebraOptions().ExecOptions())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	return an, nil
 }
 
 // prepare returns the cached plan for (query, kind) against the given
-// catalog snapshot, or compiles and caches a new one.
-func (e *Engine) prepare(snap *catalog.Snapshot, queryText string, kind Kind) (*plan, bool, time.Duration, error) {
+// catalog snapshot, or compiles and caches a new one. On a miss the trace is
+// materialized at compile start (backfilling the snapshot and parse spans
+// from ph's saved readings) so the operator core gets a live "compile" span;
+// on a hit no span work happens at all — the caller reconstructs the warm
+// span tree later if it needs one.
+func (e *Engine) prepare(snap *catalog.Snapshot, queryText string, kind Kind, ph *phases) (*plan, bool, time.Duration, error) {
 	q, err := parser.ParseQuery(queryText)
 	if err != nil {
 		return nil, false, 0, fmt.Errorf("%w: %v", ErrBadQuery, err)
@@ -442,12 +646,16 @@ func (e *Engine) prepare(snap *catalog.Snapshot, queryText string, kind Kind) (*
 	e.misses++
 	e.mu.Unlock()
 
-	start := time.Now()
-	p, err := compile(q, queryText, kind, names, snap, key, e.algebraOptions())
+	start := obs.Nanotime()
+	compileSpan := ph.materialize(start).ChildAt("compile", start)
+	opts := e.algebraOptions()
+	opts.Trace = compileSpan
+	p, err := compile(q, queryText, kind, names, snap, key, opts)
 	if err != nil {
 		return nil, false, 0, err
 	}
-	prepDur := time.Since(start)
+	prepDur := time.Duration(obs.Nanotime() - start)
+	compileSpan.EndDur(prepDur)
 	e.prepNanos.Add(uint64(prepDur))
 	e.opMu.Lock()
 	e.opTotals.Add(p.ops)
@@ -590,8 +798,9 @@ func compile(q ra.Query, queryText string, kind Kind, names []string, snap *cata
 
 // exactMarginals computes every candidate's marginal with an exact engine.
 // The dtree path shares one decomposition evaluator (and its memo cache)
-// across candidates.
-func exactMarginals(p *plan, kind Kind) ([]TupleAnswer, error) {
+// across candidates and reports the decomposition's shape alongside the
+// answers (zero Stats for enum).
+func exactMarginals(p *plan, kind Kind) ([]TupleAnswer, probcalc.Stats, error) {
 	out := make([]TupleAnswer, 0, len(p.candidates))
 	var ev *probcalc.Evaluator
 	if kind == KindDTree {
@@ -608,7 +817,7 @@ func exactMarginals(p *plan, kind Kind) ([]TupleAnswer, error) {
 			prob, err = p.answer.ConditionProbabilityEnum(c.lineage)
 		}
 		if err != nil {
-			return nil, err
+			return nil, probcalc.Stats{}, err
 		}
 		if prob == 0 {
 			// Row-pattern candidate with unsatisfiable lineage.
@@ -616,7 +825,11 @@ func exactMarginals(p *plan, kind Kind) ([]TupleAnswer, error) {
 		}
 		out = append(out, TupleAnswer{Tuple: c.tuple, P: prob, Certain: prob >= 1-CertainEps})
 	}
-	return out, nil
+	var st probcalc.Stats
+	if ev != nil {
+		st = ev.Stats()
+	}
+	return out, st, nil
 }
 
 // sampledMarginals estimates every candidate's marginal by Monte-Carlo. A

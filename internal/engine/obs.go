@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"uncertaindb/internal/obs"
+)
+
+// instrument exports the engine's counters through the observer's registry.
+// Everything here is a scrape-time bridge over counters the engine already
+// keeps (funcCollector reads under the same locks Stats takes), plus the two
+// query-latency histograms the hot path feeds directly — nothing is double
+// accounted and the hot path gains no new synchronization.
+func (e *Engine) instrument(o *obs.Observer) {
+	reg := o.Reg
+
+	histHelp := "End-to-end query execution duration in seconds, by plan-cache outcome (cold = compiled this request, warm = cache hit)."
+	e.coldSeconds = reg.Histogram("uncertaindb_query_duration_seconds", obs.Labels("path", "cold"), histHelp, nil)
+	e.warmSeconds = reg.Histogram("uncertaindb_query_duration_seconds", obs.Labels("path", "warm"), histHelp, nil)
+
+	reg.CounterFunc("uncertaindb_queries_total", "",
+		"Number of completed query executions.",
+		func() float64 { return float64(e.executions.Load()) })
+	reg.CounterFunc("uncertaindb_query_errors_total", "",
+		"Number of failed query executions.",
+		func() float64 { return float64(e.errors.Load()) })
+
+	// Plan-cache counters live under e.mu; scrapes take the same lock the
+	// Stats endpoint does.
+	cache := func(read func() uint64) func() float64 {
+		return func() float64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return float64(read())
+		}
+	}
+	reg.CounterFunc("uncertaindb_plan_cache_hits_total", "",
+		"Prepared-plan cache hits.", cache(func() uint64 { return e.hits }))
+	reg.CounterFunc("uncertaindb_plan_cache_misses_total", "",
+		"Prepared-plan cache misses (plan compilations).", cache(func() uint64 { return e.misses }))
+	reg.CounterFunc("uncertaindb_plan_cache_evictions_total", "",
+		"Prepared plans evicted by the LRU bound.", cache(func() uint64 { return e.evictions }))
+	reg.CounterFunc("uncertaindb_plan_cache_invalidations_total", "",
+		"Prepared plans dropped because a table they read was replaced.", cache(func() uint64 { return e.invalidations }))
+	reg.GaugeFunc("uncertaindb_plan_cache_entries", "",
+		"Prepared plans currently cached.", cache(func() uint64 { return uint64(e.lru.Len()) }))
+
+	// Physical-operator totals over every plan compilation (exec.OpStats).
+	op := func(read func() uint64) func() float64 {
+		return func() float64 {
+			e.opMu.Lock()
+			defer e.opMu.Unlock()
+			return float64(read())
+		}
+	}
+	reg.CounterFunc("uncertaindb_exec_rows_total", obs.Labels("dir", "in"),
+		"Rows entering (dir=\"in\") and leaving (dir=\"out\") the counting physical operators, over all plan compilations.",
+		op(func() uint64 { return e.opTotals.RowsIn }))
+	reg.CounterFunc("uncertaindb_exec_rows_total", obs.Labels("dir", "out"),
+		"", op(func() uint64 { return e.opTotals.RowsOut }))
+	reg.CounterFunc("uncertaindb_exec_hash_probes_total", "",
+		"Hash-bucket probes by the symbolic hash operators.",
+		op(func() uint64 { return e.opTotals.HashProbes }))
+	reg.CounterFunc("uncertaindb_exec_residual_hits_total", "",
+		"Residual-bucket hits (rows with non-constant join keys) by the symbolic hash operators.",
+		op(func() uint64 { return e.opTotals.ResidualHits }))
+	reg.CounterFunc("uncertaindb_exec_hash_joins_total", "",
+		"Joins compiled to the symbolic hash join.",
+		op(func() uint64 { return e.opTotals.HashJoins }))
+	reg.CounterFunc("uncertaindb_exec_nested_loop_joins_total", "",
+		"Joins compiled to the nested-loop fallback.",
+		op(func() uint64 { return e.opTotals.NestedLoopJoins }))
+
+	// Probability-computation counters: d-tree memo effectiveness over every
+	// fresh (non-memoized) marginal computation.
+	reg.CounterFunc("uncertaindb_probcalc_memo_hits_total", "",
+		"D-tree decomposition subproblems answered from the memo cache.",
+		func() float64 { return float64(e.memoHits.Load()) })
+	reg.CounterFunc("uncertaindb_probcalc_memo_misses_total", "",
+		"D-tree decomposition subproblems that had to be decomposed.",
+		func() float64 { return float64(e.memoMisses.Load()) })
+	reg.GaugeFunc("uncertaindb_probcalc_memo_hit_ratio", "",
+		"Fraction of d-tree subproblems answered from the memo cache (0 when none ran).",
+		func() float64 {
+			h, m := e.memoHits.Load(), e.memoMisses.Load()
+			if h+m == 0 {
+				return 0
+			}
+			return float64(h) / float64(h+m)
+		})
+
+	reg.CounterFunc("uncertaindb_catalog_snapshots_total", "",
+		"Catalog snapshots acquired.",
+		func() float64 { return float64(e.cat.Snapshots()) })
+	reg.GaugeFunc("uncertaindb_catalog_version", "",
+		"Current catalog version (monotonic across mutations).",
+		func() float64 { return float64(e.cat.Version()) })
+
+	reg.CounterFunc("uncertaindb_slow_queries_total", "",
+		"Executions captured by the slow-query log (including evicted captures).",
+		func() float64 { return float64(o.Slow.Total()) })
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"uncertaindb/internal/condition"
 	"uncertaindb/internal/ra"
@@ -171,9 +172,8 @@ type bctx struct {
 	enc     map[Model]*vec
 }
 
-// runBatch executes q over env on the batch engine and decodes the answer
-// rows. q must be validated (and already rewritten when opts.Rewrite).
-func runBatch(q ra.Query, env Env, ar ra.ArityEnv, opts Options) ([]Row, error) {
+// newBctx builds the per-run state of the batch engine.
+func newBctx(env Env, opts Options) *bctx {
 	hint := 0
 	for _, m := range env {
 		hint += m.NumRows() * m.Arity()
@@ -181,13 +181,19 @@ func runBatch(q ra.Query, env Env, ar ra.ArityEnv, opts Options) ([]Row, error) 
 	if hint > maxDictHint {
 		hint = maxDictHint
 	}
-	ctx := &bctx{
+	return &bctx{
 		dict:    condition.NewTermInternerSize(hint),
 		opts:    opts,
 		workers: opts.workerCount(),
 		enc:     make(map[Model]*vec),
 	}
-	p, err := ctx.eval(q, env, ar)
+}
+
+// runBatch executes q over env on the batch engine and decodes the answer
+// rows. q must be validated (and already rewritten when opts.Rewrite).
+func runBatch(q ra.Query, env Env, ar ra.ArityEnv, opts Options) ([]Row, error) {
+	ctx := newBctx(env, opts)
+	p, err := ctx.eval(q, env, ar, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -214,32 +220,57 @@ func (o Options) workerCount() int {
 // matches the iterator path (a binary operator's right side is fully
 // materialized before the left side runs, exactly as the iterators drain the
 // right side in Open).
-func (ctx *bctx) eval(q ra.Query, env Env, ar ra.ArityEnv) (*bpipe, error) {
+//
+// an is the EXPLAIN ANALYZE hook: nil on production runs (every check is one
+// predictable branch); when non-nil, the case fills *an with its PlanNode,
+// wraps the stages it appends in timing decorators and times its breaker
+// work inline, building the same tree (same labels, same child order)
+// Explain renders.
+func (ctx *bctx) eval(q ra.Query, env Env, ar ra.ArityEnv, an **PlanNode) (*bpipe, error) {
 	switch q := q.(type) {
 	case ra.BaseRel:
 		m, ok := env[q.Name]
 		if !ok {
 			return nil, fmt.Errorf("exec: unknown relation %q", q.Name)
 		}
-		return &bpipe{src: ctx.encodeModel(m)}, nil
+		v := ctx.encodeModel(m)
+		if an != nil {
+			n := newPlanNode(labelScan(q.Name))
+			n.rowsA.Store(uint64(v.rows()))
+			*an = n
+		}
+		return &bpipe{src: v}, nil
 	case ra.ConstRel:
 		v, err := ctx.encodeConst(q.Rel)
 		if err != nil {
 			return nil, err
 		}
+		if an != nil {
+			n := newPlanNode(labelConst(v.rows()))
+			n.rowsA.Store(uint64(v.rows()))
+			*an = n
+		}
 		return &bpipe{src: v}, nil
 	case ra.SelectQ:
 		if cq, ok := q.Input.(ra.CrossQ); ok {
-			return ctx.evalJoin(cq.Left, cq.Right, q.Pred, env, ar)
+			return ctx.evalJoin(cq.Left, cq.Right, q.Pred, env, ar, an)
 		}
-		p, err := ctx.eval(q.Input, env, ar)
+		var cn *PlanNode
+		p, err := ctx.eval(q.Input, env, ar, childPtr(an, &cn))
 		if err != nil {
 			return nil, err
 		}
 		p.stages = append(p.stages, &selectBStage{pred: q.Pred})
+		if an != nil {
+			n := newPlanNode(labelSelect(q.Pred))
+			n.Children = []*PlanNode{cn}
+			wrapLastStage(p, n)
+			*an = n
+		}
 		return p, nil
 	case ra.ProjectQ:
-		p, err := ctx.eval(q.Input, env, ar)
+		var cn *PlanNode
+		p, err := ctx.eval(q.Input, env, ar, childPtr(an, &cn))
 		if err != nil {
 			return nil, err
 		}
@@ -247,52 +278,110 @@ func (ctx *bctx) eval(q ra.Query, env Env, ar ra.ArityEnv) (*bpipe, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &bpipe{src: ctx.project(in, q.Cols)}, nil
+		var n *PlanNode
+		var t0 time.Time
+		if an != nil {
+			n = newPlanNode(labelProject(q.Cols))
+			n.Children = []*PlanNode{cn}
+			n.addRowsIn(uint64(in.rows()))
+			*an = n
+			t0 = time.Now()
+		}
+		out := ctx.project(in, q.Cols)
+		if n != nil {
+			n.addTime(time.Since(t0))
+			n.rowsA.Store(uint64(out.rows()))
+		}
+		return &bpipe{src: out}, nil
 	case ra.CrossQ:
-		right, err := ctx.evalMaterialized(q.Right, env, ar)
+		var ln, rn *PlanNode
+		right, err := ctx.evalMaterialized(q.Right, env, ar, childPtr(an, &rn))
 		if err != nil {
 			return nil, err
 		}
 		ctx.opts.Stats.in(uint64(right.rows()))
-		p, err := ctx.eval(q.Left, env, ar)
+		p, err := ctx.eval(q.Left, env, ar, childPtr(an, &ln))
 		if err != nil {
 			return nil, err
 		}
 		p.stages = append(p.stages, &crossBStage{right: right})
+		if an != nil {
+			n := newPlanNode(labelCross)
+			n.addRowsIn(uint64(right.rows()))
+			n.Children = []*PlanNode{ln, rn}
+			wrapLastStage(p, n)
+			*an = n
+		}
 		return p, nil
 	case ra.JoinQ:
-		return ctx.evalJoin(q.Left, q.Right, q.Pred, env, ar)
+		return ctx.evalJoin(q.Left, q.Right, q.Pred, env, ar, an)
 	case ra.UnionQ:
-		left, err := ctx.evalResimplified(q.Left, env, ar)
+		var ln, rn *PlanNode
+		var n *PlanNode
+		if an != nil {
+			n = newPlanNode(labelUnion)
+			*an = n
+		}
+		left, err := ctx.evalResimplified(q.Left, env, ar, childPtr(an, &ln), n)
 		if err != nil {
 			return nil, err
 		}
-		right, err := ctx.evalResimplified(q.Right, env, ar)
+		right, err := ctx.evalResimplified(q.Right, env, ar, childPtr(an, &rn), n)
 		if err != nil {
 			return nil, err
 		}
-		return &bpipe{src: concatVecs(left.arity, []*vec{left, right})}, nil
+		var t0 time.Time
+		if n != nil {
+			n.Children = []*PlanNode{ln, rn}
+			t0 = time.Now()
+		}
+		out := concatVecs(left.arity, []*vec{left, right})
+		if n != nil {
+			n.addTime(time.Since(t0))
+			n.rowsA.Store(uint64(out.rows()))
+		}
+		return &bpipe{src: out}, nil
 	case ra.DiffQ:
-		right, buckets, residual, err := ctx.evalPartitioned(q.Right, env, ar)
+		var ln, rn *PlanNode
+		var n *PlanNode
+		if an != nil {
+			n = newPlanNode(labelDiff(ctx.opts))
+			*an = n
+		}
+		right, buckets, residual, err := ctx.evalPartitioned(q.Right, env, ar, childPtr(an, &rn), n)
 		if err != nil {
 			return nil, err
 		}
-		p, err := ctx.eval(q.Left, env, ar)
+		p, err := ctx.eval(q.Left, env, ar, childPtr(an, &ln))
 		if err != nil {
 			return nil, err
 		}
 		p.stages = append(p.stages, &diffBStage{right: right, buckets: buckets, residual: residual})
+		if n != nil {
+			n.Children = []*PlanNode{ln, rn}
+			wrapLastStage(p, n)
+		}
 		return p, nil
 	case ra.IntersectQ:
-		right, buckets, residual, err := ctx.evalPartitioned(q.Right, env, ar)
+		var ln, rn *PlanNode
+		var n *PlanNode
+		if an != nil {
+			n = newPlanNode(labelIntersect(ctx.opts))
+			*an = n
+		}
+		right, buckets, residual, err := ctx.evalPartitioned(q.Right, env, ar, childPtr(an, &rn), n)
 		if err != nil {
 			return nil, err
 		}
-		p, err := ctx.eval(q.Left, env, ar)
+		p, err := ctx.eval(q.Left, env, ar, childPtr(an, &ln))
 		if err != nil {
 			return nil, err
 		}
 		p.stages = append(p.stages, &intersectBStage{right: right, buckets: buckets, residual: residual})
+		if n != nil {
+			n.Children = []*PlanNode{ln, rn}
+			wrapLastStage(p, n)
+		}
 		return p, nil
 	default:
 		return nil, fmt.Errorf("exec: unsupported query node %T", q)
@@ -300,8 +389,8 @@ func (ctx *bctx) eval(q ra.Query, env Env, ar ra.ArityEnv) (*bpipe, error) {
 }
 
 // evalMaterialized evaluates a subquery and forces its pipeline.
-func (ctx *bctx) evalMaterialized(q ra.Query, env Env, ar ra.ArityEnv) (*vec, error) {
-	p, err := ctx.eval(q, env, ar)
+func (ctx *bctx) evalMaterialized(q ra.Query, env Env, ar ra.ArityEnv, an **PlanNode) (*vec, error) {
+	p, err := ctx.eval(q, env, ar, an)
 	if err != nil {
 		return nil, err
 	}
@@ -309,30 +398,43 @@ func (ctx *bctx) evalMaterialized(q ra.Query, env Env, ar ra.ArityEnv) (*vec, er
 }
 
 // evalResimplified is evalMaterialized plus the per-row condition
-// re-simplification a union applies to both of its arms.
-func (ctx *bctx) evalResimplified(q ra.Query, env Env, ar ra.ArityEnv) (*vec, error) {
-	p, err := ctx.eval(q, env, ar)
+// re-simplification a union applies to both of its arms (its cost is
+// attributed to the union's own node when analyzing).
+func (ctx *bctx) evalResimplified(q ra.Query, env Env, ar ra.ArityEnv, an **PlanNode, union *PlanNode) (*vec, error) {
+	p, err := ctx.eval(q, env, ar, an)
 	if err != nil {
 		return nil, err
 	}
 	if ctx.opts.Simplify {
 		p.stages = append(p.stages, resimplifyBStage{})
+		if union != nil {
+			wrapLastStage(p, union)
+		}
 	}
 	return ctx.force(p)
 }
 
 // evalPartitioned materializes the right side of a difference/intersection
-// and — on the hash path — partitions it by ground row key.
-func (ctx *bctx) evalPartitioned(q ra.Query, env Env, ar ra.ArityEnv) (*vec, map[string][]int32, []int32, error) {
-	right, err := ctx.evalMaterialized(q, env, ar)
+// and — on the hash path — partitions it by ground row key (partitioning
+// cost attributed to the set operator's node when analyzing).
+func (ctx *bctx) evalPartitioned(q ra.Query, env Env, ar ra.ArityEnv, an **PlanNode, setNode *PlanNode) (*vec, map[string][]int32, []int32, error) {
+	right, err := ctx.evalMaterialized(q, env, ar, an)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	ctx.opts.Stats.in(uint64(right.rows()))
+	setNode.addRowsIn(uint64(right.rows()))
 	if ctx.opts.NoHash {
 		return right, nil, nil, nil
 	}
+	var t0 time.Time
+	if setNode != nil {
+		t0 = time.Now()
+	}
 	buckets, residual := ctx.partitionGroundRows(right)
+	if setNode != nil {
+		setNode.addTime(time.Since(t0))
+	}
 	return right, buckets, residual, nil
 }
 
@@ -340,8 +442,9 @@ func (ctx *bctx) evalPartitioned(q ra.Query, env Env, ar ra.ArityEnv) (*vec, map
 // over a cross product — into the batch hash-join probe pipeline when the
 // predicate yields equi-join keys, and into the cross+select stage
 // composition otherwise, mirroring buildJoin's strategy choice and counters.
-func (ctx *bctx) evalJoin(left, right ra.Query, pred ra.Predicate, env Env, ar ra.ArityEnv) (*bpipe, error) {
-	rv, err := ctx.evalMaterialized(right, env, ar)
+func (ctx *bctx) evalJoin(left, right ra.Query, pred ra.Predicate, env Env, ar ra.ArityEnv, an **PlanNode) (*bpipe, error) {
+	var ln, rn *PlanNode
+	rv, err := ctx.evalMaterialized(right, env, ar, childPtr(an, &rn))
 	if err != nil {
 		return nil, err
 	}
@@ -361,15 +464,40 @@ func (ctx *bctx) evalJoin(left, right ra.Query, pred ra.Predicate, env Env, ar r
 		}
 	}
 	ctx.opts.Stats.in(uint64(rv.rows()))
-	p, err := ctx.eval(left, env, ar)
+	p, err := ctx.eval(left, env, ar, childPtr(an, &ln))
 	if err != nil {
 		return nil, err
 	}
 	if len(keys) > 0 {
-		p.stages = append(p.stages, &probeBStage{jt: ctx.buildJoinTable(rv, keys), keys: keys, pred: pred, la: la})
+		var t0 time.Time
+		if an != nil {
+			t0 = time.Now()
+		}
+		jt := ctx.buildJoinTable(rv, keys)
+		p.stages = append(p.stages, &probeBStage{jt: jt, keys: keys, pred: pred, la: la})
+		if an != nil {
+			n := newPlanNode(labelHashJoin(keys, pred))
+			n.addTime(time.Since(t0))
+			n.addRowsIn(uint64(rv.rows()))
+			n.Children = []*PlanNode{ln, rn}
+			wrapLastStage(p, n)
+			*an = n
+		}
 		return p, nil
 	}
 	p.stages = append(p.stages, &crossBStage{right: rv}, &selectBStage{pred: pred})
+	if an != nil {
+		// The nested-loop fallback is two operators in the Explain tree:
+		// select over cross, exactly as the iterator path composes them.
+		cross := newPlanNode(labelCross)
+		cross.addRowsIn(uint64(rv.rows()))
+		cross.Children = []*PlanNode{ln, rn}
+		p.stages[len(p.stages)-2] = &timedBStage{inner: p.stages[len(p.stages)-2], node: cross}
+		sel := newPlanNode(labelSelect(pred))
+		sel.Children = []*PlanNode{cross}
+		wrapLastStage(p, sel)
+		*an = sel
+	}
 	return p, nil
 }
 
@@ -402,6 +530,7 @@ func (ctx *bctx) forceParts(p *bpipe) ([]*vec, int, error) {
 	if tasks == 0 {
 		return []*vec{newVec(arity)}, arity, nil
 	}
+	span := ctx.opts.Trace.Child("pipeline")
 	outs := make([]*vec, tasks)
 	err := ctx.parallel(tasks, func(t int, st *OpStats) error {
 		st.Morsels++
@@ -424,6 +553,23 @@ func (ctx *bctx) forceParts(p *bpipe) ([]*vec, int, error) {
 	})
 	if err != nil {
 		return nil, 0, err
+	}
+	if span.Valid() {
+		rows := 0
+		for _, o := range outs {
+			if o != nil {
+				rows += o.rows()
+			}
+		}
+		width := ctx.workers
+		if width > tasks {
+			width = tasks
+		}
+		span.SetInt("stages", int64(len(p.stages)))
+		span.SetInt("morsels", int64(tasks))
+		span.SetInt("workers", int64(width))
+		span.SetInt("rows", int64(rows))
+		span.End()
 	}
 	return outs, arity, nil
 }

@@ -36,6 +36,7 @@ import (
 	"strings"
 
 	"uncertaindb/internal/condition"
+	"uncertaindb/internal/obs"
 	"uncertaindb/internal/ra"
 	"uncertaindb/internal/relation"
 	"uncertaindb/internal/value"
@@ -119,6 +120,10 @@ type Options struct {
 	// during execution. Counters are incremented without synchronization;
 	// use one OpStats per Run.
 	Stats *OpStats
+	// Trace, when valid, receives one child span per executed batch
+	// pipeline (morsel/worker/row counts as attributes). The zero SpanRef
+	// disables tracing at the cost of one branch per pipeline.
+	Trace obs.SpanRef
 }
 
 // DefaultOptions simplifies conditions and rewrites plans.
@@ -155,20 +160,32 @@ func Run(q ra.Query, env Env, opts Options) (*Result, error) {
 		return nil, err
 	}
 	if opts.Rewrite {
+		sp := opts.Trace.Child("rewrite")
 		q = Rewrite(q, arities)
+		sp.End()
 	}
 	var rows []Row
 	if opts.NoBatch {
+		sp := opts.Trace.Child("build")
 		it, err := build(q, env, arities, opts)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
+		sp = opts.Trace.Child("drain")
 		rows, err = Drain(it)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 	} else {
+		// The batch engine interleaves stage construction with execution;
+		// its pipeline spans (one per forced part, with morsel/worker/row
+		// counts) hang under this span.
+		sp := opts.Trace.Child("batch")
+		opts.Trace = sp
 		rows, err = runBatch(q, env, arities, opts)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}

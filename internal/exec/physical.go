@@ -372,49 +372,92 @@ func Explain(q ra.Query, env Env, opts Options) (string, error) {
 
 func explainOp(b *strings.Builder, it Iterator, depth int, prefix string) {
 	indent := strings.Repeat("  ", depth)
-	switch op := it.(type) {
-	case *scanOp:
-		fmt.Fprintf(b, "%s%sscan(%s)\n", indent, prefix, op.name)
-	case *constOp:
-		fmt.Fprintf(b, "%s%sconst(%d tuples)\n", indent, prefix, len(op.rel.Tuples()))
-	case *selectOp:
-		fmt.Fprintf(b, "%s%sselect[%s]\n", indent, prefix, op.pred)
-		explainOp(b, op.in, depth+1, prefix)
-	case *projectOp:
-		cols := make([]string, len(op.cols))
-		for i, c := range op.cols {
-			cols[i] = strconv.Itoa(c + 1)
-		}
-		fmt.Fprintf(b, "%s%sproject[%s]\n", indent, prefix, strings.Join(cols, ","))
-		explainOp(b, op.in, depth+1, prefix)
-	case *crossOp:
-		fmt.Fprintf(b, "%s%snested-loop-cross\n", indent, prefix)
-		explainOp(b, op.left, depth+1, prefix)
-		explainOp(b, op.right, depth+1, prefix)
-	case *hashJoinOp:
-		keys := make([]string, len(op.keys))
-		for i, k := range op.keys {
-			keys[i] = fmt.Sprintf("$%d=$%d", k.Left+1, k.Right+1)
-		}
-		fmt.Fprintf(b, "%s%shash-join[%s] pred=%s build=right\n", indent, prefix, strings.Join(keys, ","), op.pred)
-		explainOp(b, op.left, depth+1, prefix)
-		explainOp(b, op.right, depth+1, prefix)
-	case *unionOp:
-		fmt.Fprintf(b, "%s%sunion\n", indent, prefix)
-		explainOp(b, op.left, depth+1, prefix)
-		explainOp(b, op.right, depth+1, prefix)
-	case *diffOp:
-		fmt.Fprintf(b, "%s%sdiff(%s)\n", indent, prefix, hashedOrScan(op.opts))
-		explainOp(b, op.left, depth+1, prefix)
-		explainOp(b, op.right, depth+1, prefix)
-	case *intersectOp:
-		fmt.Fprintf(b, "%s%sintersect(%s)\n", indent, prefix, hashedOrScan(op.opts))
-		explainOp(b, op.left, depth+1, prefix)
-		explainOp(b, op.right, depth+1, prefix)
-	default:
-		fmt.Fprintf(b, "%s%T\n", indent, it)
+	fmt.Fprintf(b, "%s%s%s\n", indent, prefix, opLabel(it))
+	for _, c := range opChildren(it) {
+		explainOp(b, c, depth+1, prefix)
 	}
 }
+
+// opLabel renders one operator's plan line — the label shared between
+// Explain's indented tree and the EXPLAIN ANALYZE plan nodes, so the two
+// renderings cannot drift.
+func opLabel(it Iterator) string {
+	switch op := it.(type) {
+	case *scanOp:
+		return labelScan(op.name)
+	case *constOp:
+		return labelConst(len(op.rel.Tuples()))
+	case *selectOp:
+		return labelSelect(op.pred)
+	case *projectOp:
+		return labelProject(op.cols)
+	case *crossOp:
+		return labelCross
+	case *hashJoinOp:
+		return labelHashJoin(op.keys, op.pred)
+	case *unionOp:
+		return labelUnion
+	case *diffOp:
+		return labelDiff(op.opts)
+	case *intersectOp:
+		return labelIntersect(op.opts)
+	default:
+		return fmt.Sprintf("%T", it)
+	}
+}
+
+// opChildren returns an operator's input iterators in plan (left-to-right)
+// order.
+func opChildren(it Iterator) []Iterator {
+	switch op := it.(type) {
+	case *selectOp:
+		return []Iterator{op.in}
+	case *projectOp:
+		return []Iterator{op.in}
+	case *crossOp:
+		return []Iterator{op.left, op.right}
+	case *hashJoinOp:
+		return []Iterator{op.left, op.right}
+	case *unionOp:
+		return []Iterator{op.left, op.right}
+	case *diffOp:
+		return []Iterator{op.left, op.right}
+	case *intersectOp:
+		return []Iterator{op.left, op.right}
+	}
+	return nil
+}
+
+const (
+	labelCross = "nested-loop-cross"
+	labelUnion = "union"
+)
+
+func labelScan(name string) string { return "scan(" + name + ")" }
+
+func labelConst(n int) string { return fmt.Sprintf("const(%d tuples)", n) }
+
+func labelSelect(pred ra.Predicate) string { return fmt.Sprintf("select[%s]", pred) }
+
+func labelProject(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = strconv.Itoa(c + 1)
+	}
+	return "project[" + strings.Join(parts, ",") + "]"
+}
+
+func labelHashJoin(keys []JoinKey, pred ra.Predicate) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("$%d=$%d", k.Left+1, k.Right+1)
+	}
+	return fmt.Sprintf("hash-join[%s] pred=%s build=right", strings.Join(parts, ","), pred)
+}
+
+func labelDiff(opts Options) string { return "diff(" + hashedOrScan(opts) + ")" }
+
+func labelIntersect(opts Options) string { return "intersect(" + hashedOrScan(opts) + ")" }
 
 func hashedOrScan(opts Options) string {
 	if opts.NoHash {

@@ -169,11 +169,11 @@ func TestNonEquiJoinFallsBack(t *testing.T) {
 
 func TestSplitJoinPredicate(t *testing.T) {
 	pred := ra.AndOf(
-		ra.Eq(ra.Col(0), ra.Col(2)),              // key
-		ra.Eq(ra.Col(3), ra.Col(1)),              // key, reversed operand sides
-		ra.Eq(ra.Col(0), ra.Col(1)),              // left-only equality: residual
-		ra.Eq(ra.Col(2), ra.ConstInt(7)),         // constant equality: residual
-		ra.Ne(ra.Col(0), ra.Col(3)),              // inequality: residual
+		ra.Eq(ra.Col(0), ra.Col(2)),                     // key
+		ra.Eq(ra.Col(3), ra.Col(1)),                     // key, reversed operand sides
+		ra.Eq(ra.Col(0), ra.Col(1)),                     // left-only equality: residual
+		ra.Eq(ra.Col(2), ra.ConstInt(7)),                // constant equality: residual
+		ra.Ne(ra.Col(0), ra.Col(3)),                     // inequality: residual
 		ra.OrOf(ra.Eq(ra.Col(0), ra.Col(2)), ra.True()), // disjunction: residual
 	)
 	keys, residual := exec.SplitJoinPredicate(pred, 2)

@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Registration takes a lock; the instruments themselves
+// (Counter, Histogram) are lock-free atomics, safe for concurrent use on
+// hot paths. Rendering is deterministic: families sort by name, series by
+// label string.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	series []*series
+}
+
+type series struct {
+	labels string // rendered {k="v",...} or ""
+	col    collector
+}
+
+type collector interface {
+	// collect appends one or more exposition lines for the series.
+	collect(w *strings.Builder, name, labels string)
+}
+
+func (r *Registry) register(name, labels, help, typ string, col collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.fams[name] = f
+	}
+	f.series = append(f.series, &series{labels: labels, col: col})
+}
+
+// Labels renders a label set deterministically (sorted by key) for use as
+// the labels argument of the registration helpers.
+func Labels(kv ...string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs.Labels: odd number of arguments")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) collect(w *strings.Builder, name, labels string) {
+	w.WriteString(name)
+	w.WriteString(labels)
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatUint(c.v.Load(), 10))
+	w.WriteByte('\n')
+}
+
+// funcCollector exposes a value computed at scrape time — the bridge to
+// counters that already exist elsewhere (engine cache stats, catalog
+// versions) without double accounting.
+type funcCollector struct{ fn func() float64 }
+
+func (f funcCollector) collect(w *strings.Builder, name, labels string) {
+	w.WriteString(name)
+	w.WriteString(labels)
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(f.fn()))
+	w.WriteByte('\n')
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are two
+// atomic adds (bucket, sum); bounds are in seconds, and the cumulative
+// buckets, the +Inf bucket and the observation count (the sum of all
+// buckets, which Prometheus requires to equal the +Inf bucket anyway) are
+// materialized at render time.
+type Histogram struct {
+	bounds  []float64 // upper bounds in seconds, ascending
+	nanos   []int64   // same bounds in integer nanoseconds (hot-path compare)
+	buckets []atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// DefBuckets spans 1µs .. 1s — wide enough for the warm query path (~4µs),
+// cold compilation (~100µs), WAL fsyncs (ms) and slow queries.
+var DefBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 1,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{
+		bounds:  bounds,
+		nanos:   make([]int64, len(bounds)),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+	for i, b := range bounds {
+		h.nanos[i] = int64(b * 1e9)
+	}
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	n := int64(d)
+	i := 0
+	for i < len(h.nanos) && n > h.nanos[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(n)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	total := uint64(0)
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+	}
+	return total
+}
+
+func (h *Histogram) collect(w *strings.Builder, name, labels string) {
+	cum := uint64(0)
+	for i := range h.bounds {
+		cum += h.buckets[i].Load()
+		writeBucket(w, name, labels, formatFloat(h.bounds[i]), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	writeBucket(w, name, labels, "+Inf", cum)
+	w.WriteString(name)
+	w.WriteString("_sum")
+	w.WriteString(labels)
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(float64(h.sum.Load()) / 1e9))
+	w.WriteByte('\n')
+	w.WriteString(name)
+	w.WriteString("_count")
+	w.WriteString(labels)
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatUint(cum, 10))
+	w.WriteByte('\n')
+}
+
+func writeBucket(w *strings.Builder, name, labels, le string, cum uint64) {
+	w.WriteString(name)
+	w.WriteString("_bucket")
+	if labels == "" {
+		w.WriteString(`{le="`)
+	} else {
+		w.WriteString(labels[:len(labels)-1])
+		w.WriteString(`,le="`)
+	}
+	w.WriteString(le)
+	w.WriteString(`"} `)
+	w.WriteString(strconv.FormatUint(cum, 10))
+	w.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter registers and returns a counter series. labels must come from
+// Labels (or be empty).
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	c := &Counter{}
+	r.register(name, labels, help, "counter", c)
+	return c
+}
+
+// CounterFunc registers a counter whose value is read at scrape time.
+func (r *Registry) CounterFunc(name, labels, help string, fn func() float64) {
+	r.register(name, labels, help, "counter", funcCollector{fn})
+}
+
+// GaugeFunc registers a gauge whose value is read at scrape time.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) {
+	r.register(name, labels, help, "gauge", funcCollector{fn})
+}
+
+// Histogram registers and returns a histogram series with the given bucket
+// upper bounds in seconds (DefBuckets when nil).
+func (r *Registry) Histogram(name, labels, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	h := newHistogram(bounds)
+	r.register(name, labels, help, "histogram", h)
+	return h
+}
+
+// WritePrometheus renders every registered family in the text exposition
+// format, families sorted by name, series by label string.
+func (r *Registry) WritePrometheus(w io.Writer) (int, error) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := r.fams[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		series := make([]*series, len(f.series))
+		copy(series, f.series)
+		sort.SliceStable(series, func(i, j int) bool { return series[i].labels < series[j].labels })
+		for _, s := range series {
+			s.col.collect(&b, f.name, s.labels)
+		}
+	}
+	r.mu.Unlock()
+	return io.WriteString(w, b.String())
+}

@@ -1,0 +1,252 @@
+// Package obs is the observability core of uncertaindb: monotonic-clock
+// spans with parent/child structure, atomic counters and gauges, and
+// fixed-bucket latency histograms — with no dependencies outside the
+// standard library.
+//
+// The paper's reading drives the design: c-table conditions are lineage, so
+// a trace of an execution is a first-class artifact of the data model, not a
+// bolt-on. A Trace is the provenance of one query execution the way a
+// condition is the provenance of one tuple — and like conditions, traces
+// have a canonical, deterministic export (Export) so they can be golden-
+// tested and shipped.
+//
+// Everything here is built for the hot path. A Trace is a pooled slab: spans
+// and attributes live in two flat slices (indices, not pointers), so an
+// entire trace costs zero allocations in steady state. Timing uses the
+// monotonic clock only (nanotime); wall-clock timestamps are captured once
+// per slow-log entry, never per span. All of Observer, Trace and SpanRef
+// tolerate their zero/nil values: with observability off every call is a
+// branch-predicted no-op.
+package obs
+
+import (
+	"time"
+)
+
+// epoch anchors the package's monotonic clock. All span timestamps are
+// nanosecond offsets from it.
+var epoch = time.Now()
+
+// Nanotime returns the monotonic clock as nanoseconds since the package
+// epoch. time.Since on a monotonic base performs a single clock read —
+// roughly half the cost of time.Now, which reads both the wall and the
+// monotonic clocks. Spans only ever subtract timestamps, so the wall reading
+// would be dead weight on the hot path.
+func Nanotime() int64 { return int64(time.Since(epoch)) }
+
+// Attr is one key/value annotation on a span. Str is used when IsStr is
+// set, Int otherwise; keeping both inline avoids any interface boxing on
+// the hot path.
+type Attr struct {
+	Key   string
+	Int   int64
+	Str   string
+	IsStr bool
+}
+
+// span is one timed section. Spans are stored by index inside their Trace;
+// parent links and attribute ranges are indices into the trace's slabs.
+// Timestamps are Nanotime readings.
+type span struct {
+	name    string
+	start   int64
+	dur     time.Duration
+	parent  int32 // index of parent span, -1 for the root
+	attrOff int32 // first attribute in Trace.attrs
+	attrN   int32 // number of attributes
+}
+
+// Trace is the span slab of one traced execution. Not safe for concurrent
+// span creation; the execution phases of one query are sequential, which is
+// what a trace records. A nil *Trace is a valid no-op trace.
+type Trace struct {
+	spans []span
+	attrs []Attr
+}
+
+// NewTrace returns a standalone trace with a started root span. Prefer
+// Observer.StartTrace, which pools the slabs.
+func NewTrace(name string) *Trace {
+	t := &Trace{spans: make([]span, 0, 8), attrs: make([]Attr, 0, 16)}
+	t.start(name)
+	return t
+}
+
+func (t *Trace) start(name string) {
+	t.startAt(name, Nanotime())
+}
+
+func (t *Trace) startAt(name string, at int64) {
+	t.spans = append(t.spans, span{name: name, start: at, parent: -1, attrOff: int32(len(t.attrs))})
+}
+
+func (t *Trace) reset() {
+	t.spans = t.spans[:0]
+	t.attrs = t.attrs[:0]
+}
+
+// Root returns the root span of the trace. Safe on a nil trace.
+func (t *Trace) Root() SpanRef {
+	return SpanRef{t: t, i: 0}
+}
+
+// SpanRef is a handle to one span inside a Trace. The zero SpanRef (and any
+// ref into a nil trace) is a valid no-op: Child returns another no-op ref,
+// End and the setters do nothing. Refs are values; pass them by copy.
+type SpanRef struct {
+	t *Trace
+	i int32
+}
+
+// Valid reports whether the ref points into a live trace.
+func (s SpanRef) Valid() bool { return s.t != nil }
+
+// Child opens a child span starting now.
+func (s SpanRef) Child(name string) SpanRef {
+	if s.t == nil {
+		return s
+	}
+	return s.ChildAt(name, Nanotime())
+}
+
+// ChildAt opens a child span with an explicit start time (a Nanotime
+// reading). Adjacent phases share their boundary timestamp this way, halving
+// the clock reads on the hot path: end the previous phase and start the next
+// with one reading.
+func (s SpanRef) ChildAt(name string, start int64) SpanRef {
+	if s.t == nil {
+		return s
+	}
+	t := s.t
+	idx := int32(len(t.spans))
+	t.spans = append(t.spans, span{name: name, start: start, parent: s.i, attrOff: int32(len(t.attrs))})
+	return SpanRef{t: t, i: idx}
+}
+
+// End closes the span at the current time.
+func (s SpanRef) End() {
+	if s.t == nil {
+		return
+	}
+	s.EndAt(Nanotime())
+}
+
+// EndAt closes the span at an explicit time (boundary-clock counterpart of
+// ChildAt).
+func (s SpanRef) EndAt(at int64) {
+	if s.t == nil {
+		return
+	}
+	sp := &s.t.spans[s.i]
+	sp.dur = time.Duration(at - sp.start)
+}
+
+// EndDur closes the span with an externally measured duration.
+func (s SpanRef) EndDur(d time.Duration) {
+	if s.t == nil {
+		return
+	}
+	s.t.spans[s.i].dur = d
+}
+
+// Start returns the span's start time as a Nanotime reading (zero for a
+// no-op ref).
+func (s SpanRef) Start() int64 {
+	if s.t == nil {
+		return 0
+	}
+	return s.t.spans[s.i].start
+}
+
+// SetInt attaches an integer attribute. Attributes of one span must be set
+// before its next sibling or child is opened (they occupy a contiguous
+// range of the trace's attribute slab).
+func (s SpanRef) SetInt(key string, v int64) {
+	if s.t == nil {
+		return
+	}
+	s.attach(Attr{Key: key, Int: v})
+}
+
+// SetStr attaches a string attribute (same contiguity rule as SetInt).
+func (s SpanRef) SetStr(key, v string) {
+	if s.t == nil {
+		return
+	}
+	s.attach(Attr{Key: key, Str: v, IsStr: true})
+}
+
+func (s SpanRef) attach(a Attr) {
+	t := s.t
+	sp := &t.spans[s.i]
+	if int(sp.attrOff)+int(sp.attrN) != len(t.attrs) {
+		// A later span started adding attributes; appending here would
+		// corrupt its range. Drop the attribute rather than corrupt —
+		// this is a programming error surfaced by tests, not a runtime
+		// hazard.
+		return
+	}
+	t.attrs = append(t.attrs, a)
+	sp.attrN++
+}
+
+// SpanExport is the canonical, deterministic JSON rendering of one span:
+// field order is fixed by the struct, children appear in creation order,
+// attributes in attachment order. Zero the durations (ZeroDurations) to
+// golden-test the structure.
+type SpanExport struct {
+	Name          string        `json:"name"`
+	DurationNanos int64         `json:"durationNanos"`
+	Attrs         []AttrExport  `json:"attrs,omitempty"`
+	Children      []*SpanExport `json:"children,omitempty"`
+}
+
+// AttrExport is one exported span attribute.
+type AttrExport struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// Export deep-copies the trace into its canonical tree form. The copy owns
+// all its memory, so the trace can be released back to its pool afterwards.
+// Returns nil for a nil or empty trace.
+func (t *Trace) Export() *SpanExport {
+	if t == nil || len(t.spans) == 0 {
+		return nil
+	}
+	nodes := make([]*SpanExport, len(t.spans))
+	for i := range t.spans {
+		sp := &t.spans[i]
+		n := &SpanExport{Name: sp.name, DurationNanos: int64(sp.dur)}
+		if sp.attrN > 0 {
+			n.Attrs = make([]AttrExport, sp.attrN)
+			for j := int32(0); j < sp.attrN; j++ {
+				a := t.attrs[sp.attrOff+j]
+				if a.IsStr {
+					n.Attrs[j] = AttrExport{Key: a.Key, Value: a.Str}
+				} else {
+					n.Attrs[j] = AttrExport{Key: a.Key, Value: a.Int}
+				}
+			}
+		}
+		nodes[i] = n
+		if sp.parent >= 0 {
+			p := nodes[sp.parent]
+			p.Children = append(p.Children, n)
+		}
+	}
+	return nodes[0]
+}
+
+// ZeroDurations recursively zeroes every duration in an exported span tree,
+// leaving only the deterministic structure (names, attributes, shape) — the
+// golden-testable part.
+func ZeroDurations(s *SpanExport) {
+	if s == nil {
+		return
+	}
+	s.DurationNanos = 0
+	for _, c := range s.Children {
+		ZeroDurations(c)
+	}
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceExportStructure(t *testing.T) {
+	tr := NewTrace("query")
+	root := tr.Root()
+	root.SetStr("engine", "dtree")
+	a := root.Child("parse")
+	a.SetInt("bytes", 42)
+	a.End()
+	b := root.Child("exec")
+	c := b.Child("pipeline")
+	c.SetInt("rows", 7)
+	c.End()
+	b.End()
+	root.End()
+
+	exp := tr.Export()
+	if exp == nil || exp.Name != "query" {
+		t.Fatalf("root export = %+v", exp)
+	}
+	if len(exp.Children) != 2 || exp.Children[0].Name != "parse" || exp.Children[1].Name != "exec" {
+		t.Fatalf("children = %+v", exp.Children)
+	}
+	if len(exp.Children[1].Children) != 1 || exp.Children[1].Children[0].Name != "pipeline" {
+		t.Fatalf("grandchildren = %+v", exp.Children[1].Children)
+	}
+	if got := exp.Children[0].Attrs; len(got) != 1 || got[0].Key != "bytes" || got[0].Value != int64(42) {
+		t.Fatalf("parse attrs = %+v", got)
+	}
+	if got := exp.Attrs; len(got) != 1 || got[0].Key != "engine" || got[0].Value != "dtree" {
+		t.Fatalf("root attrs = %+v", got)
+	}
+
+	ZeroDurations(exp)
+	raw, err := json.Marshal(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"name":"query","durationNanos":0,"attrs":[{"key":"engine","value":"dtree"}],"children":[{"name":"parse","durationNanos":0,"attrs":[{"key":"bytes","value":42}]},{"name":"exec","durationNanos":0,"children":[{"name":"pipeline","durationNanos":0,"attrs":[{"key":"rows","value":7}]}]}]}`
+	if string(raw) != want {
+		t.Fatalf("canonical export:\n got %s\nwant %s", raw, want)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var o *Observer
+	tr := o.StartTrace("x")
+	if tr != nil {
+		t.Fatal("nil observer should return nil trace")
+	}
+	ref := tr.Root()
+	if ref.Valid() {
+		t.Fatal("ref into nil trace should be invalid")
+	}
+	child := ref.Child("y")
+	child.SetInt("k", 1)
+	child.SetStr("k", "v")
+	child.End()
+	child.EndDur(time.Second)
+	ref.End()
+	o.FinishTrace(tr)
+	if tr.Export() != nil {
+		t.Fatal("nil trace export should be nil")
+	}
+	var h *Histogram
+	h.Observe(time.Second)
+	var c *Counter
+	c.Inc()
+	c.Add(3)
+	var l *SlowLog
+	l.Add(SlowQuery{})
+	if l.Snapshot() != nil || l.Total() != 0 {
+		t.Fatal("nil slow log should be empty")
+	}
+}
+
+func TestTracePoolReuse(t *testing.T) {
+	o := NewObserver(0, 4)
+	tr := o.StartTrace("a")
+	tr.Root().Child("c1").End()
+	tr.Root().End()
+	o.FinishTrace(tr)
+	tr2 := o.StartTrace("b")
+	defer o.FinishTrace(tr2)
+	exp := tr2.Export()
+	if exp.Name != "b" || len(exp.Children) != 0 {
+		t.Fatalf("pooled trace not reset: %+v", exp)
+	}
+}
+
+func TestHistogramBucketsAndRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "", "test histogram", []float64{1e-6, 1e-3})
+	h.Observe(500 * time.Nanosecond) // bucket 0
+	h.Observe(1 * time.Microsecond)  // boundary: le counts it in bucket 0
+	h.Observe(5 * time.Microsecond)  // bucket 1
+	h.Observe(2 * time.Second)       // +Inf
+	var b strings.Builder
+	if _, err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_seconds test histogram",
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{le="1e-06"} 2`,
+		`test_seconds_bucket{le="0.001"} 3`,
+		`test_seconds_bucket{le="+Inf"} 4`,
+		"test_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestRegistryRenderDeterministic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("zzz_total", "", "last family")
+	c.Add(3)
+	r.Counter("aaa_total", Labels("path", "warm"), "first family").Inc()
+	r.Counter("aaa_total", Labels("path", "cold"), "first family").Add(2)
+	r.GaugeFunc("mid_gauge", "", "a gauge", func() float64 { return 1.5 })
+	var b1, b2 strings.Builder
+	r.WritePrometheus(&b1)
+	r.WritePrometheus(&b2)
+	if b1.String() != b2.String() {
+		t.Fatal("render not deterministic")
+	}
+	out := b1.String()
+	if !strings.Contains(out, "aaa_total{path=\"cold\"} 2\naaa_total{path=\"warm\"} 1\n") {
+		t.Fatalf("series not sorted by labels:\n%s", out)
+	}
+	if strings.Index(out, "# HELP aaa_total") > strings.Index(out, "# HELP mid_gauge") ||
+		strings.Index(out, "# HELP mid_gauge") > strings.Index(out, "# HELP zzz_total") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+	if !strings.Contains(out, "mid_gauge 1.5\n") {
+		t.Fatalf("gauge func not rendered:\n%s", out)
+	}
+}
+
+func TestLabelsSortedAndEscaped(t *testing.T) {
+	if got := Labels("b", "2", "a", "1"); got != `{a="1",b="2"}` {
+		t.Fatalf("Labels = %s", got)
+	}
+	if got := Labels("k", "a\"b\\c\nd"); got != `{k="a\"b\\c\nd"}` {
+		t.Fatalf("escaped = %s", got)
+	}
+	if Labels() != "" {
+		t.Fatal("empty Labels should be empty string")
+	}
+}
+
+func TestSlowLogRing(t *testing.T) {
+	l := NewSlowLog(3)
+	for i := 0; i < 5; i++ {
+		l.Add(SlowQuery{Query: strings.Repeat("q", i+1)})
+	}
+	snap := l.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("len = %d", len(snap))
+	}
+	// Most recent first: qqqqq, qqqq, qqq.
+	if snap[0].Query != "qqqqq" || snap[1].Query != "qqqq" || snap[2].Query != "qqq" {
+		t.Fatalf("order = %v", snap)
+	}
+	if l.Total() != 5 {
+		t.Fatalf("total = %d", l.Total())
+	}
+}
+
+func TestBoundaryClockSpans(t *testing.T) {
+	tr := NewTrace("root")
+	t0 := tr.Root().Start()
+	t1 := t0 + int64(10*time.Millisecond)
+	t2 := t1 + int64(5*time.Millisecond)
+	a := tr.Root().ChildAt("a", t0)
+	a.EndAt(t1)
+	b := tr.Root().ChildAt("b", t1)
+	b.EndAt(t2)
+	tr.Root().EndAt(t2)
+	exp := tr.Export()
+	if exp.DurationNanos != int64(15*time.Millisecond) {
+		t.Fatalf("root dur = %d", exp.DurationNanos)
+	}
+	if exp.Children[0].DurationNanos != int64(10*time.Millisecond) || exp.Children[1].DurationNanos != int64(5*time.Millisecond) {
+		t.Fatalf("child durs = %d %d", exp.Children[0].DurationNanos, exp.Children[1].DurationNanos)
+	}
+}

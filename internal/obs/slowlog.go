@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowQuery is one captured slow execution: identifying metadata plus the
+// full exported span tree.
+type SlowQuery struct {
+	// Time is the wall-clock completion time (the only wall reading taken;
+	// span timing is monotonic-only).
+	Time time.Time `json:"time"`
+	// Query is the query text.
+	Query string `json:"query"`
+	// Engine is the marginal engine that ran it.
+	Engine string `json:"engine"`
+	// CacheHit reports whether the compiled plan came from the cache.
+	CacheHit bool `json:"cacheHit"`
+	// DurationNanos is the root span duration.
+	DurationNanos int64 `json:"durationNanos"`
+	// Trace is the full span tree of the execution.
+	Trace *SpanExport `json:"trace"`
+}
+
+// SlowLog is a fixed-capacity ring buffer of the most recent slow queries.
+// Safe for concurrent use; captures are rare by construction (they already
+// crossed the slowness threshold), so a mutex is fine here.
+type SlowLog struct {
+	mu    sync.Mutex
+	buf   []SlowQuery
+	next  int
+	total uint64
+}
+
+// NewSlowLog returns a ring of the given capacity (minimum 1).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{buf: make([]SlowQuery, 0, capacity)}
+}
+
+// Add records one slow query, evicting the oldest when full.
+func (l *SlowLog) Add(q SlowQuery) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, q)
+	} else {
+		l.buf[l.next] = q
+	}
+	l.next = (l.next + 1) % cap(l.buf)
+	l.total++
+	l.mu.Unlock()
+}
+
+// Snapshot returns the captured queries, most recent first.
+func (l *SlowLog) Snapshot() []SlowQuery {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQuery, 0, len(l.buf))
+	for i := 1; i <= len(l.buf); i++ {
+		out = append(out, l.buf[(l.next-i+cap(l.buf))%cap(l.buf)])
+	}
+	return out
+}
+
+// Total returns the number of queries ever captured (including evicted
+// ones) — the monotonic counter behind the slow-query metric.
+func (l *SlowLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Observer bundles the three observability surfaces one component needs:
+// a metrics registry, a slow-query ring and a trace pool. A nil *Observer
+// is fully functional as "observability off": StartTrace returns a nil
+// trace whose spans are no-ops.
+type Observer struct {
+	// Reg is the metrics registry all components register into.
+	Reg *Registry
+	// Slow is the slow-query ring buffer.
+	Slow *SlowLog
+	// SlowThreshold is the capture threshold; executions at or above it
+	// are recorded in Slow. Zero or negative disables capture.
+	SlowThreshold time.Duration
+
+	pool sync.Pool
+}
+
+// NewObserver builds an observer with a fresh registry and a slow-query
+// ring of the given capacity.
+func NewObserver(slowThreshold time.Duration, slowCapacity int) *Observer {
+	return &Observer{
+		Reg:           NewRegistry(),
+		Slow:          NewSlowLog(slowCapacity),
+		SlowThreshold: slowThreshold,
+	}
+}
+
+// StartTrace returns a pooled trace with a started root span. Release it
+// with FinishTrace when the execution completes; the slabs are reused.
+func (o *Observer) StartTrace(name string) *Trace {
+	if o == nil {
+		return nil
+	}
+	return o.StartTraceAt(name, Nanotime())
+}
+
+// StartTraceAt is StartTrace with an explicit root start time (a Nanotime
+// reading) — the boundary-clock pattern for traces materialized lazily,
+// after the execution they describe already began: the caller backfills the
+// earlier phases from clock readings it took on a slab-free fast path.
+func (o *Observer) StartTraceAt(name string, at int64) *Trace {
+	if o == nil {
+		return nil
+	}
+	t, _ := o.pool.Get().(*Trace)
+	if t == nil {
+		t = &Trace{spans: make([]span, 0, 8), attrs: make([]Attr, 0, 16)}
+	}
+	t.startAt(name, at)
+	return t
+}
+
+// FinishTrace returns a trace to the pool. The caller must not use the
+// trace (or any SpanRef into it) afterwards; Export first if the tree needs
+// to outlive the execution.
+func (o *Observer) FinishTrace(t *Trace) {
+	if o == nil || t == nil {
+		return
+	}
+	t.reset()
+	o.pool.Put(t)
+}

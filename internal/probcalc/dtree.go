@@ -147,6 +147,7 @@ func (e *engine[T]) eval(c condition.Condition) (T, error) {
 		e.stats.MemoHits++
 		return cached, nil
 	}
+	e.stats.MemoMisses++
 	small, err := e.residualAtMost(vars, e.opts.EnumThreshold)
 	if err != nil {
 		return e.f.zero(), err

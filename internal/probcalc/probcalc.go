@@ -62,6 +62,7 @@ type Stats struct {
 	ShannonExpansions int // pivot expansions
 	Enumerations      int // residual brute-force enumerations
 	MemoHits          int // subproblems answered from the cache
+	MemoMisses        int // subproblems decomposed and inserted
 	MemoEntries       int // size of the cache
 }
 

@@ -8,6 +8,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"uncertaindb/internal/obs"
 )
 
 // Options tunes a Store.
@@ -47,6 +50,29 @@ type Store struct {
 	base      uint64 // version of the snapshot the current log extends
 	sinceSnap int    // records appended since the last snapshot
 	closed    bool
+
+	// Observability (nil histograms/counters are no-ops; see Instrument).
+	appendSeconds  *obs.Histogram
+	fsyncSeconds   *obs.Histogram
+	compactSeconds *obs.Histogram
+	compactions    *obs.Counter
+}
+
+// Instrument registers the store's duration histograms and counters in reg:
+// wal_append (log write), wal_fsync (explicit sync of an appended record,
+// Fsync mode only) and wal_compaction (snapshot write + log reset)
+// durations, plus a compaction counter. Call before serving traffic.
+func (s *Store) Instrument(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.appendSeconds = reg.Histogram("uncertaindb_wal_append_duration_seconds", "",
+		"Duration of write-ahead-log record appends (write syscall, excluding fsync).", nil)
+	s.fsyncSeconds = reg.Histogram("uncertaindb_wal_fsync_duration_seconds", "",
+		"Duration of per-record log fsyncs (Fsync mode only).", nil)
+	s.compactSeconds = reg.Histogram("uncertaindb_wal_compaction_duration_seconds", "",
+		"Duration of snapshot compactions (snapshot write, rename, log reset).", nil)
+	s.compactions = reg.Counter("uncertaindb_wal_compactions_total", "",
+		"Number of completed snapshot compactions.")
 }
 
 // Open opens (or initializes) the data directory, recovers the catalog
@@ -137,8 +163,20 @@ func (s *Store) Append(rec *Record, state func() *State) error {
 	if s.closed {
 		return fmt.Errorf("wal: store is closed")
 	}
-	if err := s.log.Append(rec, s.opts.Fsync); err != nil {
+	// Write and (optionally) sync separately so the two costs are
+	// observable apart: the write is the unavoidable append latency, the
+	// fsync is the durability premium of Options.Fsync.
+	t0 := time.Now()
+	if err := s.log.Append(rec, false); err != nil {
 		return err
+	}
+	s.appendSeconds.Observe(time.Since(t0))
+	if s.opts.Fsync {
+		t1 := time.Now()
+		if err := s.log.Sync(); err != nil {
+			return err
+		}
+		s.fsyncSeconds.Observe(time.Since(t1))
 	}
 	s.sinceSnap++
 	if s.opts.SnapshotEvery > 0 && s.sinceSnap >= s.opts.SnapshotEvery {
@@ -167,6 +205,7 @@ func (s *Store) compactLocked(state *State) error {
 	if state.Version <= s.base {
 		return nil
 	}
+	t0 := time.Now()
 	name := fmt.Sprintf("%s%016x%s", snapPrefix, state.Version, snapSuffix)
 	final := filepath.Join(s.dir, name)
 	tmp := final + ".tmp"
@@ -190,6 +229,8 @@ func (s *Store) compactLocked(state *State) error {
 	s.removeSnapshotsBeforeLocked(state.Version)
 	s.base = state.Version
 	s.sinceSnap = 0
+	s.compactSeconds.Observe(time.Since(t0))
+	s.compactions.Inc()
 	return nil
 }
 

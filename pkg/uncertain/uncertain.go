@@ -27,6 +27,8 @@ import (
 
 	"uncertaindb/internal/catalog"
 	"uncertaindb/internal/engine"
+	"uncertaindb/internal/exec"
+	"uncertaindb/internal/obs"
 	"uncertaindb/internal/parser"
 	"uncertaindb/internal/value"
 	"uncertaindb/internal/wal"
@@ -61,6 +63,19 @@ type BatchItem = engine.BatchItem
 
 // Stats is a snapshot of the engine's cache and latency counters.
 type Stats = engine.Stats
+
+// PlanNode is one operator of an EXPLAIN ANALYZE plan tree: the operator
+// label (matching the rendered Plan), rows in/out, probe/residual counts and
+// wall time, with a deterministic JSON form (zero the timings for goldens).
+type PlanNode = exec.PlanNode
+
+// Span is the canonical exported form of one trace span (name, duration,
+// attributes, children).
+type Span = obs.SpanExport
+
+// SlowQuery is one captured slow execution: query text, engine, cache
+// outcome, duration and the full span tree.
+type SlowQuery = obs.SlowQuery
 
 // Tuple is a tuple of values; its String renders "(v1, ..., vn)".
 type Tuple = value.Tuple
@@ -98,6 +113,17 @@ type Config struct {
 	// Off, a machine crash (not just a process crash) can lose mutations
 	// still in the OS page cache; Close always syncs.
 	Fsync bool
+	// DisableObservability turns off the observability core entirely: no
+	// span recording, no metrics registry, no slow-query capture. On by
+	// default because its hot-path cost is a few clock readings per query
+	// (gated below 3% of the warm path by the E18 benchmark).
+	DisableObservability bool
+	// SlowQueryMillis is the slow-query capture threshold in milliseconds:
+	// executions at or above it have their full span tree recorded in a ring
+	// buffer (SlowQueries). Zero selects 100; negative disables capture.
+	SlowQueryMillis int
+	// SlowQueryCapacity bounds the slow-query ring buffer. Zero selects 128.
+	SlowQueryCapacity int
 }
 
 // Request is one query execution.
@@ -112,10 +138,15 @@ type Request struct {
 	Seed int64
 	// Workers shards the Monte-Carlo draw (mc only; default 1).
 	Workers int
+	// Analyze attaches an EXPLAIN ANALYZE plan tree (per-operator wall
+	// time, rows in/out, probe and residual counts) and the execution's span
+	// tree to the Result. The instrumented run is separate from the cached
+	// artifact and never perturbs the answer or the plan cache.
+	Analyze bool
 }
 
 func (r Request) internal() engine.Request {
-	return engine.Request{Query: r.Query, Engine: r.Engine, Samples: r.Samples, Seed: r.Seed, Workers: r.Workers}
+	return engine.Request{Query: r.Query, Engine: r.Engine, Samples: r.Samples, Seed: r.Seed, Workers: r.Workers, Analyze: r.Analyze}
 }
 
 // TableInfo is the metadata of one catalog table.
@@ -144,7 +175,8 @@ func entryInfo(e *catalog.Entry) TableInfo {
 // use.
 type DB struct {
 	eng   *engine.Engine
-	store *wal.Store // nil when in-memory
+	store *wal.Store    // nil when in-memory
+	obs   *obs.Observer // nil when observability is disabled
 }
 
 // Open creates a database with the given configuration. With an empty
@@ -153,22 +185,42 @@ type DB struct {
 // the write-ahead log, so every later mutation is durable before it is
 // acknowledged. Close a durable DB to flush and release the log.
 func Open(cfg Config) (*DB, error) {
+	var ob *obs.Observer
+	if !cfg.DisableObservability {
+		slowMs := cfg.SlowQueryMillis
+		if slowMs == 0 {
+			slowMs = 100
+		}
+		var threshold time.Duration
+		if slowMs > 0 {
+			threshold = time.Duration(slowMs) * time.Millisecond
+		}
+		slowCap := cfg.SlowQueryCapacity
+		if slowCap <= 0 {
+			slowCap = 128
+		}
+		ob = obs.NewObserver(threshold, slowCap)
+	}
 	engOpts := engine.Options{
 		CacheSize:       cfg.CacheSize,
 		Workers:         cfg.Workers,
 		DisableRewrites: cfg.DisableRewrites,
 		DisableBatch:    cfg.DisableBatch,
+		Obs:             ob,
 	}
 	if cfg.DataDir == "" {
-		return &DB{eng: engine.New(catalog.New(), engOpts)}, nil
+		return &DB{eng: engine.New(catalog.New(), engOpts), obs: ob}, nil
 	}
 	store, state, tail, err := wal.Open(cfg.DataDir, wal.Options{SnapshotEvery: cfg.SnapshotEvery, Fsync: cfg.Fsync})
 	if err != nil {
 		return nil, err
 	}
+	if ob != nil {
+		store.Instrument(ob.Reg)
+	}
 	cat := catalog.NewFromState(state, tail)
 	cat.SetSink(store)
-	return &DB{eng: engine.New(cat, engOpts), store: store}, nil
+	return &DB{eng: engine.New(cat, engOpts), store: store, obs: ob}, nil
 }
 
 // MustOpen is Open for configurations that cannot fail (no DataDir); it
@@ -344,3 +396,34 @@ func (db *DB) QueryBatch(reqs []Request) ([]BatchItem, uint64) {
 
 // Stats returns a snapshot of the engine's counters.
 func (db *DB) Stats() Stats { return db.eng.Stats() }
+
+// WriteMetrics renders every registered metric in the Prometheus text
+// exposition format — query latency histograms (cold/warm), plan-cache and
+// physical-operator counters, probcalc memo effectiveness, catalog and WAL
+// instrumentation. It reports whether observability is enabled; when
+// disabled nothing is written.
+func (db *DB) WriteMetrics(w io.Writer) (bool, error) {
+	if db.obs == nil {
+		return false, nil
+	}
+	_, err := db.obs.Reg.WritePrometheus(w)
+	return true, err
+}
+
+// SlowQueries returns the captured slow executions, most recent first, and
+// the total ever captured (including ones evicted from the ring).
+func (db *DB) SlowQueries() ([]SlowQuery, uint64) {
+	if db.obs == nil {
+		return nil, 0
+	}
+	return db.obs.Slow.Snapshot(), db.obs.Slow.Total()
+}
+
+// SlowQueryThreshold returns the capture threshold (0 when observability or
+// capture is disabled).
+func (db *DB) SlowQueryThreshold() time.Duration {
+	if db.obs == nil {
+		return 0
+	}
+	return db.obs.SlowThreshold
+}
