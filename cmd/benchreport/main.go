@@ -14,9 +14,13 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,10 +29,12 @@ import (
 	"uncertaindb/internal/ctable"
 	"uncertaindb/internal/engine"
 	"uncertaindb/internal/exec"
+	"uncertaindb/internal/httpapi"
 	"uncertaindb/internal/models"
 	"uncertaindb/internal/obs"
 	"uncertaindb/internal/pctable"
 	"uncertaindb/internal/ra"
+	"uncertaindb/internal/replica"
 	"uncertaindb/internal/value"
 	"uncertaindb/internal/workload"
 	"uncertaindb/pkg/uncertain"
@@ -49,6 +55,7 @@ var sections = []struct {
 	{key: "e16", print: batchExecution},
 	{key: "e17", print: walOverhead},
 	{key: "e18", print: obsOverhead},
+	{key: "e19", print: replication},
 	{key: "constructions", aliases: []string{"e4", "e5", "e9", "e11"}, print: constructions},
 }
 
@@ -63,7 +70,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
-	only := fs.String("only", "", "comma-separated sections to print (e6, e12, e14, e15, e16, e17, e18, constructions/e4/e5/e9/e11); empty means all")
+	only := fs.String("only", "", "comma-separated sections to print (e6, e12, e14, e15, e16, e17, e18, e19, constructions/e4/e5/e9/e11); empty means all")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fs.SetOutput(out)
@@ -505,4 +512,198 @@ func constructions(out io.Writer) {
 	fmt.Fprintf(out, "| Theorem 8: p-database → boolean pc-table | %d worlds | %d rows, %d boolean vars |\n",
 		pdb.NumWorlds(), pct.Table().NumRows(), len(pct.Vars()))
 	fmt.Fprintln(out)
+}
+
+// replication prints the E19 tables: how far a read replica runs behind the
+// leader (acknowledged PutTable until the change is visible on the
+// follower), and what the query router adds in front of a replica on the
+// warm query path. The wall-clock percentiles are cross-checked against the
+// follower's own /metrics lag histogram and the router's routed-query
+// counter, so the numbers EXPERIMENTS.md records trace back to the same
+// observability surface an operator sees.
+func replication(out io.Writer) {
+	fmt.Fprintln(out, "## E19 — replication lag and router fan-out overhead")
+	fmt.Fprintln(out)
+	const script = "table Takes arity 2\n" +
+		"row 'Alice', x\n" +
+		"row 'Bob',   x | x = 'phys' || x = 'chem'\n" +
+		"dist x = {'math':0.3, 'phys':0.3, 'chem':0.4}\n"
+
+	leaderDB, err := uncertain.Open(uncertain.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer leaderDB.Close()
+	leaderSrv := httptest.NewServer(httpapi.New(leaderDB))
+	defer leaderSrv.Close()
+	fDB, err := uncertain.Open(uncertain.Config{Follow: leaderSrv.URL})
+	if err != nil {
+		panic(err)
+	}
+	defer fDB.Close()
+	fSrv := httptest.NewServer(httpapi.New(fDB))
+	defer fSrv.Close()
+
+	// Lag: time each acknowledged put on the leader until the follower's
+	// catalog reaches that version.
+	const putsE19 = 200
+	lags := make([]time.Duration, 0, putsE19)
+	for i := 0; i < putsE19; i++ {
+		start := time.Now()
+		_, v, err := leaderDB.PutTableScript(script)
+		if err != nil {
+			panic(err)
+		}
+		for fDB.CatalogVersion() < v {
+			time.Sleep(50 * time.Microsecond)
+		}
+		lags = append(lags, time.Since(start))
+	}
+	sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+	fMetrics := scrapeMetrics(fSrv.URL + "/metrics")
+	applied, _ := metricValue(fMetrics, "uncertaindb_replication_applied_changes_total")
+	p99Bound, okBound := histogramQuantileBound(fMetrics, "uncertaindb_replication_lag_seconds", 0.99)
+	fmt.Fprintln(out, "| replication | value |")
+	fmt.Fprintln(out, "|---|---|")
+	fmt.Fprintf(out, "| lag p50 (PutTable → follower-visible) | %s |\n", lags[len(lags)/2])
+	fmt.Fprintf(out, "| lag p99 | %s |\n", lags[len(lags)*99/100])
+	if okBound {
+		fmt.Fprintf(out, "| lag p99 bound (follower /metrics histogram) | ≤ %s |\n", time.Duration(p99Bound*float64(time.Second)))
+	}
+	fmt.Fprintf(out, "| changes applied (follower /metrics) | %.0f |\n", applied)
+	fmt.Fprintln(out)
+
+	// Router overhead: the same warm query served by the replica directly
+	// vs through the router (health-checked fan-out, stamping, relaying).
+	router, err := replica.NewRouter(replica.RouterOptions{
+		Leader:         leaderSrv.URL,
+		Replicas:       []string{fSrv.URL},
+		HealthInterval: 20 * time.Millisecond,
+		Obs:            obs.NewObserver(0, 1),
+	})
+	if err != nil {
+		panic(err)
+	}
+	router.Start()
+	defer router.Close()
+	routerSrv := httptest.NewServer(router.Handler())
+	defer routerSrv.Close()
+	for { // wait for the health loop to admit the replica
+		resp, err := http.Post(routerSrv.URL+"/v1/query", "application/json",
+			strings.NewReader(`{"query": "project[1](Takes)"}`))
+		if err != nil {
+			panic(err)
+		}
+		served := resp.Header.Get("X-Served-By")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if served == fSrv.URL {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	queryVia := func(base string, n int) time.Duration {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			resp, err := http.Post(base+"/v1/query", "application/json",
+				strings.NewReader(`{"query": "project[1](Takes)"}`))
+			if err != nil {
+				panic(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				panic(fmt.Sprintf("E19 query via %s: HTTP %d", base, resp.StatusCode))
+			}
+		}
+		return time.Since(start) / time.Duration(n)
+	}
+	queryVia(fSrv.URL, 200) // warm both paths: plan caches, connections
+	queryVia(routerSrv.URL, 200)
+	const itersE19 = 500
+	direct := queryVia(fSrv.URL, itersE19)
+	routed := queryVia(routerSrv.URL, itersE19)
+	rMetrics := scrapeMetrics(routerSrv.URL + "/metrics")
+	routedCount, _ := metricValue(rMetrics, "uncertaindb_router_route_duration_seconds_count")
+	fmt.Fprintln(out, "| query path | warm query | QPS | overhead |")
+	fmt.Fprintln(out, "|---|---|---|---|")
+	fmt.Fprintf(out, "| direct to replica | %s | %.0f | — |\n", direct, float64(time.Second)/float64(direct))
+	fmt.Fprintf(out, "| through router | %s | %.0f | %+.1f%% |\n",
+		routed, float64(time.Second)/float64(routed), float64(routed-direct)/float64(direct)*100)
+	fmt.Fprintf(out, "\n(router /metrics: %.0f routed queries)\n", routedCount)
+	fmt.Fprintln(out)
+}
+
+// scrapeMetrics fetches a Prometheus text exposition page.
+func scrapeMetrics(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		panic(err)
+	}
+	return string(body)
+}
+
+// metricValue returns the value of an unlabelled sample in a Prometheus
+// text page.
+func metricValue(page, name string) (float64, bool) {
+	for _, line := range strings.Split(page, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
+}
+
+// histogramQuantileBound reads a histogram's buckets out of a Prometheus
+// text page and returns the smallest upper bound covering quantile q.
+func histogramQuantileBound(page, name string, q float64) (float64, bool) {
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bucket
+	prefix := name + "_bucket{le=\""
+	for _, line := range strings.Split(page, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(line, prefix)
+		end := strings.Index(rest, "\"}")
+		if end < 0 {
+			continue
+		}
+		le := math.Inf(1)
+		if rest[:end] != "+Inf" {
+			v, err := strconv.ParseFloat(rest[:end], 64)
+			if err != nil {
+				continue
+			}
+			le = v
+		}
+		cum, err := strconv.ParseFloat(strings.TrimSpace(rest[end+2:]), 64)
+		if err != nil {
+			continue
+		}
+		buckets = append(buckets, bucket{le, cum})
+	}
+	if len(buckets) == 0 {
+		return 0, false
+	}
+	total := buckets[len(buckets)-1].cum
+	if total == 0 {
+		return 0, false
+	}
+	for _, b := range buckets {
+		if b.cum >= q*total {
+			return b.le, !math.IsInf(b.le, 1)
+		}
+	}
+	return 0, false
 }

@@ -1,11 +1,12 @@
 // Command uncertaind is a resident query service over probabilistic
 // c-tables: a catalog of named tables, an engine with a compiled-plan cache,
 // and a versioned HTTP JSON API. It is a thin HTTP shell over the public
-// pkg/uncertain facade.
+// pkg/uncertain facade; the handler itself lives in internal/httpapi.
 //
 // Usage:
 //
 //	uncertaind -addr 127.0.0.1:8080 -load catalog.tbl [-cache 128] [-workers 4]
+//	uncertaind -addr 127.0.0.1:8081 -follow http://127.0.0.1:8080
 //
 // -workers (default GOMAXPROCS) sizes both bounds: how many queries execute
 // concurrently, and the shared pool all executions draw their extra
@@ -29,11 +30,23 @@
 //	                           below the shutdown drain; the response reports
 //	                           the effective wait); 410 Gone once V is
 //	                           compacted away
+//	GET    /v1/snapshot        the catalog's canonical snapshot bytes with a
+//	                           whole-payload CRC header — what a follower
+//	                           bootstraps from
+//	GET    /v1/replication     follower replication status (404 on a leader)
 //	GET    /metrics            Prometheus text exposition: query latency
 //	                           histograms (cold/warm), plan-cache, operator,
-//	                           probcalc-memo, catalog and WAL counters
+//	                           probcalc-memo, catalog, WAL and replication
+//	                           counters
 //	GET    /v1/debug/slow      slow-query ring buffer: executions at or above
 //	                           -slow-query-ms with their full span trees
+//
+// With -follow the daemon is a read replica: it bootstraps its catalog from
+// the leader's /v1/snapshot, tails /v1/changes applying every mutation at
+// the leader's exact versions (re-bootstrapping when the leader compacts its
+// feed past us), and refuses local mutations with 403 and a Location header
+// pointing at the leader. Point a cmd/uncertainrouter at the replica set to
+// fan queries out across them.
 //
 // -pprof additionally mounts net/http/pprof under /debug/pprof/ (off by
 // default; profiling endpoints are opt-in). -slow-query-ms tunes the
@@ -47,6 +60,8 @@
 // byte-identically at the exact versions, and graceful shutdown fsyncs and
 // closes the log — a SIGTERM'd server loses zero acknowledged mutations.
 // -fsync additionally syncs after every mutation (machine-crash safety).
+// -data-dir and -follow are mutually exclusive: the leader owns the durable
+// history, a follower replicates it.
 //
 // The pre-versioning unversioned routes (/tables, /query, /stats) remain as
 // deprecated aliases of the same handlers; responses on them carry a
@@ -66,7 +81,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -77,12 +91,11 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/ on the default mux; served only with -pprof
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
-	"uncertaindb/internal/value"
+	"uncertaindb/internal/httpapi"
 	"uncertaindb/pkg/uncertain"
 )
 
@@ -115,6 +128,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	dataDir := fs.String("data-dir", "", "directory for the durable catalog (WAL + snapshots); empty = in-memory, lost on restart")
 	snapshotEvery := fs.Int("snapshot-every", 64, "mutations between compacted catalog snapshots (-data-dir only; <0 disables compaction)")
 	fsync := fs.Bool("fsync", false, "fsync the WAL after every mutation (-data-dir only; graceful shutdown always syncs)")
+	follow := fs.String("follow", "", "leader base URL to replicate (e.g. http://127.0.0.1:8080); makes this node a read-only follower")
 	slowQueryMS := fs.Int("slow-query-ms", 100, "slow-query capture threshold in milliseconds (queries at or above it record their span tree at /v1/debug/slow; <0 disables capture)")
 	noObs := fs.Bool("no-obs", false, "disable the observability core (spans, /metrics, slow-query log)")
 	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
@@ -128,6 +142,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 		return fmt.Errorf("%w (run with -h for usage)", err)
 	}
+	if *follow != "" && len(loads) > 0 {
+		return fmt.Errorf("uncertaind: -follow and -load are mutually exclusive (a follower's catalog comes from the leader)")
+	}
 
 	db, err := uncertain.Open(uncertain.Config{
 		CacheSize:            *cacheSize,
@@ -139,14 +156,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Fsync:                *fsync,
 		DisableObservability: *noObs,
 		SlowQueryMillis:      *slowQueryMS,
+		Follow:               *follow,
 	})
 	if err != nil {
-		return fmt.Errorf("uncertaind: opening %s: %w", *dataDir, err)
+		return fmt.Errorf("uncertaind: opening: %w", err)
 	}
 	defer db.Close()
 	if *dataDir != "" {
 		version, infos := db.Tables()
 		fmt.Fprintf(out, "recovered %s: catalog version %d, %d tables\n", *dataDir, version, len(infos))
+	}
+	if *follow != "" {
+		version, infos := db.Tables()
+		fmt.Fprintf(out, "following %s: bootstrapped at catalog version %d, %d tables\n", *follow, version, len(infos))
 	}
 	for _, path := range loads {
 		names, err := db.LoadCatalogFile(path)
@@ -195,473 +217,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	return nil
 }
 
-// newHandler builds the HTTP API over the facade: the /v1 surface plus the
-// deprecated unversioned aliases.
-func newHandler(db *uncertain.DB) http.Handler {
-	mux := http.NewServeMux()
-	register := func(prefix string, wrap func(http.HandlerFunc) http.HandlerFunc) {
-		mux.HandleFunc("PUT "+prefix+"/tables/{name}", wrap(func(w http.ResponseWriter, r *http.Request) {
-			handlePutTable(db, w, r)
-		}))
-		mux.HandleFunc("GET "+prefix+"/tables", wrap(func(w http.ResponseWriter, r *http.Request) {
-			handleListTables(db, w)
-		}))
-		mux.HandleFunc("GET "+prefix+"/tables/{name}", wrap(func(w http.ResponseWriter, r *http.Request) {
-			handleGetTable(db, w, r)
-		}))
-		mux.HandleFunc("DELETE "+prefix+"/tables/{name}", wrap(func(w http.ResponseWriter, r *http.Request) {
-			name := r.PathValue("name")
-			ok, err := db.DropTable(name)
-			if err != nil {
-				writeError(w, http.StatusInternalServerError, err)
-				return
-			}
-			if !ok {
-				writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
-				return
-			}
-			writeJSON(w, http.StatusOK, map[string]any{"dropped": name, "catalogVersion": db.CatalogVersion()})
-		}))
-		mux.HandleFunc("POST "+prefix+"/query", wrap(func(w http.ResponseWriter, r *http.Request) {
-			handleQuery(db, w, r)
-		}))
-		mux.HandleFunc("GET "+prefix+"/stats", wrap(func(w http.ResponseWriter, r *http.Request) {
-			version, infos := db.Tables()
-			names := make([]string, 0, len(infos))
-			for _, info := range infos {
-				names = append(names, info.Name)
-			}
-			writeJSON(w, http.StatusOK, statsResponse{
-				Engine:         db.Stats(),
-				CatalogVersion: version,
-				Tables:         names,
-			})
-		}))
-	}
-	register("/v1", func(h http.HandlerFunc) http.HandlerFunc { return h })
-	register("", deprecated)
-	// The batch and change-feed endpoints are /v1-only: they postdate the
-	// unversioned surface.
-	mux.HandleFunc("POST /v1/query/batch", func(w http.ResponseWriter, r *http.Request) {
-		handleQueryBatch(db, w, r)
-	})
-	mux.HandleFunc("GET /v1/changes", func(w http.ResponseWriter, r *http.Request) {
-		handleChanges(db, w, r)
-	})
-	// Observability surface: Prometheus metrics (conventionally unversioned)
-	// and the slow-query ring buffer.
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		handleMetrics(db, w)
-	})
-	mux.HandleFunc("GET /v1/debug/slow", func(w http.ResponseWriter, r *http.Request) {
-		handleSlowQueries(db, w)
-	})
-	return mux
-}
+// newHandler builds the HTTP API over the facade; the implementation lives
+// in internal/httpapi so in-process harnesses mount the production handler.
+func newHandler(db *uncertain.DB) http.Handler { return httpapi.New(db) }
 
-// handleMetrics serves GET /metrics in the Prometheus text exposition format.
-func handleMetrics(db *uncertain.DB, w http.ResponseWriter) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	ok, err := db.WriteMetrics(w)
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("observability is disabled (-no-obs)"))
-		return
-	}
-	if err != nil {
-		log.Printf("uncertaind: writing metrics: %v", err)
-	}
-}
-
-// slowResponse is the JSON shape of GET /v1/debug/slow.
-type slowResponse struct {
-	// ThresholdMillis is the capture threshold; 0 means capture is disabled.
-	ThresholdMillis int64 `json:"thresholdMillis"`
-	// Total counts every capture since startup, including ones evicted from
-	// the ring.
-	Total uint64 `json:"total"`
-	// Queries are the retained captures, most recent first, each with its
-	// full span tree.
-	Queries []uncertain.SlowQuery `json:"queries"`
-}
-
-// handleSlowQueries serves GET /v1/debug/slow: the retained slow-query
-// captures with their span trees.
-func handleSlowQueries(db *uncertain.DB, w http.ResponseWriter) {
-	queries, total := db.SlowQueries()
-	if queries == nil {
-		queries = []uncertain.SlowQuery{}
-	}
-	writeJSON(w, http.StatusOK, slowResponse{
-		ThresholdMillis: db.SlowQueryThreshold().Milliseconds(),
-		Total:           total,
-		Queries:         queries,
-	})
-}
-
-// changeJSON is the JSON shape of one change-feed record. Table is the
-// base64 canonical encoding of the put table (wal.DecodeTable decodes it);
-// Text is a human-readable rendering.
-type changeJSON struct {
-	Version       uint64 `json:"version"`
-	Kind          string `json:"kind"`
-	Name          string `json:"name"`
-	Probabilistic bool   `json:"probabilistic,omitempty"`
-	Table         []byte `json:"table,omitempty"` // encoding/json renders []byte as base64
-	Text          string `json:"text,omitempty"`
-}
-
-type changesResponse struct {
-	From           uint64 `json:"from"`
-	CatalogVersion uint64 `json:"catalogVersion"`
-	// WaitMs is the effective long-poll wait applied to this request after
-	// capping — clients asking for more learn the real bound instead of
-	// silently getting less.
-	WaitMs  int64        `json:"waitMs"`
-	Changes []changeJSON `json:"changes"`
-}
-
-// Change-feed request bounds: one response page and the longest admissible
-// long-poll. The wait cap must stay below the server's shutdown drain
-// timeout (5s in run): a long-poll pinned at 30s used to hold its handler
-// goroutine past the drain, so graceful shutdown timed out whenever an idle
-// feed consumer was connected.
-const (
-	maxChangesLimit = 1024
-	maxChangesWait  = 4 * time.Second
+// Wire-type shims for this package's tests.
+type (
+	queryResponse   = httpapi.QueryResponse
+	statsResponse   = httpapi.StatsResponse
+	changesResponse = httpapi.ChangesResponse
 )
 
-// handleChanges serves GET /v1/changes?from=V[&limit=N][&wait_ms=M]: the
-// catalog mutations with version > V, oldest first. A from that has been
-// compacted away is 410 Gone — the consumer re-syncs by listing the tables
-// and resumes from the returned catalog version.
-func handleChanges(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	from, err := parseUintParam(q.Get("from"), 0)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad \"from\": %w", err))
-		return
-	}
-	limit, err := parseUintParam(q.Get("limit"), maxChangesLimit)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad \"limit\": %w", err))
-		return
-	}
-	if limit == 0 || limit > maxChangesLimit {
-		limit = maxChangesLimit
-	}
-	waitMS, err := parseUintParam(q.Get("wait_ms"), 0)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad \"wait_ms\": %w", err))
-		return
-	}
-	wait := time.Duration(waitMS) * time.Millisecond
-	if wait > maxChangesWait {
-		wait = maxChangesWait
-	}
-	changes, version, err := db.Changes(r.Context(), from, int(limit), wait)
-	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, uncertain.ErrCompacted) {
-			status = http.StatusGone
-		} else if strings.Contains(err.Error(), "but the catalog is at") {
-			status = http.StatusBadRequest
-		}
-		writeError(w, status, err)
-		return
-	}
-	resp := changesResponse{From: from, CatalogVersion: version, WaitMs: wait.Milliseconds(), Changes: make([]changeJSON, 0, len(changes))}
-	for _, ch := range changes {
-		resp.Changes = append(resp.Changes, changeJSON{
-			Version:       ch.Version,
-			Kind:          ch.Kind,
-			Name:          ch.Name,
-			Probabilistic: ch.Probabilistic,
-			Table:         ch.Table,
-			Text:          ch.Text,
-		})
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// parseUintParam parses an optional unsigned query parameter.
-func parseUintParam(s string, def uint64) (uint64, error) {
-	if s == "" {
-		return def, nil
-	}
-	return strconv.ParseUint(s, 10, 64)
-}
-
-// deprecated marks responses on the unversioned aliases: clients are pointed
-// at the /v1 successor route.
-func deprecated(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
-		h(w, r)
-	}
-}
-
-// errStatus maps typed facade errors onto HTTP status codes.
-func errStatus(err error) int {
-	switch {
-	case errors.Is(err, uncertain.ErrUnknownTable):
-		return http.StatusNotFound
-	case errors.Is(err, uncertain.ErrBadQuery):
-		return http.StatusBadRequest
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
-// tableInfo is the JSON shape of one catalog table.
-type tableInfo struct {
-	Name          string `json:"name"`
-	Arity         int    `json:"arity"`
-	Rows          int    `json:"rows"`
-	Variables     int    `json:"variables"`
-	Probabilistic bool   `json:"probabilistic"`
-	Version       uint64 `json:"version"`
-}
-
-type statsResponse struct {
-	Engine         uncertain.Stats `json:"engine"`
-	CatalogVersion uint64          `json:"catalogVersion"`
-	Tables         []string        `json:"tables"`
-}
-
-func infoJSON(info uncertain.TableInfo) tableInfo {
-	return tableInfo{
-		Name:          info.Name,
-		Arity:         info.Arity,
-		Rows:          info.Rows,
-		Variables:     info.Variables,
-		Probabilistic: info.Probabilistic,
-		Version:       info.Version,
-	}
-}
-
-func handlePutTable(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	tab, err := uncertain.ParseTable(string(body))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	if tab.Name() != name {
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("table script declares %q but the URL names %q", tab.Name(), name))
-		return
-	}
-	version, err := db.PutTable(tab)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"name": name, "catalogVersion": version})
-}
-
-func handleListTables(db *uncertain.DB, w http.ResponseWriter) {
-	version, infos := db.Tables()
-	out := make([]tableInfo, 0, len(infos))
-	for _, info := range infos {
-		out = append(out, infoJSON(info))
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"catalogVersion": version, "tables": out})
-}
-
-func handleGetTable(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	info, text, ok := db.Table(name)
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
-		return
-	}
-	writeJSON(w, http.StatusOK, struct {
-		tableInfo
-		Text string `json:"text"`
-	}{infoJSON(info), text})
-}
-
-// queryRequest is the JSON body of POST /query (and one element of a batch).
-type queryRequest struct {
-	Query   string `json:"query"`
-	Engine  string `json:"engine"`
-	Samples int    `json:"samples"`
-	Seed    int64  `json:"seed"`
-	Workers int    `json:"workers"`
-	// Analyze attaches an EXPLAIN ANALYZE plan tree (per-operator wall time,
-	// rows in/out, probe/residual counts) and the execution's span tree to
-	// the response.
-	Analyze bool `json:"analyze"`
-}
-
-func (q queryRequest) request() uncertain.Request {
-	return uncertain.Request{Query: q.Query, Engine: q.Engine, Samples: q.Samples, Seed: q.Seed, Workers: q.Workers, Analyze: q.Analyze}
-}
-
-// tupleAnswer is one answer tuple: the tuple as a JSON array of values plus
-// its marginal probability.
-type tupleAnswer struct {
-	Tuple   []any   `json:"tuple"`
-	P       float64 `json:"p"`
-	StdErr  float64 `json:"stderr,omitempty"`
-	Certain bool    `json:"certain"`
-}
-
-type queryResponse struct {
-	Query          string        `json:"query"`
-	Engine         string        `json:"engine"`
-	CatalogVersion uint64        `json:"catalogVersion"`
-	Tables         []string      `json:"tables"`
-	CacheHit       bool          `json:"cacheHit"`
-	Answer         string        `json:"answer"`
-	Plan           string        `json:"plan"`
-	Tuples         []tupleAnswer `json:"tuples"`
-	Certain        [][]any       `json:"certain"`
-	Possible       [][]any       `json:"possible"`
-	PrepareMicros  int64         `json:"prepareMicros"`
-	ExecMicros     int64         `json:"execMicros"`
-	// Analyzed is the EXPLAIN ANALYZE plan tree ("analyze": true only).
-	Analyzed *uncertain.PlanNode `json:"analyzed,omitempty"`
-	// Trace is the execution's span tree ("analyze": true with
-	// observability enabled only).
-	Trace *uncertain.Span `json:"trace,omitempty"`
-}
-
-func resultJSON(res *uncertain.Result) queryResponse {
-	resp := queryResponse{
-		Query:          res.Query,
-		Engine:         string(res.Kind),
-		CatalogVersion: res.CatalogVersion,
-		Tables:         res.Tables,
-		CacheHit:       res.CacheHit,
-		Answer:         res.Answer,
-		Plan:           res.Plan,
-		Tuples:         make([]tupleAnswer, 0, len(res.Tuples)),
-		Certain:        [][]any{},
-		Possible:       [][]any{},
-		PrepareMicros:  res.PrepareDuration.Microseconds(),
-		ExecMicros:     res.ExecDuration.Microseconds(),
-		Analyzed:       res.Analyzed,
-		Trace:          res.Trace,
-	}
-	for _, ta := range res.Tuples {
-		jt := tupleJSON(ta.Tuple)
-		resp.Tuples = append(resp.Tuples, tupleAnswer{Tuple: jt, P: ta.P, StdErr: ta.StdErr, Certain: ta.Certain})
-		resp.Possible = append(resp.Possible, jt)
-		if ta.Certain {
-			resp.Certain = append(resp.Certain, jt)
-		}
-	}
-	return resp
-}
-
-func handleQuery(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {
-	var req queryRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return
-	}
-	if strings.TrimSpace(req.Query) == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing \"query\""))
-		return
-	}
-	res, err := db.Query(req.request())
-	if err != nil {
-		writeError(w, errStatus(err), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, resultJSON(res))
-}
-
-// batchRequest is the JSON body of POST /v1/query/batch.
-type batchRequest struct {
-	Queries []queryRequest `json:"queries"`
-}
-
-// batchItem is one element of a batch response: either a query response or
-// an error (never both).
-type batchItem struct {
-	Error string `json:"error,omitempty"`
-	*queryResponse
-}
-
-type batchResponse struct {
-	CatalogVersion uint64      `json:"catalogVersion"`
-	Results        []batchItem `json:"results"`
-}
-
-// maxBatchQueries bounds one batch request.
-const maxBatchQueries = 1024
-
-func handleQueryBatch(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {
-	var req batchRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return
-	}
-	if len(req.Queries) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing \"queries\""))
-		return
-	}
-	if len(req.Queries) > maxBatchQueries {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d queries exceeds the limit of %d", len(req.Queries), maxBatchQueries))
-		return
-	}
-	reqs := make([]uncertain.Request, len(req.Queries))
-	for i, q := range req.Queries {
-		reqs[i] = q.request()
-	}
-	items, version := db.QueryBatch(reqs)
-	resp := batchResponse{CatalogVersion: version, Results: make([]batchItem, len(items))}
-	for i, item := range items {
-		if item.Err != nil {
-			resp.Results[i] = batchItem{Error: item.Err.Error()}
-			continue
-		}
-		qr := resultJSON(item.Result)
-		resp.Results[i] = batchItem{queryResponse: &qr}
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// tupleJSON renders a tuple as a JSON array of native values.
-func tupleJSON(t uncertain.Tuple) []any {
-	out := make([]any, len(t))
-	for i, v := range t {
-		switch v.Kind() {
-		case value.KindInt:
-			out[i] = v.AsInt()
-		case value.KindString:
-			out[i] = v.AsString()
-		case value.KindBool:
-			out[i] = v.AsBool()
-		default:
-			out[i] = nil
-		}
-	}
-	return out
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	if err := enc.Encode(v); err != nil {
-		log.Printf("uncertaind: encoding response: %v", err)
-	}
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]any{"error": err.Error()})
-}
+const maxBatchQueries = httpapi.MaxBatchQueries

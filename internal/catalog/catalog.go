@@ -19,11 +19,13 @@
 package catalog
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"uncertaindb/internal/parser"
 	"uncertaindb/internal/pctable"
@@ -34,6 +36,12 @@ import (
 // retained change record; the consumer must re-sync from a snapshot of the
 // catalog and watch again from the current version.
 var ErrCompacted = wal.ErrCompacted
+
+// ErrFutureVersion reports a Watch request from a version the catalog has
+// not reached yet — the consumer's cursor is ahead of this catalog, which
+// means it followed a different (or resynced) history. HTTP layers map it to
+// 400; callers classify with errors.Is instead of string-matching.
+var ErrFutureVersion = errors.New("catalog: watch version is ahead of the catalog")
 
 // Sink consumes catalog mutation records — the durability hook. Append is
 // called with the catalog lock held, after the mutation has been applied;
@@ -66,9 +74,9 @@ type Entry struct {
 	Version uint64
 }
 
-// changelogCap bounds the in-memory change window kept for Watch backfill.
-// Older records are served by the sink's TailReader when available, and are
-// ErrCompacted otherwise.
+// changelogCap is the default bound of the in-memory change window kept for
+// Watch backfill. Older records are served by the sink's TailReader when
+// available, and are ErrCompacted otherwise. SetChangeWindow overrides it.
 const changelogCap = 1024
 
 // Catalog is the mutable, concurrency-safe registry. The zero value is not
@@ -82,7 +90,13 @@ type Catalog struct {
 
 	// Change feed: a bounded in-memory window of recent mutation records
 	// (oldest first, contiguous versions) plus the live watcher set.
+	// changeTimes runs parallel to changelog: the wall-clock commit time of
+	// each record in unix nanoseconds (0 for records recovered or replicated
+	// rather than committed here) — the source of replication-lag
+	// measurements, kept out of wal.Record so the on-disk format stays pure.
 	changelog   []*wal.Record
+	changeTimes []int64
+	windowCap   int
 	watchers    map[uint64]chan *wal.Record
 	nextWatcher uint64
 
@@ -96,7 +110,34 @@ func (c *Catalog) Snapshots() uint64 { return c.snapshots.Load() }
 
 // New returns an empty catalog at version 0.
 func New() *Catalog {
-	return &Catalog{tables: make(map[string]*Entry), watchers: make(map[uint64]chan *wal.Record)}
+	return &Catalog{
+		tables:    make(map[string]*Entry),
+		watchers:  make(map[uint64]chan *wal.Record),
+		windowCap: changelogCap,
+	}
+}
+
+// SetChangeWindow bounds the in-memory change window kept for Watch backfill
+// (default 1024 records). A smaller window trades memory for earlier
+// ErrCompacted on lagging consumers; tests use it to force the resync path
+// without thousands of mutations. Values below 1 select 1.
+func (c *Catalog) SetChangeWindow(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.windowCap = n
+	c.trimWindowLocked()
+}
+
+// trimWindowLocked drops the oldest window entries beyond windowCap, keeping
+// changelog and changeTimes aligned.
+func (c *Catalog) trimWindowLocked() {
+	if n := len(c.changelog); n > c.windowCap {
+		c.changelog = append(c.changelog[:0], c.changelog[n-c.windowCap:]...)
+		c.changeTimes = append(c.changeTimes[:0], c.changeTimes[n-c.windowCap:]...)
+	}
 }
 
 // NewFromState rebuilds a catalog from a recovered durable state, preserving
@@ -110,10 +151,13 @@ func NewFromState(st *wal.State, tail []*wal.Record) *Catalog {
 	for _, ts := range st.Tables {
 		c.tables[ts.Name] = &Entry{Name: ts.Name, Table: ts.Table, Probabilistic: ts.Probabilistic, Version: ts.Version}
 	}
-	if n := len(tail); n > changelogCap {
-		tail = tail[n-changelogCap:]
+	if n := len(tail); n > c.windowCap {
+		tail = tail[n-c.windowCap:]
 	}
 	c.changelog = append(c.changelog, tail...)
+	// Recovered records have no commit time: they were committed by an
+	// earlier process whose clock readings are gone.
+	c.changeTimes = make([]int64, len(c.changelog))
 	return c
 }
 
@@ -145,9 +189,10 @@ func (c *Catalog) stateLocked() *wal.State {
 
 // commitLocked finalizes a mutation under c.mu: it hands the record to the
 // sink (rolling back via undo on failure), appends it to the change window
-// and fans it out to watchers. The caller has already applied the mutation
-// to the live map and bumped the version.
-func (c *Catalog) commitLocked(rec *wal.Record, undo func()) error {
+// (stamped with commitTime when non-zero) and fans it out to watchers. The
+// caller has already applied the mutation to the live map and bumped the
+// version.
+func (c *Catalog) commitLocked(rec *wal.Record, commitTime int64, undo func()) error {
 	if c.sink != nil {
 		if err := c.sink.Append(rec, c.stateLocked); err != nil {
 			undo()
@@ -155,9 +200,8 @@ func (c *Catalog) commitLocked(rec *wal.Record, undo func()) error {
 		}
 	}
 	c.changelog = append(c.changelog, rec)
-	if len(c.changelog) > changelogCap {
-		c.changelog = append(c.changelog[:0], c.changelog[len(c.changelog)-changelogCap:]...)
-	}
+	c.changeTimes = append(c.changeTimes, commitTime)
+	c.trimWindowLocked()
 	for id, ch := range c.watchers {
 		select {
 		case ch <- rec:
@@ -169,6 +213,97 @@ func (c *Catalog) commitLocked(rec *wal.Record, undo func()) error {
 		}
 	}
 	return nil
+}
+
+// CommitTime returns the wall-clock commit time of the given version in unix
+// nanoseconds, when the version is still inside the change window and was
+// committed by this process (replicated or recovered records have no local
+// commit time). The change feed ships it so followers can measure
+// replication lag in seconds against the leader's clock.
+func (c *Catalog) CommitTime(version uint64) (int64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.changelog) == 0 {
+		return 0, false
+	}
+	first := c.changelog[0].Version
+	if version < first || version > c.changelog[len(c.changelog)-1].Version {
+		return 0, false
+	}
+	t := c.changeTimes[version-first]
+	return t, t != 0
+}
+
+// ApplyRecord applies one replicated mutation record — the follower-side
+// counterpart of Put/Drop. The record must extend the version chain by
+// exactly one (a gap means the follower missed history and must resync from
+// a snapshot). The entry takes the record's version, so per-entry versions —
+// and therefore plan-cache keys — are byte-for-byte the leader's. The
+// record's table is installed without copying: feed records are decoded
+// fresh off the wire and ownership transfers to the catalog.
+//
+// The record flows through the same commit path as local mutations: it
+// reaches an attached sink (a durable follower logs what it applies), enters
+// the change window and fans out to watchers — so a follower is itself a
+// followable leader.
+func (c *Catalog) ApplyRecord(rec *wal.Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rec.Version != c.version+1 {
+		return fmt.Errorf("catalog: record version %d does not extend catalog version %d", rec.Version, c.version)
+	}
+	switch rec.Kind {
+	case wal.KindPut:
+		if rec.Table == nil {
+			return fmt.Errorf("catalog: put record for %q has no table", rec.Name)
+		}
+		prev, existed := c.tables[rec.Name]
+		c.version = rec.Version
+		c.tables[rec.Name] = &Entry{Name: rec.Name, Table: rec.Table, Probabilistic: rec.Probabilistic, Version: rec.Version}
+		return c.commitLocked(rec, 0, func() {
+			c.version = rec.Version - 1
+			if existed {
+				c.tables[rec.Name] = prev
+			} else {
+				delete(c.tables, rec.Name)
+			}
+		})
+	case wal.KindDelete:
+		prev, existed := c.tables[rec.Name]
+		c.version = rec.Version
+		delete(c.tables, rec.Name)
+		return c.commitLocked(rec, 0, func() {
+			c.version = rec.Version - 1
+			if existed {
+				c.tables[rec.Name] = prev
+			}
+		})
+	default:
+		return fmt.Errorf("catalog: unknown record kind %d", rec.Kind)
+	}
+}
+
+// ResetToState replaces the catalog's entire content with the given state —
+// the follower resync path after compacted history (ErrCompacted): the
+// leader's snapshot becomes this catalog, versions and all. The change
+// window is cleared (the records between the old and new state are unknown)
+// and every watcher is closed, the same signal as close-on-lag: consumers
+// must re-sync from a fresh snapshot of this catalog and re-Watch from its
+// version.
+func (c *Catalog) ResetToState(st *wal.State) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.version = st.Version
+	c.tables = make(map[string]*Entry, len(st.Tables))
+	for _, ts := range st.Tables {
+		c.tables[ts.Name] = &Entry{Name: ts.Name, Table: ts.Table, Probabilistic: ts.Probabilistic, Version: ts.Version}
+	}
+	c.changelog = c.changelog[:0]
+	c.changeTimes = c.changeTimes[:0]
+	for id, ch := range c.watchers {
+		close(ch)
+		delete(c.watchers, id)
+	}
 }
 
 // Put registers (or replaces) the table under the given name and returns
@@ -190,7 +325,7 @@ func (c *Catalog) Put(name string, t *pctable.PCTable) (uint64, error) {
 	c.version++
 	c.tables[name] = &Entry{Name: name, Table: cp, Probabilistic: probabilistic, Version: c.version}
 	rec := &wal.Record{Kind: wal.KindPut, Version: c.version, Name: name, Probabilistic: probabilistic, Table: cp}
-	if err := c.commitLocked(rec, func() {
+	if err := c.commitLocked(rec, time.Now().UnixNano(), func() {
 		c.version--
 		if existed {
 			c.tables[name] = prev
@@ -264,7 +399,7 @@ func (c *Catalog) Drop(name string) (bool, error) {
 	c.version++
 	delete(c.tables, name)
 	rec := &wal.Record{Kind: wal.KindDelete, Version: c.version, Name: name}
-	if err := c.commitLocked(rec, func() {
+	if err := c.commitLocked(rec, time.Now().UnixNano(), func() {
 		c.version--
 		c.tables[name] = prev
 	}); err != nil {
@@ -287,7 +422,7 @@ func (c *Catalog) Watch(from uint64) (*Watcher, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if from > c.version {
-		return nil, fmt.Errorf("catalog: watch from version %d, but the catalog is at %d", from, c.version)
+		return nil, fmt.Errorf("%w (from %d, but the catalog is at %d)", ErrFutureVersion, from, c.version)
 	}
 	var backlog []*wal.Record
 	oldestRetained := c.version // may serve from >= oldestRetained with an empty window

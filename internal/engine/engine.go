@@ -39,6 +39,7 @@ import (
 	"uncertaindb/internal/probcalc"
 	"uncertaindb/internal/ra"
 	"uncertaindb/internal/value"
+	"uncertaindb/internal/wal"
 )
 
 // Typed execution errors. Callers classify failures with errors.Is — the
@@ -221,11 +222,10 @@ type candidate struct {
 // answers, plus memoized exact marginals. Immutable after construction
 // except for the once-guarded marginal fields.
 type plan struct {
-	key            string
-	queryText      string
-	kind           Kind
-	catalogVersion uint64
-	tables         []string // sorted referenced table names
+	key       string
+	queryText string
+	kind      Kind
+	tables    []string // sorted referenced table names
 
 	answer     *pctable.PCTable
 	rendered   string
@@ -327,6 +327,32 @@ func (e *Engine) DropTable(name string) (bool, error) {
 		e.invalidateTable(name)
 	}
 	return ok, err
+}
+
+// ApplyChange applies one replicated mutation record (catalog.ApplyRecord)
+// and invalidates every cached plan reading the affected table — the
+// follower-side twin of PutTable/DropTable. Because the applied entry keeps
+// the leader's per-table version, plans compiled after the apply carry
+// exactly the leader's cache keys.
+func (e *Engine) ApplyChange(rec *wal.Record) error {
+	if err := e.cat.ApplyRecord(rec); err != nil {
+		return err
+	}
+	e.invalidateTable(rec.Name)
+	return nil
+}
+
+// ResetCatalog replaces the catalog's content with the given state
+// (catalog.ResetToState — the follower resync path) and purges the entire
+// plan cache: after a resync the set of versions that changed is unknown, so
+// every compiled plan is suspect.
+func (e *Engine) ResetCatalog(st *wal.State) {
+	e.cat.ResetToState(st)
+	e.mu.Lock()
+	for e.lru.Len() > 0 {
+		e.removeLocked(e.lru.Front(), &e.invalidations)
+	}
+	e.mu.Unlock()
 }
 
 // Stats returns a snapshot of the engine's counters.
@@ -521,9 +547,14 @@ func (e *Engine) executeOn(snap *catalog.Snapshot, req Request, ph *phases) (*Re
 	e.execNanos.Add(uint64(execDur))
 
 	res := &Result{
-		Query:           p.queryText,
-		Kind:            kind,
-		CatalogVersion:  p.catalogVersion,
+		Query: p.queryText,
+		Kind:  kind,
+		// Stamp the execution snapshot's version, not the prepare-time one a
+		// cached plan carries: the answer is valid at the version the
+		// execution read, and replicas at equal versions must stamp equal
+		// versions regardless of cache history (the router's freshness
+		// enforcement depends on it).
+		CatalogVersion:  snap.Version(),
 		Tables:          p.tables,
 		CacheHit:        hit,
 		Answer:          p.rendered,
@@ -783,16 +814,15 @@ func compile(q ra.Query, queryText string, kind Kind, names []string, snap *cata
 		}
 	}
 	return &plan{
-		key:            key,
-		queryText:      queryText,
-		kind:           kind,
-		catalogVersion: snap.Version(),
-		tables:         names,
-		answer:         answer,
-		rendered:       answer.String(),
-		physical:       physical,
-		ops:            ops,
-		candidates:     candidates,
+		key:        key,
+		queryText:  queryText,
+		kind:       kind,
+		tables:     names,
+		answer:     answer,
+		rendered:   answer.String(),
+		physical:   physical,
+		ops:        ops,
+		candidates: candidates,
 	}, nil
 }
 

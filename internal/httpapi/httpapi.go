@@ -1,0 +1,567 @@
+// Package httpapi is the HTTP surface of an uncertain database: the /v1
+// JSON API cmd/uncertaind serves, factored out so in-process tests and the
+// replication harness can mount the exact production handler over
+// httptest servers. It is a thin translation layer over the pkg/uncertain
+// facade — no query or catalog logic lives here.
+//
+// Beyond the query/catalog surface, the handler serves the replication
+// protocol:
+//
+//	GET /v1/snapshot     the catalog's canonical wal.EncodeState bytes, with
+//	                     X-Catalog-Version and a whole-payload CRC in
+//	                     X-Snapshot-Crc32 — what a follower bootstraps from
+//	GET /v1/changes      the change feed followers tail (410 Gone once the
+//	                     requested versions are compacted away)
+//	GET /v1/replication  the follower's replication status (404 on a leader)
+//
+// On a follower (a DB opened with Config.Follow), mutations are refused
+// with 403 Forbidden and a Location header pointing at the same path on the
+// leader — clients retry the write there.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"uncertaindb/internal/value"
+	"uncertaindb/pkg/uncertain"
+)
+
+// New builds the HTTP API over the facade: the /v1 surface plus the
+// deprecated unversioned aliases.
+func New(db *uncertain.DB) http.Handler {
+	mux := http.NewServeMux()
+	register := func(prefix string, wrap func(http.HandlerFunc) http.HandlerFunc) {
+		mux.HandleFunc("PUT "+prefix+"/tables/{name}", wrap(func(w http.ResponseWriter, r *http.Request) {
+			handlePutTable(db, w, r)
+		}))
+		mux.HandleFunc("GET "+prefix+"/tables", wrap(func(w http.ResponseWriter, r *http.Request) {
+			handleListTables(db, w)
+		}))
+		mux.HandleFunc("GET "+prefix+"/tables/{name}", wrap(func(w http.ResponseWriter, r *http.Request) {
+			handleGetTable(db, w, r)
+		}))
+		mux.HandleFunc("DELETE "+prefix+"/tables/{name}", wrap(func(w http.ResponseWriter, r *http.Request) {
+			handleDropTable(db, w, r)
+		}))
+		mux.HandleFunc("POST "+prefix+"/query", wrap(func(w http.ResponseWriter, r *http.Request) {
+			handleQuery(db, w, r)
+		}))
+		mux.HandleFunc("GET "+prefix+"/stats", wrap(func(w http.ResponseWriter, r *http.Request) {
+			version, infos := db.Tables()
+			names := make([]string, 0, len(infos))
+			for _, info := range infos {
+				names = append(names, info.Name)
+			}
+			writeJSON(w, http.StatusOK, StatsResponse{
+				Engine:         db.Stats(),
+				CatalogVersion: version,
+				Tables:         names,
+			})
+		}))
+	}
+	register("/v1", func(h http.HandlerFunc) http.HandlerFunc { return h })
+	register("", deprecated)
+	// The batch, change-feed and replication endpoints are /v1-only: they
+	// postdate the unversioned surface.
+	mux.HandleFunc("POST /v1/query/batch", func(w http.ResponseWriter, r *http.Request) {
+		handleQueryBatch(db, w, r)
+	})
+	mux.HandleFunc("GET /v1/changes", func(w http.ResponseWriter, r *http.Request) {
+		handleChanges(db, w, r)
+	})
+	mux.HandleFunc("GET /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		handleSnapshot(db, w)
+	})
+	mux.HandleFunc("GET /v1/replication", func(w http.ResponseWriter, r *http.Request) {
+		handleReplication(db, w)
+	})
+	// Observability surface: Prometheus metrics (conventionally unversioned)
+	// and the slow-query ring buffer.
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		handleMetrics(db, w)
+	})
+	mux.HandleFunc("GET /v1/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		handleSlowQueries(db, w)
+	})
+	return mux
+}
+
+// redirectReadOnly refuses a mutation on a follower: 403 Forbidden with a
+// Location header naming the same path on the leader. It reports whether it
+// handled the request.
+func redirectReadOnly(db *uncertain.DB, w http.ResponseWriter, r *http.Request) bool {
+	if !db.ReadOnly() {
+		return false
+	}
+	w.Header().Set("Location", strings.TrimRight(db.Leader(), "/")+r.URL.Path)
+	writeError(w, http.StatusForbidden,
+		fmt.Errorf("this node is a read-only follower; write to the leader at %s", db.Leader()))
+	return true
+}
+
+// handleSnapshot serves GET /v1/snapshot: the catalog in its canonical
+// snapshot encoding (wal.EncodeState), the exact bytes a follower bootstraps
+// from. X-Catalog-Version carries the snapshot's version and
+// X-Snapshot-Crc32 a CRC-32/IEEE over the whole payload (lower-case hex), so
+// the receiver can verify integrity before decoding.
+func handleSnapshot(db *uncertain.DB, w http.ResponseWriter) {
+	data, version, crc := db.SnapshotBytes()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Catalog-Version", strconv.FormatUint(version, 10))
+	w.Header().Set("X-Snapshot-Crc32", fmt.Sprintf("%08x", crc))
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	if _, err := w.Write(data); err != nil {
+		log.Printf("httpapi: writing snapshot: %v", err)
+	}
+}
+
+// handleReplication serves GET /v1/replication: the follower's replication
+// status. A leader (not following anyone) answers 404.
+func handleReplication(db *uncertain.DB, w http.ResponseWriter) {
+	st, ok := db.Replication()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("this node is not a follower"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition format.
+func handleMetrics(db *uncertain.DB, w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	ok, err := db.WriteMetrics(w)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("observability is disabled (-no-obs)"))
+		return
+	}
+	if err != nil {
+		log.Printf("httpapi: writing metrics: %v", err)
+	}
+}
+
+// SlowResponse is the JSON shape of GET /v1/debug/slow.
+type SlowResponse struct {
+	// ThresholdMillis is the capture threshold; 0 means capture is disabled.
+	ThresholdMillis int64 `json:"thresholdMillis"`
+	// Total counts every capture since startup, including ones evicted from
+	// the ring.
+	Total uint64 `json:"total"`
+	// Queries are the retained captures, most recent first, each with its
+	// full span tree.
+	Queries []uncertain.SlowQuery `json:"queries"`
+}
+
+// handleSlowQueries serves GET /v1/debug/slow: the retained slow-query
+// captures with their span trees.
+func handleSlowQueries(db *uncertain.DB, w http.ResponseWriter) {
+	queries, total := db.SlowQueries()
+	if queries == nil {
+		queries = []uncertain.SlowQuery{}
+	}
+	writeJSON(w, http.StatusOK, SlowResponse{
+		ThresholdMillis: db.SlowQueryThreshold().Milliseconds(),
+		Total:           total,
+		Queries:         queries,
+	})
+}
+
+// ChangeJSON is the JSON shape of one change-feed record. Table is the
+// base64 canonical encoding of the put table (wal.DecodeTable decodes it);
+// Text is a human-readable rendering; CommittedUnixNano is the commit
+// wall-clock time when this process still knows it (followers compute
+// replication lag from it).
+type ChangeJSON struct {
+	Version           uint64 `json:"version"`
+	Kind              string `json:"kind"`
+	Name              string `json:"name"`
+	Probabilistic     bool   `json:"probabilistic,omitempty"`
+	Table             []byte `json:"table,omitempty"` // encoding/json renders []byte as base64
+	Text              string `json:"text,omitempty"`
+	CommittedUnixNano int64  `json:"committedUnixNano,omitempty"`
+}
+
+type ChangesResponse struct {
+	From           uint64 `json:"from"`
+	CatalogVersion uint64 `json:"catalogVersion"`
+	// WaitMs is the effective long-poll wait applied to this request after
+	// capping — clients asking for more learn the real bound instead of
+	// silently getting less.
+	WaitMs  int64        `json:"waitMs"`
+	Changes []ChangeJSON `json:"changes"`
+}
+
+// Change-feed request bounds: one response page and the longest admissible
+// long-poll. The wait cap must stay below the server's shutdown drain
+// timeout (5s in cmd/uncertaind): a long-poll pinned at 30s used to hold its
+// handler goroutine past the drain, so graceful shutdown timed out whenever
+// an idle feed consumer was connected.
+const (
+	maxChangesLimit = 1024
+	maxChangesWait  = 4 * time.Second
+)
+
+// handleChanges serves GET /v1/changes?from=V[&limit=N][&wait_ms=M]: the
+// catalog mutations with version > V, oldest first. A from that has been
+// compacted away is 410 Gone — the consumer re-syncs from /v1/snapshot (or
+// by listing the tables) and resumes from the returned catalog version.
+func handleChanges(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err := parseUintParam(q.Get("from"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad \"from\": %w", err))
+		return
+	}
+	limit, err := parseUintParam(q.Get("limit"), maxChangesLimit)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad \"limit\": %w", err))
+		return
+	}
+	if limit == 0 || limit > maxChangesLimit {
+		limit = maxChangesLimit
+	}
+	waitMS, err := parseUintParam(q.Get("wait_ms"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad \"wait_ms\": %w", err))
+		return
+	}
+	wait := time.Duration(waitMS) * time.Millisecond
+	if wait > maxChangesWait {
+		wait = maxChangesWait
+	}
+	changes, version, err := db.Changes(r.Context(), from, int(limit), wait)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, uncertain.ErrCompacted):
+			status = http.StatusGone
+		case errors.Is(err, uncertain.ErrFutureVersion):
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	resp := ChangesResponse{From: from, CatalogVersion: version, WaitMs: wait.Milliseconds(), Changes: make([]ChangeJSON, 0, len(changes))}
+	for _, ch := range changes {
+		resp.Changes = append(resp.Changes, ChangeJSON{
+			Version:           ch.Version,
+			Kind:              ch.Kind,
+			Name:              ch.Name,
+			Probabilistic:     ch.Probabilistic,
+			Table:             ch.Table,
+			Text:              ch.Text,
+			CommittedUnixNano: ch.CommittedUnixNano,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseUintParam parses an optional unsigned query parameter.
+func parseUintParam(s string, def uint64) (uint64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+// deprecated marks responses on the unversioned aliases: clients are pointed
+// at the /v1 successor route.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+		h(w, r)
+	}
+}
+
+// errStatus maps typed facade errors onto HTTP status codes.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, uncertain.ErrUnknownTable):
+		return http.StatusNotFound
+	case errors.Is(err, uncertain.ErrBadQuery):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// TableInfo is the JSON shape of one catalog table.
+type TableInfo struct {
+	Name          string `json:"name"`
+	Arity         int    `json:"arity"`
+	Rows          int    `json:"rows"`
+	Variables     int    `json:"variables"`
+	Probabilistic bool   `json:"probabilistic"`
+	Version       uint64 `json:"version"`
+}
+
+type StatsResponse struct {
+	Engine         uncertain.Stats `json:"engine"`
+	CatalogVersion uint64          `json:"catalogVersion"`
+	Tables         []string        `json:"tables"`
+}
+
+func tableInfoJSON(info uncertain.TableInfo) TableInfo {
+	return TableInfo{
+		Name:          info.Name,
+		Arity:         info.Arity,
+		Rows:          info.Rows,
+		Variables:     info.Variables,
+		Probabilistic: info.Probabilistic,
+		Version:       info.Version,
+	}
+}
+
+func handlePutTable(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {
+	if redirectReadOnly(db, w, r) {
+		return
+	}
+	name := r.PathValue("name")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	tab, err := uncertain.ParseTable(string(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if tab.Name() != name {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("table script declares %q but the URL names %q", tab.Name(), name))
+		return
+	}
+	version, err := db.PutTable(tab)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "catalogVersion": version})
+}
+
+func handleDropTable(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {
+	if redirectReadOnly(db, w, r) {
+		return
+	}
+	name := r.PathValue("name")
+	ok, err := db.DropTable(name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dropped": name, "catalogVersion": db.CatalogVersion()})
+}
+
+func handleListTables(db *uncertain.DB, w http.ResponseWriter) {
+	version, infos := db.Tables()
+	out := make([]TableInfo, 0, len(infos))
+	for _, info := range infos {
+		out = append(out, tableInfoJSON(info))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"catalogVersion": version, "tables": out})
+}
+
+func handleGetTable(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	info, text, ok := db.Table(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		TableInfo
+		Text string `json:"text"`
+	}{tableInfoJSON(info), text})
+}
+
+// queryRequest is the JSON body of POST /query (and one element of a batch).
+type queryRequest struct {
+	Query   string `json:"query"`
+	Engine  string `json:"engine"`
+	Samples int    `json:"samples"`
+	Seed    int64  `json:"seed"`
+	Workers int    `json:"workers"`
+	// Analyze attaches an EXPLAIN ANALYZE plan tree (per-operator wall time,
+	// rows in/out, probe/residual counts) and the execution's span tree to
+	// the response.
+	Analyze bool `json:"analyze"`
+}
+
+func (q queryRequest) request() uncertain.Request {
+	return uncertain.Request{Query: q.Query, Engine: q.Engine, Samples: q.Samples, Seed: q.Seed, Workers: q.Workers, Analyze: q.Analyze}
+}
+
+// QueryTuple is one answer tuple: the tuple as a JSON array of values plus
+// its marginal probability.
+type QueryTuple struct {
+	Tuple   []any   `json:"tuple"`
+	P       float64 `json:"p"`
+	StdErr  float64 `json:"stderr,omitempty"`
+	Certain bool    `json:"certain"`
+}
+
+type QueryResponse struct {
+	Query          string       `json:"query"`
+	Engine         string       `json:"engine"`
+	CatalogVersion uint64       `json:"catalogVersion"`
+	Tables         []string     `json:"tables"`
+	CacheHit       bool         `json:"cacheHit"`
+	Answer         string       `json:"answer"`
+	Plan           string       `json:"plan"`
+	Tuples         []QueryTuple `json:"tuples"`
+	Certain        [][]any      `json:"certain"`
+	Possible       [][]any      `json:"possible"`
+	PrepareMicros  int64        `json:"prepareMicros"`
+	ExecMicros     int64        `json:"execMicros"`
+	// Analyzed is the EXPLAIN ANALYZE plan tree ("analyze": true only).
+	Analyzed *uncertain.PlanNode `json:"analyzed,omitempty"`
+	// Trace is the execution's span tree ("analyze": true with
+	// observability enabled only).
+	Trace *uncertain.Span `json:"trace,omitempty"`
+}
+
+func resultJSON(res *uncertain.Result) QueryResponse {
+	resp := QueryResponse{
+		Query:          res.Query,
+		Engine:         string(res.Kind),
+		CatalogVersion: res.CatalogVersion,
+		Tables:         res.Tables,
+		CacheHit:       res.CacheHit,
+		Answer:         res.Answer,
+		Plan:           res.Plan,
+		Tuples:         make([]QueryTuple, 0, len(res.Tuples)),
+		Certain:        [][]any{},
+		Possible:       [][]any{},
+		PrepareMicros:  res.PrepareDuration.Microseconds(),
+		ExecMicros:     res.ExecDuration.Microseconds(),
+		Analyzed:       res.Analyzed,
+		Trace:          res.Trace,
+	}
+	for _, ta := range res.Tuples {
+		jt := tupleJSON(ta.Tuple)
+		resp.Tuples = append(resp.Tuples, QueryTuple{Tuple: jt, P: ta.P, StdErr: ta.StdErr, Certain: ta.Certain})
+		resp.Possible = append(resp.Possible, jt)
+		if ta.Certain {
+			resp.Certain = append(resp.Certain, jt)
+		}
+	}
+	return resp
+}
+
+func handleQuery(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing \"query\""))
+		return
+	}
+	res, err := db.Query(req.request())
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resultJSON(res))
+}
+
+// batchRequest is the JSON body of POST /v1/query/batch.
+type batchRequest struct {
+	Queries []queryRequest `json:"queries"`
+}
+
+// BatchItem is one element of a batch response: either a query response or
+// an error (never both).
+type BatchItem struct {
+	Error string `json:"error,omitempty"`
+	*QueryResponse
+}
+
+type BatchResponse struct {
+	CatalogVersion uint64      `json:"catalogVersion"`
+	Results        []BatchItem `json:"results"`
+}
+
+// MaxBatchQueries bounds one batch request.
+const MaxBatchQueries = 1024
+
+func handleQueryBatch(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing \"queries\""))
+		return
+	}
+	if len(req.Queries) > MaxBatchQueries {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d queries exceeds the limit of %d", len(req.Queries), MaxBatchQueries))
+		return
+	}
+	reqs := make([]uncertain.Request, len(req.Queries))
+	for i, q := range req.Queries {
+		reqs[i] = q.request()
+	}
+	items, version := db.QueryBatch(reqs)
+	resp := BatchResponse{CatalogVersion: version, Results: make([]BatchItem, len(items))}
+	for i, item := range items {
+		if item.Err != nil {
+			resp.Results[i] = BatchItem{Error: item.Err.Error()}
+			continue
+		}
+		qr := resultJSON(item.Result)
+		resp.Results[i] = BatchItem{QueryResponse: &qr}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// tupleJSON renders a tuple as a JSON array of native values.
+func tupleJSON(t uncertain.Tuple) []any {
+	out := make([]any, len(t))
+	for i, v := range t {
+		switch v.Kind() {
+		case value.KindInt:
+			out[i] = v.AsInt()
+		case value.KindString:
+			out[i] = v.AsString()
+		case value.KindBool:
+			out[i] = v.AsBool()
+		default:
+			out[i] = nil
+		}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		log.Printf("httpapi: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}

@@ -129,6 +129,37 @@ func (c *Counter) collect(w *strings.Builder, name, labels string) {
 	w.WriteByte('\n')
 }
 
+// Gauge is a settable gauge: a value that can move in both directions,
+// written from hot paths with a single atomic store. Where GaugeFunc pulls a
+// value at scrape time, Gauge is pushed by the component that owns it — the
+// right shape for replication state (applied version, versions behind) that
+// changes on an apply loop rather than living in a scrapeable struct.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) collect(w *strings.Builder, name, labels string) {
+	w.WriteString(name)
+	w.WriteString(labels)
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatInt(g.v.Load(), 10))
+	w.WriteByte('\n')
+}
+
 // funcCollector exposes a value computed at scrape time — the bridge to
 // counters that already exist elsewhere (engine cache stats, catalog
 // versions) without double accounting.
@@ -260,6 +291,13 @@ func (r *Registry) CounterFunc(name, labels, help string, fn func() float64) {
 // GaugeFunc registers a gauge whose value is read at scrape time.
 func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) {
 	r.register(name, labels, help, "gauge", funcCollector{fn})
+}
+
+// Gauge registers and returns a settable gauge series.
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, labels, help, "gauge", g)
+	return g
 }
 
 // Histogram registers and returns a histogram series with the given bucket

@@ -1,0 +1,258 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uncertaindb/internal/engine"
+	"uncertaindb/internal/obs"
+)
+
+// FollowerOptions tunes a Follower. The zero value is a sensible default.
+type FollowerOptions struct {
+	// PollWait is the long-poll window of each /v1/changes request (the
+	// leader caps it server-side). Zero selects 3s.
+	PollWait time.Duration
+	// PageLimit bounds one changes page. Zero selects 512.
+	PageLimit int
+	// BackoffBase and BackoffMax bound the jittered exponential backoff
+	// applied after a failed leader RPC. Zeros select 100ms and 10s.
+	BackoffBase, BackoffMax time.Duration
+	// Obs, when set, registers replication metrics (applied/leader version
+	// gauges, lag histogram, resync and backoff counters) in its registry.
+	Obs *obs.Observer
+}
+
+func (o FollowerOptions) withDefaults() FollowerOptions {
+	if o.PollWait <= 0 {
+		o.PollWait = 3 * time.Second
+	}
+	if o.PageLimit <= 0 {
+		o.PageLimit = 512
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 100 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 10 * time.Second
+	}
+	return o
+}
+
+// Status is a point-in-time view of a follower's replication state.
+type Status struct {
+	// Leader is the leader's base URL.
+	Leader string `json:"leader"`
+	// AppliedVersion is the catalog version this follower has applied.
+	AppliedVersion uint64 `json:"appliedVersion"`
+	// LeaderVersion is the leader catalog version last observed (0 before
+	// the first successful poll).
+	LeaderVersion uint64 `json:"leaderVersion"`
+	// Resyncs counts snapshot re-bootstraps (initial bootstrap included).
+	Resyncs uint64 `json:"resyncs"`
+	// Backoffs counts leader RPC failures that triggered a backoff sleep.
+	Backoffs uint64 `json:"backoffs"`
+	// LastError is the most recent leader RPC failure ("" after a success).
+	LastError string `json:"lastError,omitempty"`
+}
+
+// Follower replicates a leader's catalog into a local engine: one snapshot
+// bootstrap, then an apply loop tailing the change feed. Mutations flow
+// through engine.ApplyChange, so per-entry versions — and plan-cache keys —
+// are exactly the leader's, and the local change feed re-publishes every
+// applied record (a follower can itself be followed). Safe for concurrent
+// use; queries against the engine proceed snapshot-isolated while records
+// apply.
+type Follower struct {
+	eng    *engine.Engine
+	client *Client
+	opts   FollowerOptions
+
+	applied   atomic.Uint64
+	leaderVer atomic.Uint64
+	resyncs   atomic.Uint64
+	backoffs  atomic.Uint64
+	lastErr   atomic.Value // string
+
+	cancel context.CancelFunc
+	done   chan struct{}
+	once   sync.Once
+
+	// Metrics (nil-safe no-ops without Obs).
+	appliedGauge *obs.Gauge
+	leaderGauge  *obs.Gauge
+	behindGauge  *obs.Gauge
+	lagSeconds   *obs.Histogram
+	applyTotal   *obs.Counter
+	resyncTotal  *obs.Counter
+	backoffTotal *obs.Counter
+}
+
+// NewFollower builds a follower applying the client's leader into eng.
+// Call Bootstrap (or let Run do it), then Start.
+func NewFollower(eng *engine.Engine, client *Client, opts FollowerOptions) *Follower {
+	f := &Follower{eng: eng, client: client, opts: opts.withDefaults()}
+	f.lastErr.Store("")
+	if ob := f.opts.Obs; ob != nil {
+		f.appliedGauge = ob.Reg.Gauge("uncertaindb_replication_applied_version", "",
+			"Catalog version this follower has applied.")
+		f.leaderGauge = ob.Reg.Gauge("uncertaindb_replication_leader_version", "",
+			"Leader catalog version last observed by this follower.")
+		f.behindGauge = ob.Reg.Gauge("uncertaindb_replication_versions_behind", "",
+			"Leader catalog version minus applied version at the last poll.")
+		f.lagSeconds = ob.Reg.Histogram("uncertaindb_replication_lag_seconds", "",
+			"Commit-to-apply lag of replicated changes (leader commit wall clock to follower apply).", nil)
+		f.applyTotal = ob.Reg.Counter("uncertaindb_replication_applied_changes_total", "",
+			"Change-feed records applied by this follower.")
+		f.resyncTotal = ob.Reg.Counter("uncertaindb_replication_resyncs_total", "",
+			"Snapshot re-bootstraps (initial bootstrap included).")
+		f.backoffTotal = ob.Reg.Counter("uncertaindb_replication_backoffs_total", "",
+			"Leader RPC failures that triggered a backoff sleep.")
+	}
+	return f
+}
+
+// Leader returns the leader's base URL.
+func (f *Follower) Leader() string { return f.client.Base() }
+
+// AppliedVersion returns the catalog version the follower has applied.
+func (f *Follower) AppliedVersion() uint64 { return f.applied.Load() }
+
+// Status returns the follower's replication state.
+func (f *Follower) Status() Status {
+	return Status{
+		Leader:         f.client.Base(),
+		AppliedVersion: f.applied.Load(),
+		LeaderVersion:  f.leaderVer.Load(),
+		Resyncs:        f.resyncs.Load(),
+		Backoffs:       f.backoffs.Load(),
+		LastError:      f.lastErr.Load().(string),
+	}
+}
+
+// Bootstrap fetches the leader's snapshot and resets the engine's catalog to
+// it — the initial sync, and the recovery path after the leader compacts
+// history out from under a lagging follower. The engine's plan cache is
+// purged wholesale; per-entry versions come over byte-identical, so plans
+// recompiled afterwards carry the leader's cache keys.
+func (f *Follower) Bootstrap(ctx context.Context) error {
+	st, err := f.client.Snapshot(ctx)
+	if err != nil {
+		return err
+	}
+	f.eng.ResetCatalog(st)
+	f.applied.Store(st.Version)
+	f.appliedGauge.Set(int64(st.Version))
+	if lv := f.leaderVer.Load(); lv > st.Version {
+		f.behindGauge.Set(int64(lv - st.Version))
+	} else {
+		f.leaderVer.Store(st.Version)
+		f.leaderGauge.Set(int64(st.Version))
+		f.behindGauge.Set(0)
+	}
+	f.resyncs.Add(1)
+	f.resyncTotal.Inc()
+	return nil
+}
+
+// Start launches the apply loop in a goroutine; Close stops it.
+func (f *Follower) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	f.done = make(chan struct{})
+	go func() {
+		defer close(f.done)
+		f.Run(ctx)
+	}()
+}
+
+// Close stops the apply loop and waits for it to exit. Idempotent; the
+// engine stays queryable at the last applied version.
+func (f *Follower) Close() {
+	f.once.Do(func() {
+		if f.cancel != nil {
+			f.cancel()
+			<-f.done
+		}
+	})
+}
+
+// Run drives the replication loop until ctx is cancelled: long-poll the
+// change feed from the applied version, apply every record, re-bootstrap
+// from a snapshot on compacted history (ErrCompacted — the leader's 410),
+// and back off with jitter on any other failure. A version gap in the feed
+// (possible only across a leader that lost and rebuilt history) is treated
+// like compaction: resync from snapshot rather than apply out of order.
+func (f *Follower) Run(ctx context.Context) {
+	bo := newBackoff(f.opts.BackoffBase, f.opts.BackoffMax, time.Now().UnixNano())
+	for ctx.Err() == nil {
+		if err := f.step(ctx); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			f.lastErr.Store(err.Error())
+			f.backoffs.Add(1)
+			f.backoffTotal.Inc()
+			select {
+			case <-time.After(bo.next()):
+			case <-ctx.Done():
+				return
+			}
+			continue
+		}
+		f.lastErr.Store("")
+		bo.reset()
+	}
+}
+
+// step performs one replication round: ensure bootstrapped, poll once, apply
+// the page. It returns nil on an empty page (the long-poll simply elapsed).
+func (f *Follower) step(ctx context.Context) error {
+	if f.resyncs.Load() == 0 {
+		if err := f.Bootstrap(ctx); err != nil {
+			return err
+		}
+	}
+	from := f.applied.Load()
+	page, err := f.client.Changes(ctx, from, f.opts.PageLimit, f.opts.PollWait)
+	if errors.Is(err, ErrCompacted) {
+		// The leader compacted our cursor away; degrade gracefully to a
+		// fresh snapshot instead of failing hard.
+		return f.Bootstrap(ctx)
+	}
+	if err != nil {
+		return err
+	}
+	f.leaderVer.Store(page.CatalogVersion)
+	f.leaderGauge.Set(int64(page.CatalogVersion))
+	for i := range page.Changes {
+		ch := &page.Changes[i]
+		rec, err := ch.Record()
+		if err != nil {
+			return err
+		}
+		if rec.Version != f.applied.Load()+1 {
+			return f.Bootstrap(ctx)
+		}
+		if err := f.eng.ApplyChange(rec); err != nil {
+			return fmt.Errorf("replica: applying v%d: %w", rec.Version, err)
+		}
+		f.applied.Store(rec.Version)
+		f.appliedGauge.Set(int64(rec.Version))
+		f.applyTotal.Inc()
+		if ch.CommittedUnixNano > 0 {
+			if lag := time.Since(time.Unix(0, ch.CommittedUnixNano)); lag > 0 {
+				f.lagSeconds.Observe(lag)
+			}
+		}
+	}
+	applied := f.applied.Load()
+	if lv := f.leaderVer.Load(); lv >= applied {
+		f.behindGauge.Set(int64(lv - applied))
+	}
+	return nil
+}

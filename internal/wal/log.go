@@ -18,8 +18,14 @@ const frameHeaderSize = 8
 // prefix cannot drive a giant allocation.
 const maxFrameSize = 64 << 20
 
-// checksum is the frame and snapshot checksum (CRC-32/IEEE).
-func checksum(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+// Checksum is the checksum every durable and wire artifact of this package
+// shares: log frames, snapshot files, and the replication snapshot payload
+// served over HTTP all use CRC-32/IEEE, so a leader and a follower agree on
+// what "intact" means without a second algorithm.
+func Checksum(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// checksum is the unexported spelling used by the framing internals.
+func checksum(b []byte) uint32 { return Checksum(b) }
 
 // AppendFrame appends one framed record payload: length, CRC, payload.
 func AppendFrame(b, payload []byte) []byte {

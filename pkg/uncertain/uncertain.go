@@ -22,6 +22,7 @@ package uncertain
 import (
 	"context"
 	"io"
+	"net/http"
 	"os"
 	"time"
 
@@ -30,6 +31,7 @@ import (
 	"uncertaindb/internal/exec"
 	"uncertaindb/internal/obs"
 	"uncertaindb/internal/parser"
+	"uncertaindb/internal/replica"
 	"uncertaindb/internal/value"
 	"uncertaindb/internal/wal"
 )
@@ -49,6 +51,10 @@ var (
 	// and resume from the current catalog version (HTTP layers map it to
 	// 410 Gone).
 	ErrCompacted = catalog.ErrCompacted
+	// ErrFutureVersion reports a change-feed request from a version the
+	// catalog has not reached yet — a client bug, or a consumer that
+	// outlived a catalog reset (HTTP layers map it to 400).
+	ErrFutureVersion = catalog.ErrFutureVersion
 )
 
 // Result is a query outcome: the answer rendering, the possible answer
@@ -124,6 +130,24 @@ type Config struct {
 	SlowQueryMillis int
 	// SlowQueryCapacity bounds the slow-query ring buffer. Zero selects 128.
 	SlowQueryCapacity int
+	// Follow, when non-empty, opens the database as a read replica of the
+	// leader uncertaind at this base URL: Open bootstraps the catalog from
+	// the leader's snapshot and a background loop tails its change feed,
+	// applying every mutation at the leader's exact versions. The database
+	// is then read-only — mutations fail with ErrReadOnly — and mutually
+	// exclusive with DataDir (the leader owns the durable history).
+	Follow string
+	// FollowClient is the HTTP client used for leader RPCs (Follow only).
+	// Nil selects a default transport; tests inject fault-injecting
+	// transports here.
+	FollowClient *http.Client
+	// ChangeWindow bounds the in-memory change-feed window: the recent
+	// mutations Changes/Watch serve without WAL backfill. Zero selects 1024.
+	// Consumers older than the window get ErrCompacted (durable catalogs
+	// backfill from the WAL instead), so a small window forces lagging
+	// followers through the snapshot-resync path — a memory-control and
+	// fault-injection knob.
+	ChangeWindow int
 }
 
 // Request is one query execution.
@@ -174,9 +198,10 @@ func entryInfo(e *catalog.Entry) TableInfo {
 // tables and a query engine with a compiled-plan cache. Safe for concurrent
 // use.
 type DB struct {
-	eng   *engine.Engine
-	store *wal.Store    // nil when in-memory
-	obs   *obs.Observer // nil when observability is disabled
+	eng      *engine.Engine
+	store    *wal.Store        // nil when in-memory
+	obs      *obs.Observer     // nil when observability is disabled
+	follower *replica.Follower // nil unless opened with Config.Follow
 }
 
 // Open creates a database with the given configuration. With an empty
@@ -208,8 +233,21 @@ func Open(cfg Config) (*DB, error) {
 		DisableBatch:    cfg.DisableBatch,
 		Obs:             ob,
 	}
+	window := func(cat *catalog.Catalog) *catalog.Catalog {
+		if cfg.ChangeWindow > 0 {
+			cat.SetChangeWindow(cfg.ChangeWindow)
+		}
+		return cat
+	}
+	if cfg.Follow != "" {
+		db := &DB{eng: engine.New(window(catalog.New()), engOpts), obs: ob}
+		if err := db.openFollower(cfg); err != nil {
+			return nil, err
+		}
+		return db, nil
+	}
 	if cfg.DataDir == "" {
-		return &DB{eng: engine.New(catalog.New(), engOpts), obs: ob}, nil
+		return &DB{eng: engine.New(window(catalog.New()), engOpts), obs: ob}, nil
 	}
 	store, state, tail, err := wal.Open(cfg.DataDir, wal.Options{SnapshotEvery: cfg.SnapshotEvery, Fsync: cfg.Fsync})
 	if err != nil {
@@ -218,7 +256,7 @@ func Open(cfg Config) (*DB, error) {
 	if ob != nil {
 		store.Instrument(ob.Reg)
 	}
-	cat := catalog.NewFromState(state, tail)
+	cat := window(catalog.NewFromState(state, tail))
 	cat.SetSink(store)
 	return &DB{eng: engine.New(cat, engOpts), store: store, obs: ob}, nil
 }
@@ -238,6 +276,9 @@ func MustOpen(cfg Config) *DB {
 // in-memory DB is a no-op. Queries remain servable after Close, but further
 // mutations fail.
 func (db *DB) Close() error {
+	if db.follower != nil {
+		db.follower.Close()
+	}
 	if db.store == nil {
 		return nil
 	}
@@ -255,13 +296,21 @@ type Change struct {
 	Probabilistic bool
 	Table         []byte
 	Text          string
+	// CommittedUnixNano is the wall-clock commit time of the mutation, when
+	// this process still knows it (0 for records replayed from the WAL after
+	// a restart, or applied by replication). Replication lag metrics are
+	// computed from it.
+	CommittedUnixNano int64
 }
 
-func changeOf(rec *wal.Record) Change {
+func (db *DB) changeOf(rec *wal.Record) Change {
 	ch := Change{Version: rec.Version, Kind: rec.Kind.String(), Name: rec.Name, Probabilistic: rec.Probabilistic}
 	if rec.Table != nil {
 		ch.Table = wal.EncodeTable(rec.Table)
 		ch.Text = rec.Table.String()
+	}
+	if t, ok := db.eng.Catalog().CommitTime(rec.Version); ok {
+		ch.CommittedUnixNano = t
 	}
 	return ch
 }
@@ -287,7 +336,7 @@ func (db *DB) Changes(ctx context.Context, from uint64, limit int, wait time.Dur
 				if !ok {
 					return
 				}
-				out = append(out, changeOf(rec))
+				out = append(out, db.changeOf(rec))
 			default:
 				return
 			}
@@ -300,7 +349,7 @@ func (db *DB) Changes(ctx context.Context, from uint64, limit int, wait time.Dur
 		select {
 		case rec, ok := <-w.C():
 			if ok {
-				out = append(out, changeOf(rec))
+				out = append(out, db.changeOf(rec))
 				drain()
 			}
 		case <-timer.C:
@@ -314,6 +363,9 @@ func (db *DB) Changes(ctx context.Context, from uint64, limit int, wait time.Dur
 // registers every table, returning the names in declaration order. Loading
 // is all-or-nothing.
 func (db *DB) LoadCatalog(r io.Reader) ([]string, error) {
+	if err := db.readOnlyErr(); err != nil {
+		return nil, err
+	}
 	return db.eng.LoadCatalogScript(r)
 }
 
@@ -331,6 +383,9 @@ func (db *DB) LoadCatalogFile(path string) ([]string, error) {
 // replaces) it under its declared name, returning the name and the new
 // catalog version. Cached plans reading the table are invalidated.
 func (db *DB) PutTableScript(script string) (name string, version uint64, err error) {
+	if err := db.readOnlyErr(); err != nil {
+		return "", 0, err
+	}
 	pt, err := parser.ParseTableString(script)
 	if err != nil {
 		return "", 0, err
@@ -346,13 +401,21 @@ func (db *DB) PutTableScript(script string) (name string, version uint64, err er
 // returning the new catalog version. Cached plans reading it are
 // invalidated.
 func (db *DB) PutTable(t *Table) (uint64, error) {
+	if err := db.readOnlyErr(); err != nil {
+		return 0, err
+	}
 	return db.eng.PutTable(t.name, t.pc)
 }
 
 // DropTable removes the named table, reporting whether it existed. The
 // error is non-nil only when the write-ahead log refused the mutation (the
 // drop did not happen).
-func (db *DB) DropTable(name string) (bool, error) { return db.eng.DropTable(name) }
+func (db *DB) DropTable(name string) (bool, error) {
+	if err := db.readOnlyErr(); err != nil {
+		return false, err
+	}
+	return db.eng.DropTable(name)
+}
 
 // CatalogVersion returns the current catalog version.
 func (db *DB) CatalogVersion() uint64 { return db.eng.Catalog().Version() }
