@@ -33,6 +33,8 @@ import (
 	"uncertaindb/internal/models"
 	"uncertaindb/internal/obs"
 	"uncertaindb/internal/pctable"
+	"uncertaindb/internal/prob"
+	"uncertaindb/internal/probcalc"
 	"uncertaindb/internal/ra"
 	"uncertaindb/internal/replica"
 	"uncertaindb/internal/value"
@@ -56,6 +58,7 @@ var sections = []struct {
 	{key: "e17", print: walOverhead},
 	{key: "e18", print: obsOverhead},
 	{key: "e19", print: replication},
+	{key: "e20", print: circuitCompilation},
 	{key: "constructions", aliases: []string{"e4", "e5", "e9", "e11"}, print: constructions},
 }
 
@@ -70,7 +73,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
-	only := fs.String("only", "", "comma-separated sections to print (e6, e12, e14, e15, e16, e17, e18, e19, constructions/e4/e5/e9/e11); empty means all")
+	only := fs.String("only", "", "comma-separated sections to print (e6, e12, e14, e15, e16, e17, e18, e19, e20, constructions/e4/e5/e9/e11); empty means all")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fs.SetOutput(out)
@@ -631,6 +634,215 @@ func replication(out io.Writer) {
 	fmt.Fprintf(out, "| through router | %s | %.0f | %+.1f%% |\n",
 		routed, float64(time.Second)/float64(routed), float64(routed-direct)/float64(direct)*100)
 	fmt.Fprintf(out, "\n(router /metrics: %.0f routed queries)\n", routedCount)
+	fmt.Fprintln(out)
+}
+
+// circuitCompilation prints the E20 tables: shared-circuit marginal
+// throughput vs the per-tuple d-tree path on a high-sharing answer, what-if
+// re-evaluation vs recomputing from scratch, bit-identity of the exact twin,
+// and the auto-selector against the best fixed engine on a mixed workload.
+func circuitCompilation(out io.Writer) {
+	fmt.Fprintln(out, "## E20 — shared lineage compilation (circuit) vs per-tuple decomposition")
+	fmt.Fprintln(out)
+
+	mustBern := func(p float64) *prob.Space {
+		s, err := prob.Bernoulli(p)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+	// buildAnswer models a high-sharing answer: groups×perGroup tuples whose
+	// lineages conjoin a private guard with a per-group block of `pairs`
+	// (aᵢ ∧ bᵢ) disjuncts — every tuple in a group shares the same block
+	// subcircuit, which is where cross-tuple compilation wins.
+	buildAnswer := func(groups, perGroup, pairs int) ([]condition.Condition, probcalc.MapDists) {
+		dists := make(probcalc.MapDists)
+		conds := make([]condition.Condition, 0, groups*perGroup)
+		for g := 0; g < groups; g++ {
+			disj := make([]condition.Condition, pairs)
+			for i := 0; i < pairs; i++ {
+				a, b := fmt.Sprintf("a%d_%d", g, i), fmt.Sprintf("b%d_%d", g, i)
+				dists[condition.Variable(a)] = mustBern(0.5)
+				dists[condition.Variable(b)] = mustBern(0.4)
+				disj[i] = condition.And(condition.IsTrueVar(a), condition.IsTrueVar(b))
+			}
+			block := condition.Or(disj...)
+			for t := 0; t < perGroup; t++ {
+				u := fmt.Sprintf("u%d_%d", g, t)
+				dists[condition.Variable(u)] = mustBern(0.9)
+				conds = append(conds, condition.And(condition.IsTrueVar(u), block))
+			}
+		}
+		return conds, dists
+	}
+
+	// Throughput: 10k-tuple answer, 100 groups of 100 tuples over 8-pair
+	// (16-variable) shared blocks.
+	conds, dists := buildAnswer(100, 100, 8)
+	start := time.Now()
+	ev := probcalc.New(dists)
+	perTupleP := make([]float64, len(conds))
+	for i, c := range conds {
+		p, err := ev.Probability(c)
+		if err != nil {
+			panic(err)
+		}
+		perTupleP[i] = p
+	}
+	perTuple := time.Since(start)
+
+	start = time.Now()
+	circ, err := probcalc.CompileAnswer(conds, dists)
+	if err != nil {
+		panic(err)
+	}
+	compile := time.Since(start)
+	start = time.Now()
+	circuitP, err := circ.EvalFloat(dists)
+	if err != nil {
+		panic(err)
+	}
+	eval := time.Since(start)
+	shared := compile + eval
+	for i := range conds {
+		if math.Abs(circuitP[i]-perTupleP[i]) > 1e-9 {
+			panic(fmt.Sprintf("E20: circuit marginal %d = %g, per-tuple %g", i, circuitP[i], perTupleP[i]))
+		}
+	}
+	n := float64(len(conds))
+	perSec := func(d time.Duration) float64 { return n / d.Seconds() }
+	fmt.Fprintf(out, "10k-tuple answer, 100 shared 16-variable blocks (%d circuit nodes, %d compile-memo hits):\n\n",
+		circ.NumNodes(), circ.Stats().SharedHits)
+	fmt.Fprintln(out, "| marginal path | time | marginals/sec | speedup |")
+	fmt.Fprintln(out, "|---|---|---|---|")
+	fmt.Fprintf(out, "| per-tuple d-tree (shared memo) | %s | %.0f | — |\n", perTuple, perSec(perTuple))
+	fmt.Fprintf(out, "| shared circuit (compile %s + eval %s) | %s | %.0f | %.1f× |\n",
+		compile, eval, shared, perSec(shared), float64(perTuple)/float64(shared))
+	fmt.Fprintln(out)
+
+	// What-if: redistribute mass on every group's first block variable and
+	// re-evaluate — the retained circuit only re-weights, the per-tuple path
+	// recomputes from scratch.
+	over := make(probcalc.MapDists, len(dists))
+	for x, s := range dists {
+		over[x] = s
+	}
+	for g := 0; g < 100; g++ {
+		over[condition.Variable(fmt.Sprintf("a%d_0", g))] = mustBern(0.8)
+	}
+	start = time.Now()
+	whatIfP, err := circ.EvalFloat(over)
+	if err != nil {
+		panic(err)
+	}
+	reEval := time.Since(start)
+	start = time.Now()
+	fresh := probcalc.New(over)
+	for i, c := range conds {
+		p, err := fresh.Probability(c)
+		if err != nil {
+			panic(err)
+		}
+		if math.Abs(whatIfP[i]-p) > 1e-9 {
+			panic(fmt.Sprintf("E20: what-if marginal %d = %g, fresh %g", i, whatIfP[i], p))
+		}
+	}
+	recompute := time.Since(start)
+	fmt.Fprintln(out, "| what-if re-evaluation (same answer, overridden dists) | time | speedup |")
+	fmt.Fprintln(out, "|---|---|---|")
+	fmt.Fprintf(out, "| recompute per-tuple d-tree from scratch | %s | — |\n", recompute)
+	fmt.Fprintf(out, "| re-weight retained circuit | %s | %.0f× |\n", reEval, float64(recompute)/float64(reEval))
+	fmt.Fprintln(out)
+
+	// Exact twin, at an enumeration-feasible scale: every circuit marginal
+	// bit-identical (as big.Rat) to the exact d-tree and to enumeration.
+	vconds, vdists := buildAnswer(8, 4, 4)
+	vcirc, err := probcalc.CompileAnswer(vconds, vdists)
+	if err != nil {
+		panic(err)
+	}
+	rats, err := vcirc.EvalRat(vdists)
+	if err != nil {
+		panic(err)
+	}
+	exact := probcalc.NewExact(vdists)
+	for i, c := range vconds {
+		dt, err := exact.ProbabilityRat(c)
+		if err != nil {
+			panic(err)
+		}
+		en, err := probcalc.EnumProbabilityRat(c, vdists)
+		if err != nil {
+			panic(err)
+		}
+		if rats[i].Cmp(dt) != 0 || rats[i].Cmp(en) != 0 {
+			panic(fmt.Sprintf("E20: marginal %d not bit-identical: circuit %s, dtree %s, enum %s", i, rats[i], dt, en))
+		}
+	}
+	fmt.Fprintf(out, "Exact twin: %d marginals bit-identical (big.Rat) across circuit, d-tree and enumeration.\n\n", len(vconds))
+
+	// engine=auto vs the best fixed engine on a mixed workload: small
+	// answers (d-tree territory) interleaved with high-sharing scans
+	// (circuit territory). Cold executions on fresh engines; best of 3.
+	sharedTable := pctable.NewWithArity(1)
+	var disj []condition.Condition
+	for i := 0; i < 8; i++ {
+		a, b := fmt.Sprintf("sa%d", i), fmt.Sprintf("sb%d", i)
+		sharedTable.SetBoolDist(a, 0.5).SetBoolDist(b, 0.4)
+		disj = append(disj, condition.And(condition.IsTrueVar(a), condition.IsTrueVar(b)))
+	}
+	block := condition.Or(disj...)
+	for i := 0; i < 64; i++ {
+		u := fmt.Sprintf("su%d", i)
+		sharedTable.SetBoolDist(u, 0.9)
+		sharedTable.AddConstRow(value.NewTuple(value.Str(fmt.Sprintf("r%03d", i))),
+			condition.And(condition.IsTrueVar(u), block))
+	}
+	mixed := []string{
+		"project[1](select[$2 != 'course0'](Courses))",
+		"project[1](select[$2 = 'course1'](Courses))",
+		"select[$2 != 'course2'](Courses)",
+		"Shared",
+		"select[$1 != 'zzz'](Shared)",
+		"project[1](Shared)",
+	}
+	coldTotal := func(kind string) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for rep := 0; rep < 3; rep++ {
+			eng := engine.New(catalog.New(), engine.Options{})
+			if _, err := eng.PutTable("Courses", workload.Courses(12, 3, 17)); err != nil {
+				panic(err)
+			}
+			if _, err := eng.PutTable("Shared", sharedTable); err != nil {
+				panic(err)
+			}
+			var total time.Duration
+			for _, q := range mixed {
+				res, err := eng.Execute(engine.Request{Query: q, Engine: kind})
+				if err != nil {
+					panic(err)
+				}
+				total += res.ExecDuration
+			}
+			if total < best {
+				best = total
+			}
+		}
+		return best
+	}
+	dtreeTotal := coldTotal("dtree")
+	circuitTotal := coldTotal("circuit")
+	autoTotal := coldTotal("auto")
+	bestFixed := dtreeTotal
+	if circuitTotal < bestFixed {
+		bestFixed = circuitTotal
+	}
+	fmt.Fprintln(out, "| mixed workload (6 cold queries) | Σ exec | vs best fixed |")
+	fmt.Fprintln(out, "|---|---|---|")
+	fmt.Fprintf(out, "| engine=dtree | %s | %.2f× |\n", dtreeTotal, float64(dtreeTotal)/float64(bestFixed))
+	fmt.Fprintf(out, "| engine=circuit | %s | %.2f× |\n", circuitTotal, float64(circuitTotal)/float64(bestFixed))
+	fmt.Fprintf(out, "| engine=auto | %s | %.2f× |\n", autoTotal, float64(autoTotal)/float64(bestFixed))
 	fmt.Fprintln(out)
 }
 

@@ -170,6 +170,82 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// The probcalc memo counters aggregate across evaluators into the engine
+// stats: each fresh exact query adds to the totals, so /v1/stats and /metrics
+// grow monotonically instead of losing the per-plan counters at teardown.
+func TestStatsProbcalcMonotonic(t *testing.T) {
+	srv, _ := newTestServer(t)
+	putTakes(t, srv)
+
+	probcalcStats := func() (hits, misses, compiles, nodes float64) {
+		t.Helper()
+		status, body := doJSON(t, http.MethodGet, srv.URL+"/v1/stats", "")
+		if status != http.StatusOK {
+			t.Fatalf("GET /v1/stats = %d", status)
+		}
+		var resp struct {
+			Engine struct {
+				Probcalc struct {
+					MemoHits        float64 `json:"memoHits"`
+					MemoMisses      float64 `json:"memoMisses"`
+					MemoHitRatio    float64 `json:"memoHitRatio"`
+					CircuitCompiles float64 `json:"circuitCompiles"`
+					CircuitNodes    float64 `json:"circuitNodes"`
+				} `json:"probcalc"`
+			} `json:"engine"`
+		}
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		p := resp.Engine.Probcalc
+		return p.MemoHits, p.MemoMisses, p.CircuitCompiles, p.CircuitNodes
+	}
+
+	var lastTotal float64
+	for i, query := range []string{
+		`{"query": "project[1](Takes)"}`,
+		`{"query": "select[$2 = 'phys'](Takes)"}`,
+		`{"query": "project[1](Takes) union project[1](select[$2 = 'chem'](Takes))"}`,
+	} {
+		if status, body := doJSON(t, http.MethodPost, srv.URL+"/v1/query", query); status != http.StatusOK {
+			t.Fatalf("query = %d: %s", status, body)
+		}
+		hits, misses, _, _ := probcalcStats()
+		if total := hits + misses; total <= lastTotal {
+			t.Fatalf("query %d: probcalc memo totals did not grow (%v -> %v)", i, lastTotal, total)
+		} else {
+			lastTotal = total
+		}
+	}
+
+	// A shared-circuit execution feeds the compilation counters, and the
+	// Prometheus bridge exposes the same families.
+	if status, body := doJSON(t, http.MethodPost, srv.URL+"/v1/query",
+		`{"query": "Takes", "engine": "circuit"}`); status != http.StatusOK {
+		t.Fatalf("circuit query = %d: %s", status, body)
+	}
+	_, _, compiles, nodes := probcalcStats()
+	if compiles == 0 || nodes == 0 {
+		t.Fatalf("circuit execution not counted: compiles=%v nodes=%v", compiles, nodes)
+	}
+	metrics := scrapeMetrics(t, srv)
+	for _, want := range []string{
+		`uncertaindb_probcalc_circuit_compiles_total`,
+		`uncertaindb_probcalc_circuit_nodes_total`,
+		`uncertaindb_probcalc_circuit_shared_total`,
+		`uncertaindb_engine_auto_selections_total{engine="dtree"}`,
+		`uncertaindb_engine_auto_selections_total{engine="circuit"}`,
+		`uncertaindb_engine_auto_selections_total{engine="mc"}`,
+	} {
+		if _, ok := metrics[want]; !ok {
+			t.Errorf("metric %s missing from /metrics", want)
+		}
+	}
+	if metrics[`uncertaindb_probcalc_memo_hits_total`]+metrics[`uncertaindb_probcalc_memo_misses_total`] < lastTotal {
+		t.Errorf("Prometheus memo counters below /v1/stats totals")
+	}
+}
+
 // With -no-obs (Config.DisableObservability) the endpoint reports 404.
 func TestMetricsDisabled(t *testing.T) {
 	db := uncertain.MustOpen(uncertain.Config{DisableObservability: true})

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/big"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"uncertaindb/internal/condition"
@@ -309,6 +310,101 @@ func TestOperatorCoreBitIdenticalToEager(t *testing.T) {
 						if (got.Cmp(one) == 0) != (want.Cmp(one) == 0) {
 							t.Errorf("trial %d (%s), tuple %s: certain-answer sets differ (core %s, eager %s)",
 								trial, grid, tp, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property (acceptance criterion of the shared-circuit engine): on the same
+// randomized multi-table environments and queries as the grid test above,
+// one shared circuit compiled over ALL answer tuples computes, for every
+// tuple, a rational marginal bit-identical to the per-tuple exact d-tree's
+// and to the frozen eager evaluator's — across the 2×2×2 plan-option grid,
+// and with the circuit evaluated by 1 and by 8 concurrent goroutines (the
+// compiled circuit is immutable; the CI race job runs this under -race).
+func TestCircuitBitIdenticalAcrossGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 12; trial++ {
+		env := ctable.Env{
+			"A": randomEqCTable(rng, 2, 3, []string{"x", "y"}),
+			"B": randomEqCTable(rng, 2, 2, []string{"y", "z"}),
+		}
+		q := randomEqQuery(rng, 2, 3)
+		eagerCT, err := ctable.EvalQueryEnvEager(q, env, ctable.Options{Simplify: true})
+		if err != nil {
+			t.Fatalf("trial %d: eager: %v", trial, err)
+		}
+		eagerPC, err := pctable.UniformPCTable(eagerCT)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		eagerExact := probcalc.NewExact(eagerPC)
+
+		for _, rewrite := range []bool{false, true} {
+			for _, hash := range []bool{false, true} {
+				for _, batch := range []bool{false, true} {
+					grid := fmt.Sprintf("rewrite=%v hash=%v batch=%v", rewrite, hash, batch)
+					coreCT, err := ctable.EvalQueryEnvWithOptions(q, env,
+						ctable.Options{Simplify: true, Rewrite: rewrite, NoHash: !hash, NoBatch: !batch})
+					if err != nil {
+						t.Fatalf("trial %d (%s): core: %v", trial, grid, err)
+					}
+					corePC, err := pctable.UniformPCTable(coreCT)
+					if err != nil {
+						t.Fatalf("trial %d (%s): %v", trial, grid, err)
+					}
+					coreExact := probcalc.NewExact(corePC)
+
+					possible, err := corePC.PossibleTuples()
+					if err != nil {
+						t.Fatalf("trial %d (%s): %v", trial, grid, err)
+					}
+					lineages := make([]condition.Condition, len(possible))
+					for i, tp := range possible {
+						lineages[i] = corePC.Lineage(tp)
+					}
+					circuit, err := probcalc.CompileAnswer(lineages, corePC)
+					if err != nil {
+						t.Fatalf("trial %d (%s): compile: %v", trial, grid, err)
+					}
+					if err := circuit.WellFormed(); err != nil {
+						t.Fatalf("trial %d (%s): %v", trial, grid, err)
+					}
+
+					for _, workers := range []int{1, 8} {
+						results := make([][]*big.Rat, workers)
+						errs := make([]error, workers)
+						var wg sync.WaitGroup
+						for w := 0; w < workers; w++ {
+							wg.Add(1)
+							go func(w int) {
+								defer wg.Done()
+								results[w], errs[w] = circuit.EvalRat(corePC)
+							}(w)
+						}
+						wg.Wait()
+						for w := 0; w < workers; w++ {
+							if errs[w] != nil {
+								t.Fatalf("trial %d (%s) workers=%d: eval: %v", trial, grid, workers, errs[w])
+							}
+							for i, tp := range possible {
+								got := results[w][i]
+								dtree, err := coreExact.ProbabilityRat(lineages[i])
+								if err != nil {
+									t.Fatalf("trial %d (%s): dtree twin: %v", trial, grid, err)
+								}
+								eager, err := eagerExact.ProbabilityRat(eagerPC.Lineage(tp))
+								if err != nil {
+									t.Fatalf("trial %d: eager marginal: %v", trial, err)
+								}
+								if got.Cmp(dtree) != 0 || got.Cmp(eager) != 0 {
+									t.Errorf("trial %d (%s) workers=%d, tuple %s: circuit %s, dtree %s, eager %s — not bit-identical\nquery: %s",
+										trial, grid, workers, tp, got, dtree, eager, q)
+								}
+							}
 						}
 					}
 				}

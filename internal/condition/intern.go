@@ -64,6 +64,7 @@ type Interner struct {
 	nodes   []internNode
 	buckets map[uint64][]ID
 	kidbuf  []ID
+	vars    map[ID][]Variable
 }
 
 // NewInterner returns an empty Interner with the constants pre-interned.
@@ -116,6 +117,24 @@ func (in *Interner) ID(c Condition) ID {
 	}
 }
 
+// Vars returns the sorted variables of c, cached under c's hash-consed ID:
+// a subcondition shared across many conditions (join lineage, group
+// conditions) pays the variable walk, map build and sort once per Interner
+// instead of once per occurrence. The returned slice is shared — callers
+// must not mutate it.
+func (in *Interner) Vars(c Condition) []Variable {
+	id := in.ID(c)
+	if v, ok := in.vars[id]; ok {
+		return v
+	}
+	v := Vars(c)
+	if in.vars == nil {
+		in.vars = make(map[ID][]Variable)
+	}
+	in.vars[id] = v
+	return v
+}
+
 // Hash returns the structural hash of c (the hash of its interned node).
 // Conditions with equal IDs have equal hashes; distinct IDs collide only
 // with the usual 64-bit probability.
@@ -125,6 +144,26 @@ func (in *Interner) Hash(c Condition) uint64 { return in.nodes[in.ID(c)].hash }
 // equality up to junct permutation. Interning is linear in the condition
 // size; comparing two already-interned IDs is a single integer compare.
 func (in *Interner) Equal(a, b Condition) bool { return in.ID(a) == in.ID(b) }
+
+// AndID interns the conjunction whose children already have the given IDs,
+// without walking any condition structure: callers that cache child IDs (the
+// circuit compiler identifies shared junctions by their backing array)
+// intern a junction in O(children) instead of O(condition size). kids is not
+// retained or mutated.
+func (in *Interner) AndID(kids []ID) ID { return in.junctionIDs(kindAnd, kids) }
+
+// OrID is AndID for disjunctions.
+func (in *Interner) OrID(kids []ID) ID { return in.junctionIDs(kindOr, kids) }
+
+func (in *Interner) junctionIDs(kind internKind, kids []ID) ID {
+	start := len(in.kidbuf)
+	in.kidbuf = append(in.kidbuf, kids...)
+	buf := in.kidbuf[start:]
+	slices.Sort(buf)
+	id := in.intern(kind, 0, 0, buf)
+	in.kidbuf = in.kidbuf[:start]
+	return id
+}
 
 // junction interns a conjunction or disjunction: children first, then the
 // node under the sorted child-ID list. The child IDs are staged in a shared

@@ -1,0 +1,307 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/parser"
+	"uncertaindb/internal/pctable"
+	"uncertaindb/internal/value"
+)
+
+// sharedScript is a high-sharing answer: every row's lineage conjoins a
+// private variable with the shared gate s, so the auto-selector sees many
+// tuples with sharing degree well above 1.
+func sharedScript(rows int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "table Shared arity 1\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "row 'r%03d' | u%d = 1 && s = 1\n", i, i)
+	}
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "dist u%d = {0:0.4, 1:0.6}\n", i)
+	}
+	fmt.Fprintf(&b, "dist s = {0:0.3, 1:0.7}\n")
+	return b.String()
+}
+
+// chainScript links rows by overlapping variable pairs: ACROSS tuples the
+// n+1 variables form one chain, but WITHIN each lineage the two conjuncts
+// are variable-disjoint — so per-marginal hardness stays trivial and the
+// selector's circuit regime (many tuples, high sharing) applies.
+func chainScript(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "table Chain arity 1\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "row 'c%03d' | v%d = 1 && v%d = 1\n", i, i, i+1)
+	}
+	for i := 0; i <= n; i++ {
+		fmt.Fprintf(&b, "dist v%d = {0:0.5, 1:0.5}\n", i)
+	}
+	return b.String()
+}
+
+// TestCircuitEngineMatchesDTree runs the same queries under the circuit and
+// d-tree engines and requires identical answers.
+func TestCircuitEngineMatchesDTree(t *testing.T) {
+	e := newEngine(t, Options{}, takesScript, labsScript, sharedScript(24))
+	for _, queryText := range []string{
+		"project[1](select[$2 = 'phys'](Takes))",
+		"project[1,4](Takes join[$2 = $3] Labs)",
+		"project[1](Takes) union project[1](select[$2 = 'chem'](Takes))",
+		"Shared",
+	} {
+		want, err := e.Execute(Request{Query: queryText, Engine: "dtree"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Execute(Request{Query: queryText, Engine: "circuit"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Effective != KindCircuit {
+			t.Fatalf("%s: effective engine %q, want circuit", queryText, got.Effective)
+		}
+		if len(got.Tuples) != len(want.Tuples) {
+			t.Fatalf("%s: %d answers, want %d", queryText, len(got.Tuples), len(want.Tuples))
+		}
+		for i := range got.Tuples {
+			g, w := got.Tuples[i], want.Tuples[i]
+			if g.Tuple.Key() != w.Tuple.Key() || math.Abs(g.P-w.P) > 1e-12 || g.Certain != w.Certain {
+				t.Fatalf("%s: answer %d = (%s, %g, %v), want (%s, %g, %v)",
+					queryText, i, g.Tuple, g.P, g.Certain, w.Tuple, w.P, w.Certain)
+			}
+		}
+	}
+	st := e.Stats()
+	if st.Probcalc.CircuitCompiles == 0 || st.Probcalc.CircuitNodes == 0 {
+		t.Fatalf("circuit executions did not feed the probcalc stats: %+v", st.Probcalc)
+	}
+}
+
+// tangleTable is a one-row table whose lineage is a single variable-connected
+// component of n variables (a conjunction of overlapping disjunction pairs):
+// the per-marginal subproblem the selector's Monte-Carlo regime guards
+// against.
+func tangleTable(n int) *pctable.PCTable {
+	pt := pctable.NewWithArity(1)
+	juncts := make([]condition.Condition, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		juncts = append(juncts, condition.Or(
+			condition.IsTrueVar(fmt.Sprintf("w%d", i)),
+			condition.IsTrueVar(fmt.Sprintf("w%d", i+1)),
+		))
+	}
+	pt.AddConstRow(value.NewTuple(value.Str("tangled")), condition.And(juncts...))
+	for i := 0; i < n; i++ {
+		pt.SetBoolDist(fmt.Sprintf("w%d", i), 0.5)
+	}
+	return pt
+}
+
+// TestAutoSelector checks the three regimes of engine=auto: few tuples pick
+// the per-tuple d-tree, many sharing tuples pick the circuit (even when the
+// sharing chains variables across tuples), and a lineage whose own variables
+// form one huge connected component picks Monte-Carlo — with the selection
+// reported.
+func TestAutoSelector(t *testing.T) {
+	e := newEngine(t, Options{}, takesScript, sharedScript(24), chainScript(46))
+	if _, err := e.PutTable("Tangle", tangleTable(46)); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := e.Execute(Request{Query: "project[1](select[$2 = 'phys'](Takes))", Engine: "auto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != KindAuto || res.Effective != KindDTree {
+		t.Fatalf("small answer: kind %q effective %q, want auto/dtree (selection: %+v)", res.Kind, res.Effective, res.Selection)
+	}
+	if res.Selection == nil || res.Selection.Chosen != KindDTree || res.Selection.Reason == "" {
+		t.Fatalf("small answer: bad selection %+v", res.Selection)
+	}
+
+	res, err = e.Execute(Request{Query: "Shared", Engine: "auto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Effective != KindCircuit {
+		t.Fatalf("shared answer: effective %q, want circuit (selection: %+v)", res.Effective, res.Selection)
+	}
+	if res.Selection.Tuples != 24 || res.Selection.SharingDegree <= 1 {
+		t.Fatalf("shared answer: bad selection stats %+v", res.Selection)
+	}
+	// Auto answers must match the fixed engine it selected.
+	fixed, err := e.Execute(Request{Query: "Shared", Engine: "circuit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Tuples {
+		if math.Abs(res.Tuples[i].P-fixed.Tuples[i].P) > 1e-12 {
+			t.Fatalf("auto answer %d = %g, circuit = %g", i, res.Tuples[i].P, fixed.Tuples[i].P)
+		}
+	}
+
+	// Chain shares variables ACROSS tuples (46 tuples over 47 variables) but
+	// each lineage's two conjuncts are variable-disjoint: per-marginal
+	// hardness is trivial, so the selector must amortize with the circuit,
+	// not flee to sampling.
+	res, err = e.Execute(Request{Query: "Chain", Engine: "auto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Effective != KindCircuit {
+		t.Fatalf("chained answer: effective %q, want circuit (selection: %+v)", res.Effective, res.Selection)
+	}
+	if res.Selection.MaxComponentVars != 1 || res.Selection.Vars != 47 {
+		t.Fatalf("chained answer: bad selection stats %+v", res.Selection)
+	}
+
+	res, err = e.Execute(Request{Query: "Tangle", Engine: "auto", Samples: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Effective != KindMC {
+		t.Fatalf("tangled answer: effective %q, want mc (selection: %+v)", res.Effective, res.Selection)
+	}
+	if res.Selection.MaxComponentVars != 46 {
+		t.Fatalf("tangled answer: max component %d, want 46", res.Selection.MaxComponentVars)
+	}
+
+	st := e.Stats()
+	if st.Auto.DTree == 0 || st.Auto.Circuit == 0 || st.Auto.MC == 0 {
+		t.Fatalf("auto selections not counted: %+v", st.Auto)
+	}
+}
+
+// TestWhatIfDistributions re-evaluates a prepared query under overridden
+// distributions: every exact engine must agree with direct computation over
+// the overridden table, and the override must never pollute the cached
+// base marginals.
+func TestWhatIfDistributions(t *testing.T) {
+	e := newEngine(t, Options{}, takesScript)
+	const queryText = "project[1](Takes)"
+	override := map[string]map[string]float64{
+		"x": {"'math'": 0.6, "'phys'": 0.2, "'chem'": 0.2},
+		"t": {"0": 0.9, "1": 0.1},
+	}
+
+	base, err := e.Execute(Request{Query: queryText, Engine: "dtree"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct reference: the parsed table with the same overrides applied.
+	pt, err := parser.ParseTableString(takesScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.ParseQuery(queryText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overSpaces, err := overrideTable(&plan{answer: pt.PCTable}, override)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := overSpaces.AnswerTupleProbabilities(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, kind := range []string{"dtree", "circuit", "enum", "auto"} {
+		res, err := e.Execute(Request{Query: queryText, Engine: kind, Distributions: override})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !res.WhatIf {
+			t.Fatalf("%s: WhatIf not reported", kind)
+		}
+		if len(res.Tuples) != len(direct) {
+			t.Fatalf("%s: %d answers, want %d", kind, len(res.Tuples), len(direct))
+		}
+		for i, ta := range res.Tuples {
+			if ta.Tuple.Key() != direct[i].Tuple.Key() || math.Abs(ta.P-direct[i].P) > 1e-12 {
+				t.Fatalf("%s: what-if answer %d = (%s, %g), want (%s, %g)",
+					kind, i, ta.Tuple, ta.P, direct[i].Tuple, direct[i].P)
+			}
+		}
+	}
+
+	// The what-ifs above must not have perturbed the memoized base answer.
+	again, err := e.Execute(Request{Query: queryText, Engine: "dtree"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit || again.WhatIf {
+		t.Fatalf("base re-execution: cacheHit=%v whatIf=%v", again.CacheHit, again.WhatIf)
+	}
+	for i := range again.Tuples {
+		if again.Tuples[i].P != base.Tuples[i].P {
+			t.Fatalf("what-if polluted cached marginals: %g != %g", again.Tuples[i].P, base.Tuples[i].P)
+		}
+	}
+}
+
+// TestWhatIfValidation: overrides referencing unknown variables, widening
+// the support, or not summing to one are ErrBadQuery.
+func TestWhatIfValidation(t *testing.T) {
+	e := newEngine(t, Options{}, takesScript)
+	const queryText = "project[1](Takes)"
+	for name, dists := range map[string]map[string]map[string]float64{
+		"unknown variable": {"zzz": {"1": 1.0}},
+		"widened support":  {"x": {"'math'": 0.5, "'bio'": 0.5}},
+		"bad sum":          {"x": {"'math'": 0.2, "'phys'": 0.2, "'chem'": 0.2}},
+		"bad literal":      {"x": {"not a literal!": 1.0}},
+	} {
+		_, err := e.Execute(Request{Query: queryText, Engine: "circuit", Distributions: dists})
+		if !errors.Is(err, ErrBadQuery) {
+			t.Fatalf("%s: got %v, want ErrBadQuery", name, err)
+		}
+	}
+}
+
+// TestParseKindListsValidEngines: an unknown engine fails with ErrBadQuery
+// and the message enumerates every valid engine, auto included.
+func TestParseKindListsValidEngines(t *testing.T) {
+	_, err := ParseKind("quantum")
+	if !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("got %v, want ErrBadQuery", err)
+	}
+	for _, name := range []string{"auto", "circuit", "dtree", "enum", "mc"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list engine %q", err, name)
+		}
+	}
+	for _, name := range []string{"", "auto", "circuit", "dtree", "enum", "mc"} {
+		if _, err := ParseKind(name); err != nil {
+			t.Fatalf("ParseKind(%q): %v", name, err)
+		}
+	}
+}
+
+// TestProbcalcStatsAggregate: the per-evaluator memo counters survive plan
+// teardown by accumulating into the engine stats, across distinct queries.
+func TestProbcalcStatsAggregate(t *testing.T) {
+	e := newEngine(t, Options{}, takesScript)
+	var last uint64
+	for i, queryText := range []string{
+		"project[1](Takes)",
+		"select[$2 = 'phys'](Takes)",
+		"project[1](Takes) union project[1](select[$2 = 'chem'](Takes))",
+	} {
+		if _, err := e.Execute(Request{Query: queryText, Engine: "dtree"}); err != nil {
+			t.Fatal(err)
+		}
+		st := e.Stats()
+		total := st.Probcalc.MemoHits + st.Probcalc.MemoMisses
+		if total <= last {
+			t.Fatalf("query %d: memo totals did not grow (%d -> %d)", i, last, total)
+		}
+		last = total
+	}
+}

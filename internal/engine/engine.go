@@ -36,6 +36,7 @@ import (
 	"uncertaindb/internal/obs"
 	"uncertaindb/internal/parser"
 	"uncertaindb/internal/pctable"
+	"uncertaindb/internal/prob"
 	"uncertaindb/internal/probcalc"
 	"uncertaindb/internal/ra"
 	"uncertaindb/internal/value"
@@ -62,10 +63,18 @@ type Kind string
 const (
 	// KindDTree decomposes lineage conditions (internal/probcalc). Default.
 	KindDTree Kind = "dtree"
+	// KindCircuit compiles the whole answer's lineage set into one shared
+	// arithmetic circuit (probcalc.CompileAnswer) and evaluates every
+	// marginal in a single bottom-up pass. The circuit is retained on the
+	// cached plan, so what-if re-evaluation skips decomposition entirely.
+	KindCircuit Kind = "circuit"
 	// KindEnum enumerates every valuation of the lineage variables.
 	KindEnum Kind = "enum"
 	// KindMC estimates marginals by Monte-Carlo sampling.
 	KindMC Kind = "mc"
+	// KindAuto picks dtree, circuit or mc per answer from the lineage-set
+	// statistics gathered at plan compilation (see Selection).
+	KindAuto Kind = "auto"
 )
 
 // ParseKind parses an engine name; the empty string selects KindDTree.
@@ -73,10 +82,10 @@ func ParseKind(s string) (Kind, error) {
 	switch s {
 	case "":
 		return KindDTree, nil
-	case string(KindDTree), string(KindEnum), string(KindMC):
+	case string(KindDTree), string(KindCircuit), string(KindEnum), string(KindMC), string(KindAuto):
 		return Kind(s), nil
 	default:
-		return "", fmt.Errorf("%w: unknown engine %q (want dtree, enum or mc)", ErrBadQuery, s)
+		return "", fmt.Errorf("%w: unknown engine %q (valid engines: auto, circuit, dtree, enum, mc)", ErrBadQuery, s)
 	}
 }
 
@@ -147,6 +156,38 @@ type Stats struct {
 	// fallback — over every plan compilation since startup (cache hits
 	// reuse the compiled answer and add nothing).
 	Ops exec.OpStats `json:"ops"`
+	// Probcalc aggregates the probability-engine counters across every
+	// execution. The per-evaluator probcalc.Stats would otherwise be lost
+	// when an evaluator is dropped with its plan; these totals make the
+	// cross-query memo hit-ratio (and circuit sharing) observable.
+	Probcalc ProbcalcStats `json:"probcalc"`
+	// Auto counts what the engine=auto selector chose, per target engine.
+	Auto AutoStats `json:"auto"`
+}
+
+// ProbcalcStats aggregates decomposition-memo and circuit-compilation
+// counters over every marginal computation since startup.
+type ProbcalcStats struct {
+	// MemoHits/MemoMisses total the d-tree decomposition memo across all
+	// evaluators the engine has run (fresh computations only; memoized plan
+	// marginals add nothing).
+	MemoHits   uint64 `json:"memoHits"`
+	MemoMisses uint64 `json:"memoMisses"`
+	// MemoHitRatio is MemoHits / (MemoHits + MemoMisses), 0 when idle.
+	MemoHitRatio float64 `json:"memoHitRatio"`
+	// CircuitCompiles counts shared-circuit compilations; CircuitNodes and
+	// CircuitShared total their DAG sizes and compile-time memo hits
+	// (subcircuits reused across answer tuples via hash-consed IDs).
+	CircuitCompiles uint64 `json:"circuitCompiles"`
+	CircuitNodes    uint64 `json:"circuitNodes"`
+	CircuitShared   uint64 `json:"circuitShared"`
+}
+
+// AutoStats counts engine=auto selector decisions by chosen engine.
+type AutoStats struct {
+	DTree   uint64 `json:"dtree"`
+	Circuit uint64 `json:"circuit"`
+	MC      uint64 `json:"mc"`
 }
 
 // Request is one query execution.
@@ -167,6 +208,14 @@ type Request struct {
 	// separate from the cached artifact, so analyzing never perturbs the
 	// answer or the cache.
 	Analyze bool
+	// Distributions overrides variable distributions for this execution
+	// only — the what-if query. Keys are variable names; values map value
+	// literals (parser syntax: integer, 'string', true/false) to
+	// probabilities, which must form a distribution over a subset of the
+	// variable's declared support. What-if marginals are computed fresh per
+	// request and never cached; with the circuit engine the cached circuit
+	// is re-weighted without re-decomposing.
+	Distributions map[string]map[string]float64
 }
 
 // TupleAnswer is one answer tuple with its marginal probability.
@@ -183,10 +232,40 @@ type TupleAnswer struct {
 	Certain bool
 }
 
+// Selection is the engine=auto selector's decision for one plan, together
+// with the lineage-set statistics that drove it. It is computed once at plan
+// compilation and reported in results, /v1/stats and EXPLAIN ANALYZE spans.
+type Selection struct {
+	// Tuples is the number of candidate answer tuples.
+	Tuples int `json:"tuples"`
+	// Vars is the number of distinct variables across all lineages.
+	Vars int `json:"vars"`
+	// SharingDegree is Σᵢ |vars(lineageᵢ)| / Vars: 1 means tuples share no
+	// variables; higher means cross-tuple sharing a circuit can exploit.
+	SharingDegree float64 `json:"sharingDegree"`
+	// MaxComponentVars is the variable count of the largest
+	// variable-connected component within any single lineage — the biggest
+	// exact subproblem one marginal poses. Variables shared across DIFFERENT
+	// tuples' lineages don't couple: each marginal is computed on its own.
+	MaxComponentVars int `json:"maxComponentVars"`
+	// Chosen is the engine the selector picked; Reason says why.
+	Chosen Kind   `json:"chosen"`
+	Reason string `json:"reason"`
+}
+
 // Result is the outcome of executing a Request.
 type Result struct {
 	Query          string
 	Kind           Kind
+	// Effective is the engine that actually computed the marginals: equal
+	// to Kind except for auto, where it is the selector's choice.
+	Effective Kind
+	// Selection is the auto-selector's inputs and decision (Kind auto only).
+	Selection *Selection
+	// WhatIf reports the marginals were computed under request-supplied
+	// distribution overrides (Request.Distributions) and bypassed the
+	// memoized plan marginals.
+	WhatIf         bool
 	CatalogVersion uint64
 	// Tables are the catalog tables the query read, sorted.
 	Tables []string
@@ -232,14 +311,23 @@ type plan struct {
 	physical   string // rendered physical operator tree (exec.Explain)
 	ops        exec.OpStats
 	candidates []candidate
+	sel        Selection // lineage-set statistics + auto-selector decision
 
-	// Exact marginals (dtree/enum) are computed once on first execution and
-	// shared by every later hit.
+	// Exact marginals (dtree/enum/circuit) are computed once on first
+	// execution and shared by every later hit.
 	once      sync.Once
 	marginals []TupleAnswer
 	probStats probcalc.Stats // d-tree decomposition shape (dtree only)
 	execErr   error
+
+	// The shared circuit is compiled once per plan (first circuit execution
+	// or what-if) and retained, so re-evaluation under overridden
+	// distributions never re-decomposes.
+	circuitOnce sync.Once
+	circuit     *probcalc.Circuit
+	circuitErr  error
 }
+
 
 // Engine is the concurrent query service core: a catalog plus a bounded
 // LRU cache of prepared plans and a bounded execution pool. Safe for
@@ -261,9 +349,14 @@ type Engine struct {
 	opMu     sync.Mutex
 	opTotals exec.OpStats // physical-operator counters over all compilations
 
+	// Probability-engine totals (fed on fresh computations; memoized plan
+	// marginals add nothing) and auto-selector decision counters.
+	memoHits, memoMisses                        atomic.Uint64
+	circuitCompiles, circuitNodes, circuitShare atomic.Uint64
+	autoDTree, autoCircuit, autoMC              atomic.Uint64
+
 	// Observability (all nil-safe no-ops when Options.Obs is unset).
 	obs                      *obs.Observer
-	memoHits, memoMisses     atomic.Uint64 // probcalc memo totals over all plans
 	coldSeconds, warmSeconds *obs.Histogram
 }
 
@@ -375,6 +468,21 @@ func (e *Engine) Stats() Stats {
 	e.opMu.Lock()
 	s.Ops = e.opTotals
 	e.opMu.Unlock()
+	s.Probcalc = ProbcalcStats{
+		MemoHits:        e.memoHits.Load(),
+		MemoMisses:      e.memoMisses.Load(),
+		CircuitCompiles: e.circuitCompiles.Load(),
+		CircuitNodes:    e.circuitNodes.Load(),
+		CircuitShared:   e.circuitShare.Load(),
+	}
+	if total := s.Probcalc.MemoHits + s.Probcalc.MemoMisses; total > 0 {
+		s.Probcalc.MemoHitRatio = float64(s.Probcalc.MemoHits) / float64(total)
+	}
+	s.Auto = AutoStats{
+		DTree:   e.autoDTree.Load(),
+		Circuit: e.autoCircuit.Load(),
+		MC:      e.autoMC.Load(),
+	}
 	return s
 }
 
@@ -419,6 +527,34 @@ func dtreeAttrs(sp obs.SpanRef, st probcalc.Stats) {
 	sp.SetInt("memoHits", int64(st.MemoHits))
 	sp.SetInt("memoMisses", int64(st.MemoMisses))
 	sp.SetInt("memoEntries", int64(st.MemoEntries))
+}
+
+// marginalAttrs describes a marginal computation on its span: the effective
+// engine, the auto-selector's inputs and decision, and — for freshly
+// computed exact marginals — the decomposition or circuit shape.
+func marginalAttrs(sp obs.SpanRef, chosen Kind, sel *Selection, computed bool, p *plan) {
+	sp.SetStr("engine", string(chosen))
+	if sel != nil {
+		sp.SetInt("selTuples", int64(sel.Tuples))
+		sp.SetInt("selVars", int64(sel.Vars))
+		sp.SetInt("selSharingPct", int64(sel.SharingDegree*100))
+		sp.SetInt("selMaxComponentVars", int64(sel.MaxComponentVars))
+		sp.SetStr("selReason", sel.Reason)
+	}
+	if !computed {
+		return
+	}
+	switch chosen {
+	case KindDTree:
+		dtreeAttrs(sp, p.probStats)
+	case KindCircuit:
+		if p.circuit != nil {
+			st := p.circuit.Stats()
+			sp.SetInt("circuitNodes", int64(st.Nodes))
+			sp.SetInt("circuitRoots", int64(st.Roots))
+			sp.SetInt("circuitShared", int64(st.SharedHits))
+		}
+	}
 }
 
 // Execute runs one request: prepare (or fetch) the plan, then compute the
@@ -506,6 +642,27 @@ func (e *Engine) executeOn(snap *catalog.Snapshot, req Request, ph *phases) (*Re
 		return nil, err
 	}
 
+	// Resolve auto to a concrete engine from the plan's lineage statistics
+	// (computed once at compilation, so warm hits pay nothing here).
+	chosen := kind
+	var sel *Selection
+	if kind == KindAuto {
+		sel = &p.sel
+		chosen = p.sel.Chosen
+		switch chosen {
+		case KindCircuit:
+			e.autoCircuit.Add(1)
+		case KindMC:
+			e.autoMC.Add(1)
+		default:
+			e.autoDTree.Add(1)
+		}
+	}
+	override, err := overrideTable(p, req.Distributions)
+	if err != nil {
+		return nil, err
+	}
+
 	start := obs.Nanotime()
 	var margSpan obs.SpanRef
 	if ph.tr != nil {
@@ -515,22 +672,33 @@ func (e *Engine) executeOn(snap *catalog.Snapshot, req Request, ph *phases) (*Re
 	}
 	var tuples []TupleAnswer
 	computed := false
-	switch kind {
-	case KindDTree, KindEnum:
+	switch {
+	case override != nil:
+		// What-if: fresh marginals under the overridden distributions,
+		// never memoized on the plan (the override is per-request state).
+		tuples, err = e.whatIfMarginals(p, chosen, override, req)
+		if err != nil {
+			return nil, err
+		}
+	case chosen == KindDTree || chosen == KindEnum || chosen == KindCircuit:
 		p.once.Do(func() {
-			p.marginals, p.probStats, p.execErr = exactMarginals(p, kind)
-			computed = true
-			if p.execErr == nil {
-				e.memoHits.Add(uint64(p.probStats.MemoHits))
-				e.memoMisses.Add(uint64(p.probStats.MemoMisses))
+			if chosen == KindCircuit {
+				p.marginals, p.execErr = e.circuitMarginals(p, nil)
+			} else {
+				p.marginals, p.probStats, p.execErr = exactMarginals(p, chosen)
+				if p.execErr == nil {
+					e.memoHits.Add(uint64(p.probStats.MemoHits))
+					e.memoMisses.Add(uint64(p.probStats.MemoMisses))
+				}
 			}
+			computed = true
 		})
 		if p.execErr != nil {
 			return nil, p.execErr
 		}
 		tuples = p.marginals
-	case KindMC:
-		tuples, err = sampledMarginals(p, req)
+	case chosen == KindMC:
+		tuples, err = sampledMarginals(p, p.answer, req)
 		if err != nil {
 			return nil, err
 		}
@@ -538,17 +706,18 @@ func (e *Engine) executeOn(snap *catalog.Snapshot, req Request, ph *phases) (*Re
 	end := obs.Nanotime()
 	execDur := time.Duration(end - start)
 	margSpan.EndDur(execDur)
-	if computed && kind == KindDTree {
-		// Decomposition shape of the fresh d-tree run; warm hits reuse the
-		// memoized marginals and attach nothing.
-		dtreeAttrs(margSpan, p.probStats)
-	}
+	// Effective engine, selector decision and — for fresh exact runs — the
+	// decomposition/circuit shape; warm hits reuse the memoized marginals
+	// and attach only the engine and selection.
+	marginalAttrs(margSpan, chosen, sel, computed, p)
 	e.executions.Add(1)
 	e.execNanos.Add(uint64(execDur))
 
 	res := &Result{
-		Query: p.queryText,
-		Kind:  kind,
+		Query:     p.queryText,
+		Kind:      kind,
+		Effective: chosen,
+		WhatIf:    override != nil,
 		// Stamp the execution snapshot's version, not the prepare-time one a
 		// cached plan carries: the answer is valid at the version the
 		// execution read, and replicas at equal versions must stamp equal
@@ -562,6 +731,10 @@ func (e *Engine) executeOn(snap *catalog.Snapshot, req Request, ph *phases) (*Re
 		Tuples:          tuples,
 		PrepareDuration: prepDur,
 		ExecDuration:    execDur,
+	}
+	if sel != nil {
+		selCopy := *sel
+		res.Selection = &selCopy
 	}
 
 	if ph.obs == nil {
@@ -587,9 +760,7 @@ func (e *Engine) executeOn(snap *catalog.Snapshot, req Request, ph *phases) (*Re
 		root := ph.materialize(start)
 		ms := root.ChildAt("marginals", start)
 		ms.EndDur(execDur)
-		if computed && kind == KindDTree {
-			dtreeAttrs(ms, p.probStats)
-		}
+		marginalAttrs(ms, chosen, sel, computed, p)
 	}
 	if req.Analyze {
 		aspan := ph.root.Child("analyze")
@@ -614,7 +785,7 @@ func (e *Engine) executeOn(snap *catalog.Snapshot, req Request, ph *phases) (*Re
 			e.obs.Slow.Add(obs.SlowQuery{
 				Time:          time.Now(),
 				Query:         p.queryText,
-				Engine:        string(kind),
+				Engine:        string(chosen),
 				CacheHit:      hit,
 				DurationNanos: int64(total),
 				Trace:         exported,
@@ -823,7 +994,236 @@ func compile(q ra.Query, queryText string, kind Kind, names []string, snap *cata
 		physical:   physical,
 		ops:        ops,
 		candidates: candidates,
+		sel:        selectEngine(candidates),
 	}, nil
+}
+
+// Auto-selector thresholds (see Selection). Beyond autoMCComponentVars
+// variables in one connected component of a SINGLE lineage, computing that
+// tuple's exact marginal risks exponential blowup and sampling scales; from
+// autoCircuitMinTuples tuples with cross-tuple sharing of at least
+// autoCircuitMinShare, one shared circuit amortizes decomposition across the
+// answer; otherwise the per-tuple d-tree's lower constant factors win.
+const (
+	autoMCComponentVars  = 44
+	autoCircuitMinTuples = 16
+	autoCircuitMinShare  = 1.25
+)
+
+// selectEngine derives the lineage-set statistics of a compiled plan and
+// the engine=auto decision they imply. It runs once per plan compilation;
+// the per-lineage variable sets are cached by hash-consed condition ID, so
+// answers whose tuples share structure pay each subcondition's walk once.
+func selectEngine(candidates []candidate) Selection {
+	in := condition.NewInterner()
+	allVars := make(map[condition.Variable]bool)
+	varTotal := 0
+	maxComp := 0
+	for _, c := range candidates {
+		vars := in.Vars(c.lineage)
+		varTotal += len(vars)
+		for _, x := range vars {
+			allVars[x] = true
+		}
+		if n := maxLineageComponent(in, c.lineage, len(vars)); n > maxComp {
+			maxComp = n
+		}
+	}
+	sel := Selection{
+		Tuples:           len(candidates),
+		Vars:             len(allVars),
+		MaxComponentVars: maxComp,
+	}
+	if sel.Vars > 0 {
+		sel.SharingDegree = float64(varTotal) / float64(sel.Vars)
+	}
+	switch {
+	case maxComp > autoMCComponentVars:
+		sel.Chosen = KindMC
+		sel.Reason = fmt.Sprintf("largest connected lineage component has %d variables (> %d): exact decomposition risks blowup, sampling scales", maxComp, autoMCComponentVars)
+	case sel.Tuples >= autoCircuitMinTuples && sel.SharingDegree >= autoCircuitMinShare:
+		sel.Chosen = KindCircuit
+		sel.Reason = fmt.Sprintf("%d tuples with sharing degree %.2f (>= %.2f): one shared circuit amortizes decomposition", sel.Tuples, sel.SharingDegree, autoCircuitMinShare)
+	default:
+		sel.Chosen = KindDTree
+		sel.Reason = fmt.Sprintf("%d tuples, sharing degree %.2f: per-tuple d-tree has the lowest constants", sel.Tuples, sel.SharingDegree)
+	}
+	return sel
+}
+
+// maxLineageComponent returns the variable count of the largest
+// variable-connected component within ONE lineage. Top-level juncts of a
+// conjunction or disjunction that share no variables decompose into
+// independent subproblems (products; De Morgan products for disjunctions),
+// so the hardness of one marginal is governed by its largest connected junct
+// group — not by the lineage's total variable count, and never by variables
+// shared with other tuples' lineages, which each evaluator treats as
+// separate roots. Non-junction lineages count as one component.
+func maxLineageComponent(in *condition.Interner, c condition.Condition, total int) int {
+	var juncts []condition.Condition
+	switch c := c.(type) {
+	case condition.AndCond:
+		juncts = c.Conds
+	case condition.OrCond:
+		juncts = c.Conds
+	default:
+		return total
+	}
+	parent := make(map[condition.Variable]condition.Variable, total)
+	var find func(x condition.Variable) condition.Variable
+	find = func(x condition.Variable) condition.Variable {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, j := range juncts {
+		var root condition.Variable
+		for _, x := range in.Vars(j) {
+			if _, ok := parent[x]; !ok {
+				parent[x] = x
+			}
+			rx := find(x)
+			if root == "" {
+				root = rx
+			} else if rx != root {
+				parent[rx] = root
+			}
+		}
+	}
+	maxComp := 0
+	size := make(map[condition.Variable]int)
+	for x := range parent {
+		r := find(x)
+		size[r]++
+		if size[r] > maxComp {
+			maxComp = size[r]
+		}
+	}
+	return maxComp
+}
+
+// planCircuit compiles (once) and returns the plan's shared circuit,
+// feeding the engine's circuit counters on the actual compilation.
+func (e *Engine) planCircuit(p *plan) (*probcalc.Circuit, error) {
+	p.circuitOnce.Do(func() {
+		conds := make([]condition.Condition, len(p.candidates))
+		for i, c := range p.candidates {
+			conds[i] = c.lineage
+		}
+		p.circuit, p.circuitErr = probcalc.CompileAnswer(conds, p.answer)
+		if p.circuitErr == nil {
+			st := p.circuit.Stats()
+			e.circuitCompiles.Add(1)
+			e.circuitNodes.Add(uint64(st.Nodes))
+			e.circuitShare.Add(uint64(st.SharedHits))
+		}
+	})
+	return p.circuit, p.circuitErr
+}
+
+// circuitMarginals evaluates the plan's shared circuit under dists (nil
+// selects the answer's own distributions), shaping the result like the
+// other exact engines: zero-probability candidates are dropped and
+// certainty is the CertainEps threshold.
+func (e *Engine) circuitMarginals(p *plan, dists probcalc.DistProvider) ([]TupleAnswer, error) {
+	circ, err := e.planCircuit(p)
+	if err != nil {
+		return nil, err
+	}
+	if dists == nil {
+		dists = p.answer
+	}
+	probs, err := circ.EvalFloat(dists)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TupleAnswer, 0, len(p.candidates))
+	for i, c := range p.candidates {
+		pr := probs[i]
+		if pr == 0 {
+			continue
+		}
+		out = append(out, TupleAnswer{Tuple: c.tuple, P: pr, Certain: pr >= 1-CertainEps})
+	}
+	return out, nil
+}
+
+// overrideTable builds the what-if view of the plan's answer from the
+// request's distribution overrides (nil when the request has none). Value
+// keys are parsed as literals; each override must form a probability
+// distribution over a subset of the variable's declared support —
+// violations are ErrBadQuery, because the circuit's Shannon branches (and
+// the c-table's domains) were fixed at compile time.
+func overrideTable(p *plan, dists map[string]map[string]float64) (*pctable.PCTable, error) {
+	if len(dists) == 0 {
+		return nil, nil
+	}
+	over := make(map[condition.Variable]*prob.Space, len(dists))
+	for name, outcomes := range dists {
+		m := make(map[value.Value]float64, len(outcomes))
+		for lit, pr := range outcomes {
+			v, err := parser.ParseValueLiteral(lit)
+			if err != nil {
+				return nil, fmt.Errorf("%w: distributions[%s]: %v", ErrBadQuery, name, err)
+			}
+			m[v] = pr
+		}
+		sp, err := prob.NewValueSpace(m)
+		if err != nil {
+			return nil, fmt.Errorf("%w: distributions[%s]: %v", ErrBadQuery, name, err)
+		}
+		over[condition.Variable(name)] = sp
+	}
+	t, err := p.answer.WithDists(over)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	return t, nil
+}
+
+// whatIfMarginals computes marginals under request-supplied distribution
+// overrides. Results are never memoized on the plan — the override is
+// per-request state — but the circuit path reuses the plan's compiled
+// circuit, so a what-if over a prepared answer is a pure re-weighting pass
+// with no decomposition at all.
+func (e *Engine) whatIfMarginals(p *plan, chosen Kind, over *pctable.PCTable, req Request) ([]TupleAnswer, error) {
+	switch chosen {
+	case KindCircuit:
+		return e.circuitMarginals(p, over)
+	case KindMC:
+		return sampledMarginals(p, over, req)
+	}
+	out := make([]TupleAnswer, 0, len(p.candidates))
+	var ev *probcalc.Evaluator
+	if chosen == KindDTree {
+		ev = probcalc.New(over)
+	}
+	for _, c := range p.candidates {
+		var (
+			pr  float64
+			err error
+		)
+		if ev != nil {
+			pr, err = ev.Probability(c.lineage)
+		} else {
+			pr, err = probcalc.EnumProbability(c.lineage, over)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if pr == 0 {
+			continue
+		}
+		out = append(out, TupleAnswer{Tuple: c.tuple, P: pr, Certain: pr >= 1-CertainEps})
+	}
+	if ev != nil {
+		st := ev.Stats()
+		e.memoHits.Add(uint64(st.MemoHits))
+		e.memoMisses.Add(uint64(st.MemoMisses))
+	}
+	return out, nil
 }
 
 // exactMarginals computes every candidate's marginal with an exact engine.
@@ -862,10 +1262,11 @@ func exactMarginals(p *plan, kind Kind) ([]TupleAnswer, probcalc.Stats, error) {
 	return out, st, nil
 }
 
-// sampledMarginals estimates every candidate's marginal by Monte-Carlo. A
-// fresh sampler per request keeps concurrent executions independent and
-// deterministic for a fixed (seed, samples, workers).
-func sampledMarginals(p *plan, req Request) ([]TupleAnswer, error) {
+// sampledMarginals estimates every candidate's marginal by Monte-Carlo over
+// table t (the plan's answer, or its what-if view). A fresh sampler per
+// request keeps concurrent executions independent and deterministic for a
+// fixed (seed, samples, workers).
+func sampledMarginals(p *plan, t *pctable.PCTable, req Request) ([]TupleAnswer, error) {
 	samples := req.Samples
 	if samples <= 0 {
 		samples = 10000
@@ -878,7 +1279,7 @@ func sampledMarginals(p *plan, req Request) ([]TupleAnswer, error) {
 	if workers <= 0 {
 		workers = 1
 	}
-	sampler, err := pctable.NewSampler(p.answer, seed)
+	sampler, err := pctable.NewSampler(t, seed)
 	if err != nil {
 		return nil, err
 	}

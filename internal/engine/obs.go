@@ -87,6 +87,24 @@ func (e *Engine) instrument(o *obs.Observer) {
 			return float64(h) / float64(h+m)
 		})
 
+	// Shared-circuit compilation counters and auto-selector decisions.
+	reg.CounterFunc("uncertaindb_probcalc_circuit_compiles_total", "",
+		"Shared lineage circuits compiled (one per plan that executed with the circuit engine or a what-if).",
+		func() float64 { return float64(e.circuitCompiles.Load()) })
+	reg.CounterFunc("uncertaindb_probcalc_circuit_nodes_total", "",
+		"DAG nodes across all compiled lineage circuits.",
+		func() float64 { return float64(e.circuitNodes.Load()) })
+	reg.CounterFunc("uncertaindb_probcalc_circuit_shared_total", "",
+		"Compile-time memo hits across all circuit compilations (subcircuits reused via hash-consed condition IDs).",
+		func() float64 { return float64(e.circuitShare.Load()) })
+	autoHelp := "engine=auto selector decisions, by chosen engine."
+	reg.CounterFunc("uncertaindb_engine_auto_selections_total", obs.Labels("engine", "dtree"),
+		autoHelp, func() float64 { return float64(e.autoDTree.Load()) })
+	reg.CounterFunc("uncertaindb_engine_auto_selections_total", obs.Labels("engine", "circuit"),
+		"", func() float64 { return float64(e.autoCircuit.Load()) })
+	reg.CounterFunc("uncertaindb_engine_auto_selections_total", obs.Labels("engine", "mc"),
+		"", func() float64 { return float64(e.autoMC.Load()) })
+
 	reg.CounterFunc("uncertaindb_catalog_snapshots_total", "",
 		"Catalog snapshots acquired.",
 		func() float64 { return float64(e.cat.Snapshots()) })

@@ -398,10 +398,16 @@ type queryRequest struct {
 	// rows in/out, probe/residual counts) and the execution's span tree to
 	// the response.
 	Analyze bool `json:"analyze"`
+	// Distributions overrides variable distributions for this query only
+	// (what-if): variable name → {value literal → probability}. The
+	// overrides must redistribute mass within each variable's declared
+	// support; with the circuit engine the cached circuit is re-weighted
+	// without re-decomposing.
+	Distributions map[string]map[string]float64 `json:"distributions"`
 }
 
 func (q queryRequest) request() uncertain.Request {
-	return uncertain.Request{Query: q.Query, Engine: q.Engine, Samples: q.Samples, Seed: q.Seed, Workers: q.Workers, Analyze: q.Analyze}
+	return uncertain.Request{Query: q.Query, Engine: q.Engine, Samples: q.Samples, Seed: q.Seed, Workers: q.Workers, Analyze: q.Analyze, Distributions: q.Distributions}
 }
 
 // QueryTuple is one answer tuple: the tuple as a JSON array of values plus
@@ -414,8 +420,17 @@ type QueryTuple struct {
 }
 
 type QueryResponse struct {
-	Query          string       `json:"query"`
-	Engine         string       `json:"engine"`
+	Query  string `json:"query"`
+	Engine string `json:"engine"`
+	// Effective is the engine that computed the marginals — differs from
+	// Engine only for engine=auto, where Selection explains the choice.
+	Effective string `json:"effective"`
+	// Selection is the auto-selector's lineage statistics and decision
+	// (engine=auto only).
+	Selection *uncertain.Selection `json:"selection,omitempty"`
+	// WhatIf reports the marginals were computed under the request's
+	// "distributions" overrides.
+	WhatIf         bool         `json:"whatIf,omitempty"`
 	CatalogVersion uint64       `json:"catalogVersion"`
 	Tables         []string     `json:"tables"`
 	CacheHit       bool         `json:"cacheHit"`
@@ -437,6 +452,9 @@ func resultJSON(res *uncertain.Result) QueryResponse {
 	resp := QueryResponse{
 		Query:          res.Query,
 		Engine:         string(res.Kind),
+		Effective:      string(res.Effective),
+		Selection:      res.Selection,
+		WhatIf:         res.WhatIf,
 		CatalogVersion: res.CatalogVersion,
 		Tables:         res.Tables,
 		CacheHit:       res.CacheHit,

@@ -201,6 +201,25 @@ func (l *lexer) acceptIdent(s string) bool {
 	return false
 }
 
+// ParseValueLiteral parses one standalone value literal — an integer, a
+// quoted string, or true/false — the same literal syntax dist directives
+// and query constants use. The what-if "distributions" override on
+// /v1/query keys its outcome values in this syntax.
+func ParseValueLiteral(s string) (value.Value, error) {
+	lx, err := lex(s)
+	if err != nil {
+		return value.Null, err
+	}
+	v, ok := parseValue(lx.next())
+	if !ok {
+		return value.Null, fmt.Errorf("parser: %q is not a value literal (want integer, 'string', true or false)", s)
+	}
+	if t := lx.peek(); t.kind != tokEOF {
+		return value.Null, fmt.Errorf("parser: trailing input %q after value literal", t.text)
+	}
+	return v, nil
+}
+
 // parseValue parses a literal value: integer, quoted string or boolean.
 // Fractional numbers are not domain values (they only appear as
 // probabilities in dist directives).

@@ -111,6 +111,39 @@ func (t *PCTable) Copy() *PCTable {
 	return c
 }
 
+// WithDists returns a view of the pc-table with the distributions of the
+// given variables replaced — the what-if evaluation view. The underlying
+// c-table is shared (reweighting never changes the rows); every overridden
+// variable must already have a distribution, and the override's support must
+// stay within the original support, because the declared domains (and any
+// circuit compiled against them) fix the value space.
+func (t *PCTable) WithDists(over map[condition.Variable]*prob.Space) (*PCTable, error) {
+	c := &PCTable{table: t.table, dists: make(map[condition.Variable]*prob.Space, len(t.dists))}
+	for x, d := range t.dists {
+		c.dists[x] = d
+	}
+	for x, d := range over {
+		base := t.dists[x]
+		if base == nil {
+			return nil, fmt.Errorf("pctable: variable %s has no distribution to override", x)
+		}
+		if d == nil || d.Size() == 0 {
+			return nil, fmt.Errorf("pctable: empty override distribution for variable %s", x)
+		}
+		allowed := make(map[string]bool, base.Size())
+		for _, o := range base.Outcomes() {
+			allowed[o.Key] = true
+		}
+		for _, o := range d.Outcomes() {
+			if !allowed[o.Key] {
+				return nil, fmt.Errorf("pctable: override value %s for variable %s is outside the declared support", o.ValuePayload(), x)
+			}
+		}
+		c.dists[x] = d
+	}
+	return c, nil
+}
+
 // valuationProbability returns the product probability of a valuation of
 // the given variables.
 func (t *PCTable) valuationProbability(vars []condition.Variable, v condition.Valuation) float64 {

@@ -1,0 +1,657 @@
+package probcalc
+
+import (
+	"fmt"
+	"math/big"
+	"slices"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/value"
+)
+
+// This file compiles the lineage conditions of a WHOLE answer into one
+// shared arithmetic circuit — the knowledge-compilation reading of the
+// d-tree engine in dtree.go. Where the per-tuple path re-pays simplification,
+// variable collection and decomposition bookkeeping for every tuple, the
+// compiler works at the level of hash-consed condition IDs: every
+// structurally distinct subcondition is decomposed exactly once (memoized by
+// ID), its variable set is computed exactly once (Interner.Vars), and the
+// result is a DAG whose internal nodes are the same splits dtree.go performs
+// (independence products, exclusive sums, Shannon expansions) with residual
+// enumeration leaves at the fringe.
+//
+// Evaluation is a single bottom-up pass over a flat node array — children
+// always precede parents, so one index-ordered sweep computes every tuple's
+// marginal with no tree walks, no hashing and no map lookups on internal
+// nodes. Because the circuit fixes only the decomposition STRUCTURE (Shannon
+// branch values, enumeration supports) and reads the distribution WEIGHTS at
+// evaluation time, the same compiled circuit re-evaluates under changed
+// distributions (what-if queries) without re-decomposing — the weights just
+// flow through the same DAG again.
+//
+// The same field abstraction as dtree.go gives a float64 fast path and a
+// bit-exact big.Rat twin: exact rational arithmetic is associative and
+// commutative, so the circuit's rationals are bit-identical to the per-tuple
+// d-tree twin and to brute-force enumeration.
+
+// circuitNodeKind discriminates circuit node shapes.
+type circuitNodeKind uint8
+
+const (
+	cnConst   circuitNodeKind = iota // 0 or 1
+	cnEnum                           // residual enumeration of a small condition
+	cnNot                            // 1 − child
+	cnMul                            // Π children (independent conjunction)
+	cnSum                            // Σ children (exclusive disjunction)
+	cnShannon                        // Σ P[pivot=vᵢ] · childᵢ
+)
+
+// circuitNode is one node of the compiled DAG. Children are node indices and
+// are always strictly smaller than the node's own index, so index order is a
+// topological order (and the DAG is acyclic by construction).
+type circuitNode struct {
+	kind circuitNodeKind
+	one  bool   // cnConst: true for 1, false for 0
+	kids []int  // child node indices (cnNot: exactly one)
+	// cnShannon: pivot variable and the branch value of each child, in
+	// compile-time distribution order. Weights are looked up at evaluation
+	// time, so overridden distributions reweight the same branches.
+	pivot      condition.Variable
+	branchVals []value.Value
+	// cnEnum: the residual condition and its sorted variables. The leaf is
+	// re-enumerated at evaluation time under the distributions in effect.
+	cond condition.Condition
+	vars []condition.Variable
+}
+
+// CircuitStats describes a compiled circuit: its size, how much cross-tuple
+// structure sharing the compiler found, and the decomposition steps taken
+// (the circuit-shaped analogue of Stats).
+type CircuitStats struct {
+	Nodes             int // total DAG nodes
+	Roots             int // input conditions (answer tuples)
+	Vars              int // distinct variables across all inputs
+	SharedHits        int // compile-time memo hits: subcircuits reused via hash-consed IDs
+	EnumLeaves        int // residual enumeration leaves
+	ComponentSplits   int // independence splits
+	ExclusiveSplits   int // disjoint-disjunction splits
+	ShannonExpansions int // pivot expansions
+}
+
+// Circuit is the shared arithmetic circuit for one answer's lineage set.
+// Compile once with CompileAnswer, then evaluate as often as needed — the
+// zero-allocation-per-node bottom-up pass makes repeated evaluation (what-if
+// re-weighting) dramatically cheaper than re-decomposition. A Circuit is
+// immutable after compilation and safe for concurrent evaluation.
+type Circuit struct {
+	nodes []circuitNode
+	roots []int // roots[i] is the node computing P[conds[i]]
+	// support holds each variable's compile-time outcome values in
+	// distribution order. Evaluation-time distributions must not introduce
+	// values outside this support (Shannon branches were fixed at compile).
+	support map[condition.Variable][]value.Value
+	stats   CircuitStats
+}
+
+// CompileAnswer builds one shared circuit computing P[c] for every condition
+// in conds under distributions d. Conditions are expected pre-simplified
+// (pctable.Lineage output already is); unsimplified input stays correct but
+// compiles larger. The DistProvider fixes each variable's support (outcome
+// values); evaluation may override the weights but not the support.
+func CompileAnswer(conds []condition.Condition, d DistProvider) (*Circuit, error) {
+	return CompileAnswerWithOptions(conds, d, Options{})
+}
+
+// CompileAnswerWithOptions is CompileAnswer with explicit options.
+func CompileAnswerWithOptions(conds []condition.Condition, d DistProvider, opts Options) (*Circuit, error) {
+	if opts.EnumThreshold <= 0 {
+		opts.EnumThreshold = DefaultEnumThreshold
+	}
+	cp := &compiler{
+		c: &Circuit{
+			support: make(map[condition.Variable][]value.Value),
+			// Nodes 0 and 1 are the constants, so every compiled node's
+			// children (constants included) precede it in index order.
+			nodes: []circuitNode{{kind: cnConst, one: false}, {kind: cnConst, one: true}},
+		},
+		d:        d,
+		in:       condition.NewInterner(),
+		memo:     make(map[condition.ID]int),
+		junctIDs: make(map[junctKey]condition.ID),
+		varsByID: make(map[condition.ID][]condition.Variable),
+		opts:     opts,
+	}
+	cp.c.roots = make([]int, 0, len(conds))
+	for _, cond := range conds {
+		root, err := cp.compile(cond)
+		if err != nil {
+			return nil, err
+		}
+		cp.c.roots = append(cp.c.roots, root)
+	}
+	cp.c.stats.Nodes = len(cp.c.nodes)
+	cp.c.stats.Roots = len(cp.c.roots)
+	cp.c.stats.Vars = len(cp.c.support)
+	return cp.c, nil
+}
+
+// junctKey identifies a junction node by the backing array of its child
+// slice. Conditions are immutable and the compiler lives for one
+// CompileAnswer call, so a (first-element pointer, length) pair is a sound
+// identity: the lineages of an answer share whole subcondition VALUES (the
+// same AndCond/OrCond copied into many rows), and this key recognizes the
+// share in O(1) where a structural re-walk would pay the subcondition's full
+// size for every occurrence — the dominant cost at 10k+ tuples.
+type junctKey struct {
+	or bool
+	p  *condition.Condition
+	n  int
+}
+
+// compiler carries the state of one CompileAnswer run.
+type compiler struct {
+	c        *Circuit
+	d        DistProvider
+	in       *condition.Interner
+	memo     map[condition.ID]int
+	junctIDs map[junctKey]condition.ID
+	varsByID map[condition.ID][]condition.Variable
+	// varSeen/varGen are the generation-stamped scratch set of mergeVars:
+	// one reused map instead of one allocation per junction.
+	varSeen map[condition.Variable]int
+	varGen  int
+	opts    Options
+}
+
+// condID is Interner.ID with an O(1) fast path for junctions already seen by
+// backing-array identity, so the shared block of a high-sharing answer is
+// structurally walked once, not once per tuple.
+func (cp *compiler) condID(c condition.Condition) condition.ID {
+	switch c := c.(type) {
+	case condition.AndCond:
+		if len(c.Conds) > 0 {
+			return cp.junctionID(false, c.Conds)
+		}
+	case condition.OrCond:
+		if len(c.Conds) > 0 {
+			return cp.junctionID(true, c.Conds)
+		}
+	}
+	return cp.in.ID(c)
+}
+
+func (cp *compiler) junctionID(or bool, juncts []condition.Condition) condition.ID {
+	k := junctKey{or, &juncts[0], len(juncts)}
+	if id, ok := cp.junctIDs[k]; ok {
+		return id
+	}
+	kids := make([]condition.ID, len(juncts))
+	for i, j := range juncts {
+		kids[i] = cp.condID(j)
+	}
+	var id condition.ID
+	if or {
+		id = cp.in.OrID(kids)
+	} else {
+		id = cp.in.AndID(kids)
+	}
+	cp.junctIDs[k] = id
+	return id
+}
+
+// varsOf returns c's sorted free variables, cached by hash-consed ID, with
+// junction variable sets merged from the (cached) child sets instead of
+// re-walking the whole condition.
+func (cp *compiler) varsOf(c condition.Condition) []condition.Variable {
+	id := cp.condID(c)
+	if v, ok := cp.varsByID[id]; ok {
+		return v
+	}
+	var v []condition.Variable
+	switch c := c.(type) {
+	case condition.AndCond:
+		v = cp.mergeVars(c.Conds)
+	case condition.OrCond:
+		v = cp.mergeVars(c.Conds)
+	default:
+		v = condition.Vars(c)
+	}
+	cp.varsByID[id] = v
+	return v
+}
+
+func (cp *compiler) mergeVars(juncts []condition.Condition) []condition.Variable {
+	if len(juncts) == 2 {
+		return mergeSortedVars(cp.varsOf(juncts[0]), cp.varsOf(juncts[1]))
+	}
+	// Resolve every child's variable set BEFORE stamping: varsOf on an
+	// uncached child junction recurses into mergeVars, which advances varGen
+	// — stamping concurrently with those recursive calls would mistake the
+	// nested generation's marks for this one's and drop variables.
+	sets := make([][]condition.Variable, len(juncts))
+	for i, j := range juncts {
+		sets[i] = cp.varsOf(j)
+	}
+	cp.varGen++
+	if cp.varSeen == nil {
+		cp.varSeen = make(map[condition.Variable]int)
+	}
+	out := make([]condition.Variable, 0, 8)
+	for _, set := range sets {
+		for _, x := range set {
+			if cp.varSeen[x] != cp.varGen {
+				cp.varSeen[x] = cp.varGen
+				out = append(out, x)
+			}
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// mergeSortedVars merges two sorted variable slices, deduplicating — the
+// two-junct case (a private guard ∧ a shared block) is the per-tuple hot
+// path and needs no scratch set.
+func mergeSortedVars(a, b []condition.Variable) []condition.Variable {
+	out := make([]condition.Variable, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// sortedVarsDisjoint reports whether two sorted variable slices share no
+// variable.
+func sortedVarsDisjoint(a, b []condition.Variable) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case b[j] < a[i]:
+			j++
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (cp *compiler) add(n circuitNode) int {
+	cp.c.nodes = append(cp.c.nodes, n)
+	return len(cp.c.nodes) - 1
+}
+
+// supportOf registers (and caches) x's compile-time outcome values.
+func (cp *compiler) supportOf(x condition.Variable) ([]value.Value, error) {
+	if s, ok := cp.c.support[x]; ok {
+		return s, nil
+	}
+	sp := cp.d.Dist(x)
+	if sp == nil {
+		return nil, fmt.Errorf("probcalc: variable %s has no distribution", x)
+	}
+	if sp.Size() == 0 {
+		return nil, fmt.Errorf("probcalc: empty distribution for variable %s", x)
+	}
+	s := make([]value.Value, 0, sp.Size())
+	for _, o := range sp.Outcomes() {
+		s = append(s, o.ValuePayload())
+	}
+	cp.c.support[x] = s
+	return s, nil
+}
+
+// residualSmall reports whether vars has at most EnumThreshold valuations.
+func (cp *compiler) residualSmall(vars []condition.Variable) (bool, error) {
+	n := int64(1)
+	for _, x := range vars {
+		s, err := cp.supportOf(x)
+		if err != nil {
+			return false, err
+		}
+		n *= int64(len(s))
+		if n > cp.opts.EnumThreshold {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// compile returns the node index computing P[c], mirroring engine.eval's
+// decomposition order: constants, residual enumeration, negation complement,
+// junction splits, Shannon expansion. Memoized by hash-consed ID, so any
+// subcondition shared across tuples (or within one tuple) compiles once.
+func (cp *compiler) compile(c condition.Condition) (int, error) {
+	switch c.(type) {
+	case condition.TrueCond:
+		return 1, nil
+	case condition.FalseCond:
+		return 0, nil
+	}
+	id := cp.condID(c)
+	if n, ok := cp.memo[id]; ok {
+		cp.c.stats.SharedHits++
+		return n, nil
+	}
+	vars := cp.varsOf(c)
+	if len(vars) == 0 {
+		holds, err := c.Eval(nil)
+		if err != nil {
+			return 0, err
+		}
+		if holds {
+			cp.memo[id] = 1
+			return 1, nil
+		}
+		cp.memo[id] = 0
+		return 0, nil
+	}
+	small, err := cp.residualSmall(vars)
+	if err != nil {
+		return 0, err
+	}
+	var idx int
+	switch {
+	case len(vars) == 1 || small:
+		cp.c.stats.EnumLeaves++
+		idx = cp.add(circuitNode{kind: cnEnum, cond: c, vars: vars})
+	default:
+		switch cc := c.(type) {
+		case condition.NotCond:
+			var kid int
+			kid, err = cp.compile(cc.Cond)
+			if err == nil {
+				idx = cp.add(circuitNode{kind: cnNot, kids: []int{kid}})
+			}
+		case condition.AndCond:
+			idx, err = cp.junction(cc.Conds, true, c, vars)
+		case condition.OrCond:
+			idx, err = cp.junction(cc.Conds, false, c, vars)
+		default:
+			idx, err = cp.shannon(c, vars)
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	cp.memo[id] = idx
+	return idx, nil
+}
+
+// junction compiles a conjunction (isAnd) or disjunction: independence
+// splits become products (disjunctions via De Morgan: 1 − Π(1 − pᵢ)),
+// exclusive disjunctions become sums, everything else Shannon-expands.
+func (cp *compiler) junction(juncts []condition.Condition, isAnd bool, whole condition.Condition, vars []condition.Variable) (int, error) {
+	// Two-junct fast path: no union-find maps for the per-tuple shape
+	// guard ∧ shared-block.
+	var comps [][]condition.Condition
+	if len(juncts) == 2 {
+		if sortedVarsDisjoint(cp.varsOf(juncts[0]), cp.varsOf(juncts[1])) {
+			comps = [][]condition.Condition{juncts[:1:1], juncts[1:2:2]}
+		} else {
+			comps = [][]condition.Condition{juncts}
+		}
+	} else {
+		comps = componentsVars(juncts, cp.varsOf)
+	}
+	if len(comps) > 1 {
+		cp.c.stats.ComponentSplits++
+		kids := make([]int, 0, len(comps))
+		for _, comp := range comps {
+			var sub condition.Condition
+			if isAnd {
+				sub = condition.And(comp...)
+			} else {
+				sub = condition.Or(comp...)
+			}
+			kid, err := cp.compile(sub)
+			if err != nil {
+				return 0, err
+			}
+			if !isAnd {
+				kid = cp.add(circuitNode{kind: cnNot, kids: []int{kid}})
+			}
+			kids = append(kids, kid)
+		}
+		prod := cp.add(circuitNode{kind: cnMul, kids: kids})
+		if isAnd {
+			return prod, nil
+		}
+		return cp.add(circuitNode{kind: cnNot, kids: []int{prod}}), nil
+	}
+	if !isAnd && pairwiseDisjoint(juncts) {
+		cp.c.stats.ExclusiveSplits++
+		kids := make([]int, 0, len(juncts))
+		for _, d := range juncts {
+			kid, err := cp.compile(d)
+			if err != nil {
+				return 0, err
+			}
+			kids = append(kids, kid)
+		}
+		return cp.add(circuitNode{kind: cnSum, kids: kids}), nil
+	}
+	return cp.shannon(whole, vars)
+}
+
+// shannon compiles a pivot expansion: one child per support value of the
+// pivot, weighted at evaluation time by the then-current distribution.
+func (cp *compiler) shannon(c condition.Condition, vars []condition.Variable) (int, error) {
+	pivot := pickPivot(c, vars)
+	sup, err := cp.supportOf(pivot)
+	if err != nil {
+		return 0, err
+	}
+	cp.c.stats.ShannonExpansions++
+	kids := make([]int, 0, len(sup))
+	val := make(condition.Valuation, 1)
+	for _, v := range sup {
+		val[pivot] = v
+		kid, err := cp.compile(c.Substitute(val))
+		if err != nil {
+			return 0, err
+		}
+		kids = append(kids, kid)
+	}
+	return cp.add(circuitNode{kind: cnShannon, pivot: pivot, branchVals: sup, kids: kids}), nil
+}
+
+// Stats returns the compile-time statistics of the circuit.
+func (c *Circuit) Stats() CircuitStats { return c.stats }
+
+// NumNodes returns the number of DAG nodes (constants included).
+func (c *Circuit) NumNodes() int { return len(c.nodes) }
+
+// NumRoots returns the number of input conditions the circuit computes.
+func (c *Circuit) NumRoots() int { return len(c.roots) }
+
+// EvalFloat computes every root's probability in float64 under d. d may be
+// the compile-time provider or an override with the same (or narrower)
+// per-variable supports — the what-if path.
+func (c *Circuit) EvalFloat(d DistProvider) ([]float64, error) {
+	return evalCircuit(c, floatField(), floatOutcomes(d))
+}
+
+// EvalRat computes every root's probability in exact rational arithmetic
+// under d, bit-identical to the per-tuple ExactEvaluator and to
+// EnumProbabilityRat on each root condition.
+func (c *Circuit) EvalRat(d DistProvider) ([]*big.Rat, error) {
+	return evalCircuit(c, ratField(), ratOutcomes(d))
+}
+
+// WellFormed checks the structural invariants the fuzzer and equivalence
+// tests rely on: children strictly precede parents (hence no cycles), root
+// indices are in range, and node shapes match their kinds.
+func (c *Circuit) WellFormed() error {
+	for i, n := range c.nodes {
+		for _, k := range n.kids {
+			if k < 0 || k >= i {
+				return fmt.Errorf("probcalc: node %d has child %d not strictly before it", i, k)
+			}
+		}
+		switch n.kind {
+		case cnConst:
+			if len(n.kids) != 0 {
+				return fmt.Errorf("probcalc: const node %d has children", i)
+			}
+		case cnNot:
+			if len(n.kids) != 1 {
+				return fmt.Errorf("probcalc: not node %d has %d children", i, len(n.kids))
+			}
+		case cnEnum:
+			if n.cond == nil || len(n.vars) == 0 {
+				return fmt.Errorf("probcalc: enum node %d lacks condition or variables", i)
+			}
+		case cnShannon:
+			if len(n.kids) == 0 || len(n.kids) != len(n.branchVals) || n.pivot == "" {
+				return fmt.Errorf("probcalc: shannon node %d malformed", i)
+			}
+		}
+	}
+	for i, r := range c.roots {
+		if r < 0 || r >= len(c.nodes) {
+			return fmt.Errorf("probcalc: root %d points at node %d of %d", i, r, len(c.nodes))
+		}
+	}
+	return nil
+}
+
+// evalCircuit is the generic bottom-up pass: one sweep in index order (a
+// topological order by construction) computes every node, then the roots are
+// read off. Evaluation-time distributions are validated against the
+// compile-time support first.
+func evalCircuit[T any](c *Circuit, f field[T], dist func(condition.Variable) ([]weighted[T], error)) ([]T, error) {
+	outs := make(map[condition.Variable][]weighted[T], len(c.support))
+	weightOf := make(map[condition.Variable]map[value.Value]T, len(c.support))
+	for x, sup := range c.support {
+		o, err := dist(x)
+		if err != nil {
+			return nil, err
+		}
+		if len(o) == 0 {
+			return nil, fmt.Errorf("probcalc: empty distribution for variable %s", x)
+		}
+		allowed := make(map[value.Value]bool, len(sup))
+		for _, v := range sup {
+			allowed[v] = true
+		}
+		m := make(map[value.Value]T, len(o))
+		for _, w := range o {
+			if !allowed[w.v] {
+				return nil, fmt.Errorf("probcalc: value %s of variable %s is outside the circuit's compile-time support", w.v, x)
+			}
+			m[w.v] = w.w
+		}
+		outs[x] = o
+		weightOf[x] = m
+	}
+	vals := make([]T, len(c.nodes))
+	// Scratch valuation reused by the single-variable leaf fast path: most
+	// leaves of a pre-simplified answer bind one variable, and paying a map
+	// and a recursion closure per leaf dominates evaluation otherwise.
+	scratch := make(condition.Valuation, 1)
+	for i := range c.nodes {
+		n := &c.nodes[i]
+		switch n.kind {
+		case cnConst:
+			if n.one {
+				vals[i] = f.one()
+			} else {
+				vals[i] = f.zero()
+			}
+		case cnEnum:
+			if len(n.vars) == 1 {
+				x := n.vars[0]
+				o, ok := outs[x]
+				if !ok {
+					return nil, fmt.Errorf("probcalc: variable %s has no distribution", x)
+				}
+				acc := f.zero()
+				for _, w := range o {
+					scratch[x] = w.v
+					if condition.MustEval(n.cond, scratch) {
+						acc = f.add(acc, w.w)
+					}
+				}
+				delete(scratch, x)
+				vals[i] = acc
+				break
+			}
+			v, err := enumerateLeaf(f, n.cond, n.vars, outs)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		case cnNot:
+			vals[i] = f.sub(f.one(), vals[n.kids[0]])
+		case cnMul:
+			acc := f.one()
+			for _, k := range n.kids {
+				acc = f.mul(acc, vals[k])
+			}
+			vals[i] = acc
+		case cnSum:
+			acc := f.zero()
+			for _, k := range n.kids {
+				acc = f.add(acc, vals[k])
+			}
+			vals[i] = acc
+		case cnShannon:
+			acc := f.zero()
+			m := weightOf[n.pivot]
+			for j, k := range n.kids {
+				// A support value absent from an overridden distribution
+				// has weight zero: its branch contributes nothing.
+				if w, ok := m[n.branchVals[j]]; ok {
+					acc = f.add(acc, f.mul(w, vals[k]))
+				}
+			}
+			vals[i] = acc
+		}
+	}
+	res := make([]T, len(c.roots))
+	for i, r := range c.roots {
+		res[i] = vals[r]
+	}
+	return res, nil
+}
+
+// enumerateLeaf sums the weights of the satisfying valuations of a residual
+// leaf, exactly like engine.enumerate but over evaluation-time outcomes.
+func enumerateLeaf[T any](f field[T], c condition.Condition, vars []condition.Variable, outs map[condition.Variable][]weighted[T]) (T, error) {
+	for _, x := range vars {
+		if _, ok := outs[x]; !ok {
+			return f.zero(), fmt.Errorf("probcalc: variable %s has no distribution", x)
+		}
+	}
+	acc := f.zero()
+	val := make(condition.Valuation, len(vars))
+	var rec func(i int, w T)
+	rec = func(i int, w T) {
+		if i == len(vars) {
+			if condition.MustEval(c, val) {
+				acc = f.add(acc, w)
+			}
+			return
+		}
+		for _, o := range outs[vars[i]] {
+			val[vars[i]] = o.v
+			rec(i+1, f.mul(w, o.w))
+		}
+	}
+	rec(0, f.one())
+	return acc, nil
+}

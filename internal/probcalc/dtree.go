@@ -297,6 +297,12 @@ func (e *engine[T]) residualAtMost(vars []condition.Variable, limit int64) (bool
 // (connected components of the junct/variable incidence graph), preserving
 // the order of first appearance. Variable-free juncts form singleton groups.
 func components(juncts []condition.Condition) [][]condition.Condition {
+	return componentsVars(juncts, condition.Vars)
+}
+
+// componentsVars is components with an explicit variable extractor, so the
+// circuit compiler can plug in the interner's cached per-ID variable sets.
+func componentsVars(juncts []condition.Condition, varsOf func(condition.Condition) []condition.Variable) [][]condition.Condition {
 	parent := make([]int, len(juncts))
 	for i := range parent {
 		parent[i] = i
@@ -317,7 +323,7 @@ func components(juncts []condition.Condition) [][]condition.Condition {
 	}
 	owner := make(map[condition.Variable]int)
 	for i, j := range juncts {
-		for _, x := range condition.Vars(j) {
+		for _, x := range varsOf(j) {
 			if k, ok := owner[x]; ok {
 				union(i, k)
 			} else {

@@ -70,6 +70,10 @@ type BatchItem = engine.BatchItem
 // Stats is a snapshot of the engine's cache and latency counters.
 type Stats = engine.Stats
 
+// Selection is the engine=auto selector's lineage statistics and decision
+// for one plan (Result.Selection).
+type Selection = engine.Selection
+
 // PlanNode is one operator of an EXPLAIN ANALYZE plan tree: the operator
 // label (matching the rendered Plan), rows in/out, probe/residual counts and
 // wall time, with a deterministic JSON form (zero the timings for goldens).
@@ -154,7 +158,10 @@ type Config struct {
 type Request struct {
 	// Query is the relational algebra query text.
 	Query string
-	// Engine selects the marginal engine: "dtree" (default), "enum", "mc".
+	// Engine selects the marginal engine: "dtree" (default, per-tuple
+	// decomposition), "circuit" (one shared circuit per answer), "enum"
+	// (brute-force enumeration), "mc" (Monte-Carlo), or "auto" (pick
+	// per answer from lineage statistics; see Selection on the Result).
 	Engine string
 	// Samples is the Monte-Carlo sample count (mc only; default 10000).
 	Samples int
@@ -167,10 +174,17 @@ type Request struct {
 	// tree to the Result. The instrumented run is separate from the cached
 	// artifact and never perturbs the answer or the plan cache.
 	Analyze bool
+	// Distributions overrides variable distributions for this execution
+	// only (what-if): variable name → {value literal → probability}. Each
+	// override must form a probability distribution within the variable's
+	// declared support. What-if marginals are computed fresh per request
+	// and never cached; the circuit engine re-weights its cached circuit
+	// without re-decomposing, so prepared what-ifs are nearly free.
+	Distributions map[string]map[string]float64
 }
 
 func (r Request) internal() engine.Request {
-	return engine.Request{Query: r.Query, Engine: r.Engine, Samples: r.Samples, Seed: r.Seed, Workers: r.Workers, Analyze: r.Analyze}
+	return engine.Request{Query: r.Query, Engine: r.Engine, Samples: r.Samples, Seed: r.Seed, Workers: r.Workers, Analyze: r.Analyze, Distributions: r.Distributions}
 }
 
 // TableInfo is the metadata of one catalog table.
