@@ -18,10 +18,19 @@
 // Endpoints (stable, versioned surface):
 //
 //	PUT    /v1/tables/{name}   register or replace a table (body: table script)
+//	PATCH  /v1/tables/{name}   row-level mutation (body: patch script of
+//	                           delete/upsert/dist directives); cached plans
+//	                           reading the table are incrementally maintained,
+//	                           not invalidated, wherever the query shape allows
 //	GET    /v1/tables          list catalog tables
 //	GET    /v1/tables/{name}   one table's metadata and rendering
 //	DELETE /v1/tables/{name}   drop a table
 //	POST   /v1/query           {"query": "...", "engine": "dtree|enum|mc", ...}
+//	POST   /v1/subscribe       live query: the body is a query request plus
+//	                           "maxUpdates"; the response streams one JSON line
+//	                           per result (initial + one per relevant catalog
+//	                           mutation, re-served from the maintained plan
+//	                           cache), bounded by -max-subscriptions
 //	POST   /v1/query/batch     {"queries": [{...}, ...]} — N queries, one
 //	                           catalog snapshot, per-item errors
 //	GET    /v1/stats           engine cache and latency counters
@@ -132,6 +141,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	slowQueryMS := fs.Int("slow-query-ms", 100, "slow-query capture threshold in milliseconds (queries at or above it record their span tree at /v1/debug/slow; <0 disables capture)")
 	noObs := fs.Bool("no-obs", false, "disable the observability core (spans, /metrics, slow-query log)")
 	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
+	maxSubs := fs.Int("max-subscriptions", 64, "maximum concurrently served /v1/subscribe streams (excess subscribers get 503)")
 	var loads multiFlag
 	fs.Var(&loads, "load", "catalog script to load at startup (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -182,7 +192,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	handler := newHandler(db)
+	handler := httpapi.NewWithOptions(db, httpapi.Options{MaxSubscriptions: *maxSubs})
 	if *pprofOn {
 		// net/http/pprof registered itself on the default mux at import;
 		// expose it only when asked.
@@ -192,7 +202,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		handler = outer
 		fmt.Fprintln(out, "pprof enabled at /debug/pprof/")
 	}
-	srv := &http.Server{Handler: handler}
+	// Request contexts derive from srvCtx so long-lived /v1/subscribe streams
+	// end when shutdown begins — otherwise an idle subscriber would hold its
+	// handler goroutine past the drain timeout.
+	srvCtx, srvCancel := context.WithCancel(context.Background())
+	defer srvCancel()
+	srv := &http.Server{Handler: handler, BaseContext: func(net.Listener) context.Context { return srvCtx }}
 	fmt.Fprintf(out, "uncertaind listening on http://%s\n", ln.Addr())
 
 	errCh := make(chan error, 1)
@@ -202,6 +217,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	case <-ctx.Done():
 	}
+	srvCancel()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

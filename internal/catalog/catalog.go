@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"uncertaindb/internal/condition"
 	"uncertaindb/internal/parser"
 	"uncertaindb/internal/pctable"
 	"uncertaindb/internal/wal"
@@ -88,6 +89,13 @@ type Catalog struct {
 
 	sink Sink // optional durability hook; appends under mu
 
+	// rowKeys caches, per table, the row-identity set of the entry's current
+	// rows, so successive patches index a large table once and then pay
+	// O(patch) per application (wal.ApplyPatchToTableKeyed). Dropped whenever
+	// the table is replaced wholesale (put, delete, reset) or a patch fails
+	// mid-application; rebuilt lazily on the next patch.
+	rowKeys map[string]*wal.RowKeySet
+
 	// Change feed: a bounded in-memory window of recent mutation records
 	// (oldest first, contiguous versions) plus the live watcher set.
 	// changeTimes runs parallel to changelog: the wall-clock commit time of
@@ -112,6 +120,7 @@ func (c *Catalog) Snapshots() uint64 { return c.snapshots.Load() }
 func New() *Catalog {
 	return &Catalog{
 		tables:    make(map[string]*Entry),
+		rowKeys:   make(map[string]*wal.RowKeySet),
 		watchers:  make(map[uint64]chan *wal.Record),
 		windowCap: changelogCap,
 	}
@@ -247,20 +256,30 @@ func (c *Catalog) CommitTime(version uint64) (int64, bool) {
 // the change window and fans out to watchers — so a follower is itself a
 // followable leader.
 func (c *Catalog) ApplyRecord(rec *wal.Record) error {
+	_, err := c.ApplyRecordEx(rec)
+	return err
+}
+
+// ApplyRecordEx is ApplyRecord additionally returning the applied row-level
+// difference for KindPatch records (nil for puts and deletes). A follower's
+// engine consumes it to maintain its cached plans incrementally, exactly as
+// the leader did.
+func (c *Catalog) ApplyRecordEx(rec *wal.Record) (*wal.AppliedPatch, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if rec.Version != c.version+1 {
-		return fmt.Errorf("catalog: record version %d does not extend catalog version %d", rec.Version, c.version)
+		return nil, fmt.Errorf("catalog: record version %d does not extend catalog version %d", rec.Version, c.version)
 	}
 	switch rec.Kind {
 	case wal.KindPut:
 		if rec.Table == nil {
-			return fmt.Errorf("catalog: put record for %q has no table", rec.Name)
+			return nil, fmt.Errorf("catalog: put record for %q has no table", rec.Name)
 		}
 		prev, existed := c.tables[rec.Name]
 		c.version = rec.Version
 		c.tables[rec.Name] = &Entry{Name: rec.Name, Table: rec.Table, Probabilistic: rec.Probabilistic, Version: rec.Version}
-		return c.commitLocked(rec, 0, func() {
+		delete(c.rowKeys, rec.Name)
+		return nil, c.commitLocked(rec, 0, func() {
 			c.version = rec.Version - 1
 			if existed {
 				c.tables[rec.Name] = prev
@@ -272,14 +291,37 @@ func (c *Catalog) ApplyRecord(rec *wal.Record) error {
 		prev, existed := c.tables[rec.Name]
 		c.version = rec.Version
 		delete(c.tables, rec.Name)
-		return c.commitLocked(rec, 0, func() {
+		delete(c.rowKeys, rec.Name)
+		return nil, c.commitLocked(rec, 0, func() {
 			c.version = rec.Version - 1
 			if existed {
 				c.tables[rec.Name] = prev
 			}
 		})
+	case wal.KindPatch:
+		prev, existed := c.tables[rec.Name]
+		if !existed {
+			return nil, fmt.Errorf("catalog: patch record for unknown table %q", rec.Name)
+		}
+		if rec.Patch == nil {
+			return nil, fmt.Errorf("catalog: patch record for %q has no payload", rec.Name)
+		}
+		ap, keys, err := wal.ApplyPatchToTableKeyed(prev.Table, rec.Patch, c.rowKeys[rec.Name])
+		if err != nil {
+			delete(c.rowKeys, rec.Name) // may have been partially extended
+			return nil, err
+		}
+		ap.OldVersion = prev.Version
+		c.version = rec.Version
+		c.tables[rec.Name] = &Entry{Name: rec.Name, Table: ap.New, Probabilistic: rec.Probabilistic, Version: rec.Version}
+		c.rowKeys[rec.Name] = keys
+		return ap, c.commitLocked(rec, 0, func() {
+			c.version = rec.Version - 1
+			c.tables[rec.Name] = prev
+			delete(c.rowKeys, rec.Name)
+		})
 	default:
-		return fmt.Errorf("catalog: unknown record kind %d", rec.Kind)
+		return nil, fmt.Errorf("catalog: unknown record kind %d", rec.Kind)
 	}
 }
 
@@ -295,6 +337,7 @@ func (c *Catalog) ResetToState(st *wal.State) {
 	defer c.mu.Unlock()
 	c.version = st.Version
 	c.tables = make(map[string]*Entry, len(st.Tables))
+	c.rowKeys = make(map[string]*wal.RowKeySet)
 	for _, ts := range st.Tables {
 		c.tables[ts.Name] = &Entry{Name: ts.Name, Table: ts.Table, Probabilistic: ts.Probabilistic, Version: ts.Version}
 	}
@@ -324,6 +367,7 @@ func (c *Catalog) Put(name string, t *pctable.PCTable) (uint64, error) {
 	prev, existed := c.tables[name]
 	c.version++
 	c.tables[name] = &Entry{Name: name, Table: cp, Probabilistic: probabilistic, Version: c.version}
+	delete(c.rowKeys, name)
 	rec := &wal.Record{Kind: wal.KindPut, Version: c.version, Name: name, Probabilistic: probabilistic, Table: cp}
 	if err := c.commitLocked(rec, time.Now().UnixNano(), func() {
 		c.version--
@@ -336,6 +380,77 @@ func (c *Catalog) Put(name string, t *pctable.PCTable) (uint64, error) {
 		return 0, err
 	}
 	return c.version, nil
+}
+
+// ApplyPatch mutates rows of the named table in place — deletes and upserts
+// keyed by canonical row identity plus add-only distributions, see wal.Patch
+// — and returns the new catalog version together with the exact row-level
+// difference. The patched table gets a fresh entry at the new version; like
+// Put, the mutation is durable before it is acknowledged and rolls back on a
+// failed sink append. The patch is retained in the change feed, so the
+// caller must not mutate it afterwards.
+func (c *Catalog) ApplyPatch(name string, p *wal.Patch) (uint64, *wal.AppliedPatch, error) {
+	if p == nil {
+		return 0, nil, fmt.Errorf("catalog: nil patch for table %q", name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev, ok := c.tables[name]
+	if !ok {
+		return 0, nil, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	ap, keys, err := wal.ApplyPatchToTableKeyed(prev.Table, p, c.rowKeys[name])
+	if err != nil {
+		delete(c.rowKeys, name) // may have been partially extended
+		return 0, nil, err
+	}
+	ap.OldVersion = prev.Version
+	probabilistic, err := validatePatched(name, prev, ap)
+	if err != nil {
+		delete(c.rowKeys, name)
+		return 0, nil, err
+	}
+	c.version++
+	c.tables[name] = &Entry{Name: name, Table: ap.New, Probabilistic: probabilistic, Version: c.version}
+	c.rowKeys[name] = keys
+	rec := &wal.Record{Kind: wal.KindPatch, Version: c.version, Name: name, Probabilistic: probabilistic, Patch: p}
+	if err := c.commitLocked(rec, time.Now().UnixNano(), func() {
+		c.version--
+		c.tables[name] = prev
+		delete(c.rowKeys, name)
+	}); err != nil {
+		return 0, nil, err
+	}
+	return c.version, ap, nil
+}
+
+// validatePatched is validate specialized to a patch result. For an
+// insert-only application the previous entry was already validated and
+// nothing about the surviving rows or the distributions changed, so only the
+// appended rows need checking — O(Δ) instead of a full variable scan. Any
+// case that could flip the verdict in a way the appended rows alone cannot
+// decide (removed rows, added distributions, or a suspected mixed table)
+// falls through to the full validation, which also produces the canonical
+// error message.
+func validatePatched(name string, prev *Entry, ap *wal.AppliedPatch) (bool, error) {
+	if !ap.InsertOnly() {
+		return validate(name, ap.New)
+	}
+	rows := ap.New.Table().Rows()
+	added := rows[len(rows)-ap.AddedRows:]
+	for _, r := range added {
+		for _, term := range r.Terms {
+			if term.IsVar && (ap.New.Dist(term.Var) != nil) != prev.Probabilistic {
+				return validate(name, ap.New)
+			}
+		}
+		for _, x := range condition.Vars(r.Cond) {
+			if (ap.New.Dist(x) != nil) != prev.Probabilistic {
+				return validate(name, ap.New)
+			}
+		}
+	}
+	return prev.Probabilistic, nil
 }
 
 // PutParsed registers a table parsed by internal/parser under its declared
@@ -398,6 +513,7 @@ func (c *Catalog) Drop(name string) (bool, error) {
 	}
 	c.version++
 	delete(c.tables, name)
+	delete(c.rowKeys, name)
 	rec := &wal.Record{Kind: wal.KindDelete, Version: c.version, Name: name}
 	if err := c.commitLocked(rec, time.Now().UnixNano(), func() {
 		c.version--

@@ -1,0 +1,96 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/pctable"
+	"uncertaindb/internal/value"
+	"uncertaindb/internal/wal"
+)
+
+func TestApplyPatchVersioningAndIsolation(t *testing.T) {
+	c := New()
+	base := pctable.NewWithArity(1)
+	base.SetBoolDist("g", 0.3)
+	base.AddConstRow(value.Ints(1), condition.IsTrueVar("g"))
+	if _, err := c.Put("A", base); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Snapshot()
+
+	p := &wal.Patch{Upserts: []wal.PatchRow{{
+		Terms: []condition.Term{condition.Const(value.Int(2))},
+		Cond:  condition.IsTrueVar("g"),
+	}}}
+	v, ap, err := c.ApplyPatch("A", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("version after patch = %d, want 2", v)
+	}
+	if ap.AddedRows != 1 || len(ap.RemovedRows) != 0 {
+		t.Fatalf("applied diff = %+v, want one append", ap)
+	}
+	if e := before.Get("A"); e.Version != 1 || e.Table.NumRows() != 1 {
+		t.Fatal("old snapshot must keep the unpatched table (snapshot isolation)")
+	}
+	after := c.Snapshot().Get("A")
+	if after.Version != 2 || after.Table.NumRows() != 2 || !after.Probabilistic {
+		t.Fatalf("patched entry = %+v, want version 2 with 2 rows", after)
+	}
+
+	// The mutation enters the change feed as a KindPatch record that a
+	// second catalog can apply, landing on the identical table.
+	w, err := c.Watch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	follower := New()
+	for i := 0; i < 2; i++ {
+		rec := <-w.C()
+		fap, err := follower.ApplyRecordEx(rec)
+		if err != nil {
+			t.Fatalf("apply record v%d: %v", rec.Version, err)
+		}
+		if (rec.Kind == wal.KindPatch) != (fap != nil) {
+			t.Fatalf("record v%d: AppliedPatch presence mismatch", rec.Version)
+		}
+	}
+	lState, fState := wal.EncodeState(c.State()), wal.EncodeState(follower.State())
+	if string(lState) != string(fState) {
+		t.Fatal("follower applying the patch record diverged from the leader")
+	}
+}
+
+func TestApplyPatchErrors(t *testing.T) {
+	c := New()
+	if _, _, err := c.ApplyPatch("ghost", &wal.Patch{}); err == nil || !strings.Contains(err.Error(), "unknown table") {
+		t.Fatalf("patch of unknown table: err = %v", err)
+	}
+	// A table whose row really references its distributed variable.
+	base := pctable.NewWithArity(1)
+	base.SetBoolDist("g", 0.3)
+	base.AddConstRow(value.Ints(1), condition.IsTrueVar("g"))
+	if _, err := c.Put("A", base); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.ApplyPatch("A", nil); err == nil {
+		t.Fatal("nil patch must be rejected")
+	}
+	// A patch introducing a variable without a distribution leaves the table
+	// partially probabilistic — rejected like Put, catalog unchanged.
+	bad := &wal.Patch{Upserts: []wal.PatchRow{{
+		Terms: []condition.Term{condition.Var("z")},
+		Cond:  nil,
+	}}}
+	if _, _, err := c.ApplyPatch("A", bad); err == nil {
+		t.Fatal("partial-distribution patch must be rejected")
+	}
+	if got := c.Version(); got != 1 {
+		t.Fatalf("failed patch bumped the version to %d", got)
+	}
+}

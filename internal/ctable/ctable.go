@@ -73,6 +73,20 @@ func New(arity int) *CTable {
 	return &CTable{arity: arity, domains: make(map[condition.Variable]*value.Domain)}
 }
 
+// FromRows returns a c-table of the given (positive) arity adopting rows as
+// its row slice — no copying of the slice, the term slices or the condition
+// trees. Rows must already be normalized (built by NewRow or produced by the
+// operator core, so conditions are never nil) and must all have the table
+// arity; the caller gives up ownership of the slice. It is the O(1) row-level
+// constructor the patch layer uses to share unchanged rows between table
+// versions.
+func FromRows(arity int, rows []Row) *CTable {
+	if arity <= 0 {
+		panic("ctable: arity must be positive")
+	}
+	return &CTable{arity: arity, rows: rows, domains: make(map[condition.Variable]*value.Domain)}
+}
+
 // AddRow appends a row with the given terms and condition (nil = true).
 // It panics if the number of terms differs from the table arity.
 func (t *CTable) AddRow(terms []condition.Term, cond condition.Condition) *CTable {
@@ -143,6 +157,11 @@ func (t *CTable) TupleVars() []condition.Variable {
 // DomainOf implements condition.DomainProvider: it returns the declared
 // finite domain of x, or nil when the table is not finite-domain for x.
 func (t *CTable) DomainOf(x condition.Variable) *value.Domain { return t.domains[x] }
+
+// HasDomains reports whether any domain is declared (regardless of whether
+// its variable occurs in the rows) — the same gate String uses for its
+// domain section.
+func (t *CTable) HasDomains() bool { return len(t.domains) > 0 }
 
 // IsFiniteDomain reports whether every variable of the table has a declared
 // finite domain.

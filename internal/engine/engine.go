@@ -163,6 +163,10 @@ type Stats struct {
 	Probcalc ProbcalcStats `json:"probcalc"`
 	// Auto counts what the engine=auto selector chose, per target engine.
 	Auto AutoStats `json:"auto"`
+	// Maintenance counts incremental view maintenance work: patches applied,
+	// plans maintained in place vs recompiles forced (by fallback reason),
+	// and memoized marginals reused vs refreshed.
+	Maintenance MaintenanceStats `json:"maintenance"`
 }
 
 // ProbcalcStats aggregates decomposition-memo and circuit-compilation
@@ -255,8 +259,8 @@ type Selection struct {
 
 // Result is the outcome of executing a Request.
 type Result struct {
-	Query          string
-	Kind           Kind
+	Query string
+	Kind  Kind
 	// Effective is the engine that actually computed the marginals: equal
 	// to Kind except for auto, where it is the selector's choice.
 	Effective Kind
@@ -306,6 +310,13 @@ type plan struct {
 	kind      Kind
 	tables    []string // sorted referenced table names
 
+	// query is the parsed algebra and tableVers the per-table catalog
+	// versions the plan was compiled (or last maintained) against; together
+	// they let a patch derive the plan's next cache key and delta plan
+	// without re-parsing or string surgery on the key.
+	query     ra.Query
+	tableVers map[string]uint64
+
 	answer     *pctable.PCTable
 	rendered   string
 	physical   string // rendered physical operator tree (exec.Explain)
@@ -313,9 +324,24 @@ type plan struct {
 	candidates []candidate
 	sel        Selection // lineage-set statistics + auto-selector decision
 
+	// Maintenance caches, built lazily on the first patch and carried from
+	// plan to maintained plan so per-patch work stays O(delta) instead of
+	// O(answer): the rendered answer row lines (aligned with answer rows),
+	// per-variable row refcounts (so the rendered trailer needs no Vars
+	// scan), and the top projection's group index keyed by canonical term
+	// identity. Successor plans copy-then-extend these — a plan's own maps
+	// and slices are never mutated, so concurrent maintainers that read the
+	// same predecessor stay safe.
+	rowLines   []string
+	varRefs    map[condition.Variable]int
+	groupIndex map[string]int
+
 	// Exact marginals (dtree/enum/circuit) are computed once on first
-	// execution and shared by every later hit.
+	// execution and shared by every later hit. margDone is set (after the
+	// once completes successfully) so incremental maintenance knows the
+	// memoized marginals exist and may be carried forward.
 	once      sync.Once
+	margDone  atomic.Bool
 	marginals []TupleAnswer
 	probStats probcalc.Stats // d-tree decomposition shape (dtree only)
 	execErr   error
@@ -327,7 +353,6 @@ type plan struct {
 	circuit     *probcalc.Circuit
 	circuitErr  error
 }
-
 
 // Engine is the concurrent query service core: a catalog plus a bounded
 // LRU cache of prepared plans and a bounded execution pool. Safe for
@@ -355,9 +380,13 @@ type Engine struct {
 	circuitCompiles, circuitNodes, circuitShare atomic.Uint64
 	autoDTree, autoCircuit, autoMC              atomic.Uint64
 
+	// Incremental view maintenance counters (see MaintenanceStats).
+	mnt maintCounters
+
 	// Observability (all nil-safe no-ops when Options.Obs is unset).
 	obs                      *obs.Observer
 	coldSeconds, warmSeconds *obs.Histogram
+	applySeconds             *obs.Histogram // delta-apply latency per patch
 }
 
 // New builds an engine over the given catalog.
@@ -389,7 +418,26 @@ func (e *Engine) PutTable(name string, t *pctable.PCTable) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	e.invalidateTable(name)
+	e.invalidateReplaced(name)
+	return v, nil
+}
+
+// PatchTable applies a row-level patch to a catalog table and incrementally
+// maintains every cached plan that reads it: instead of dropping dependent
+// plans (the PutTable path), each plan's materialized answer is updated by
+// delta propagation or re-evaluation and re-keyed under the new table
+// version, so the very next execution is a cache hit. Plans whose shape the
+// maintainer cannot handle fall back to invalidation with a typed reason
+// (see MaintenanceStats).
+func (e *Engine) PatchTable(name string, p *wal.Patch) (uint64, error) {
+	if e.cat.Snapshot().Get(name) == nil {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownTable, name)
+	}
+	v, ap, err := e.cat.ApplyPatch(name, p)
+	if err != nil {
+		return 0, err
+	}
+	e.maintainTable(name, v, ap)
 	return v, nil
 }
 
@@ -406,7 +454,7 @@ func (e *Engine) LoadCatalogScript(r io.Reader) ([]string, error) {
 		return nil, err
 	}
 	for _, name := range names {
-		e.invalidateTable(name)
+		e.invalidateReplaced(name)
 	}
 	return names, nil
 }
@@ -417,21 +465,28 @@ func (e *Engine) LoadCatalogScript(r io.Reader) ([]string, error) {
 func (e *Engine) DropTable(name string) (bool, error) {
 	ok, err := e.cat.Drop(name)
 	if ok {
-		e.invalidateTable(name)
+		e.invalidateReplaced(name)
 	}
 	return ok, err
 }
 
 // ApplyChange applies one replicated mutation record (catalog.ApplyRecord)
-// and invalidates every cached plan reading the affected table — the
-// follower-side twin of PutTable/DropTable. Because the applied entry keeps
-// the leader's per-table version, plans compiled after the apply carry
-// exactly the leader's cache keys.
+// — the follower-side twin of PutTable/DropTable/PatchTable. Put and delete
+// records invalidate every cached plan reading the affected table; patch
+// records run the same incremental maintenance the leader ran, so a follower's
+// cache tracks row-level mutations without recompiles. Because the applied
+// entry keeps the leader's per-table version, plans compiled or maintained
+// after the apply carry exactly the leader's cache keys.
 func (e *Engine) ApplyChange(rec *wal.Record) error {
-	if err := e.cat.ApplyRecord(rec); err != nil {
+	ap, err := e.cat.ApplyRecordEx(rec)
+	if err != nil {
 		return err
 	}
-	e.invalidateTable(rec.Name)
+	if rec.Kind == wal.KindPatch && ap != nil {
+		e.maintainTable(rec.Name, rec.Version, ap)
+		return nil
+	}
+	e.invalidateReplaced(rec.Name)
 	return nil
 }
 
@@ -483,6 +538,7 @@ func (e *Engine) Stats() Stats {
 		Circuit: e.autoCircuit.Load(),
 		MC:      e.autoMC.Load(),
 	}
+	s.Maintenance = e.mnt.snapshot()
 	return s
 }
 
@@ -691,6 +747,9 @@ func (e *Engine) executeOn(snap *catalog.Snapshot, req Request, ph *phases) (*Re
 					e.memoMisses.Add(uint64(p.probStats.MemoMisses))
 				}
 			}
+			if p.execErr == nil {
+				p.margDone.Store(true)
+			}
 			computed = true
 		})
 		if p.execErr != nil {
@@ -888,15 +947,28 @@ func (e *Engine) prepare(snap *catalog.Snapshot, queryText string, kind Kind, ph
 	return p, false, prepDur, nil
 }
 
-// invalidateTable drops every cached plan that reads the named table.
-func (e *Engine) invalidateTable(name string) {
+// invalidateTable drops every cached plan that reads the named table and
+// returns how many were dropped.
+func (e *Engine) invalidateTable(name string) int {
 	e.mu.Lock()
+	before := e.invalidations
 	for key := range e.byTable[name] {
 		if el, ok := e.byKey[key]; ok {
 			e.removeLocked(el, &e.invalidations)
 		}
 	}
+	n := int(e.invalidations - before)
 	e.mu.Unlock()
+	return n
+}
+
+// invalidateReplaced is invalidateTable for whole-table replacement (put,
+// delete, catalog script reload): dropped plans are counted as maintenance
+// recompiles forced by reason "tableReplaced".
+func (e *Engine) invalidateReplaced(name string) {
+	if n := e.invalidateTable(name); n > 0 {
+		e.mnt.forcedReplaced.Add(uint64(n))
+	}
 }
 
 // removeLocked removes one plan from the cache and reverse index,
@@ -919,18 +991,35 @@ func (e *Engine) removeLocked(el *list.Element, counter *uint64) {
 // version of every referenced table in the snapshot. Replacing a table
 // changes its version, so stale plans can never be served.
 func cacheKey(queryText string, kind Kind, names []string, snap *catalog.Snapshot) string {
+	return planKey(queryText, kind, names, snapVersions(names, snap))
+}
+
+// planKey is cacheKey over an explicit name→version map; incremental
+// maintenance uses it to derive a maintained plan's next key from the plan's
+// recorded versions with only the patched table's version bumped.
+func planKey(queryText string, kind Kind, names []string, vers map[string]uint64) string {
 	var b strings.Builder
 	b.WriteString(string(kind))
 	b.WriteByte(0)
 	b.WriteString(queryText)
 	for _, name := range names {
-		ver := uint64(0)
-		if ent := snap.Get(name); ent != nil {
-			ver = ent.Version
-		}
-		fmt.Fprintf(&b, "\x00%s@%d", name, ver)
+		fmt.Fprintf(&b, "\x00%s@%d", name, vers[name])
 	}
 	return b.String()
+}
+
+// snapVersions extracts the versions of the named tables from a snapshot
+// (0 for absent tables, matching the historical key format).
+func snapVersions(names []string, snap *catalog.Snapshot) map[string]uint64 {
+	vers := make(map[string]uint64, len(names))
+	for _, name := range names {
+		if ent := snap.Get(name); ent != nil {
+			vers[name] = ent.Version
+		} else {
+			vers[name] = 0
+		}
+	}
+	return vers
 }
 
 // algebraOptions returns the operator-core options the engine compiles with:
@@ -989,6 +1078,8 @@ func compile(q ra.Query, queryText string, kind Kind, names []string, snap *cata
 		queryText:  queryText,
 		kind:       kind,
 		tables:     names,
+		query:      q,
+		tableVers:  snapVersions(names, snap),
 		answer:     answer,
 		rendered:   answer.String(),
 		physical:   physical,

@@ -105,6 +105,36 @@ func (e *Engine) instrument(o *obs.Observer) {
 	reg.CounterFunc("uncertaindb_engine_auto_selections_total", obs.Labels("engine", "mc"),
 		"", func() float64 { return float64(e.autoMC.Load()) })
 
+	// Incremental view maintenance: patch throughput, plans maintained in
+	// place by strategy, recompiles forced by fallback reason, marginal
+	// memo reuse across patches, and per-patch apply latency.
+	e.applySeconds = reg.Histogram("uncertaindb_maintenance_apply_seconds", "",
+		"Time to incrementally maintain every cached plan after one row-level patch (delta apply + marginal refresh).", nil)
+	reg.CounterFunc("uncertaindb_maintenance_patches_total", "",
+		"Row-level patches processed by incremental view maintenance.",
+		func() float64 { return float64(e.mnt.patches.Load()) })
+	maintHelp := "Cached plans maintained in place after a patch (recompiles avoided), by strategy (delta append vs full re-evaluation with suspect diffing)."
+	reg.CounterFunc("uncertaindb_maintenance_plans_maintained_total", obs.Labels("mode", "append"),
+		maintHelp, func() float64 { return float64(e.mnt.appends.Load()) })
+	reg.CounterFunc("uncertaindb_maintenance_plans_maintained_total", obs.Labels("mode", "reeval"),
+		"", func() float64 { return float64(e.mnt.reevals.Load()) })
+	forcedHelp := "Cached plans dropped instead of maintained (recompiles forced), by fallback reason."
+	reg.CounterFunc("uncertaindb_maintenance_forced_recompiles_total", obs.Labels("reason", reasonNonMonotone),
+		forcedHelp, func() float64 { return float64(e.mnt.forcedNonMonotone.Load()) })
+	reg.CounterFunc("uncertaindb_maintenance_forced_recompiles_total", obs.Labels("reason", reasonTableReplaced),
+		"", func() float64 { return float64(e.mnt.forcedReplaced.Load()) })
+	reg.CounterFunc("uncertaindb_maintenance_forced_recompiles_total", obs.Labels("reason", reasonSelectionChanged),
+		"", func() float64 { return float64(e.mnt.forcedSelection.Load()) })
+	reg.CounterFunc("uncertaindb_maintenance_forced_recompiles_total", obs.Labels("reason", reasonDistsChanged),
+		"", func() float64 { return float64(e.mnt.forcedDists.Load()) })
+	reg.CounterFunc("uncertaindb_maintenance_forced_recompiles_total", obs.Labels("reason", reasonError),
+		"", func() float64 { return float64(e.mnt.forcedError.Load()) })
+	margHelp := "Memoized tuple marginals carried to maintained plans unchanged (reused) vs re-evaluated because their lineage touched changed rows (refreshed)."
+	reg.CounterFunc("uncertaindb_maintenance_marginals_total", obs.Labels("outcome", "reused"),
+		margHelp, func() float64 { return float64(e.mnt.margReused.Load()) })
+	reg.CounterFunc("uncertaindb_maintenance_marginals_total", obs.Labels("outcome", "refreshed"),
+		"", func() float64 { return float64(e.mnt.margRefreshed.Load()) })
+
 	reg.CounterFunc("uncertaindb_catalog_snapshots_total", "",
 		"Catalog snapshots acquired.",
 		func() float64 { return float64(e.cat.Snapshots()) })

@@ -34,9 +34,23 @@ import (
 	"uncertaindb/pkg/uncertain"
 )
 
+// Options tunes the handler. The zero value is a sensible default.
+type Options struct {
+	// MaxSubscriptions bounds concurrently served /v1/subscribe streams;
+	// excess subscribers get 503. Zero selects 64.
+	MaxSubscriptions int
+}
+
 // New builds the HTTP API over the facade: the /v1 surface plus the
 // deprecated unversioned aliases.
-func New(db *uncertain.DB) http.Handler {
+func New(db *uncertain.DB) http.Handler { return NewWithOptions(db, Options{}) }
+
+// NewWithOptions is New with explicit tuning.
+func NewWithOptions(db *uncertain.DB, opts Options) http.Handler {
+	if opts.MaxSubscriptions <= 0 {
+		opts.MaxSubscriptions = 64
+	}
+	subSem := make(chan struct{}, opts.MaxSubscriptions)
 	mux := http.NewServeMux()
 	register := func(prefix string, wrap func(http.HandlerFunc) http.HandlerFunc) {
 		mux.HandleFunc("PUT "+prefix+"/tables/{name}", wrap(func(w http.ResponseWriter, r *http.Request) {
@@ -69,8 +83,14 @@ func New(db *uncertain.DB) http.Handler {
 	}
 	register("/v1", func(h http.HandlerFunc) http.HandlerFunc { return h })
 	register("", deprecated)
-	// The batch, change-feed and replication endpoints are /v1-only: they
-	// postdate the unversioned surface.
+	// The patch, subscribe, batch, change-feed and replication endpoints are
+	// /v1-only: they postdate the unversioned surface.
+	mux.HandleFunc("PATCH /v1/tables/{name}", func(w http.ResponseWriter, r *http.Request) {
+		handlePatchTable(db, w, r)
+	})
+	mux.HandleFunc("POST /v1/subscribe", func(w http.ResponseWriter, r *http.Request) {
+		handleSubscribe(db, w, r, subSem)
+	})
 	mux.HandleFunc("POST /v1/query/batch", func(w http.ResponseWriter, r *http.Request) {
 		handleQueryBatch(db, w, r)
 	})
@@ -184,6 +204,7 @@ type ChangeJSON struct {
 	Name              string `json:"name"`
 	Probabilistic     bool   `json:"probabilistic,omitempty"`
 	Table             []byte `json:"table,omitempty"` // encoding/json renders []byte as base64
+	Patch             []byte `json:"patch,omitempty"` // canonical patch encoding (kind "patch" only)
 	Text              string `json:"text,omitempty"`
 	CommittedUnixNano int64  `json:"committedUnixNano,omitempty"`
 }
@@ -256,6 +277,7 @@ func handleChanges(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {
 			Name:              ch.Name,
 			Probabilistic:     ch.Probabilistic,
 			Table:             ch.Table,
+			Patch:             ch.Patch,
 			Text:              ch.Text,
 			CommittedUnixNano: ch.CommittedUnixNano,
 		})
@@ -346,6 +368,105 @@ func handlePutTable(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"name": name, "catalogVersion": version})
+}
+
+// handlePatchTable serves PATCH /v1/tables/{name}: a patch script of
+// delete/upsert/dist directives (see internal/parser) applied to the named
+// table as one atomic row-level mutation. Cached plans reading the table are
+// incrementally maintained rather than invalidated wherever the query shape
+// allows. On a follower the request is refused with 403 and a Location
+// header naming the leader — the router proxies PATCH there.
+func handlePatchTable(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {
+	if redirectReadOnly(db, w, r) {
+		return
+	}
+	name := r.PathValue("name")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	version, err := db.PatchTableScript(name, string(body))
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, uncertain.ErrUnknownTable) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "catalogVersion": version})
+}
+
+// subscribeRequest is the JSON body of POST /v1/subscribe: a query request
+// plus the stream bound.
+type subscribeRequest struct {
+	queryRequest
+	// MaxUpdates closes the stream after this many pushed results, the
+	// initial one included. Zero selects 256.
+	MaxUpdates int `json:"maxUpdates"`
+}
+
+// errSubscribeDone ends a subscription cleanly once MaxUpdates results have
+// been pushed.
+var errSubscribeDone = errors.New("httpapi: subscription update limit reached")
+
+// handleSubscribe serves POST /v1/subscribe: a live query. The initial
+// result is written immediately as one JSON line; each catalog mutation
+// touching a table the query reads triggers a re-execution (incrementally
+// maintained in the plan cache when the mutation was a patch) and another
+// JSON line. The stream is newline-delimited JSON (application/x-ndjson),
+// flushed per update, ending when the client disconnects or MaxUpdates is
+// reached. Works on followers — their local feed fires as replicated
+// mutations apply.
+func handleSubscribe(db *uncertain.DB, w http.ResponseWriter, r *http.Request, sem chan struct{}) {
+	select {
+	case sem <- struct{}{}:
+		defer func() { <-sem }()
+	default:
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("subscription limit reached (%d concurrent streams)", cap(sem)))
+		return
+	}
+	var req subscribeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing \"query\""))
+		return
+	}
+	maxUpdates := req.MaxUpdates
+	if maxUpdates <= 0 {
+		maxUpdates = 256
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	flusher, _ := w.(http.Flusher)
+	pushed := 0
+	err := db.Subscribe(r.Context(), req.request(), func(res *uncertain.Result) error {
+		if pushed == 0 {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+		}
+		if err := enc.Encode(resultJSON(res)); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		pushed++
+		if pushed >= maxUpdates {
+			return errSubscribeDone
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errSubscribeDone) && pushed == 0 {
+		// Nothing streamed yet: a status line is still possible.
+		writeError(w, errStatus(err), err)
+	}
 }
 
 func handleDropTable(db *uncertain.DB, w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,76 @@
+package parser
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"uncertaindb/internal/prob"
+	"uncertaindb/internal/wal"
+)
+
+// ParsePatch reads a patch script: row-level mutations of one table in the
+// same row and distribution syntax the table scripts use, one directive per
+// line. Blank lines and "#" comments are skipped.
+//
+//	delete 'Alice', x | x = 'phys'
+//	upsert 'Dana', 'math'
+//	dist d = {0: 0.5, 1: 0.5}
+//
+// The target table is not named in the script — it comes from context (the
+// URL of a PATCH request, or an API argument) — so rows carry no declared
+// arity; wal.ApplyPatchToTable validates every row against the table's arity
+// at apply time. Deletes match by row identity (exact terms and condition),
+// upserts append rows not already present, and dist attaches a distribution
+// to a variable that has none yet.
+func ParsePatch(r io.Reader) (*wal.Patch, error) {
+	scanner := bufio.NewScanner(r)
+	p := &wal.Patch{}
+	lineNum := 0
+	for scanner.Scan() {
+		lineNum++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		rest := strings.TrimSpace(line[len(fields[0]):])
+		switch strings.ToLower(fields[0]) {
+		case "delete":
+			terms, cond, err := parseRow(rest, -1)
+			if err != nil {
+				return nil, fmt.Errorf("parser: line %d: %v", lineNum, err)
+			}
+			p.Deletes = append(p.Deletes, wal.PatchRow{Terms: terms, Cond: cond})
+		case "upsert":
+			terms, cond, err := parseRow(rest, -1)
+			if err != nil {
+				return nil, fmt.Errorf("parser: line %d: %v", lineNum, err)
+			}
+			p.Upserts = append(p.Upserts, wal.PatchRow{Terms: terms, Cond: cond})
+		case "dist":
+			varName, dist, err := parseDist(rest)
+			if err != nil {
+				return nil, fmt.Errorf("parser: line %d: %v", lineNum, err)
+			}
+			space, err := prob.NewValueSpace(dist)
+			if err != nil {
+				return nil, fmt.Errorf("parser: line %d: %v", lineNum, err)
+			}
+			p.Dists = append(p.Dists, wal.DistPatch{Var: varName, Dist: space})
+		default:
+			return nil, fmt.Errorf("parser: line %d: unknown patch directive %q (want delete, upsert, or dist)", lineNum, fields[0])
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if len(p.Deletes)+len(p.Upserts)+len(p.Dists) == 0 {
+		return nil, fmt.Errorf("parser: empty patch (no delete, upsert, or dist directives)")
+	}
+	return p, nil
+}
+
+// ParsePatchString is ParsePatch over a string.
+func ParsePatchString(s string) (*wal.Patch, error) { return ParsePatch(strings.NewReader(s)) }

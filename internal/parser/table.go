@@ -190,8 +190,11 @@ func parseRow(s string, arity int) ([]condition.Term, condition.Condition, error
 			return nil, nil, err
 		}
 	}
-	if len(terms) != arity {
+	if arity >= 0 && len(terms) != arity {
 		return nil, nil, fmt.Errorf("row has %d cells, table arity is %d", len(terms), arity)
+	}
+	if len(terms) == 0 {
+		return nil, nil, fmt.Errorf("row has no cells")
 	}
 	var cond condition.Condition
 	if strings.TrimSpace(condPart) != "" {

@@ -75,6 +75,20 @@ func (t *PCTable) SetDist(x string, dist map[value.Value]float64) *PCTable {
 	return t
 }
 
+// SetSpace attaches an already-constructed distribution space to variable x.
+// Spaces are immutable, so the space is shared, not copied. Like SetDist, the
+// c-table's finite domain for x is set to the support of the distribution;
+// callers that declared a wider domain re-apply it afterwards.
+func (t *PCTable) SetSpace(x string, space *prob.Space) *PCTable {
+	t.dists[condition.Variable(x)] = space
+	support := make([]value.Value, 0, space.Size())
+	for _, o := range space.Outcomes() {
+		support = append(support, o.ValuePayload())
+	}
+	t.table.SetDomain(x, value.NewDomain(support...))
+	return t
+}
+
 // SetBoolDist attaches a Bernoulli distribution P[x=true] = p, the common
 // case for boolean pc-tables and probabilistic ?-tables.
 func (t *PCTable) SetBoolDist(x string, p float64) *PCTable {
@@ -83,6 +97,19 @@ func (t *PCTable) SetBoolDist(x string, p float64) *PCTable {
 
 // Dist returns the distribution of variable x (nil if not set).
 func (t *PCTable) Dist(x condition.Variable) *prob.Space { return t.dists[x] }
+
+// EachDist visits every attached distribution (iteration order is
+// unspecified). Unlike iterating Vars, it never scans the rows, so the patch
+// layer can carry distributions to a patched table in O(#distributions).
+func (t *PCTable) EachDist(f func(condition.Variable, *prob.Space)) {
+	for x, d := range t.dists {
+		f(x, d)
+	}
+}
+
+// HasDists reports whether any distribution is attached (regardless of
+// whether its variable occurs in the rows).
+func (t *PCTable) HasDists() bool { return len(t.dists) > 0 }
 
 // Vars returns the variables of the underlying c-table.
 func (t *PCTable) Vars() []condition.Variable { return t.table.Vars() }
@@ -108,6 +135,23 @@ func (t *PCTable) Copy() *PCTable {
 	for x, d := range t.dists {
 		c.dists[x] = d
 	}
+	return c
+}
+
+// CloneWithRows returns a pc-table holding exactly the given rows while
+// carrying this table's variable distributions and declared domains. Rows are
+// adopted as-is (term slices shared), matching the operator core's row
+// discipline. Incremental view maintenance uses this to rebuild a maintained
+// answer (old rows + delta rows) and to scope PossibleTuples to a suspect
+// row subset under the full table's distribution context.
+func (t *PCTable) CloneWithRows(rows []exec.Row) *PCTable {
+	c := New(ctable.FromRows(t.table.Arity(), append([]exec.Row(nil), rows...)))
+	for x, d := range t.dists {
+		c.dists[x] = d
+	}
+	t.table.EachDomain(func(x condition.Variable, dom *value.Domain) {
+		c.table.SetDomain(string(x), dom)
+	})
 	return c
 }
 

@@ -83,6 +83,7 @@ type Change struct {
 	Name              string `json:"name"`
 	Probabilistic     bool   `json:"probabilistic,omitempty"`
 	Table             []byte `json:"table,omitempty"`
+	Patch             []byte `json:"patch,omitempty"`
 	Text              string `json:"text,omitempty"`
 	CommittedUnixNano int64  `json:"committedUnixNano,omitempty"`
 }
@@ -101,6 +102,13 @@ func (ch *Change) Record() (*wal.Record, error) {
 		rec.Table = tab
 	case "delete":
 		rec.Kind = wal.KindDelete
+	case "patch":
+		rec.Kind = wal.KindPatch
+		p, err := wal.DecodePatch(ch.Patch)
+		if err != nil {
+			return nil, fmt.Errorf("replica: change v%d (%s): %w", ch.Version, ch.Name, err)
+		}
+		rec.Patch = p
 	default:
 		return nil, fmt.Errorf("replica: change v%d has unknown kind %q", ch.Version, ch.Kind)
 	}

@@ -53,6 +53,11 @@ const (
 	KindPut Kind = 1
 	// KindDelete drops a table.
 	KindDelete Kind = 2
+	// KindPatch mutates rows of an existing table in place: deletes and
+	// upserts keyed by canonical row identity, plus add-only distributions
+	// (see Patch). Unlike KindPut it preserves what did not change, which is
+	// what lets the engine maintain cached plans instead of discarding them.
+	KindPatch Kind = 3
 )
 
 // String renders the kind for feeds and logs.
@@ -62,6 +67,8 @@ func (k Kind) String() string {
 		return "put"
 	case KindDelete:
 		return "delete"
+	case KindPatch:
+		return "patch"
 	default:
 		return fmt.Sprintf("Kind(%d)", byte(k))
 	}
@@ -74,10 +81,15 @@ type Record struct {
 	Kind    Kind
 	Version uint64
 	Name    string
-	// Probabilistic and Table are set on KindPut records only. The table is
-	// shared and must not be mutated.
+	// Probabilistic is set on KindPut and KindPatch records: whether the
+	// table (after the mutation) has distributions for all its variables.
+	// Table is set on KindPut records only; it is shared and must not be
+	// mutated.
 	Probabilistic bool
 	Table         *pctable.PCTable
+	// Patch is set on KindPatch records only: the row-level mutation, applied
+	// deterministically by ApplyPatchToTable wherever the record lands.
+	Patch *Patch
 }
 
 // TableState is one table of a catalog state: the payload of a snapshot
@@ -122,6 +134,19 @@ func (s *State) Apply(rec *Record) error {
 			return fmt.Errorf("%w: delete of unknown table %q at version %d", ErrCorrupt, rec.Name, rec.Version)
 		}
 		s.Tables = append(s.Tables[:i], s.Tables[i+1:]...)
+	case KindPatch:
+		i := sort.Search(len(s.Tables), func(i int) bool { return s.Tables[i].Name >= rec.Name })
+		if i >= len(s.Tables) || s.Tables[i].Name != rec.Name {
+			return fmt.Errorf("%w: patch of unknown table %q at version %d", ErrCorrupt, rec.Name, rec.Version)
+		}
+		if rec.Patch == nil {
+			return fmt.Errorf("%w: patch record for %q has no payload", ErrCorrupt, rec.Name)
+		}
+		ap, err := ApplyPatchToTable(s.Tables[i].Table, rec.Patch)
+		if err != nil {
+			return fmt.Errorf("%w: patch of %q at version %d: %v", ErrCorrupt, rec.Name, rec.Version, err)
+		}
+		s.Tables[i] = TableState{Name: rec.Name, Version: rec.Version, Probabilistic: rec.Probabilistic, Table: ap.New}
 	default:
 		return fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, rec.Kind)
 	}
@@ -582,11 +607,17 @@ func EncodeRecord(rec *Record) []byte {
 	b = append(b, byte(rec.Kind))
 	b = appendUvarint(b, rec.Version)
 	b = appendString(b, rec.Name)
-	if rec.Kind == KindPut {
+	switch rec.Kind {
+	case KindPut:
 		b = appendBool(b, rec.Probabilistic)
 		table := AppendTable(nil, rec.Table)
 		b = appendUvarint(b, uint64(len(table)))
 		b = append(b, table...)
+	case KindPatch:
+		b = appendBool(b, rec.Probabilistic)
+		patch := EncodePatch(rec.Patch)
+		b = appendUvarint(b, uint64(len(patch)))
+		b = append(b, patch...)
 	}
 	return b
 }
@@ -614,6 +645,20 @@ func DecodeRecord(b []byte) (*Record, error) {
 				return nil, err
 			}
 			rec.Table = t
+		}
+	case KindPatch:
+		rec.Probabilistic = d.bool()
+		n := d.uvarint()
+		if d.err == nil && n > uint64(len(d.b)-d.off) {
+			d.fail("patch length %d exceeds remaining %d", n, len(d.b)-d.off)
+		}
+		raw := d.bytes(int(n))
+		if d.err == nil {
+			p, err := DecodePatch(raw)
+			if err != nil {
+				return nil, err
+			}
+			rec.Patch = p
 		}
 	case KindDelete:
 	default:

@@ -1,0 +1,364 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"uncertaindb/internal/condition"
+	"uncertaindb/internal/ctable"
+	"uncertaindb/internal/pctable"
+	"uncertaindb/internal/prob"
+	"uncertaindb/internal/value"
+)
+
+// PatchRow is one row of a patch: the terms and condition of a c-table row.
+// Row identity is the canonical encoding of both (RowKey) — two rows are the
+// same row exactly when their term/condition trees encode to the same bytes,
+// the same syntactic identity the rest of the system uses for byte-identical
+// determinism.
+type PatchRow struct {
+	Terms []condition.Term
+	Cond  condition.Condition
+}
+
+// DistPatch attaches a distribution to a variable that has none yet. A patch
+// may only add distributions: changing an existing one would silently
+// invalidate every memoized marginal computed against it, so that requires a
+// full table replacement (KindPut).
+type DistPatch struct {
+	Var  string
+	Dist *prob.Space
+}
+
+// Patch is a row-level mutation of one table: deletes and upserts keyed by
+// row identity, plus distributions for new variables. Application order is
+// deletes first (every row whose identity matches any delete key is removed;
+// survivors keep their relative order), then upserts in patch order (a row
+// whose identity is already present is a no-op, otherwise it is appended at
+// the tail), then distributions. The order makes "replace row r" expressible
+// as delete r + upsert r', and keeps an insert-only patch a pure tail append
+// — the shape the engine's delta propagation exploits.
+type Patch struct {
+	Deletes []PatchRow
+	Upserts []PatchRow
+	Dists   []DistPatch
+}
+
+// InsertOnly reports whether the patch can only append rows: no deletes and
+// no distribution changes.
+func (p *Patch) InsertOnly() bool { return len(p.Deletes) == 0 && len(p.Dists) == 0 }
+
+// AppendRowKey appends the canonical identity bytes of a row: term count,
+// terms, condition — the exact trees, no simplification. The same bytes
+// also serve as the row's wire encoding inside a patch.
+func AppendRowKey(b []byte, terms []condition.Term, cond condition.Condition) []byte {
+	b = appendUvarint(b, uint64(len(terms)))
+	for _, t := range terms {
+		b = appendTerm(b, t)
+	}
+	return appendCondition(b, cond)
+}
+
+// RowKey returns the canonical identity of a row as a string, usable as a
+// map key.
+func RowKey(terms []condition.Term, cond condition.Condition) string {
+	return string(AppendRowKey(nil, terms, cond))
+}
+
+// TermsKey returns the canonical identity of a term tuple alone (no
+// condition), usable as a map key. Unlike condition.Interner term keys it is
+// stable across processes and calls, so group indexes built from it can be
+// cached and extended incrementally.
+func TermsKey(terms []condition.Term) string {
+	b := appendUvarint(make([]byte, 0, 8+12*len(terms)), uint64(len(terms)))
+	for _, t := range terms {
+		b = appendTerm(b, t)
+	}
+	return string(b)
+}
+
+// EncodePatch encodes a patch canonically: deletes, upserts (rows in patch
+// order — order is semantic), then distributions sorted by variable name with
+// outcomes in canonical value order and probabilities as exact float64 bit
+// patterns. Equal patches encode to equal bytes.
+func EncodePatch(p *Patch) []byte {
+	b := make([]byte, 0, 64)
+	b = appendUvarint(b, uint64(len(p.Deletes)))
+	for _, r := range p.Deletes {
+		b = AppendRowKey(b, r.Terms, r.Cond)
+	}
+	b = appendUvarint(b, uint64(len(p.Upserts)))
+	for _, r := range p.Upserts {
+		b = AppendRowKey(b, r.Terms, r.Cond)
+	}
+	dists := append([]DistPatch(nil), p.Dists...)
+	sort.SliceStable(dists, func(i, j int) bool { return dists[i].Var < dists[j].Var })
+	b = appendUvarint(b, uint64(len(dists)))
+	for _, dp := range dists {
+		b = appendString(b, dp.Var)
+		outcomes := dp.Dist.Outcomes()
+		b = appendUvarint(b, uint64(len(outcomes)))
+		for _, o := range outcomes {
+			b = appendValue(b, o.ValuePayload())
+			var raw [8]byte
+			binary.LittleEndian.PutUint64(raw[:], math.Float64bits(o.P))
+			b = append(b, raw[:]...)
+		}
+	}
+	return b
+}
+
+func (d *decoder) patchRows(what string) []PatchRow {
+	n := d.uvarint()
+	if n > maxTableCount {
+		d.fail("%s count %d exceeds %d", what, n, maxTableCount)
+		return nil
+	}
+	rows := make([]PatchRow, 0, min(int(n), 64))
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		arity := d.uvarint()
+		if d.err != nil {
+			return nil
+		}
+		if arity == 0 || arity > maxArity {
+			d.fail("bad %s row arity %d", what, arity)
+			return nil
+		}
+		terms := make([]condition.Term, arity)
+		for j := range terms {
+			terms[j] = d.term()
+		}
+		cond := d.condition(0)
+		if d.err != nil {
+			return nil
+		}
+		rows = append(rows, PatchRow{Terms: terms, Cond: cond})
+	}
+	return rows
+}
+
+func (d *decoder) patch() *Patch {
+	p := &Patch{}
+	p.Deletes = d.patchRows("patch delete")
+	p.Upserts = d.patchRows("patch upsert")
+	n := d.uvarint()
+	if n > maxTableCount {
+		d.fail("patch distribution count %d exceeds %d", n, maxTableCount)
+		return nil
+	}
+	prev := ""
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		name := d.string(maxNameLen)
+		size := d.uvarint()
+		if size == 0 || size > maxTableCount {
+			d.fail("bad patch distribution size %d for %s", size, name)
+			return nil
+		}
+		dist := make(map[value.Value]float64, min(int(size), 64))
+		for j := uint64(0); j < size && d.err == nil; j++ {
+			v := d.value()
+			pr := d.float64()
+			if _, dup := dist[v]; dup {
+				d.fail("duplicate outcome %s in patch distribution of %s", v, name)
+				return nil
+			}
+			dist[v] = pr
+		}
+		if d.err != nil {
+			return nil
+		}
+		space, err := prob.NewValueSpace(dist)
+		if err != nil {
+			d.fail("invalid patch distribution for %s: %v", name, err)
+			return nil
+		}
+		if i > 0 && name <= prev {
+			d.fail("patch distributions not sorted (%q after %q)", name, prev)
+			return nil
+		}
+		prev = name
+		p.Dists = append(p.Dists, DistPatch{Var: name, Dist: space})
+	}
+	if d.err != nil {
+		return nil
+	}
+	return p
+}
+
+// DecodePatch decodes a patch encoding. Arbitrary input yields an error,
+// never a panic.
+func DecodePatch(b []byte) (*Patch, error) {
+	d := &decoder{b: b}
+	p := d.patch()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// AppliedPatch is the result of applying a patch to a table: the old and new
+// tables plus the exact row-level difference, which the engine's delta
+// propagation consumes.
+type AppliedPatch struct {
+	Old *pctable.PCTable
+	New *pctable.PCTable
+	// RemovedRows are the indices (into Old's rows, ascending) of the rows
+	// the patch deleted.
+	RemovedRows []int
+	// AddedRows is how many rows the patch appended at New's tail. New's rows
+	// are Old's survivors in order followed by exactly these appends.
+	AddedRows int
+	// AddedDists names the variables that received a distribution.
+	AddedDists []string
+	// OldVersion is the catalog entry version the patch was applied against
+	// (filled by the catalog, not ApplyPatchToTable). The engine's plan
+	// maintenance uses it to detect plans compiled against an older state of
+	// the table, which cannot be maintained by this patch alone.
+	OldVersion uint64
+}
+
+// InsertOnly reports whether the applied difference is a pure tail append:
+// no rows removed and no distributions added. (A patch with deletes that
+// matched nothing still applies insert-only.)
+func (ap *AppliedPatch) InsertOnly() bool {
+	return len(ap.RemovedRows) == 0 && len(ap.AddedDists) == 0
+}
+
+// RowKeySet is the set of canonical row identities (RowKey) of one table's
+// rows — the membership index patch application needs for delete matching
+// and upsert deduplication. Building it costs one pass over the table;
+// ApplyPatchToTableKeyed then extends it per patch in O(patch), which is what
+// makes a row-level patch O(Δ) instead of O(table). A set is only valid for
+// the exact table it was built from (or evolved alongside); the catalog keeps
+// one per entry and drops it whenever the table is replaced wholesale.
+type RowKeySet struct {
+	m map[string]bool
+}
+
+// NewRowKeySet indexes the canonical row identities of t.
+func NewRowKeySet(t *pctable.PCTable) *RowKeySet {
+	s := &RowKeySet{m: make(map[string]bool, t.NumRows())}
+	for _, row := range t.Table().Rows() {
+		s.m[RowKey(row.Terms, row.Cond)] = true
+	}
+	return s
+}
+
+// ApplyPatchToTable applies a patch to a table, returning the new table and
+// the row-level difference. It is a pure deterministic function of
+// (old, patch) — the leader, every follower, and log replay all call it, so
+// they land on byte-identical tables. The old table is not mutated.
+func ApplyPatchToTable(old *pctable.PCTable, p *Patch) (*AppliedPatch, error) {
+	ap, _, err := ApplyPatchToTableKeyed(old, p, nil)
+	return ap, err
+}
+
+// ApplyPatchToTableKeyed is ApplyPatchToTable reusing (and evolving) a
+// row-key set: keys must be the key set of old's rows, or nil to build it
+// here. It returns the key set of the NEW table's rows alongside the applied
+// difference; when no delete matched, the input set is extended in place and
+// returned, so a caller caching the set per table (the catalog) pays the
+// O(table) indexing cost once and O(patch) per patch after that. On error the
+// input set may have been partially extended and must be discarded.
+//
+// The new table shares everything unchanged with the old one: the row slice
+// is copied (the Row structs, not the term slices or condition trees), and
+// distributions are carried over by iterating the attached spaces directly —
+// never by scanning rows for variables.
+func ApplyPatchToTableKeyed(old *pctable.PCTable, p *Patch, keys *RowKeySet) (*AppliedPatch, *RowKeySet, error) {
+	arity := old.Arity()
+	for _, r := range p.Deletes {
+		if len(r.Terms) != arity {
+			return nil, nil, fmt.Errorf("wal: patch delete row has arity %d, table has %d", len(r.Terms), arity)
+		}
+	}
+	for _, r := range p.Upserts {
+		if len(r.Terms) != arity {
+			return nil, nil, fmt.Errorf("wal: patch upsert row has arity %d, table has %d", len(r.Terms), arity)
+		}
+	}
+	if keys == nil {
+		keys = NewRowKeySet(old)
+	}
+	anyDelete := false
+	for _, r := range p.Deletes {
+		if keys.m[RowKey(r.Terms, r.Cond)] {
+			anyDelete = true
+			break
+		}
+	}
+
+	oldRows := old.Table().Rows()
+	ap := &AppliedPatch{Old: old}
+	var outRows []ctable.Row
+	if !anyDelete {
+		// No delete matches a row: survivors are exactly the old rows, so the
+		// old key set doubles as the upsert presence index and row identity
+		// never has to be recomputed for unchanged rows.
+		outRows = make([]ctable.Row, len(oldRows), len(oldRows)+len(p.Upserts))
+		copy(outRows, oldRows)
+		for _, r := range p.Upserts {
+			k := RowKey(r.Terms, r.Cond)
+			if keys.m[k] {
+				continue
+			}
+			keys.m[k] = true
+			outRows = append(outRows, ctable.NewRow(r.Terms, r.Cond))
+			ap.AddedRows++
+		}
+	} else {
+		del := make(map[string]bool, len(p.Deletes))
+		for _, r := range p.Deletes {
+			del[RowKey(r.Terms, r.Cond)] = true
+		}
+		present := make(map[string]bool, len(oldRows))
+		outRows = make([]ctable.Row, 0, len(oldRows)+len(p.Upserts))
+		for i, row := range oldRows {
+			k := RowKey(row.Terms, row.Cond)
+			if del[k] {
+				ap.RemovedRows = append(ap.RemovedRows, i)
+				continue
+			}
+			present[k] = true
+			outRows = append(outRows, row)
+		}
+		for _, r := range p.Upserts {
+			k := RowKey(r.Terms, r.Cond)
+			if present[k] {
+				continue
+			}
+			present[k] = true
+			outRows = append(outRows, ctable.NewRow(r.Terms, r.Cond))
+			ap.AddedRows++
+		}
+		keys = &RowKeySet{m: present}
+	}
+	out := pctable.New(ctable.FromRows(arity, outRows))
+	ap.New = out
+
+	// Distributions: share the old table's spaces, then attach the patch's
+	// new ones — add-only, so every marginal memoized against the old
+	// distributions stays valid.
+	copied := make(map[string]bool)
+	old.EachDist(func(x condition.Variable, s *prob.Space) {
+		copied[string(x)] = true
+		out.SetSpace(string(x), s)
+	})
+	for _, dp := range p.Dists {
+		if copied[dp.Var] {
+			return nil, nil, fmt.Errorf("wal: patch adds a distribution for %s, which already has one (replace the table to change a distribution)", dp.Var)
+		}
+		copied[dp.Var] = true
+		out.SetSpace(dp.Var, dp.Dist)
+		ap.AddedDists = append(ap.AddedDists, dp.Var)
+	}
+
+	// Declared domains win over distribution supports, mirroring the snapshot
+	// decoder: re-apply the old table's exact domains last.
+	old.EachDomain(func(x condition.Variable, dom *value.Domain) {
+		out.Table().SetDomain(string(x), dom)
+	})
+	return ap, keys, nil
+}

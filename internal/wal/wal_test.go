@@ -10,6 +10,7 @@ import (
 
 	"uncertaindb/internal/condition"
 	"uncertaindb/internal/pctable"
+	"uncertaindb/internal/prob"
 	"uncertaindb/internal/value"
 )
 
@@ -52,10 +53,42 @@ func testTable(i int) *pctable.PCTable {
 	}
 }
 
+// testPatch builds a deterministic patch against the given table: it deletes
+// the first row on odd versions, upserts one fresh constant row, and — when
+// the table has a distribution-less variable y (the plain-c-table shape of
+// testTable) — attaches a distribution over y's declared domain, exercising
+// the add-only dist path.
+func testPatch(tab *pctable.PCTable, v uint64) *Patch {
+	p := &Patch{}
+	if rows := tab.Table().Rows(); len(rows) > 0 && v%2 == 1 {
+		r := rows[0]
+		p.Deletes = append(p.Deletes, PatchRow{Terms: append([]condition.Term(nil), r.Terms...), Cond: r.Cond})
+	}
+	terms := make([]condition.Term, tab.Arity())
+	for j := range terms {
+		terms[j] = condition.Const(value.Int(int64(v)*10 + int64(j)))
+	}
+	p.Upserts = append(p.Upserts, PatchRow{Terms: terms, Cond: condition.True()})
+	if tab.Dist("y") == nil {
+		tab.EachDomain(func(x condition.Variable, dom *value.Domain) {
+			if x != "y" {
+				return
+			}
+			vals := dom.Values()
+			dist := make(map[value.Value]float64, len(vals))
+			for _, val := range vals {
+				dist[val] = 1 / float64(len(vals))
+			}
+			p.Dists = append(p.Dists, DistPatch{Var: "y", Dist: prob.MustNewValueSpace(dist)})
+		})
+	}
+	return p
+}
+
 // testHistory builds a deterministic mutation history of n records (puts of
-// rotating tables interleaved with deletes) and the canonical snapshot bytes
-// of the catalog state after each prefix: exports[v] is the state at version
-// v, exports[0] the empty state.
+// rotating tables interleaved with deletes and row-level patches) and the
+// canonical snapshot bytes of the catalog state after each prefix:
+// exports[v] is the state at version v, exports[0] the empty state.
 func testHistory(t testing.TB, n int) ([]*Record, [][]byte) {
 	t.Helper()
 	st := &State{}
@@ -64,9 +97,23 @@ func testHistory(t testing.TB, n int) ([]*Record, [][]byte) {
 	for v := uint64(1); v <= uint64(n); v++ {
 		var rec *Record
 		name := fmt.Sprintf("T%d", v%3)
-		if v%5 == 0 && hasTable(st, name) {
+		switch {
+		case v%5 == 0 && hasTable(st, name):
 			rec = &Record{Kind: KindDelete, Version: v, Name: name}
-		} else {
+		case v%5 == 2 && hasTable(st, name):
+			var tab *pctable.PCTable
+			for _, ts := range st.Tables {
+				if ts.Name == name {
+					tab = ts.Table
+				}
+			}
+			p := testPatch(tab, v)
+			ap, err := ApplyPatchToTable(tab, p)
+			if err != nil {
+				t.Fatalf("build patch %d: %v", v, err)
+			}
+			rec = &Record{Kind: KindPatch, Version: v, Name: name, Probabilistic: ap.New.Validate() == nil, Patch: p}
+		default:
 			tab := testTable(int(v))
 			rec = &Record{Kind: KindPut, Version: v, Name: name, Probabilistic: tab.Validate() == nil, Table: tab}
 		}

@@ -115,6 +115,7 @@ func (f *Feed) Changes(ctx context.Context, from uint64, limit int, wait time.Du
 			Name:              ch.Name,
 			Probabilistic:     ch.Probabilistic,
 			Table:             ch.Table,
+			Patch:             ch.Patch,
 			Text:              ch.Text,
 			CommittedUnixNano: ch.CommittedUnixNano,
 		})

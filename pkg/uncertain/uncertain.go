@@ -302,13 +302,16 @@ func (db *DB) Close() error {
 // Change is one catalog mutation, as exposed by the change feed. For a put,
 // Table carries the canonical encoding of the table (wal.DecodeTable
 // decodes it; replicas apply it byte-faithfully) and Text a human-readable
-// rendering.
+// rendering. For a patch, Patch carries the canonical encoding of the
+// row-level mutation (wal.DecodePatch) — replicas re-apply it against their
+// own copy of the table and land on byte-identical rows.
 type Change struct {
 	Version       uint64
-	Kind          string // "put" or "delete"
+	Kind          string // "put", "delete", or "patch"
 	Name          string
 	Probabilistic bool
 	Table         []byte
+	Patch         []byte
 	Text          string
 	// CommittedUnixNano is the wall-clock commit time of the mutation, when
 	// this process still knows it (0 for records replayed from the WAL after
@@ -322,6 +325,9 @@ func (db *DB) changeOf(rec *wal.Record) Change {
 	if rec.Table != nil {
 		ch.Table = wal.EncodeTable(rec.Table)
 		ch.Text = rec.Table.String()
+	}
+	if rec.Patch != nil {
+		ch.Patch = wal.EncodePatch(rec.Patch)
 	}
 	if t, ok := db.eng.Catalog().CommitTime(rec.Version); ok {
 		ch.CommittedUnixNano = t
@@ -419,6 +425,24 @@ func (db *DB) PutTable(t *Table) (uint64, error) {
 		return 0, err
 	}
 	return db.eng.PutTable(t.name, t.pc)
+}
+
+// PatchTableScript parses a patch script (delete/upsert/dist directives in
+// the table-script row syntax; see internal/parser) and applies it to the
+// named table as one atomic row-level mutation, returning the new catalog
+// version. Unlike PutTable, cached plans reading the table are incrementally
+// maintained — deltas propagated through their operator trees and only the
+// affected tuple marginals re-evaluated — rather than invalidated, where the
+// query shape allows it.
+func (db *DB) PatchTableScript(name, script string) (uint64, error) {
+	if err := db.readOnlyErr(); err != nil {
+		return 0, err
+	}
+	p, err := parser.ParsePatchString(script)
+	if err != nil {
+		return 0, err
+	}
+	return db.eng.PatchTable(name, p)
 }
 
 // DropTable removes the named table, reporting whether it existed. The
